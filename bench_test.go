@@ -1,0 +1,456 @@
+// Package repro's root benchmarks regenerate every experiment table of
+// EXPERIMENTS.md (run `go test -bench=. -benchmem`) and micro-benchmark the
+// core event mechanisms. Experiment benchmarks report the table's key
+// figures as custom metrics so `go test -bench` output alone documents the
+// reproduced shape; cmd/benchtab prints the full tables.
+package repro
+
+import (
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/experiments"
+	"repro/internal/ids"
+	"repro/internal/locate"
+	"repro/internal/object"
+)
+
+// benchSystem boots a small cluster for micro-benchmarks.
+func benchSystem(b *testing.B, cfg core.Config) *core.System {
+	b.Helper()
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = 10 * time.Second
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sys.Close)
+	return sys
+}
+
+// BenchmarkE1RaiseMatrix regenerates the §5.3 addressing table (E1).
+func BenchmarkE1RaiseMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunE1()
+		if len(t.Rows) != 6 {
+			b.Fatalf("E1 rows = %d, want 6", len(t.Rows))
+		}
+	}
+}
+
+// BenchmarkE2Locate regenerates the thread-location experiment (E2) at one
+// representative point per strategy and reports probes per delivery.
+func BenchmarkE2Locate(b *testing.B) {
+	cases := []struct {
+		name string
+		s    locate.Strategy
+		mc   bool
+	}{
+		{"broadcast", locate.Broadcast{}, false},
+		{"path-follow", locate.PathFollow{}, false},
+		{"multicast", locate.Multicast{}, true},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			t := experiments.RunE2([]int{16}, []int{4})
+			var probes string
+			for _, row := range t.Rows {
+				if row[0] == tc.name {
+					probes = row[3]
+				}
+			}
+			v, _ := strconv.ParseFloat(probes, 64)
+			b.ReportMetric(v, "probes/locate")
+			for i := 0; i < b.N; i++ {
+				_ = experiments.RunE2([]int{8}, []int{2})
+			}
+		})
+	}
+}
+
+// BenchmarkE3HandlerPolicy contrasts master-thread and spawn-per-event
+// object event handling (E3).
+func BenchmarkE3HandlerPolicy(b *testing.B) {
+	for _, policy := range []object.HandlerPolicy{object.MasterThread, object.SpawnPerEvent} {
+		b.Run(policy.String(), func(b *testing.B) {
+			sys := benchSystem(b, core.Config{Nodes: 1})
+			oid, err := sys.CreateObject(1, object.Spec{
+				Name:   "target",
+				Policy: policy,
+				Handlers: map[event.Name]object.Handler{
+					event.Interrupt: func(_ object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+						return event.VerdictResume
+					},
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.RaiseAndWait(1, event.Interrupt, event.ToObject(oid), nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			created := sys.Metrics().Get("thread.goroutine.created")
+			b.ReportMetric(float64(created)/float64(b.N), "threads/event")
+		})
+	}
+}
+
+// BenchmarkE4ChainWalk measures delivery cost against chain depth (E4).
+func BenchmarkE4ChainWalk(b *testing.B) {
+	for _, depth := range []int{1, 8, 64} {
+		b.Run("depth="+strconv.Itoa(depth), func(b *testing.B) {
+			sys := benchSystem(b, core.Config{Nodes: 1})
+			if err := sys.RegisterProc("prop", func(_ object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+				return event.VerdictPropagate
+			}); err != nil {
+				b.Fatal(err)
+			}
+			started := make(chan ids.ThreadID, 1)
+			oid, err := sys.CreateObject(1, object.Spec{
+				Name: "chained",
+				Entries: map[string]object.Entry{
+					"run": func(ctx object.Ctx, _ []any) ([]any, error) {
+						if err := ctx.RegisterEvent("BENCH"); err != nil {
+							return nil, err
+						}
+						for i := 0; i < depth; i++ {
+							if err := ctx.AttachHandler(event.HandlerRef{Event: "BENCH", Kind: event.KindProc, Proc: "prop"}); err != nil {
+								return nil, err
+							}
+						}
+						started <- ctx.Thread()
+						return nil, ctx.Sleep(time.Hour)
+					},
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.Spawn(1, oid, "run"); err != nil {
+				b.Fatal(err)
+			}
+			tid := <-started
+			time.Sleep(10 * time.Millisecond)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Unconsumed propagation ends at the default (ignore).
+				_, _ = sys.RaiseAndWait(1, "BENCH", event.ToThread(tid), nil)
+			}
+		})
+	}
+}
+
+// BenchmarkE4LockCleanup regenerates the chained-unlock table (E4b).
+func BenchmarkE4LockCleanup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunE4Locks([]int{2})
+		if t.Rows[0][2] != "0" {
+			b.Fatalf("locks left held: %s", t.Rows[0][2])
+		}
+	}
+}
+
+// BenchmarkE5Termination regenerates the ^C experiment (E5) and checks the
+// headline result: zero orphans with the protocol.
+func BenchmarkE5Termination(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunE5([]int{4}, 3)
+		if t.Rows[0][3] != "0" {
+			b.Fatalf("protocol left orphans: %s", t.Rows[0][3])
+		}
+		if t.Rows[1][3] == "0" {
+			b.Fatal("naive kill left no orphans; baseline broken")
+		}
+	}
+}
+
+// BenchmarkE6InvokeModes measures one whole-state invocation in each mode
+// (E6) at a 4 KiB object.
+func BenchmarkE6InvokeModes(b *testing.B) {
+	for _, mode := range []core.InvokeMode{core.ModeRPC, core.ModeDSM} {
+		b.Run(mode.String(), func(b *testing.B) {
+			sys := benchSystem(b, core.Config{Nodes: 2, Mode: mode, PageSize: 1024})
+			const size = 4096
+			target, err := sys.CreateObject(2, object.Spec{
+				Name:     "state",
+				DataSize: size,
+				Entries: map[string]object.Entry{
+					"touch": func(ctx object.Ctx, _ []any) ([]any, error) {
+						data, err := ctx.ReadData(0, size)
+						if err != nil {
+							return nil, err
+						}
+						data[0]++
+						return nil, ctx.WriteData(0, data)
+					},
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			driver, err := sys.CreateObject(1, object.Spec{
+				Name: "driver",
+				Entries: map[string]object.Entry{
+					"run": func(ctx object.Ctx, args []any) ([]any, error) {
+						n, _ := args[0].(int)
+						for i := 0; i < n; i++ {
+							if _, err := ctx.Invoke(target, "touch"); err != nil {
+								return nil, err
+							}
+						}
+						return nil, nil
+					},
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			h, err := sys.Spawn(1, driver, "run", b.N)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := h.WaitTimeout(10 * time.Minute); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			msgs := sys.Metrics().Get("net.msg.sent")
+			b.ReportMetric(float64(msgs)/float64(b.N), "msgs/invoke")
+		})
+	}
+}
+
+// BenchmarkE7Pager regenerates the pager experiment (E7) at 2 faulters.
+func BenchmarkE7Pager(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunE7([]int{2})
+		if t.Rows[0][3] != "true" {
+			b.Fatal("pager merge incorrect")
+		}
+	}
+}
+
+// BenchmarkE8Baselines regenerates the delivery-correctness comparison (E8).
+func BenchmarkE8Baselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunE8([]int{4})
+		// Row 0 is DO/CT: misdelivery must be 0.00.
+		if t.Rows[0][4] != "0.00" {
+			b.Fatalf("DO/CT misdelivery = %s", t.Rows[0][4])
+		}
+	}
+}
+
+// BenchmarkE9Monitor regenerates the monitoring-overhead experiment (E9).
+func BenchmarkE9Monitor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunE9([]time.Duration{10 * time.Millisecond})
+		if len(t.Rows) != 1 {
+			b.Fatal("E9 produced no rows")
+		}
+	}
+}
+
+// Micro-benchmarks of the core mechanisms.
+
+// BenchmarkLocalInvoke measures a same-node cross-object invocation.
+func BenchmarkLocalInvoke(b *testing.B) {
+	sys := benchSystem(b, core.Config{Nodes: 1})
+	target, err := sys.CreateObject(1, object.Spec{
+		Name: "t",
+		Entries: map[string]object.Entry{
+			"noop": func(_ object.Ctx, _ []any) ([]any, error) { return nil, nil },
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	driver, err := sys.CreateObject(1, object.Spec{
+		Name: "d",
+		Entries: map[string]object.Entry{
+			"run": func(ctx object.Ctx, args []any) ([]any, error) {
+				n, _ := args[0].(int)
+				for i := 0; i < n; i++ {
+					if _, err := ctx.Invoke(target, "noop"); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	h, err := sys.Spawn(1, driver, "run", b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := h.WaitTimeout(10 * time.Minute); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRemoteInvoke measures a cross-node invocation round trip.
+func BenchmarkRemoteInvoke(b *testing.B) {
+	sys := benchSystem(b, core.Config{Nodes: 2})
+	target, err := sys.CreateObject(2, object.Spec{
+		Name: "t",
+		Entries: map[string]object.Entry{
+			"noop": func(_ object.Ctx, _ []any) ([]any, error) { return nil, nil },
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	driver, err := sys.CreateObject(1, object.Spec{
+		Name: "d",
+		Entries: map[string]object.Entry{
+			"run": func(ctx object.Ctx, args []any) ([]any, error) {
+				n, _ := args[0].(int)
+				for i := 0; i < n; i++ {
+					if _, err := ctx.Invoke(target, "noop"); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	h, err := sys.Spawn(1, driver, "run", b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := h.WaitTimeout(10 * time.Minute); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRaiseToSelf measures the synchronous self-raise (the exception
+// pattern of §6.1).
+func BenchmarkRaiseToSelf(b *testing.B) {
+	sys := benchSystem(b, core.Config{Nodes: 1})
+	if err := sys.RegisterProc("h", func(_ object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+		return event.VerdictResume
+	}); err != nil {
+		b.Fatal(err)
+	}
+	oid, err := sys.CreateObject(1, object.Spec{
+		Name: "o",
+		Entries: map[string]object.Entry{
+			"run": func(ctx object.Ctx, args []any) ([]any, error) {
+				n, _ := args[0].(int)
+				if err := ctx.RegisterEvent("B"); err != nil {
+					return nil, err
+				}
+				if err := ctx.AttachHandler(event.HandlerRef{Event: "B", Kind: event.KindProc, Proc: "h"}); err != nil {
+					return nil, err
+				}
+				for i := 0; i < n; i++ {
+					if err := ctx.RaiseAndWait("B", event.ToThread(ctx.Thread()), nil); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	h, err := sys.Spawn(1, oid, "run", b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := h.WaitTimeout(10 * time.Minute); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSurrogateDelivery measures async raise to a blocked thread.
+func BenchmarkSurrogateDelivery(b *testing.B) {
+	sys := benchSystem(b, core.Config{Nodes: 1})
+	var handled atomic.Int64
+	if err := sys.RegisterProc("h", func(_ object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+		handled.Add(1)
+		return event.VerdictResume
+	}); err != nil {
+		b.Fatal(err)
+	}
+	started := make(chan ids.ThreadID, 1)
+	oid, err := sys.CreateObject(1, object.Spec{
+		Name: "o",
+		Entries: map[string]object.Entry{
+			"park": func(ctx object.Ctx, _ []any) ([]any, error) {
+				if err := ctx.RegisterEvent("B2"); err != nil {
+					return nil, err
+				}
+				if err := ctx.AttachHandler(event.HandlerRef{Event: "B2", Kind: event.KindProc, Proc: "h"}); err != nil {
+					return nil, err
+				}
+				started <- ctx.Thread()
+				return nil, ctx.Sleep(time.Hour)
+			},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Spawn(1, oid, "park"); err != nil {
+		b.Fatal(err)
+	}
+	tid := <-started
+	time.Sleep(10 * time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.RaiseAndWait(1, "B2", event.ToThread(tid), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDSMRead measures a cached DSM read through an object entry.
+func BenchmarkDSMRead(b *testing.B) {
+	sys := benchSystem(b, core.Config{Nodes: 1, PageSize: 1024})
+	oid, err := sys.CreateObject(1, object.Spec{
+		Name:     "seg",
+		DataSize: 4096,
+		Entries: map[string]object.Entry{
+			"run": func(ctx object.Ctx, args []any) ([]any, error) {
+				n, _ := args[0].(int)
+				for i := 0; i < n; i++ {
+					if _, err := ctx.ReadData(0, 64); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	h, err := sys.Spawn(1, oid, "run", b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := h.WaitTimeout(10 * time.Minute); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+// Command benchtab regenerates the experiment tables of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchtab            # run every experiment (E1..E9)
+//	benchtab -e e2,e5   # run a subset
+//	benchtab -list      # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// runners maps experiment ids to their default-parameter runners.
+var runners = []struct {
+	id    string
+	title string
+	run   func() experiments.Table
+}{
+	{"e1", "raise/raise_and_wait addressing matrix (§5.3 Table 1)", experiments.RunE1},
+	{"e2", "thread location strategies (§7.1)", func() experiments.Table { return experiments.RunE2(nil, nil) }},
+	{"e3", "object handler policy (§4.3)", func() experiments.Table { return experiments.RunE3(nil) }},
+	{"e4", "handler chaining cost (§4.2)", func() experiments.Table { return experiments.RunE4(nil) }},
+	{"e4b", "chained lock cleanup (§4.2)", func() experiments.Table { return experiments.RunE4Locks(nil) }},
+	{"e5", "distributed ^C vs naive kill (§6.3)", func() experiments.Table { return experiments.RunE5(nil, 0) }},
+	{"e6", "RPC vs DSM invocation (§2)", func() experiments.Table { return experiments.RunE6(nil) }},
+	{"e7", "user-level pager (§6.4)", func() experiments.Table { return experiments.RunE7(nil) }},
+	{"e8", "delivery vs UNIX/Mach baselines (§9)", func() experiments.Table { return experiments.RunE8(nil) }},
+	{"e9", "monitoring overhead (§6.2)", func() experiments.Table { return experiments.RunE9(nil) }},
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	var (
+		only = fs.String("e", "", "comma-separated experiment ids (default: all)")
+		list = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, r := range runners {
+			fmt.Printf("%-4s %s\n", r.id, r.title)
+		}
+		return nil
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToLower(strings.TrimSpace(id))] = true
+		}
+	}
+	ran := 0
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		fmt.Println(r.run().String())
+		ran++
+	}
+	if len(want) > 0 && ran != len(want) {
+		return fmt.Errorf("unknown experiment id in %q (see -list)", *only)
+	}
+	return nil
+}

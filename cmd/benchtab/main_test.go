@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-e", "e42"}); err == nil {
+		t.Fatal("run -e e42 succeeded, want error")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("run -bogus succeeded, want error")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	if err := run([]string{"-e", "e1"}); err != nil {
+		t.Fatalf("run -e e1: %v", err)
+	}
+}
+
+func TestRunnersCoverAllExperiments(t *testing.T) {
+	want := map[string]bool{
+		"e1": true, "e2": true, "e3": true, "e4": true, "e4b": true,
+		"e5": true, "e6": true, "e7": true, "e8": true, "e9": true,
+	}
+	for _, r := range runners {
+		if !want[r.id] {
+			t.Errorf("unexpected runner %q", r.id)
+		}
+		delete(want, r.id)
+	}
+	for id := range want {
+		t.Errorf("missing runner %q", id)
+	}
+}

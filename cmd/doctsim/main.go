@@ -1,0 +1,433 @@
+// Command doctsim drives the DO/CT environment interactively: it boots a
+// configurable cluster and runs one of the paper's application scenarios,
+// printing the event trace and the protocol cost counters.
+//
+// Usage:
+//
+//	doctsim -scenario ping -nodes 4 -locate broadcast
+//	doctsim -scenario ctrlc -nodes 5 -latency 2ms
+//	doctsim -scenario locks -nodes 3 -mode dsm
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/doct"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("doctsim", flag.ContinueOnError)
+	var (
+		scenario = fs.String("scenario", "ping", "ping | ctrlc | locks | monitor | persist")
+		nodes    = fs.Int("nodes", 3, "cluster size")
+		latency  = fs.Duration("latency", 0, "simulated per-message latency")
+		locStrat = fs.String("locate", "path-follow", "broadcast | path-follow | multicast")
+		mode     = fs.String("mode", "rpc", "invocation mode: rpc | dsm")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	im := doct.ModeRPC
+	if *mode == "dsm" {
+		im = doct.ModeDSM
+	} else if *mode != "rpc" {
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	sys, err := doct.NewSystem(doct.Config{
+		Nodes:   *nodes,
+		Latency: *latency,
+		Locate:  doct.LocateStrategy(*locStrat),
+		Mode:    im,
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	var serr error
+	switch *scenario {
+	case "ping":
+		serr = scenarioPing(sys, *nodes)
+	case "ctrlc":
+		serr = scenarioCtrlC(sys, *nodes)
+	case "locks":
+		serr = scenarioLocks(sys, *nodes)
+	case "monitor":
+		serr = scenarioMonitor(sys, *nodes)
+	case "persist":
+		serr = scenarioPersist(sys, *nodes)
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	if serr != nil {
+		return serr
+	}
+	printMetrics(sys)
+	return nil
+}
+
+// scenarioPing walks a thread across the whole cluster and delivers one
+// event to it at the far end.
+func scenarioPing(sys *doct.System, nodes int) error {
+	if err := sys.RegisterProc("ping.h", func(ctx doct.Ctx, _ doct.HandlerRef, eb *doct.EventBlock) doct.Verdict {
+		fmt.Printf("PING handled at %v in %v (thread %v, depth %d)\n",
+			ctx.Node(), eb.State.Object, eb.State.Thread, eb.State.Depth)
+		return doct.Resume
+	}); err != nil {
+		return err
+	}
+	started := make(chan doct.ThreadID, 1)
+	// Chain of hop objects, one per node 2..n; the deepest parks.
+	var next doct.ObjectID
+	for i := nodes; i >= 2; i-- {
+		node := doct.NodeID(i)
+		var spec doct.ObjectSpec
+		if i == nodes {
+			spec = doct.ObjectSpec{
+				Name: "hop",
+				Entries: map[string]doct.Entry{
+					"fwd": func(ctx doct.Ctx, _ []any) ([]any, error) {
+						started <- ctx.Thread()
+						return nil, ctx.Sleep(time.Hour)
+					},
+				},
+			}
+		} else {
+			target := next
+			spec = doct.ObjectSpec{
+				Name: "hop",
+				Entries: map[string]doct.Entry{
+					"fwd": func(ctx doct.Ctx, _ []any) ([]any, error) {
+						fmt.Printf("thread %v passing through %v\n", ctx.Thread(), ctx.Node())
+						return ctx.Invoke(target, "fwd")
+					},
+				},
+			}
+		}
+		oid, err := sys.CreateObject(node, spec)
+		if err != nil {
+			return err
+		}
+		next = oid
+	}
+	launcher, err := sys.CreateObject(1, doct.ObjectSpec{
+		Name: "launcher",
+		Entries: map[string]doct.Entry{
+			"go": func(ctx doct.Ctx, _ []any) ([]any, error) {
+				if err := ctx.RegisterEvent("PING"); err != nil {
+					return nil, err
+				}
+				if err := ctx.AttachHandler(doct.HandlerRef{Event: "PING", Kind: doct.HandlerProc, Proc: "ping.h"}); err != nil {
+					return nil, err
+				}
+				return ctx.Invoke(next, "fwd")
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	h, err := sys.Spawn(1, launcher, "go")
+	if err != nil {
+		return err
+	}
+	tid := <-started
+	time.Sleep(30 * time.Millisecond)
+	fmt.Printf("raising PING at %v from node1 ...\n", tid)
+	if _, err := sys.RaiseAndWait(1, "PING", doct.ToThread(tid), nil); err != nil {
+		return err
+	}
+	fmt.Println("terminating ...")
+	if err := sys.Raise(1, doct.EvTerminate, doct.ToThread(tid), nil); err != nil {
+		return err
+	}
+	if _, err := h.WaitTimeout(30 * time.Second); !errors.Is(err, doct.ErrTerminated) {
+		return fmt.Errorf("unexpected end: %v", err)
+	}
+	return nil
+}
+
+// scenarioCtrlC runs the §6.3 protocol.
+func scenarioCtrlC(sys *doct.System, nodes int) error {
+	cleanup := doct.AbortCleanupHandler(func(ctx doct.Ctx, tid doct.ThreadID) {
+		fmt.Printf("ABORT cleanup in %v\n", ctx.Object())
+	})
+	deep, err := sys.CreateObject(doct.NodeID(nodes), doct.ObjectSpec{
+		Name:     "deep",
+		Handlers: map[doct.EventName]doct.Handler{doct.EvAbort: cleanup},
+		Entries: map[string]doct.Entry{
+			"dwell": func(ctx doct.Ctx, _ []any) ([]any, error) {
+				return nil, ctx.Sleep(time.Hour)
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	started := make(chan doct.ThreadID, 1)
+	objCh := make(chan doct.ObjectID, 1)
+	root, err := sys.CreateObject(1, doct.ObjectSpec{
+		Name:     "root",
+		Handlers: map[doct.EventName]doct.Handler{doct.EvAbort: cleanup},
+		Entries: map[string]doct.Entry{
+			"main": func(ctx doct.Ctx, _ []any) ([]any, error) {
+				self := <-objCh
+				if _, err := doct.ArmTermination(ctx, self); err != nil {
+					return nil, err
+				}
+				for i := 0; i < 3; i++ {
+					if _, err := ctx.InvokeAsync(self, "worker"); err != nil {
+						return nil, err
+					}
+				}
+				started <- ctx.Thread()
+				return ctx.Invoke(deep, "dwell")
+			},
+			"worker": func(ctx doct.Ctx, _ []any) ([]any, error) {
+				return nil, ctx.Sleep(time.Hour)
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	objCh <- root
+	h, err := sys.Spawn(1, root, "main")
+	if err != nil {
+		return err
+	}
+	tid := <-started
+	time.Sleep(50 * time.Millisecond)
+	fmt.Println("^C -> TERMINATE")
+	if err := sys.Raise(1, doct.EvTerminate, doct.ToThread(tid), nil); err != nil {
+		return err
+	}
+	orphans := 0
+	_, _ = h.WaitTimeout(30 * time.Second)
+	for _, hh := range sys.Handles() {
+		if _, err := hh.WaitTimeout(30 * time.Second); err == nil {
+			orphans++
+		}
+	}
+	fmt.Printf("threads: %d, orphans: %d\n", len(sys.Handles()), orphans)
+	return nil
+}
+
+// scenarioLocks runs the §4.2 lock-cleanup scenario.
+func scenarioLocks(sys *doct.System, nodes int) error {
+	servers := make([]doct.ObjectID, nodes)
+	for i := range servers {
+		s, err := sys.CreateObject(doct.NodeID(i+1), doct.LockServerSpec(fmt.Sprintf("n%d", i+1)))
+		if err != nil {
+			return err
+		}
+		servers[i] = s
+	}
+	started := make(chan doct.ThreadID, 1)
+	app, err := sys.CreateObject(1, doct.ObjectSpec{
+		Name: "locker",
+		Entries: map[string]doct.Entry{
+			"main": func(ctx doct.Ctx, _ []any) ([]any, error) {
+				for i, s := range servers {
+					if err := doct.AcquireLock(ctx, s, "data"); err != nil {
+						return nil, err
+					}
+					fmt.Printf("lock %d/%d acquired\n", i+1, len(servers))
+				}
+				started <- ctx.Thread()
+				return nil, ctx.Sleep(time.Hour)
+			},
+			"audit": func(ctx doct.Ctx, _ []any) ([]any, error) {
+				free := 0
+				for _, s := range servers {
+					holder, err := doct.LockHolder(ctx, s, "data")
+					if err != nil {
+						return nil, err
+					}
+					if holder == doct.ThreadID(0) {
+						free++
+					}
+				}
+				return []any{free}, nil
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	h, err := sys.Spawn(1, app, "main")
+	if err != nil {
+		return err
+	}
+	tid := <-started
+	time.Sleep(30 * time.Millisecond)
+	fmt.Println("TERMINATE -> chained unlocks")
+	if err := sys.Raise(1, doct.EvTerminate, doct.ToThread(tid), nil); err != nil {
+		return err
+	}
+	if _, err := h.WaitTimeout(30 * time.Second); !errors.Is(err, doct.ErrTerminated) {
+		return fmt.Errorf("unexpected end: %v", err)
+	}
+	ha, err := sys.Spawn(1, app, "audit")
+	if err != nil {
+		return err
+	}
+	res, err := ha.WaitTimeout(30 * time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("locks free after TERMINATE: %v/%d\n", res[0], nodes)
+	return nil
+}
+
+// scenarioMonitor runs the §6.2 monitoring scenario.
+func scenarioMonitor(sys *doct.System, nodes int) error {
+	server, err := sys.CreateObject(1, doct.MonitorServerSpec("central"))
+	if err != nil {
+		return err
+	}
+	work, err := sys.CreateObject(doct.NodeID(nodes), doct.ObjectSpec{
+		Name: "work",
+		Entries: map[string]doct.Entry{
+			"crunch": func(ctx doct.Ctx, _ []any) ([]any, error) {
+				for i := 0; i < 10; i++ {
+					if err := ctx.Sleep(10 * time.Millisecond); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	app, err := sys.CreateObject(1, doct.ObjectSpec{
+		Name: "app",
+		Entries: map[string]doct.Entry{
+			"main": func(ctx doct.Ctx, _ []any) ([]any, error) {
+				if err := doct.AttachMonitor(ctx, server, 10*time.Millisecond); err != nil {
+					return nil, err
+				}
+				return ctx.Invoke(work, "crunch")
+			},
+			"report": func(ctx doct.Ctx, args []any) ([]any, error) {
+				tid, _ := args[0].(doct.ThreadID)
+				samples, err := doct.MonitorSamples(ctx, server, tid)
+				if err != nil {
+					return nil, err
+				}
+				for _, s := range samples {
+					fmt.Println(" ", s)
+				}
+				return []any{len(samples)}, nil
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	h, err := sys.Spawn(1, app, "main")
+	if err != nil {
+		return err
+	}
+	if _, err := h.WaitTimeout(30 * time.Second); err != nil {
+		return err
+	}
+	hr, err := sys.Spawn(1, app, "report", h.TID())
+	if err != nil {
+		return err
+	}
+	res, err := hr.WaitTimeout(30 * time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%v samples collected by the central monitor\n", res[0])
+	return nil
+}
+
+// scenarioPersist demonstrates object passivation/reactivation: a counter
+// accumulates state, passivates, and reactivates on the far node with its
+// state intact.
+func scenarioPersist(sys *doct.System, nodes int) error {
+	spec := doct.ObjectSpec{
+		Name:     "counter",
+		DataSize: 64,
+		Entries: map[string]doct.Entry{
+			"incr": func(ctx doct.Ctx, _ []any) ([]any, error) {
+				d, err := ctx.ReadData(0, 1)
+				if err != nil {
+					return nil, err
+				}
+				d[0]++
+				if err := ctx.WriteData(0, d); err != nil {
+					return nil, err
+				}
+				return []any{int(d[0])}, nil
+			},
+		},
+	}
+	obj, err := sys.CreateObject(1, spec)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 5; i++ {
+		h, err := sys.Spawn(1, obj, "incr")
+		if err != nil {
+			return err
+		}
+		if _, err := h.WaitTimeout(30 * time.Second); err != nil {
+			return err
+		}
+	}
+	img, err := sys.Passivate(obj)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("passivated %q: %d B segment image, count=%d\n", img.Name, len(img.Data), img.Data[0])
+
+	far := doct.NodeID(nodes)
+	obj2, err := sys.Activate(far, spec, img)
+	if err != nil {
+		return err
+	}
+	h, err := sys.Spawn(far, obj2, "incr")
+	if err != nil {
+		return err
+	}
+	res, err := h.WaitTimeout(30 * time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reactivated on %v: next increment -> %v\n", far, res[0])
+	if res[0] != 6 {
+		return fmt.Errorf("state lost across passivation: %v", res[0])
+	}
+	return nil
+}
+
+// printMetrics dumps the interesting counters sorted by name.
+func printMetrics(sys *doct.System) {
+	m := sys.Metrics()
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("--- protocol counters ---")
+	for _, name := range names {
+		fmt.Printf("%-28s %d\n", name, m[name])
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import "testing"
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-bogus"},
+		{"-scenario", "nope"},
+		{"-mode", "quantum"},
+		{"-scenario", "ping", "-locate", "warp"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestScenarioPing(t *testing.T) {
+	if err := run([]string{"-scenario", "ping", "-nodes", "3"}); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+}
+
+func TestScenarioLocks(t *testing.T) {
+	if err := run([]string{"-scenario", "locks", "-nodes", "2"}); err != nil {
+		t.Fatalf("locks: %v", err)
+	}
+}
+
+func TestScenarioCtrlC(t *testing.T) {
+	if err := run([]string{"-scenario", "ctrlc", "-nodes", "3"}); err != nil {
+		t.Fatalf("ctrlc: %v", err)
+	}
+}
+
+func TestScenarioMonitor(t *testing.T) {
+	if err := run([]string{"-scenario", "monitor", "-nodes", "2"}); err != nil {
+		t.Fatalf("monitor: %v", err)
+	}
+}
+
+func TestScenarioPingDSMMode(t *testing.T) {
+	if err := run([]string{"-scenario", "ping", "-nodes", "2", "-mode", "dsm"}); err != nil {
+		t.Fatalf("ping over dsm: %v", err)
+	}
+}
+
+func TestScenarioPingBroadcast(t *testing.T) {
+	if err := run([]string{"-scenario", "ping", "-nodes", "4", "-locate", "broadcast"}); err != nil {
+		t.Fatalf("ping broadcast: %v", err)
+	}
+}
+
+func TestScenarioPersist(t *testing.T) {
+	if err := run([]string{"-scenario", "persist", "-nodes", "2"}); err != nil {
+		t.Fatalf("persist: %v", err)
+	}
+}

@@ -1,0 +1,268 @@
+package doct
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFacadePagerService(t *testing.T) {
+	const pageSize = 128
+	sys := newSystem(t, Config{Nodes: 2, PageSize: pageSize})
+	server, err := sys.CreateObject(1, PagerServerSpec("vm", pageSize, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := sys.CreateSegment(1, 2*pageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := sys.CreateObject(2, ObjectSpec{
+		Name: "faulter",
+		Entries: map[string]Entry{
+			"run": func(ctx Ctx, _ []any) ([]any, error) {
+				if err := AttachPager(ctx, server); err != nil {
+					return nil, err
+				}
+				if err := ctx.SegWrite(seg, 3, []byte{9}); err != nil {
+					return nil, err
+				}
+				data, err := ctx.SegRead(seg, 3, 1)
+				if err != nil {
+					return nil, err
+				}
+				return []any{data[0]}, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(2, app, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.WaitTimeout(waitShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != byte(9) {
+		t.Fatalf("read-back = %v", res[0])
+	}
+}
+
+func TestFacadeMonitorService(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 2})
+	server, err := sys.CreateObject(1, MonitorServerSpec("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := sys.CreateObject(1, ObjectSpec{
+		Name: "app",
+		Entries: map[string]Entry{
+			"run": func(ctx Ctx, _ []any) ([]any, error) {
+				if err := AttachMonitor(ctx, server, 10*time.Millisecond); err != nil {
+					return nil, err
+				}
+				if err := ctx.Sleep(80 * time.Millisecond); err != nil {
+					return nil, err
+				}
+				return nil, DetachMonitor(ctx)
+			},
+			"query": func(ctx Ctx, args []any) ([]any, error) {
+				tid, _ := args[0].(ThreadID)
+				samples, err := MonitorSamples(ctx, server, tid)
+				if err != nil {
+					return nil, err
+				}
+				return []any{len(samples)}, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(1, app, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WaitTimeout(waitShort); err != nil {
+		t.Fatal(err)
+	}
+	hq, err := sys.Spawn(1, app, "query", h.TID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hq.WaitTimeout(waitShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := res[0].(int)
+	if n < 3 {
+		t.Fatalf("samples = %d, want >= 3", n)
+	}
+}
+
+func TestFacadeTrace(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 2, TraceCapacity: 128})
+	oid, err := sys.CreateObject(2, ObjectSpec{
+		Name: "o",
+		Entries: map[string]Entry{
+			"e": func(_ Ctx, _ []any) ([]any, error) { return nil, nil },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := sys.Spawn(1, oid, "e")
+	if _, err := h.WaitTimeout(waitShort); err != nil {
+		t.Fatal(err)
+	}
+	tr := sys.Trace()
+	if tr == nil || tr.Total() == 0 {
+		t.Fatal("trace empty")
+	}
+	if len(tr.OfThread(h.TID())) == 0 {
+		t.Fatal("no trace records for the spawned thread")
+	}
+}
+
+func TestFacadeTraceDisabled(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 1})
+	if sys.Trace() != nil {
+		t.Fatal("Trace() non-nil without TraceCapacity")
+	}
+}
+
+func TestFacadeDSMMode(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 2, Mode: ModeDSM})
+	oid, err := sys.CreateObject(2, ObjectSpec{
+		Name:     "state",
+		DataSize: 512,
+		Entries: map[string]Entry{
+			"bump": func(ctx Ctx, _ []any) ([]any, error) {
+				d, err := ctx.ReadData(0, 1)
+				if err != nil {
+					return nil, err
+				}
+				d[0]++
+				if err := ctx.WriteData(0, d); err != nil {
+					return nil, err
+				}
+				return []any{int(d[0])}, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driver, err := sys.CreateObject(1, ObjectSpec{
+		Name: "driver",
+		Entries: map[string]Entry{
+			"run": func(ctx Ctx, _ []any) ([]any, error) {
+				var last any
+				for i := 0; i < 3; i++ {
+					res, err := ctx.Invoke(oid, "bump")
+					if err != nil {
+						return nil, err
+					}
+					last = res[0]
+				}
+				return []any{last}, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(1, driver, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.WaitTimeout(waitShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 3 {
+		t.Fatalf("count = %v, want 3", res[0])
+	}
+	m := sys.Metrics()
+	if m.Get("invoke.dsm") != 3 {
+		t.Fatalf("dsm invokes = %d, want 3", m.Get("invoke.dsm"))
+	}
+}
+
+func TestFacadeSpawnAppAndIOChannel(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 1})
+	oid, err := sys.CreateObject(1, ObjectSpec{
+		Name: "printer",
+		Entries: map[string]Entry{
+			"print": func(ctx Ctx, args []any) ([]any, error) {
+				ctx.Attrs().IOChannel = "term-a"
+				ctx.Output("hello from " + ctx.Attrs().App)
+				return nil, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.SpawnApp(1, "appA", oid, "print")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WaitTimeout(waitShort); err != nil {
+		t.Fatal(err)
+	}
+	lines := sys.IOChannel("term-a")
+	if len(lines) != 1 || lines[0] != "hello from appA" {
+		t.Fatalf("IOChannel = %v", lines)
+	}
+}
+
+func TestFacadeHandleOf(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 1})
+	oid, err := sys.CreateObject(1, ObjectSpec{
+		Name: "o",
+		Entries: map[string]Entry{
+			"e": func(_ Ctx, _ []any) ([]any, error) { return nil, nil },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := sys.Spawn(1, oid, "e")
+	if got := sys.HandleOf(h.TID()); got != h {
+		t.Fatal("HandleOf returned a different handle")
+	}
+	if sys.HandleOf(ThreadID(12345)) != nil {
+		t.Fatal("HandleOf unknown thread returned a handle")
+	}
+	if len(sys.Handles()) != 1 {
+		t.Fatalf("Handles = %d, want 1", len(sys.Handles()))
+	}
+	if _, err := h.WaitTimeout(waitShort); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeRaiseErrors(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 1})
+	err := sys.Raise(1, EvTerminate, ToThread(ThreadID(99999)), nil)
+	if !errors.Is(err, ErrThreadNotFound) {
+		t.Fatalf("err = %v, want ErrThreadNotFound", err)
+	}
+	if err := sys.Raise(99, EvTerminate, ToThread(ThreadID(1)), nil); err == nil {
+		t.Fatal("raise from unknown node succeeded")
+	}
+}
+
+func TestFacadeAccessors(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 2})
+	if sys.Core() == nil {
+		t.Error("Core() nil")
+	}
+	if nodes := sys.Nodes(); len(nodes) != 2 {
+		t.Errorf("Nodes() = %v", nodes)
+	}
+}

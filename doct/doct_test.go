@@ -1,0 +1,217 @@
+package doct
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const waitShort = 10 * time.Second
+
+func newSystem(t *testing.T, cfg Config) *System {
+	t.Helper()
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = 3 * time.Second
+	}
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	return sys
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 2})
+	counter, err := sys.CreateObject(2, ObjectSpec{
+		Name: "counter",
+		Entries: map[string]Entry{
+			"incr": func(ctx Ctx, _ []any) ([]any, error) {
+				v, _ := ctx.Get("n")
+				n, _ := v.(int)
+				n++
+				ctx.Set("n", n)
+				return []any{n}, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last any
+	for i := 0; i < 3; i++ {
+		h, err := sys.Spawn(1, counter, "incr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := h.WaitTimeout(waitShort)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res[0]
+	}
+	if last != 3 {
+		t.Fatalf("counter = %v, want 3", last)
+	}
+}
+
+func TestFacadeEventFlow(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 2, Locate: LocateBroadcast})
+	var handled atomic.Int64
+	if err := sys.RegisterProc("h", func(_ Ctx, _ HandlerRef, _ *EventBlock) Verdict {
+		handled.Add(1)
+		return Resume
+	}); err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan ThreadID, 1)
+	app, err := sys.CreateObject(1, ObjectSpec{
+		Name: "app",
+		Entries: map[string]Entry{
+			"run": func(ctx Ctx, _ []any) ([]any, error) {
+				if err := ctx.RegisterEvent("SYNCHRONIZE"); err != nil {
+					return nil, err
+				}
+				if err := ctx.AttachHandler(HandlerRef{Event: "SYNCHRONIZE", Kind: HandlerProc, Proc: "h"}); err != nil {
+					return nil, err
+				}
+				started <- ctx.Thread()
+				return nil, ctx.Sleep(300 * time.Millisecond)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(1, app, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid := <-started
+	time.Sleep(20 * time.Millisecond)
+	if _, err := sys.RaiseAndWait(2, "SYNCHRONIZE", ToThread(tid), nil); err != nil {
+		t.Fatal(err)
+	}
+	if handled.Load() != 1 {
+		t.Fatalf("handled = %d", handled.Load())
+	}
+	if _, err := h.WaitTimeout(waitShort); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeLockService(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 1})
+	server, err := sys.CreateObject(1, LockServerSpec("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := sys.CreateObject(1, ObjectSpec{
+		Name: "app",
+		Entries: map[string]Entry{
+			"run": func(ctx Ctx, _ []any) ([]any, error) {
+				if err := AcquireLock(ctx, server, "l"); err != nil {
+					return nil, err
+				}
+				holder, err := LockHolder(ctx, server, "l")
+				if err != nil {
+					return nil, err
+				}
+				if err := ReleaseLock(ctx, server, "l"); err != nil {
+					return nil, err
+				}
+				return []any{holder == ctx.Thread()}, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := sys.Spawn(1, app, "run")
+	res, err := h.WaitTimeout(waitShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != true {
+		t.Fatal("lock holder mismatch")
+	}
+}
+
+func TestFacadeTerminationProtocol(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 2})
+	started := make(chan ThreadID, 1)
+	objCh := make(chan ObjectID, 1)
+	app, err := sys.CreateObject(1, ObjectSpec{
+		Name:     "app",
+		Handlers: map[EventName]Handler{EvAbort: AbortCleanupHandler(nil)},
+		Entries: map[string]Entry{
+			"main": func(ctx Ctx, _ []any) ([]any, error) {
+				self := <-objCh
+				if _, err := ArmTermination(ctx, self); err != nil {
+					return nil, err
+				}
+				started <- ctx.Thread()
+				return nil, ctx.Sleep(time.Hour)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objCh <- app
+	h, err := sys.Spawn(1, app, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid := <-started
+	time.Sleep(20 * time.Millisecond)
+	if err := sys.Raise(2, EvTerminate, ToThread(tid), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WaitTimeout(waitShort); err == nil {
+		t.Fatal("thread survived the termination protocol")
+	} else if !errors.Is(err, ErrTerminated) && !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewSystem(Config{Nodes: 0}); err == nil {
+		t.Fatal("NewSystem with 0 nodes succeeded")
+	}
+	if _, err := NewSystem(Config{Nodes: 1, Locate: "warp"}); err == nil {
+		t.Fatal("NewSystem with unknown strategy succeeded")
+	}
+}
+
+func TestAllLocateStrategiesBoot(t *testing.T) {
+	for _, strat := range []LocateStrategy{LocateBroadcast, LocatePathFollow, LocateMulticast, ""} {
+		sys, err := NewSystem(Config{Nodes: 2})
+		if err != nil {
+			t.Fatalf("%q: %v", strat, err)
+		}
+		sys.Close()
+	}
+}
+
+func TestMetricsExposed(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 2})
+	oid, err := sys.CreateObject(2, ObjectSpec{
+		Name: "o",
+		Entries: map[string]Entry{
+			"e": func(_ Ctx, _ []any) ([]any, error) { return nil, nil },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := sys.Spawn(1, oid, "e")
+	if _, err := h.WaitTimeout(waitShort); err != nil {
+		t.Fatal(err)
+	}
+	m := sys.Metrics()
+	if m.Get("invoke.remote") != 1 {
+		t.Fatalf("metrics: remote invokes = %d, want 1", m.Get("invoke.remote"))
+	}
+}

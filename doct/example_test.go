@@ -1,0 +1,156 @@
+package doct_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/doct"
+)
+
+// ExampleNewSystem shows the minimal flow: boot a cluster, create a
+// passive object, spawn a thread into it and collect the result.
+func ExampleNewSystem() {
+	sys, err := doct.NewSystem(doct.Config{Nodes: 2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer sys.Close()
+
+	greeter, err := doct.ObjectID(0), error(nil)
+	greeter, err = sys.CreateObject(2, doct.ObjectSpec{
+		Name: "greeter",
+		Entries: map[string]doct.Entry{
+			"greet": func(_ doct.Ctx, args []any) ([]any, error) {
+				return []any{"hello, " + args[0].(string)}, nil
+			},
+		},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	h, err := sys.Spawn(1, greeter, "greet", "clouds")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := h.WaitTimeout(30 * time.Second)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res[0])
+	// Output: hello, clouds
+}
+
+// ExampleSystem_RaiseAndWait shows synchronous event raising: the raiser
+// blocks until the target thread's handler runs.
+func ExampleSystem_RaiseAndWait() {
+	sys, err := doct.NewSystem(doct.Config{Nodes: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer sys.Close()
+
+	if err := sys.RegisterProc("ack", func(_ doct.Ctx, _ doct.HandlerRef, eb *doct.EventBlock) doct.Verdict {
+		fmt.Println("handling", eb.Name)
+		return doct.Resume
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	started := make(chan doct.ThreadID, 1)
+	obj, err := sys.CreateObject(1, doct.ObjectSpec{
+		Name: "listener",
+		Entries: map[string]doct.Entry{
+			"listen": func(ctx doct.Ctx, _ []any) ([]any, error) {
+				if err := ctx.RegisterEvent("SYNCHRONIZE"); err != nil {
+					return nil, err
+				}
+				if err := ctx.AttachHandler(doct.HandlerRef{
+					Event: "SYNCHRONIZE", Kind: doct.HandlerProc, Proc: "ack",
+				}); err != nil {
+					return nil, err
+				}
+				started <- ctx.Thread()
+				return nil, ctx.Sleep(time.Second)
+			},
+		},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	h, err := sys.Spawn(1, obj, "listen")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	tid := <-started
+	time.Sleep(10 * time.Millisecond)
+	if _, err := sys.RaiseAndWait(1, "SYNCHRONIZE", doct.ToThread(tid), nil); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("handler completed before the raiser resumed")
+	_, _ = h.WaitTimeout(30 * time.Second)
+	// Output:
+	// handling SYNCHRONIZE
+	// handler completed before the raiser resumed
+}
+
+// ExampleSystem_Passivate shows object passivation and reactivation on a
+// different node.
+func ExampleSystem_Passivate() {
+	sys, err := doct.NewSystem(doct.Config{Nodes: 2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer sys.Close()
+
+	spec := doct.ObjectSpec{
+		Name:     "notebook",
+		DataSize: 64,
+		Entries: map[string]doct.Entry{
+			"write": func(ctx doct.Ctx, args []any) ([]any, error) {
+				return nil, ctx.WriteData(0, []byte(args[0].(string)))
+			},
+			"read": func(ctx doct.Ctx, _ []any) ([]any, error) {
+				d, err := ctx.ReadData(0, 4)
+				return []any{string(d)}, err
+			},
+		},
+	}
+	obj, err := sys.CreateObject(1, spec)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	h, _ := sys.Spawn(1, obj, "write", "memo")
+	if _, err := h.WaitTimeout(30 * time.Second); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	img, err := sys.Passivate(obj)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	obj2, err := sys.Activate(2, spec, img)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	h2, _ := sys.Spawn(2, obj2, "read")
+	res, err := h2.WaitTimeout(30 * time.Second)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res[0])
+	// Output: memo
+}

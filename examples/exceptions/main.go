@@ -1,0 +1,124 @@
+// Command exceptions demonstrates the exception handling of §6.1: the
+// paper's "conventional wisdom" that an exception is best repaired "from a
+// safe vantage point outside the context of the signaler". The invoker
+// attaches a handler scoped to one invocation (§5.2's restrained
+// discipline); when the invoked object raises DIV_ZERO synchronously, the
+// handler runs on a surrogate carrying the suspended thread's attributes,
+// repairs the state, and resumes the signaler. Without a guard, the same
+// exception falls to the system default and terminates the thread.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/doct"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys, err := doct.NewSystem(doct.Config{Nodes: 2, TraceCapacity: 256})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	// The divider object declares DIV_ZERO in its interface (§5.2: "entry
+	// point signatures in the object interface specifies exceptional
+	// events raised by the entry points").
+	divider, err := sys.CreateObject(2, doct.ObjectSpec{
+		Name:   "divider",
+		Raises: []doct.EventName{doct.EvDivZero},
+		Entries: map[string]doct.Entry{
+			"divide": func(ctx doct.Ctx, args []any) ([]any, error) {
+				a, _ := args[0].(int)
+				b, _ := args[1].(int)
+				if b == 0 {
+					// Raise the exception against ourselves and wait: the
+					// invoker's handler repairs or the default kills us.
+					if err := ctx.RaiseAndWait(doct.EvDivZero, doct.ToThread(ctx.Thread()), nil); err != nil {
+						return nil, err
+					}
+					// Repaired: the handler stored a fallback divisor in
+					// our per-thread memory (visible in any object, §3.1).
+					if fb, ok := ctx.Attrs().PerThread["fallback-divisor"]; ok && len(fb) == 1 && fb[0] != 0 {
+						b = int(fb[0])
+					} else {
+						return nil, errors.New("resumed without a repair")
+					}
+				}
+				return []any{a / b}, nil
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// The repair handler: runs on a surrogate thread carrying the
+	// suspended thread's attributes; it modifies the thread's state (its
+	// per-thread memory) and resumes it (§6.1).
+	if err := sys.RegisterProc("repair", func(ctx doct.Ctx, _ doct.HandlerRef, eb *doct.EventBlock) doct.Verdict {
+		fmt.Printf("DIV_ZERO from %v in %v: repairing with fallback divisor\n",
+			eb.State.Thread, eb.State.Object)
+		ctx.Attrs().PerThread["fallback-divisor"] = []byte{1}
+		return doct.Resume
+	}); err != nil {
+		return err
+	}
+
+	app, err := sys.CreateObject(1, doct.ObjectSpec{
+		Name: "app",
+		Entries: map[string]doct.Entry{
+			"guarded": func(ctx doct.Ctx, _ []any) ([]any, error) {
+				// Handler scoped to this invocation only.
+				return ctx.InvokeGuarded(divider, "divide", []doct.HandlerRef{
+					{Event: doct.EvDivZero, Kind: doct.HandlerProc, Proc: "repair"},
+				}, 42, 0)
+			},
+			"unguarded": func(ctx doct.Ctx, _ []any) ([]any, error) {
+				return ctx.Invoke(divider, "divide", 42, 0)
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Guarded: the exception is repaired and the computation survives.
+	h, err := sys.Spawn(1, app, "guarded")
+	if err != nil {
+		return err
+	}
+	res, err := h.WaitTimeout(30 * time.Second)
+	if err != nil {
+		return fmt.Errorf("guarded division: %w", err)
+	}
+	fmt.Printf("guarded 42/0 -> repaired to %v\n", res[0])
+
+	// Unguarded: the default action for DIV_ZERO terminates the thread.
+	h2, err := sys.Spawn(1, app, "unguarded")
+	if err != nil {
+		return err
+	}
+	if _, err := h2.WaitTimeout(30 * time.Second); errors.Is(err, doct.ErrTerminated) {
+		fmt.Println("unguarded 42/0 -> thread terminated (system default)")
+	} else {
+		return fmt.Errorf("unguarded division ended with %v, want termination", err)
+	}
+
+	fmt.Println("--- kernel trace (handler records) ---")
+	for _, r := range sys.Trace().Snapshot() {
+		if r.Event == doct.EvDivZero {
+			fmt.Println(" ", r)
+		}
+	}
+	return nil
+}

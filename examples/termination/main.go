@@ -1,0 +1,139 @@
+// Command termination demonstrates the "distributed ^C problem" of §6.3:
+// an application whose threads and objects span three nodes is terminated
+// cleanly by a single TERMINATE event. The root thread's TERMINATE handler
+// aborts the top-level invocation (notifying every object on the chain via
+// ABORT so each can clean up) and raises QUIT to the application's thread
+// group, hunting down asynchronously spawned workers that would otherwise
+// become orphans.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"repro/doct"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys, err := doct.NewSystem(doct.Config{Nodes: 3})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	var cleanups atomic.Int64
+	cleanup := doct.AbortCleanupHandler(func(ctx doct.Ctx, tid doct.ThreadID) {
+		cleanups.Add(1)
+		fmt.Printf("ABORT cleanup in %v (thread %v)\n", ctx.Object(), tid)
+	})
+
+	// The invocation chain: root (node 1) -> pipeline (node 2) ->
+	// storage (node 3). Every object registers the ABORT handler.
+	storage, err := sys.CreateObject(3, doct.ObjectSpec{
+		Name:     "storage",
+		Handlers: map[doct.EventName]doct.Handler{doct.EvAbort: cleanup},
+		Entries: map[string]doct.Entry{
+			"serve": func(ctx doct.Ctx, _ []any) ([]any, error) {
+				ctx.Output("storage serving")
+				return nil, ctx.Sleep(time.Hour) // parked until ^C
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	pipeline, err := sys.CreateObject(2, doct.ObjectSpec{
+		Name:     "pipeline",
+		Handlers: map[doct.EventName]doct.Handler{doct.EvAbort: cleanup},
+		Entries: map[string]doct.Entry{
+			"stage": func(ctx doct.Ctx, _ []any) ([]any, error) {
+				ctx.Output("pipeline stage entered")
+				return ctx.Invoke(storage, "serve")
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	rootTID := make(chan doct.ThreadID, 1)
+	rootObjCh := make(chan doct.ObjectID, 1)
+	var workersUp atomic.Int64
+	root, err := sys.CreateObject(1, doct.ObjectSpec{
+		Name:     "root",
+		Handlers: map[doct.EventName]doct.Handler{doct.EvAbort: cleanup},
+		Entries: map[string]doct.Entry{
+			"main": func(ctx doct.Ctx, _ []any) ([]any, error) {
+				self := <-rootObjCh
+				// Arm the protocol: group + TERMINATE/QUIT handlers, all
+				// inherited by spawned threads.
+				if _, err := doct.ArmTermination(ctx, self); err != nil {
+					return nil, err
+				}
+				// Asynchronous workers: candidates for orphanhood.
+				for i := 0; i < 3; i++ {
+					if _, err := ctx.InvokeAsync(self, "worker", i); err != nil {
+						return nil, err
+					}
+				}
+				rootTID <- ctx.Thread()
+				return ctx.Invoke(pipeline, "stage")
+			},
+			"worker": func(ctx doct.Ctx, args []any) ([]any, error) {
+				workersUp.Add(1)
+				ctx.Output(fmt.Sprintf("worker %v running", args[0]))
+				return nil, ctx.Sleep(time.Hour)
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	rootObjCh <- root
+
+	h, err := sys.Spawn(1, root, "main")
+	if err != nil {
+		return err
+	}
+	tid := <-rootTID
+	for workersUp.Load() < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(30 * time.Millisecond)
+	fmt.Println("application running across 3 nodes; user types ^C ...")
+
+	// The ^C: one TERMINATE at the root thread, raised from node 2.
+	if err := sys.Raise(2, doct.EvTerminate, doct.ToThread(tid), nil); err != nil {
+		return err
+	}
+
+	if _, err := h.WaitTimeout(30 * time.Second); err != nil {
+		fmt.Printf("root thread ended: %v\n", err)
+	}
+	orphans := 0
+	for _, hh := range sys.Handles() {
+		_, err := hh.WaitTimeout(30 * time.Second)
+		if err == nil {
+			orphans++
+			continue
+		}
+		if !errors.Is(err, doct.ErrTerminated) && !errors.Is(err, doct.ErrAborted) {
+			return fmt.Errorf("thread %v: unexpected end: %w", hh.TID(), err)
+		}
+	}
+	fmt.Printf("threads terminated: %d, orphans: %d, object cleanups: %d\n",
+		len(sys.Handles()), orphans, cleanups.Load())
+	if orphans != 0 {
+		return errors.New("protocol left orphans")
+	}
+	return nil
+}

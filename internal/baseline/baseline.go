@@ -1,0 +1,306 @@
+// Package baseline implements executable models of the related-work
+// systems the paper compares against (§1, §9), used by experiment E8:
+//
+//   - UnixProc: UNIX/OSF-1 process signals. The signal facility was
+//     "suitable for single threaded applications only"; with multiple
+//     threads in one process, OSF/1 "uses ad hoc solutions to figure out
+//     which thread should be notified when a signal is posted to the
+//     process" — modeled as delivery to an arbitrary unblocked thread.
+//   - MachTask: Mach's task/thread exception ports, with the static
+//     partition between error handlers (task scope) and debuggers
+//     (separate task) that the paper contrasts with its dynamic,
+//     thread-attribute-based handlers.
+//
+// The models are protocol-level: they capture who receives a notification
+// and how much registration work application-wide coverage costs, which is
+// what E8 measures. They deliberately do not rerun the DO/CT kernel.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Signal is a UNIX-style signal number.
+type Signal int
+
+// Classic signal numbers used in the experiments.
+const (
+	SIGINT  Signal = 2
+	SIGUSR1 Signal = 10
+	SIGUSR2 Signal = 12
+	SIGTERM Signal = 15
+)
+
+// UnixThread is one thread inside a UnixProc. App labels the logical
+// application the thread works for — invisible to the process-level signal
+// facility, which is precisely the problem.
+type UnixThread struct {
+	ID  int
+	App string
+	// Blocked signals never interrupt this thread.
+	Blocked map[Signal]bool
+	// Handler is the thread's signal handler table (process-wide installs
+	// copy here: UNIX handlers are per process, not per thread).
+	Handler map[Signal]func(tid int)
+}
+
+// UnixProc models one multi-threaded UNIX/OSF-1 process.
+type UnixProc struct {
+	mu       sync.Mutex
+	threads  []*UnixThread
+	handlers map[Signal]func(tid int) // process-wide handler table
+	rng      *rand.Rand
+
+	// Deliveries records (signal, receiving thread) pairs.
+	Deliveries []UnixDelivery
+}
+
+// UnixDelivery is one observed signal delivery.
+type UnixDelivery struct {
+	Sig    Signal
+	Thread int
+	App    string
+}
+
+// NewUnixProc builds a process with a deterministic delivery choice.
+func NewUnixProc(seed int64) *UnixProc {
+	if seed == 0 {
+		seed = 1
+	}
+	return &UnixProc{
+		handlers: make(map[Signal]func(tid int)),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// AddThread adds a thread working for app and returns its id.
+func (p *UnixProc) AddThread(app string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := len(p.threads) + 1
+	p.threads = append(p.threads, &UnixThread{
+		ID:      id,
+		App:     app,
+		Blocked: make(map[Signal]bool),
+		Handler: make(map[Signal]func(int)),
+	})
+	return id
+}
+
+// InstallHandler installs a process-wide handler for sig (the UNIX model:
+// one handler table per process).
+func (p *UnixProc) InstallHandler(sig Signal, h func(tid int)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.handlers[sig] = h
+}
+
+// Block masks sig in thread tid, the only per-thread control UNIX offers.
+func (p *UnixProc) Block(tid int, sig Signal) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := p.lookup(tid)
+	if t == nil {
+		return fmt.Errorf("baseline: no thread %d", tid)
+	}
+	t.Blocked[sig] = true
+	return nil
+}
+
+func (p *UnixProc) lookup(tid int) *UnixThread {
+	for _, t := range p.threads {
+		if t.ID == tid {
+			return t
+		}
+	}
+	return nil
+}
+
+// Errors of the Unix model.
+var (
+	ErrNoHandler        = errors.New("baseline: no handler installed")
+	ErrAllBlocked       = errors.New("baseline: all threads block the signal")
+	ErrUnknownThread    = errors.New("baseline: unknown thread")
+	ErrUnknownException = errors.New("baseline: unhandled exception")
+)
+
+// Signal posts sig to the process. Delivery target is an arbitrary thread
+// that does not block the signal — the OSF/1 "ad hoc" rule. It returns the
+// receiving thread.
+func (p *UnixProc) Signal(sig Signal) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h, ok := p.handlers[sig]
+	if !ok {
+		return 0, fmt.Errorf("%w: signal %d", ErrNoHandler, int(sig))
+	}
+	candidates := make([]*UnixThread, 0, len(p.threads))
+	for _, t := range p.threads {
+		if !t.Blocked[sig] {
+			candidates = append(candidates, t)
+		}
+	}
+	if len(candidates) == 0 {
+		return 0, fmt.Errorf("%w: signal %d", ErrAllBlocked, int(sig))
+	}
+	t := candidates[p.rng.Intn(len(candidates))]
+	p.Deliveries = append(p.Deliveries, UnixDelivery{Sig: sig, Thread: t.ID, App: t.App})
+	h(t.ID)
+	return t.ID, nil
+}
+
+// MisdeliveryRate reports the fraction of recorded deliveries that landed
+// on a thread of a different application than intended. intended maps the
+// signal to the application it was meant for.
+func (p *UnixProc) MisdeliveryRate(intended map[Signal]string) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.Deliveries) == 0 {
+		return 0
+	}
+	bad := 0
+	for _, d := range p.Deliveries {
+		if want, ok := intended[d.Sig]; ok && want != d.App {
+			bad++
+		}
+	}
+	return float64(bad) / float64(len(p.Deliveries))
+}
+
+// Apps returns the distinct application labels in the process, sorted.
+func (p *UnixProc) Apps() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	set := map[string]bool{}
+	for _, t := range p.threads {
+		set[t.App] = true
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Mach model.
+
+// ExceptionClass is Mach's static partition of exceptions.
+type ExceptionClass int
+
+const (
+	// ClassError goes to error handlers (task scope by default).
+	ClassError ExceptionClass = iota + 1
+	// ClassDebug goes to debuggers (a separate task).
+	ClassDebug
+)
+
+// Port is an exception port: a handler plus a registration record.
+type Port struct {
+	Name    string
+	Handler func(thread int, class ExceptionClass)
+}
+
+// MachTask models one Mach task with task-level and per-thread exception
+// ports.
+type MachTask struct {
+	mu          sync.Mutex
+	threads     map[int]bool
+	taskPorts   map[ExceptionClass]*Port
+	threadPorts map[int]map[ExceptionClass]*Port
+	// Registrations counts port set-up operations: the explicit coding
+	// cost the paper contrasts with inherited thread attributes ("In
+	// active object systems, application wide event handling requires a
+	// lot of explicit coding by the programmer", §9).
+	Registrations int
+	// Handled records (thread, class, port name) deliveries.
+	Handled []MachDelivery
+}
+
+// MachDelivery is one observed exception delivery.
+type MachDelivery struct {
+	Thread int
+	Class  ExceptionClass
+	Port   string
+}
+
+// NewMachTask builds an empty task.
+func NewMachTask() *MachTask {
+	return &MachTask{
+		threads:     make(map[int]bool),
+		taskPorts:   make(map[ExceptionClass]*Port),
+		threadPorts: make(map[int]map[ExceptionClass]*Port),
+	}
+}
+
+// AddThread registers a thread in the task.
+func (m *MachTask) AddThread(tid int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.threads[tid] = true
+}
+
+// SetTaskPort installs a task-level exception port for class.
+func (m *MachTask) SetTaskPort(class ExceptionClass, p *Port) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.taskPorts[class] = p
+	m.Registrations++
+}
+
+// SetThreadPort installs a per-thread exception port for class.
+func (m *MachTask) SetThreadPort(tid int, class ExceptionClass, p *Port) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.threads[tid] {
+		return fmt.Errorf("%w: %d", ErrUnknownThread, tid)
+	}
+	ports, ok := m.threadPorts[tid]
+	if !ok {
+		ports = make(map[ExceptionClass]*Port)
+		m.threadPorts[tid] = ports
+	}
+	ports[class] = p
+	m.Registrations++
+	return nil
+}
+
+// RaiseException delivers an exception from thread tid: the thread port
+// wins over the task port; with neither, the exception is unhandled (the
+// task would die).
+func (m *MachTask) RaiseException(tid int, class ExceptionClass) (string, error) {
+	m.mu.Lock()
+	if !m.threads[tid] {
+		m.mu.Unlock()
+		return "", fmt.Errorf("%w: %d", ErrUnknownThread, tid)
+	}
+	var port *Port
+	if ports, ok := m.threadPorts[tid]; ok {
+		port = ports[class]
+	}
+	if port == nil {
+		port = m.taskPorts[class]
+	}
+	if port == nil {
+		m.mu.Unlock()
+		return "", fmt.Errorf("%w: thread %d class %d", ErrUnknownException, tid, int(class))
+	}
+	m.Handled = append(m.Handled, MachDelivery{Thread: tid, Class: class, Port: port.Name})
+	h := port.Handler
+	name := port.Name
+	m.mu.Unlock()
+	if h != nil {
+		h(tid, class)
+	}
+	return name, nil
+}
+
+// RegistrationsForPerThreadCoverage returns how many port operations a
+// Mach application needs for custom per-thread handling of one exception
+// class across n threads: one per thread. The DO/CT equivalent is a single
+// attach_handler inherited by spawned threads.
+func RegistrationsForPerThreadCoverage(n int) int { return n }

@@ -1,0 +1,183 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestUnixSignalNeedsHandler(t *testing.T) {
+	p := NewUnixProc(1)
+	p.AddThread("a")
+	if _, err := p.Signal(SIGUSR1); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("err = %v, want ErrNoHandler", err)
+	}
+}
+
+func TestUnixSignalDeliversToSomeThread(t *testing.T) {
+	p := NewUnixProc(1)
+	for i := 0; i < 4; i++ {
+		p.AddThread("a")
+	}
+	var got int
+	p.InstallHandler(SIGUSR1, func(tid int) { got = tid })
+	tid, err := p.Signal(SIGUSR1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tid || tid < 1 || tid > 4 {
+		t.Fatalf("delivered to %d (handler saw %d)", tid, got)
+	}
+}
+
+func TestUnixBlockedThreadsSkipped(t *testing.T) {
+	p := NewUnixProc(1)
+	t1 := p.AddThread("a")
+	t2 := p.AddThread("a")
+	p.InstallHandler(SIGUSR1, func(int) {})
+	if err := p.Block(t1, SIGUSR1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		tid, err := p.Signal(SIGUSR1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tid != t2 {
+			t.Fatalf("delivered to blocked thread %d", tid)
+		}
+	}
+}
+
+func TestUnixAllBlocked(t *testing.T) {
+	p := NewUnixProc(1)
+	t1 := p.AddThread("a")
+	p.InstallHandler(SIGUSR1, func(int) {})
+	if err := p.Block(t1, SIGUSR1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Signal(SIGUSR1); !errors.Is(err, ErrAllBlocked) {
+		t.Fatalf("err = %v, want ErrAllBlocked", err)
+	}
+	if err := p.Block(99, SIGUSR1); err == nil {
+		t.Fatal("Block unknown thread succeeded")
+	}
+}
+
+// TestUnixMisdeliveryWithSharedThreads quantifies the E8 claim: with
+// threads of k unrelated applications in one process, a signal meant for
+// one application lands on the wrong application's thread roughly (1-1/k)
+// of the time.
+func TestUnixMisdeliveryWithSharedThreads(t *testing.T) {
+	p := NewUnixProc(42)
+	apps := []string{"a", "b", "c", "d"}
+	for _, app := range apps {
+		for i := 0; i < 3; i++ {
+			p.AddThread(app)
+		}
+	}
+	p.InstallHandler(SIGUSR1, func(int) {})
+	for i := 0; i < 1000; i++ {
+		if _, err := p.Signal(SIGUSR1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rate := p.MisdeliveryRate(map[Signal]string{SIGUSR1: "a"})
+	// Expected 1 - 1/4 = 0.75.
+	if rate < 0.65 || rate > 0.85 {
+		t.Fatalf("misdelivery rate = %.2f, want ~0.75", rate)
+	}
+}
+
+func TestUnixApps(t *testing.T) {
+	p := NewUnixProc(1)
+	p.AddThread("z")
+	p.AddThread("a")
+	p.AddThread("a")
+	apps := p.Apps()
+	if len(apps) != 2 || apps[0] != "a" || apps[1] != "z" {
+		t.Fatalf("Apps = %v", apps)
+	}
+}
+
+func TestMachThreadPortWinsOverTaskPort(t *testing.T) {
+	m := NewMachTask()
+	m.AddThread(1)
+	m.AddThread(2)
+	m.SetTaskPort(ClassError, &Port{Name: "task-error"})
+	if err := m.SetThreadPort(1, ClassError, &Port{Name: "thr1-error"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.RaiseException(1, ClassError)
+	if err != nil || got != "thr1-error" {
+		t.Fatalf("thread 1 handled by %q, %v", got, err)
+	}
+	got, err = m.RaiseException(2, ClassError)
+	if err != nil || got != "task-error" {
+		t.Fatalf("thread 2 handled by %q, %v", got, err)
+	}
+}
+
+func TestMachUnhandledException(t *testing.T) {
+	m := NewMachTask()
+	m.AddThread(1)
+	if _, err := m.RaiseException(1, ClassDebug); !errors.Is(err, ErrUnknownException) {
+		t.Fatalf("err = %v, want ErrUnknownException", err)
+	}
+	if _, err := m.RaiseException(9, ClassError); !errors.Is(err, ErrUnknownThread) {
+		t.Fatalf("err = %v, want ErrUnknownThread", err)
+	}
+	if err := m.SetThreadPort(9, ClassError, &Port{}); err == nil {
+		t.Fatal("SetThreadPort on unknown thread succeeded")
+	}
+}
+
+func TestMachStaticPartition(t *testing.T) {
+	m := NewMachTask()
+	m.AddThread(1)
+	m.SetTaskPort(ClassError, &Port{Name: "errh"})
+	m.SetTaskPort(ClassDebug, &Port{Name: "debugger"})
+	if got, _ := m.RaiseException(1, ClassError); got != "errh" {
+		t.Fatalf("error class -> %q", got)
+	}
+	if got, _ := m.RaiseException(1, ClassDebug); got != "debugger" {
+		t.Fatalf("debug class -> %q", got)
+	}
+	if len(m.Handled) != 2 {
+		t.Fatalf("Handled = %v", m.Handled)
+	}
+}
+
+func TestMachRegistrationCost(t *testing.T) {
+	m := NewMachTask()
+	const n = 16
+	for i := 1; i <= n; i++ {
+		m.AddThread(i)
+	}
+	// Per-thread custom handling in Mach: one port op per thread.
+	for i := 1; i <= n; i++ {
+		if err := m.SetThreadPort(i, ClassError, &Port{Name: "h"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Registrations != n {
+		t.Fatalf("registrations = %d, want %d", m.Registrations, n)
+	}
+	if RegistrationsForPerThreadCoverage(n) != n {
+		t.Fatal("coverage formula wrong")
+	}
+}
+
+func TestMachHandlerInvoked(t *testing.T) {
+	m := NewMachTask()
+	m.AddThread(1)
+	var called bool
+	m.SetTaskPort(ClassError, &Port{Name: "p", Handler: func(tid int, c ExceptionClass) {
+		called = tid == 1 && c == ClassError
+	}})
+	if _, err := m.RaiseException(1, ClassError); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("handler not invoked with thread/class")
+	}
+}

@@ -1,0 +1,462 @@
+// Package core is the DO/CT kernel — the paper's primary contribution. It
+// glues the substrates together into a running distributed environment:
+//
+//   - a System boots one Kernel per simulated node on a netsim fabric;
+//   - the invocation engine moves logical threads across objects and nodes
+//     (RPC mode) or moves object pages to the computation (DSM mode), with
+//     thread attributes travelling on every hop (§2, §3.1);
+//   - the event engine implements raise/raise_and_wait with the full §5.3
+//     addressing matrix, thread-based handler chains walked LIFO with
+//     propagation (§4.1–4.2), object-based handlers with master-thread or
+//     spawn-per-event policies (§4.3, §7), buddy handlers, per-thread-memory
+//     procedure handlers run in the current object's context, surrogate
+//     threads for blocked targets, default actions, and the distributed
+//     termination (ABORT/QUIT) protocol of §6.3;
+//   - thread location is pluggable through internal/locate (§7.1).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dsm"
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/locate"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/object"
+	"repro/internal/trace"
+)
+
+// Kernel-level errors surfaced to entries and callers.
+var (
+	// ErrTerminated is returned by kernel operations after the executing
+	// thread has been terminated by an event handler or default action.
+	ErrTerminated = errors.New("core: thread terminated")
+	// ErrAborted is returned by kernel operations after the invocation in
+	// progress was aborted (object ABORT, §6.3).
+	ErrAborted = errors.New("core: invocation aborted")
+	// ErrThreadNotFound means the event's target thread could not be
+	// located (it finished or never existed).
+	ErrThreadNotFound = errors.New("core: target thread not found")
+	// ErrUnhandledSync is returned by RaiseAndWait when no handler
+	// consumed the event and the default action applied instead.
+	ErrUnhandledSync = errors.New("core: synchronous event not consumed by any handler")
+	// ErrUnknownProc means a per-thread handler referenced a code name
+	// missing from the handler-code registry.
+	ErrUnknownProc = errors.New("core: unknown handler code name")
+	// ErrNotRegistered is returned when raising an event name that was
+	// never registered with the operating system.
+	ErrNotRegistered = errors.New("core: event name not registered")
+	// ErrShutdown is returned for operations on a closed System.
+	ErrShutdown = errors.New("core: system shut down")
+)
+
+// InvokeMode selects how invocations cross object boundaries (§2's design
+// goal: the event mechanism "works identically regardless of whether the
+// objects are invoked using RPC or DSM").
+type InvokeMode int
+
+const (
+	// ModeRPC ships the computation: a new activation of the same logical
+	// thread starts at the object's home node.
+	ModeRPC InvokeMode = iota + 1
+	// ModeDSM ships the data: the entry runs at the calling thread's node
+	// and the object's pages are faulted over by the DSM layer.
+	ModeDSM
+)
+
+// String returns the mode name.
+func (m InvokeMode) String() string {
+	switch m {
+	case ModeRPC:
+		return "rpc"
+	case ModeDSM:
+		return "dsm"
+	default:
+		return fmt.Sprintf("InvokeMode(%d)", int(m))
+	}
+}
+
+// ProcFunc is position-independent per-thread handler code: the simulation
+// of compiled procedures mapped into per-thread memory at a well-known
+// address (§7.2). Procs are registered system-wide by name; HandlerRefs in
+// thread attributes carry the name.
+type ProcFunc = object.Handler
+
+// Config parameterizes a System.
+type Config struct {
+	// Nodes is the cluster size (>= 1).
+	Nodes int
+	// Latency and Jitter configure the fabric (zero = immediate handoff).
+	Latency time.Duration
+	Jitter  time.Duration
+	// PageSize is the DSM page granularity (0 = dsm.DefaultPageSize).
+	PageSize int
+	// Mode selects the invocation mode (0 = ModeRPC).
+	Mode InvokeMode
+	// Locator selects the thread-location strategy (nil = PathFollow).
+	Locator locate.Strategy
+	// TrackMulticast maintains a per-thread fabric multicast group as
+	// threads move, enabling the Multicast location strategy. It costs
+	// group maintenance on every hop.
+	TrackMulticast bool
+	// CallTimeout bounds every kernel RPC (0 = 30s). It exists so broken
+	// protocols fail tests instead of hanging them.
+	CallTimeout time.Duration
+	// TraceCapacity retains the last N kernel trace records (raises,
+	// deliveries, handler runs, hops); zero disables tracing.
+	TraceCapacity int
+	// Metrics receives all accounting. Nil creates a private registry.
+	Metrics *metrics.Registry
+	// Seed seeds fabric randomness.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("core: config needs at least 1 node, got %d", c.Nodes)
+	}
+	if c.Mode == 0 {
+		c.Mode = ModeRPC
+	}
+	if c.Locator == nil {
+		c.Locator = locate.PathFollow{}
+	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 30 * time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
+	return nil
+}
+
+// System is a booted DO/CT cluster. Create with NewSystem, stop with Close.
+type System struct {
+	cfg    Config
+	fabric *netsim.Fabric
+	reg    *metrics.Registry
+
+	kernels map[ids.NodeID]*Kernel
+
+	// events is the cluster-wide user-event name registry. The paper
+	// registers names "with the operating system"; we model the registry
+	// as logically replicated and charge no messages for lookups.
+	events *event.Registry
+
+	procMu sync.RWMutex
+	procs  map[string]ProcFunc
+
+	ioMu sync.Mutex
+	io   map[string][]string // I/O channel name -> lines written
+
+	handleMu sync.Mutex
+	handles  map[ids.ThreadID]*Handle
+
+	// tr is the kernel trace ring (nil when disabled; trace.Buffer's
+	// methods are nil-safe).
+	tr *trace.Buffer
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// NewSystem boots a cluster.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:     cfg,
+		reg:     cfg.Metrics,
+		kernels: make(map[ids.NodeID]*Kernel, cfg.Nodes),
+		events:  event.NewRegistry(),
+		procs:   make(map[string]ProcFunc),
+		io:      make(map[string][]string),
+		handles: make(map[ids.ThreadID]*Handle),
+		closed:  make(chan struct{}),
+	}
+	if cfg.TraceCapacity > 0 {
+		s.tr = trace.New(cfg.TraceCapacity)
+	}
+	s.fabric = netsim.New(netsim.Config{
+		Latency: cfg.Latency,
+		Jitter:  cfg.Jitter,
+		Seed:    cfg.Seed,
+		Metrics: s.reg,
+	})
+	for i := 1; i <= cfg.Nodes; i++ {
+		node := ids.NodeID(i)
+		k := newKernel(s, node)
+		s.kernels[node] = k
+		if err := s.fabric.Attach(node, k.onMessage); err != nil {
+			return nil, fmt.Errorf("boot %v: %w", node, err)
+		}
+	}
+	s.fabric.Start()
+	return s, nil
+}
+
+// Close shuts the cluster down: timers stop, the fabric closes, kernel
+// RPCs in flight fail with ErrShutdown. Activations blocked in kernel
+// operations are released.
+func (s *System) Close() {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		for _, k := range s.kernels {
+			k.shutdown()
+		}
+		s.fabric.Close()
+	})
+}
+
+// Kernel returns the kernel of node n.
+func (s *System) Kernel(n ids.NodeID) (*Kernel, error) {
+	k, ok := s.kernels[n]
+	if !ok {
+		return nil, fmt.Errorf("core: no kernel for %v", n)
+	}
+	return k, nil
+}
+
+// Nodes returns the cluster's node identifiers in ascending order.
+func (s *System) Nodes() []ids.NodeID {
+	out := make([]ids.NodeID, 0, len(s.kernels))
+	for i := 1; i <= s.cfg.Nodes; i++ {
+		out = append(out, ids.NodeID(i))
+	}
+	return out
+}
+
+// Metrics returns the system-wide counter registry.
+func (s *System) Metrics() *metrics.Registry { return s.reg }
+
+// Mode returns the configured invocation mode.
+func (s *System) Mode() InvokeMode { return s.cfg.Mode }
+
+// Events returns the cluster-wide user-event registry.
+func (s *System) Events() *event.Registry { return s.events }
+
+// Trace returns the kernel trace buffer (nil when tracing is disabled; all
+// trace.Buffer methods are nil-safe).
+func (s *System) Trace() *trace.Buffer { return s.tr }
+
+// RegisterProc installs position-independent handler code under name.
+// Registration is system-wide, mirroring code that is loadable on every
+// node.
+func (s *System) RegisterProc(name string, f ProcFunc) error {
+	if name == "" || f == nil {
+		return errors.New("core: RegisterProc needs a name and code")
+	}
+	s.procMu.Lock()
+	defer s.procMu.Unlock()
+	if _, dup := s.procs[name]; dup {
+		return fmt.Errorf("core: proc %q already registered", name)
+	}
+	s.procs[name] = f
+	return nil
+}
+
+// RegisterProcs installs a batch of handler code registrations.
+func (s *System) RegisterProcs(procs map[string]ProcFunc) error {
+	for name, f := range procs {
+		if err := s.RegisterProc(name, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// proc resolves registered handler code.
+func (s *System) proc(name string) (ProcFunc, error) {
+	s.procMu.RLock()
+	defer s.procMu.RUnlock()
+	f, ok := s.procs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownProc, name)
+	}
+	return f, nil
+}
+
+// writeIO appends a line to a named I/O channel.
+func (s *System) writeIO(channel, line string) {
+	if channel == "" {
+		channel = "stdout"
+	}
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.io[channel] = append(s.io[channel], line)
+}
+
+// IOChannel returns the lines written to a named I/O channel so far.
+func (s *System) IOChannel(channel string) []string {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	out := make([]string, len(s.io[channel]))
+	copy(out, s.io[channel])
+	return out
+}
+
+// IODump renders every channel, for traces.
+func (s *System) IODump() string {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	var b strings.Builder
+	for ch, lines := range s.io {
+		for _, l := range lines {
+			fmt.Fprintf(&b, "[%s] %s\n", ch, l)
+		}
+	}
+	return b.String()
+}
+
+// CreateObject creates an object homed at node from spec and returns its
+// identity. The object's persistent segment is created in the node's DSM
+// manager.
+func (s *System) CreateObject(node ids.NodeID, spec object.Spec) (ids.ObjectID, error) {
+	k, err := s.Kernel(node)
+	if err != nil {
+		return ids.NoObject, err
+	}
+	return k.createObject(spec)
+}
+
+// LookupObject finds the object struct wherever it is homed. Object code is
+// loadable on every node (as Clouds object segments were), which is what
+// lets DSM-mode invocation run entries at the caller's node.
+func (s *System) LookupObject(id ids.ObjectID) (*object.Object, error) {
+	k, err := s.Kernel(id.Home())
+	if err != nil {
+		return nil, fmt.Errorf("core: object %v homed on unknown node: %w", id, err)
+	}
+	return k.store.Lookup(id)
+}
+
+// Spawn starts a fresh root thread at node invoking entry on obj. It
+// returns a handle the caller can wait on.
+func (s *System) Spawn(node ids.NodeID, obj ids.ObjectID, entry string, args ...any) (*Handle, error) {
+	k, err := s.Kernel(node)
+	if err != nil {
+		return nil, err
+	}
+	return k.spawnRoot("", obj, entry, args)
+}
+
+// SpawnApp is Spawn with an application label, used when unrelated
+// applications share objects (§3.1).
+func (s *System) SpawnApp(node ids.NodeID, app string, obj ids.ObjectID, entry string, args ...any) (*Handle, error) {
+	k, err := s.Kernel(node)
+	if err != nil {
+		return nil, err
+	}
+	return k.spawnRoot(app, obj, entry, args)
+}
+
+// Raise raises an event from outside any thread (e.g. the user typing ^C at
+// a terminal: §6.3). The raise originates at node.
+func (s *System) Raise(node ids.NodeID, name event.Name, target event.Target, user map[string]any) error {
+	k, err := s.Kernel(node)
+	if err != nil {
+		return err
+	}
+	return k.raise(nil, name, target, user)
+}
+
+// RaiseAndWait is the synchronous variant of Raise: it blocks until a
+// handler resumes the (virtual) raiser and returns the handler's verdict.
+func (s *System) RaiseAndWait(node ids.NodeID, name event.Name, target event.Target, user map[string]any) (event.Verdict, error) {
+	k, err := s.Kernel(node)
+	if err != nil {
+		return 0, err
+	}
+	return k.raiseAndWait(nil, name, target, user)
+}
+
+// registerHandle records a spawned thread's handle for later inspection.
+func (s *System) registerHandle(h *Handle) {
+	s.handleMu.Lock()
+	defer s.handleMu.Unlock()
+	s.handles[h.tid] = h
+}
+
+// HandleOf returns the handle of any spawned thread (root or asynchronous),
+// or nil if unknown. Experiments use it to detect orphans.
+func (s *System) HandleOf(tid ids.ThreadID) *Handle {
+	s.handleMu.Lock()
+	defer s.handleMu.Unlock()
+	return s.handles[tid]
+}
+
+// Handles returns every spawned thread's handle.
+func (s *System) Handles() []*Handle {
+	s.handleMu.Lock()
+	defer s.handleMu.Unlock()
+	out := make([]*Handle, 0, len(s.handles))
+	for _, h := range s.handles {
+		out = append(out, h)
+	}
+	return out
+}
+
+// Handle tracks a spawned root thread.
+type Handle struct {
+	tid  ids.ThreadID
+	done chan struct{}
+	mu   sync.Mutex
+	res  []any
+	err  error
+}
+
+func newHandle(tid ids.ThreadID) *Handle {
+	return &Handle{tid: tid, done: make(chan struct{})}
+}
+
+// TID returns the thread's identity.
+func (h *Handle) TID() ids.ThreadID { return h.tid }
+
+// Wait blocks until the thread's root activation finishes and returns its
+// results.
+func (h *Handle) Wait() ([]any, error) {
+	<-h.done
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.res, h.err
+}
+
+// WaitTimeout is Wait with a deadline, for tests.
+func (h *Handle) WaitTimeout(d time.Duration) ([]any, error) {
+	select {
+	case <-h.done:
+		return h.Wait()
+	case <-time.After(d):
+		return nil, fmt.Errorf("core: thread %v still running after %v", h.tid, d)
+	}
+}
+
+// Done returns a channel closed when the thread finishes.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+func (h *Handle) finish(res []any, err error) {
+	h.mu.Lock()
+	h.res = res
+	h.err = err
+	h.mu.Unlock()
+	close(h.done)
+}
+
+// dsmTransport adapts a kernel to dsm.Transport.
+type dsmTransport struct{ k *Kernel }
+
+var _ dsm.Transport = dsmTransport{}
+
+func (t dsmTransport) Call(to ids.NodeID, kind string, req any) (any, error) {
+	if to == t.k.node {
+		return t.k.dsm.HandleRequest(kind, req)
+	}
+	return t.k.call(to, kind, req)
+}

@@ -1,0 +1,681 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/object"
+)
+
+// TestThreadDeathNoticeToAsyncRaiser exercises §7.2: an asynchronous event
+// queued at a thread that finishes before delivery generates a
+// THREAD_DEATH notice back to the raiser.
+func TestThreadDeathNoticeToAsyncRaiser(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 1})
+	var gotDeath atomic.Bool
+	if err := sys.RegisterProcs(map[string]ProcFunc{
+		"death": func(_ object.Ctx, _ event.HandlerRef, eb *event.Block) event.Verdict {
+			if eb.Name == event.ThreadDeath {
+				gotDeath.Store(true)
+			}
+			return event.VerdictResume
+		},
+		// A deliberately slow TERMINATE handler: while it runs, further
+		// events queue behind it; its Terminate verdict then kills the
+		// thread with those events still pending.
+		"slowterm": func(ctx object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+			_ = ctx.Sleep(150 * time.Millisecond)
+			return event.VerdictTerminate
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	victimStarted := make(chan ids.ThreadID, 1)
+	raiserReady := make(chan struct{})
+	oid, err := sys.CreateObject(1, object.Spec{
+		Name: "o",
+		Entries: map[string]object.Entry{
+			"victim": func(ctx object.Ctx, _ []any) ([]any, error) {
+				if err := ctx.AttachHandler(event.HandlerRef{Event: event.Terminate, Kind: event.KindProc, Proc: "slowterm"}); err != nil {
+					return nil, err
+				}
+				victimStarted <- ctx.Thread()
+				return nil, ctx.Sleep(10 * time.Second)
+			},
+			"raiser": func(ctx object.Ctx, args []any) ([]any, error) {
+				target, _ := args[0].(ids.ThreadID)
+				if err := ctx.RegisterEvent("DOOMED"); err != nil {
+					return nil, err
+				}
+				if err := ctx.AttachHandler(event.HandlerRef{Event: event.ThreadDeath, Kind: event.KindProc, Proc: "death"}); err != nil {
+					return nil, err
+				}
+				// The victim is mid-TERMINATE: this event queues behind the
+				// slow handler and dies with the thread.
+				if err := ctx.Raise("DOOMED", event.ToThread(target), nil); err != nil {
+					return nil, err
+				}
+				close(raiserReady)
+				// Park so the death notice can reach us.
+				return nil, ctx.Sleep(2 * time.Second)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hv, err := sys.Spawn(1, oid, "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := <-victimStarted
+	time.Sleep(20 * time.Millisecond)
+
+	// Start the slow termination, then post the doomed event behind it.
+	if err := sys.Raise(1, event.Terminate, event.ToThread(victim), nil); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond) // the slow handler is now running
+	hr, err := sys.Spawn(1, oid, "raiser", victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-raiserReady
+	if _, err := hv.WaitTimeout(waitShort); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("victim end = %v, want ErrTerminated", err)
+	}
+	deadline := time.Now().Add(waitShort)
+	for !gotDeath.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("raiser never received THREAD_DEATH")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_ = hr
+}
+
+// TestInvokeGuardedScopesHandlers checks §5.2's restrained exception
+// handling: guard handlers exist only for the duration of the invocation.
+func TestInvokeGuardedScopesHandlers(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 2})
+	var handled atomic.Int64
+	if err := sys.RegisterProcs(map[string]ProcFunc{
+		"guard": func(_ object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+			handled.Add(1)
+			return event.VerdictResume
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	risky, err := sys.CreateObject(2, object.Spec{
+		Name:   "risky",
+		Raises: []event.Name{event.DivZero},
+		Entries: map[string]object.Entry{
+			"compute": func(ctx object.Ctx, _ []any) ([]any, error) {
+				// The exceptional event: handled by the invoker's guard.
+				if err := ctx.RaiseAndWait(event.DivZero, event.ToThread(ctx.Thread()), nil); err != nil {
+					return nil, err
+				}
+				return []any{"recovered"}, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var depthAfter atomic.Int64
+	caller, err := sys.CreateObject(1, object.Spec{
+		Name: "caller",
+		Entries: map[string]object.Entry{
+			"run": func(ctx object.Ctx, _ []any) ([]any, error) {
+				res, err := ctx.InvokeGuarded(risky, "compute", []event.HandlerRef{
+					{Event: event.DivZero, Kind: event.KindProc, Proc: "guard"},
+				})
+				if err != nil {
+					return nil, err
+				}
+				depthAfter.Store(int64(ctx.Attrs().Handlers.Depth(event.DivZero)))
+				return res, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(1, caller, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.WaitTimeout(waitShort)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if res[0] != "recovered" {
+		t.Fatalf("result = %v", res)
+	}
+	if handled.Load() != 1 {
+		t.Fatalf("guard handled %d events, want 1", handled.Load())
+	}
+	if depthAfter.Load() != 0 {
+		t.Fatalf("guard handler leaked: chain depth %d after return", depthAfter.Load())
+	}
+}
+
+// TestInvokeGuardedWithoutGuardTerminates: the same exceptional event with
+// no guard falls to the default action and kills the thread — showing the
+// guard is what saved it.
+func TestInvokeGuardedWithoutGuardTerminates(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 2})
+	risky, err := sys.CreateObject(2, object.Spec{
+		Name: "risky",
+		Entries: map[string]object.Entry{
+			"compute": func(ctx object.Ctx, _ []any) ([]any, error) {
+				err := ctx.RaiseAndWait(event.DivZero, event.ToThread(ctx.Thread()), nil)
+				return nil, err
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller, err := sys.CreateObject(1, object.Spec{
+		Name: "caller",
+		Entries: map[string]object.Entry{
+			"run": func(ctx object.Ctx, _ []any) ([]any, error) {
+				return ctx.Invoke(risky, "compute")
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(1, caller, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WaitTimeout(waitShort); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("Wait err = %v, want ErrTerminated (default for DIV_ZERO)", err)
+	}
+}
+
+// TestSetAlarmFires checks the one-shot ALARM, including delivery after
+// the thread moved to another node.
+func TestSetAlarmFires(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 2})
+	var firedAt atomic.Int64
+	if err := sys.RegisterProcs(map[string]ProcFunc{
+		"alarm": func(ctx object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+			firedAt.Store(int64(ctx.Node()))
+			return event.VerdictResume
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	remote, err := sys.CreateObject(2, object.Spec{
+		Name: "remote",
+		Entries: map[string]object.Entry{
+			"dwell": func(ctx object.Ctx, _ []any) ([]any, error) {
+				return nil, ctx.Sleep(300 * time.Millisecond)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sys.CreateObject(1, object.Spec{
+		Name: "local",
+		Entries: map[string]object.Entry{
+			"run": func(ctx object.Ctx, _ []any) ([]any, error) {
+				if err := ctx.AttachHandler(event.HandlerRef{Event: event.Alarm, Kind: event.KindProc, Proc: "alarm"}); err != nil {
+					return nil, err
+				}
+				if err := ctx.SetAlarm(50 * time.Millisecond); err != nil {
+					return nil, err
+				}
+				// Move to node 2 before the alarm fires: it must chase us.
+				return ctx.Invoke(remote, "dwell")
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(1, local, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WaitTimeout(waitShort); err != nil {
+		t.Fatal(err)
+	}
+	if firedAt.Load() != 2 {
+		t.Fatalf("alarm handled at node%d, want node2 (chased the thread)", firedAt.Load())
+	}
+}
+
+func TestSetAlarmValidation(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 1})
+	oid, err := sys.CreateObject(1, object.Spec{
+		Name: "o",
+		Entries: map[string]object.Entry{
+			"run": func(ctx object.Ctx, _ []any) ([]any, error) {
+				return nil, ctx.SetAlarm(0)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := sys.Spawn(1, oid, "run")
+	if _, err := h.WaitTimeout(waitShort); err == nil {
+		t.Fatal("SetAlarm(0) succeeded")
+	}
+}
+
+// TestThreadRevisitsNode walks a thread node1 -> node2 -> node1 and
+// delivers an event at the deepest (revisiting) activation.
+func TestThreadRevisitsNode(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 2})
+	started := make(chan ids.ThreadID, 1)
+	back, err := sys.CreateObject(1, object.Spec{
+		Name: "back",
+		Entries: map[string]object.Entry{
+			"park": func(ctx object.Ctx, _ []any) ([]any, error) {
+				started <- ctx.Thread()
+				return nil, ctx.Sleep(10 * time.Second)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := sys.CreateObject(2, object.Spec{
+		Name: "mid",
+		Entries: map[string]object.Entry{
+			"fwd": func(ctx object.Ctx, _ []any) ([]any, error) {
+				return ctx.Invoke(back, "park")
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin, err := sys.CreateObject(1, object.Spec{
+		Name: "origin",
+		Entries: map[string]object.Entry{
+			"go": func(ctx object.Ctx, _ []any) ([]any, error) {
+				return ctx.Invoke(mid, "fwd")
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(1, origin, "go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid := <-started
+	time.Sleep(30 * time.Millisecond)
+
+	// The deepest activation is back at node1; path-follow must chase
+	// 1 -> 2 -> 1 and deliver there.
+	if err := sys.Raise(2, event.Terminate, event.ToThread(tid), nil); err != nil {
+		t.Fatalf("Raise: %v", err)
+	}
+	if _, err := h.WaitTimeout(waitShort); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("Wait err = %v, want ErrTerminated", err)
+	}
+}
+
+// TestPartitionSurfacesTimeout checks failure injection: with the link to
+// the target's node cut, delivery fails with a timeout instead of hanging.
+func TestPartitionSurfacesTimeout(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 2, CallTimeout: 200 * time.Millisecond})
+	started := make(chan ids.ThreadID, 1)
+	oid, err := sys.CreateObject(2, object.Spec{
+		Name: "far",
+		Entries: map[string]object.Entry{
+			"park": func(ctx object.Ctx, _ []any) ([]any, error) {
+				started <- ctx.Thread()
+				return nil, ctx.Sleep(10 * time.Second)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(2, oid, "park")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid := <-started
+	time.Sleep(20 * time.Millisecond)
+
+	k1, _ := sys.Kernel(1)
+	sys.fabric.CutLink(1, 2)
+	err = k1.raise(nil, event.Terminate, event.ToThread(tid), nil)
+	if err == nil {
+		t.Fatal("raise across a cut link succeeded")
+	}
+	sys.fabric.HealLink(1, 2)
+	// After healing, delivery works again.
+	if err := sys.Raise(1, event.Terminate, event.ToThread(tid), nil); err != nil {
+		t.Fatalf("raise after heal: %v", err)
+	}
+	if _, err := h.WaitTimeout(waitShort); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("Wait err = %v", err)
+	}
+}
+
+// TestRaiseFromHandler: a handler raising further events must not deadlock
+// the delivery machinery.
+func TestRaiseFromHandler(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 1})
+	var secondary atomic.Int64
+	if err := sys.RegisterProcs(map[string]ProcFunc{
+		"primary": func(ctx object.Ctx, _ event.HandlerRef, eb *event.Block) event.Verdict {
+			// Notify a passive object from inside the handler.
+			if v, ok := eb.User["obj"].(ids.ObjectID); ok {
+				_ = ctx.Raise(event.Interrupt, event.ToObject(v), nil)
+			}
+			return event.VerdictResume
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sink, err := sys.CreateObject(1, object.Spec{
+		Name: "sink",
+		Handlers: map[event.Name]object.Handler{
+			event.Interrupt: func(_ object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+				secondary.Add(1)
+				return event.VerdictResume
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan ids.ThreadID, 1)
+	app, err := sys.CreateObject(1, object.Spec{
+		Name: "app",
+		Entries: map[string]object.Entry{
+			"run": func(ctx object.Ctx, _ []any) ([]any, error) {
+				if err := ctx.RegisterEvent("PRIMARY"); err != nil {
+					return nil, err
+				}
+				if err := ctx.AttachHandler(event.HandlerRef{Event: "PRIMARY", Kind: event.KindProc, Proc: "primary"}); err != nil {
+					return nil, err
+				}
+				started <- ctx.Thread()
+				return nil, ctx.Sleep(time.Second)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(1, app, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid := <-started
+	time.Sleep(20 * time.Millisecond)
+	if _, err := sys.RaiseAndWait(1, "PRIMARY", event.ToThread(tid), map[string]any{"obj": sink}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(waitShort)
+	for secondary.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("secondary event never delivered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_ = h
+}
+
+// TestGroupRaiseWithDeadMember: the raise reports the dead member but the
+// living ones are still handled.
+func TestGroupRaiseWithDeadMember(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 1})
+	var handled atomic.Int64
+	if err := sys.RegisterProcs(map[string]ProcFunc{
+		"h": func(_ object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+			handled.Add(1)
+			return event.VerdictResume
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	gidCh := make(chan ids.GroupID, 1)
+	parked := make(chan ids.ThreadID, 2)
+	var oid ids.ObjectID
+	spec := object.Spec{
+		Name: "members",
+		Entries: map[string]object.Entry{
+			"root": func(ctx object.Ctx, _ []any) ([]any, error) {
+				if err := ctx.RegisterEvent("GEV"); err != nil {
+					return nil, err
+				}
+				gid, err := ctx.CreateGroup()
+				if err != nil {
+					return nil, err
+				}
+				if err := ctx.AttachHandler(event.HandlerRef{Event: "GEV", Kind: event.KindProc, Proc: "h"}); err != nil {
+					return nil, err
+				}
+				// One short-lived member, inheriting group + handler.
+				if _, err := ctx.InvokeAsync(oid, "brief"); err != nil {
+					return nil, err
+				}
+				gidCh <- gid
+				parked <- ctx.Thread()
+				return nil, ctx.Sleep(time.Second)
+			},
+			"brief": func(ctx object.Ctx, _ []any) ([]any, error) {
+				return nil, nil // dies immediately, stays in the group list
+			},
+		},
+	}
+	var err error
+	oid, err = sys.CreateObject(1, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(1, oid, "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gid := <-gidCh
+	<-parked
+	// Let the brief member finish.
+	time.Sleep(50 * time.Millisecond)
+
+	err = sys.Raise(1, "GEV", event.ToGroup(gid), nil)
+	if err == nil {
+		t.Fatal("group raise with dead member reported no error")
+	}
+	if !errors.Is(err, ErrThreadNotFound) {
+		t.Fatalf("err = %v, want ErrThreadNotFound for the dead member", err)
+	}
+	deadline := time.Now().Add(waitShort)
+	for handled.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("living member never handled the event")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_ = h
+}
+
+func TestDetachHandlerErrors(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 1})
+	oid, err := sys.CreateObject(1, object.Spec{
+		Name: "o",
+		Entries: map[string]object.Entry{
+			"run": func(ctx object.Ctx, _ []any) ([]any, error) {
+				return nil, ctx.DetachHandler(event.Interrupt)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := sys.Spawn(1, oid, "run")
+	if _, err := h.WaitTimeout(waitShort); err == nil {
+		t.Fatal("DetachHandler with nothing attached succeeded")
+	}
+}
+
+func TestRaiseAndWaitUnhandledObject(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 1})
+	oid, err := sys.CreateObject(1, echoSpec("plain"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.RaiseAndWait(1, event.Interrupt, event.ToObject(oid), nil)
+	if !errors.Is(err, ErrUnhandledSync) {
+		t.Fatalf("err = %v, want ErrUnhandledSync", err)
+	}
+}
+
+// TestNestedLocalFrames checks that local cross-object calls stack frames
+// and report the innermost object as the thread's current context.
+func TestNestedLocalFrames(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 1})
+	var innerObj, midObj ids.ObjectID
+	inner, err := sys.CreateObject(1, object.Spec{
+		Name: "inner",
+		Entries: map[string]object.Entry{
+			"whoami": func(ctx object.Ctx, _ []any) ([]any, error) {
+				return []any{ctx.Object()}, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	innerObj = inner
+	mid, err := sys.CreateObject(1, object.Spec{
+		Name: "mid",
+		Entries: map[string]object.Entry{
+			"fwd": func(ctx object.Ctx, _ []any) ([]any, error) {
+				res, err := ctx.Invoke(innerObj, "whoami")
+				if err != nil {
+					return nil, err
+				}
+				// After the call returns we are back in mid's context.
+				return []any{res[0], ctx.Object()}, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	midObj = mid
+	h, err := sys.Spawn(1, mid, "fwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.WaitTimeout(waitShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != innerObj {
+		t.Errorf("inner saw Object() = %v, want %v", res[0], innerObj)
+	}
+	if res[1] != midObj {
+		t.Errorf("after return, Object() = %v, want %v", res[1], midObj)
+	}
+}
+
+// TestChaosStorm fires a storm of events at a working population and
+// requires the system to quiesce with every thread accounted for.
+func TestChaosStorm(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 3, CallTimeout: 5 * time.Second})
+	var handled atomic.Int64
+	if err := sys.RegisterProcs(map[string]ProcFunc{
+		"chaos": func(_ object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+			handled.Add(1)
+			return event.VerdictResume
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan ids.ThreadID, 16)
+	remote, err := sys.CreateObject(3, object.Spec{
+		Name: "hopTarget",
+		Entries: map[string]object.Entry{
+			"visit": func(ctx object.Ctx, _ []any) ([]any, error) {
+				return nil, ctx.Sleep(time.Millisecond)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker, err := sys.CreateObject(2, object.Spec{
+		Name: "worker",
+		Entries: map[string]object.Entry{
+			"work": func(ctx object.Ctx, _ []any) ([]any, error) {
+				if err := ctx.RegisterEvent("CHAOS"); err != nil && !errors.Is(err, event.ErrAlreadyRegistered) {
+					return nil, err
+				}
+				if err := ctx.AttachHandler(event.HandlerRef{Event: "CHAOS", Kind: event.KindProc, Proc: "chaos"}); err != nil {
+					return nil, err
+				}
+				started <- ctx.Thread()
+				for i := 0; i < 40; i++ {
+					if _, err := ctx.Invoke(remote, "visit"); err != nil {
+						return nil, err
+					}
+					if err := ctx.Sleep(time.Millisecond); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	tids := make([]ids.ThreadID, 0, workers)
+	for i := 0; i < workers; i++ {
+		if _, err := sys.Spawn(ids.NodeID(i%3+1), worker, "work"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < workers; i++ {
+		tids = append(tids, <-started)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		tid := tids[rng.Intn(len(tids))]
+		name := event.Name("CHAOS")
+		if i%10 == 9 {
+			name = event.Terminate
+		}
+		// Dead targets are legitimate mid-storm; ignore those errors.
+		_ = sys.Raise(ids.NodeID(rng.Intn(3)+1), name, event.ToThread(tid), nil)
+		time.Sleep(time.Millisecond)
+	}
+
+	// Quiesce: every thread must end, one way or the other.
+	for _, hh := range sys.Handles() {
+		if _, err := hh.WaitTimeout(30 * time.Second); err != nil &&
+			!errors.Is(err, ErrTerminated) && !errors.Is(err, ErrAborted) {
+			t.Fatalf("thread %v ended with %v", hh.TID(), err)
+		}
+	}
+	if handled.Load() == 0 {
+		t.Fatal("no chaos events were handled")
+	}
+}

@@ -1,0 +1,623 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dsm"
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/locate"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/object"
+	"repro/internal/thread"
+	"repro/internal/trace"
+)
+
+// Kernel protocol message kinds (beyond the dsm.* family).
+const (
+	msgRPCReq = "rpc.req"
+	msgRPCRsp = "rpc.rsp"
+
+	kindProbe        = "k.probe"
+	kindInvoke       = "k.invoke"
+	kindEvThread     = "k.ev.thread"
+	kindEvObject     = "k.ev.object"
+	kindEvRelease    = "k.ev.release"
+	kindAbortChain   = "k.abort"
+	kindHandlerRun   = "k.handler.run"
+	kindGroupCreate  = "k.group.create"
+	kindGroupJoin    = "k.group.join"
+	kindGroupMembers = "k.group.members"
+	kindKVGet        = "k.kv.get"
+	kindKVSet        = "k.kv.set"
+	kindKVCas        = "k.kv.cas"
+	kindPageInstall  = "k.page.install"
+	kindPageDrop     = "k.page.drop"
+	kindPageFetch    = "k.page.fetch"
+	kindDeleteObject = "k.obj.delete"
+)
+
+// errThreadMoved tells a raiser the thread left this node between locate
+// and post; the raiser re-locates and retries.
+var errThreadMoved = errors.New("core: thread moved before delivery")
+
+// rpcRequest is the envelope for kernel calls.
+type rpcRequest struct {
+	ID   uint64
+	Kind string
+	From ids.NodeID
+	Body any
+}
+
+// WireSize charges the body's size plus a small header.
+func (r rpcRequest) WireSize() int { return 32 + payloadSize(r.Body) }
+
+// rpcResponse carries the reply. Errors travel as values: the fabric is an
+// in-process simulation, so sentinel identity is preserved across "nodes".
+type rpcResponse struct {
+	ID   uint64
+	Body any
+	Err  error
+}
+
+// WireSize charges the body's size plus a small header.
+func (r rpcResponse) WireSize() int { return 32 + payloadSize(r.Body) }
+
+func payloadSize(p any) int {
+	switch v := p.(type) {
+	case nil:
+		return 0
+	case netsim.Sizer:
+		return v.WireSize()
+	case []byte:
+		return len(v)
+	case string:
+		return len(v)
+	default:
+		return 32
+	}
+}
+
+// Kernel is one node's DO/CT kernel.
+type Kernel struct {
+	sys  *System
+	node ids.NodeID
+	gen  *ids.Generator
+
+	store  *object.Store
+	tcbs   *thread.Table
+	groups *thread.Groups
+	dsm    *dsm.Manager
+
+	reqSeq atomic.Uint64
+
+	mu       sync.Mutex
+	waiters  map[uint64]chan rpcResponse
+	acts     map[ids.ThreadID][]*activation // activation stack per thread
+	syncWait map[uint64]*syncWaiter
+	masters  map[ids.ObjectID]*master
+	syncSeq  atomic.Uint64
+
+	wg sync.WaitGroup
+}
+
+// syncWaiter collects releases for one raise_and_wait.
+type syncWaiter struct {
+	ch     chan releaseReq
+	expect int
+}
+
+// releaseReq releases a synchronous raiser (kindEvRelease).
+type releaseReq struct {
+	ID       uint64
+	Verdict  event.Verdict
+	Consumed bool
+	// Err reports delivery failure (e.g. the target thread died before
+	// handling, §7.2's fault-tolerance note).
+	Err error
+}
+
+func newKernel(s *System, node ids.NodeID) *Kernel {
+	k := &Kernel{
+		sys:      s,
+		node:     node,
+		gen:      ids.NewGenerator(node),
+		store:    object.NewStore(),
+		tcbs:     thread.NewTable(),
+		groups:   thread.NewGroups(),
+		waiters:  make(map[uint64]chan rpcResponse),
+		acts:     make(map[ids.ThreadID][]*activation),
+		syncWait: make(map[uint64]*syncWaiter),
+		masters:  make(map[ids.ObjectID]*master),
+	}
+	k.dsm = dsm.NewManager(dsm.Config{
+		Node:      node,
+		PageSize:  s.cfg.PageSize,
+		Transport: dsmTransport{k: k},
+		Metrics:   s.reg,
+	})
+	return k
+}
+
+// Node returns the kernel's node.
+func (k *Kernel) Node() ids.NodeID { return k.node }
+
+// TCBs exposes the node's thread control blocks (read-mostly; used by
+// probes and tests).
+func (k *Kernel) TCBs() *thread.Table { return k.tcbs }
+
+// DSM exposes the node's DSM manager.
+func (k *Kernel) DSM() *dsm.Manager { return k.dsm }
+
+// Store exposes the node's resident objects.
+func (k *Kernel) Store() *object.Store { return k.store }
+
+// shutdown stops master handler threads and releases waiters.
+func (k *Kernel) shutdown() {
+	k.mu.Lock()
+	masters := make([]*master, 0, len(k.masters))
+	for _, m := range k.masters {
+		masters = append(masters, m)
+	}
+	k.mu.Unlock()
+	for _, m := range masters {
+		m.stop()
+	}
+	k.wg.Wait()
+}
+
+// onMessage is the fabric handler: it must not block, so request service
+// runs on its own goroutine (kernel requests may issue nested calls).
+func (k *Kernel) onMessage(m netsim.Message) {
+	switch m.Kind {
+	case msgRPCReq:
+		req, ok := m.Payload.(rpcRequest)
+		if !ok {
+			return
+		}
+		k.wg.Add(1)
+		go func() {
+			defer k.wg.Done()
+			body, err := k.serve(req.From, req.Kind, req.Body)
+			rsp := rpcResponse{ID: req.ID, Body: body, Err: err}
+			// Reply failures mean the fabric is closing; nothing to do.
+			_ = k.sys.fabric.Send(netsim.Message{
+				From: k.node, To: req.From, Kind: msgRPCRsp, Payload: rsp,
+			})
+		}()
+	case msgRPCRsp:
+		rsp, ok := m.Payload.(rpcResponse)
+		if !ok {
+			return
+		}
+		k.mu.Lock()
+		ch, ok := k.waiters[rsp.ID]
+		delete(k.waiters, rsp.ID)
+		k.mu.Unlock()
+		if ok {
+			ch <- rsp
+		}
+	}
+}
+
+// call performs a synchronous kernel RPC to another node.
+func (k *Kernel) call(to ids.NodeID, kind string, body any) (any, error) {
+	if to == k.node {
+		return k.serve(k.node, kind, body)
+	}
+	id := k.reqSeq.Add(1)
+	ch := make(chan rpcResponse, 1)
+	k.mu.Lock()
+	k.waiters[id] = ch
+	k.mu.Unlock()
+
+	err := k.sys.fabric.Send(netsim.Message{
+		From: k.node, To: to, Kind: msgRPCReq,
+		Payload: rpcRequest{ID: id, Kind: kind, From: k.node, Body: body},
+	})
+	if err != nil {
+		k.mu.Lock()
+		delete(k.waiters, id)
+		k.mu.Unlock()
+		return nil, fmt.Errorf("call %s to %v: %w", kind, to, err)
+	}
+
+	timer := time.NewTimer(k.sys.cfg.CallTimeout)
+	defer timer.Stop()
+	select {
+	case rsp := <-ch:
+		return rsp.Body, rsp.Err
+	case <-k.sys.closed:
+		return nil, ErrShutdown
+	case <-timer.C:
+		k.mu.Lock()
+		delete(k.waiters, id)
+		k.mu.Unlock()
+		return nil, fmt.Errorf("call %s to %v: timeout after %v", kind, to, k.sys.cfg.CallTimeout)
+	}
+}
+
+// serve dispatches one kernel request. DSM protocol kinds are forwarded to
+// the DSM manager.
+func (k *Kernel) serve(from ids.NodeID, kind string, body any) (any, error) {
+	if strings.HasPrefix(kind, "dsm.") {
+		return k.dsm.HandleRequest(kind, body)
+	}
+	switch kind {
+	case kindProbe:
+		tid, ok := body.(ids.ThreadID)
+		if !ok {
+			return nil, fmt.Errorf("core: probe payload %T", body)
+		}
+		return k.probeLocal(tid), nil
+
+	case kindInvoke:
+		req, ok := body.(invokeReq)
+		if !ok {
+			return nil, fmt.Errorf("core: invoke payload %T", body)
+		}
+		return k.serveInvoke(req)
+
+	case kindEvThread:
+		eb, ok := body.(*event.Block)
+		if !ok {
+			return nil, fmt.Errorf("core: ev.thread payload %T", body)
+		}
+		return nil, k.postToThreadLocal(eb)
+
+	case kindEvObject:
+		req, ok := body.(objectEventReq)
+		if !ok {
+			return nil, fmt.Errorf("core: ev.object payload %T", body)
+		}
+		return k.serveObjectEvent(req)
+
+	case kindEvRelease:
+		rel, ok := body.(releaseReq)
+		if !ok {
+			return nil, fmt.Errorf("core: release payload %T", body)
+		}
+		k.release(rel)
+		return nil, nil
+
+	case kindAbortChain:
+		req, ok := body.(abortReq)
+		if !ok {
+			return nil, fmt.Errorf("core: abort payload %T", body)
+		}
+		return nil, k.serveAbort(req)
+
+	case kindHandlerRun:
+		req, ok := body.(handlerRunReq)
+		if !ok {
+			return nil, fmt.Errorf("core: handler.run payload %T", body)
+		}
+		return k.serveHandlerRun(req)
+
+	case kindGroupCreate:
+		gid, ok := body.(ids.GroupID)
+		if !ok {
+			return nil, fmt.Errorf("core: group.create payload %T", body)
+		}
+		k.groups.Create(gid)
+		return nil, nil
+
+	case kindGroupJoin:
+		req, ok := body.(groupJoinReq)
+		if !ok {
+			return nil, fmt.Errorf("core: group.join payload %T", body)
+		}
+		if req.Leave {
+			return nil, k.groups.Leave(req.Group, req.Thread)
+		}
+		return nil, k.groups.Join(req.Group, req.Thread)
+
+	case kindGroupMembers:
+		gid, ok := body.(ids.GroupID)
+		if !ok {
+			return nil, fmt.Errorf("core: group.members payload %T", body)
+		}
+		return k.groups.Members(gid)
+
+	case kindKVGet:
+		req, ok := body.(kvReq)
+		if !ok {
+			return nil, fmt.Errorf("core: kv.get payload %T", body)
+		}
+		obj, err := k.store.Lookup(req.Object)
+		if err != nil {
+			return nil, err
+		}
+		v, found := obj.Get(req.Key)
+		return kvReply{Val: v, Found: found}, nil
+
+	case kindKVSet:
+		req, ok := body.(kvReq)
+		if !ok {
+			return nil, fmt.Errorf("core: kv.set payload %T", body)
+		}
+		obj, err := k.store.Lookup(req.Object)
+		if err != nil {
+			return nil, err
+		}
+		obj.Set(req.Key, req.Val)
+		return nil, nil
+
+	case kindKVCas:
+		req, ok := body.(kvReq)
+		if !ok {
+			return nil, fmt.Errorf("core: kv.cas payload %T", body)
+		}
+		obj, err := k.store.Lookup(req.Object)
+		if err != nil {
+			return nil, err
+		}
+		return obj.CompareAndSwap(req.Key, req.Old, req.Val), nil
+
+	case kindPageInstall:
+		req, ok := body.(pageOpReq)
+		if !ok {
+			return nil, fmt.Errorf("core: page.install payload %T", body)
+		}
+		return nil, k.dsm.InstallPage(req.Seg, req.Page, req.Data)
+
+	case kindPageDrop:
+		req, ok := body.(pageOpReq)
+		if !ok {
+			return nil, fmt.Errorf("core: page.drop payload %T", body)
+		}
+		return nil, k.dsm.DropPage(req.Seg, req.Page)
+
+	case kindPageFetch:
+		req, ok := body.(pageOpReq)
+		if !ok {
+			return nil, fmt.Errorf("core: page.fetch payload %T", body)
+		}
+		data, found := k.dsm.CachedPage(req.Seg, req.Page)
+		return pageFetchReply{Data: data, Found: found}, nil
+
+	case kindDeleteObject:
+		oid, ok := body.(ids.ObjectID)
+		if !ok {
+			return nil, fmt.Errorf("core: obj.delete payload %T", body)
+		}
+		return nil, k.deleteObjectLocal(oid)
+
+	default:
+		return nil, fmt.Errorf("core: unknown kernel request kind %q", kind)
+	}
+}
+
+// Request payload types.
+
+type groupJoinReq struct {
+	Group  ids.GroupID
+	Thread ids.ThreadID
+	Leave  bool
+}
+
+type kvReq struct {
+	Object ids.ObjectID
+	Key    string
+	Val    any
+	Old    any // CompareAndSwap expected value
+}
+
+type kvReply struct {
+	Val   any
+	Found bool
+}
+
+type pageOpReq struct {
+	Seg  ids.SegmentID
+	Page int
+	Data []byte
+}
+
+// WireSize charges the page payload.
+func (r pageOpReq) WireSize() int { return 24 + len(r.Data) }
+
+type pageFetchReply struct {
+	Data  []byte
+	Found bool
+}
+
+// WireSize charges the page payload.
+func (r pageFetchReply) WireSize() int { return 24 + len(r.Data) }
+
+// probeLocal answers a thread-location probe from this node's TCBs.
+func (k *Kernel) probeLocal(tid ids.ThreadID) locate.ProbeResult {
+	tcb, ok := k.tcbs.Lookup(tid)
+	if !ok {
+		return locate.ProbeResult{}
+	}
+	return locate.ProbeResult{Known: true, Here: tcb.Here, Next: tcb.Next}
+}
+
+// locate.Env implementation.
+
+// Self implements locate.Env.
+func (k *Kernel) Self() ids.NodeID { return k.node }
+
+// Nodes implements locate.Env.
+func (k *Kernel) Nodes() []ids.NodeID { return k.sys.Nodes() }
+
+// Probe implements locate.Env.
+func (k *Kernel) Probe(node ids.NodeID, tid ids.ThreadID) (locate.ProbeResult, error) {
+	if node == k.node {
+		return k.probeLocal(tid), nil
+	}
+	body, err := k.call(node, kindProbe, tid)
+	if err != nil {
+		return locate.ProbeResult{}, err
+	}
+	res, ok := body.(locate.ProbeResult)
+	if !ok {
+		return locate.ProbeResult{}, fmt.Errorf("core: probe reply %T", body)
+	}
+	return res, nil
+}
+
+// GroupMembers implements locate.Env for the multicast strategy.
+func (k *Kernel) GroupMembers(tid ids.ThreadID) []ids.NodeID {
+	return k.sys.fabric.GroupMembers(locate.GroupName(tid))
+}
+
+// Metrics implements locate.Env.
+func (k *Kernel) Metrics() *metrics.Registry { return k.sys.reg }
+
+var _ locate.Env = (*Kernel)(nil)
+
+// createObject creates an object homed at this node.
+func (k *Kernel) createObject(spec object.Spec) (ids.ObjectID, error) {
+	oid := k.gen.NextObject()
+	seg := k.gen.NextSegment()
+	size := spec.DataSize
+	if size == 0 {
+		size = object.DefaultDataSize
+	}
+	if _, err := k.dsm.CreateSegment(seg, size, spec.UserPaged); err != nil {
+		return ids.NoObject, fmt.Errorf("create object segment: %w", err)
+	}
+	obj, err := object.New(oid, seg, spec)
+	if err != nil {
+		return ids.NoObject, err
+	}
+	if err := k.store.Add(obj); err != nil {
+		return ids.NoObject, err
+	}
+	return oid, nil
+}
+
+// CreateSegment creates a standalone DSM segment homed at this node.
+func (k *Kernel) CreateSegment(size int, userPaged bool) (ids.SegmentID, error) {
+	seg := k.gen.NextSegment()
+	if _, err := k.dsm.CreateSegment(seg, size, userPaged); err != nil {
+		return ids.NoSegment, err
+	}
+	return seg, nil
+}
+
+// deleteObjectLocal removes a resident object after running its DELETE
+// handler (posting DELETE is the supported path; this is the final step).
+func (k *Kernel) deleteObjectLocal(oid ids.ObjectID) error {
+	obj, err := k.store.Lookup(oid)
+	if err != nil {
+		return err
+	}
+	obj.MarkDeleted()
+	k.store.Remove(oid)
+	return nil
+}
+
+// activation stack management.
+
+// pushAct registers an activation as the deepest for its thread at this
+// node and updates the TCB.
+func (k *Kernel) pushAct(a *activation) {
+	k.mu.Lock()
+	k.acts[a.tid] = append(k.acts[a.tid], a)
+	k.mu.Unlock()
+	k.tcbs.Arrive(a.tid, a.baseDepth)
+	if k.sys.cfg.TrackMulticast {
+		k.sys.fabric.JoinGroup(locate.GroupName(a.tid), k.node)
+	}
+}
+
+// popAct unregisters a finished activation. If an earlier activation of the
+// same thread is still present (the thread re-visited this node), the TCB
+// reverts to forwarding at that activation's child.
+func (k *Kernel) popAct(a *activation) {
+	k.mu.Lock()
+	stack := k.acts[a.tid]
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == a {
+			stack = append(stack[:i], stack[i+1:]...)
+			break
+		}
+	}
+	if len(stack) == 0 {
+		delete(k.acts, a.tid)
+	} else {
+		k.acts[a.tid] = stack
+	}
+	var prev *activation
+	if len(stack) > 0 {
+		prev = stack[len(stack)-1]
+	}
+	k.mu.Unlock()
+
+	if prev == nil {
+		k.tcbs.Remove(a.tid)
+		if k.sys.cfg.TrackMulticast {
+			k.sys.fabric.LeaveGroup(locate.GroupName(a.tid), k.node)
+		}
+		return
+	}
+	// The earlier activation is blocked invoking toward prev.childNode:
+	// the thread is no longer current here.
+	k.tcbs.Depart(a.tid, prev.childNodeLocked())
+	if k.sys.cfg.TrackMulticast {
+		k.sys.fabric.LeaveGroup(locate.GroupName(a.tid), k.node)
+	}
+}
+
+// topAct returns the deepest activation for tid at this node.
+func (k *Kernel) topAct(tid ids.ThreadID) (*activation, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	stack := k.acts[tid]
+	if len(stack) == 0 {
+		return nil, false
+	}
+	return stack[len(stack)-1], true
+}
+
+// spawnRoot starts a fresh root thread at this node.
+func (k *Kernel) spawnRoot(app string, obj ids.ObjectID, entry string, args []any) (*Handle, error) {
+	tid := k.gen.NextThread()
+	attrs := thread.NewAttributes(tid)
+	attrs.App = app
+	attrs.IOChannel = "stdout"
+	return k.startThread(attrs, obj, entry, args)
+}
+
+// startThread launches a thread with the given attributes at this node,
+// invoking entry on obj as its root activation.
+func (k *Kernel) startThread(attrs *thread.Attributes, oid ids.ObjectID, entry string, args []any) (*Handle, error) {
+	select {
+	case <-k.sys.closed:
+		return nil, ErrShutdown
+	default:
+	}
+	k.sys.reg.Inc(metrics.CtrThreadSpawn)
+	k.sys.tr.Add(trace.Record{
+		Kind: trace.KindSpawn, Node: k.node, Thread: attrs.Thread,
+		Target: oid.String() + "." + entry,
+	})
+	h := newHandle(attrs.Thread)
+	k.sys.registerHandle(h)
+
+	// The root activation runs where the object lives (RPC mode) or here
+	// (DSM mode); either way the thread's root node is this node, so the
+	// root TCB must exist here for path-following. We model the root
+	// activation as starting here and immediately invoking the object.
+	a := newActivation(k, attrs, 0)
+	a.handle = h
+	k.pushAct(a)
+	k.wg.Add(1)
+	go func() {
+		defer k.wg.Done()
+		res, err := a.ctx().Invoke(oid, entry, args...)
+		a.finish()
+		k.popAct(a)
+		h.finish(res, err)
+	}()
+	return h, nil
+}

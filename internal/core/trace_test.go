@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/object"
+	"repro/internal/trace"
+)
+
+// TestKernelTrace drives a small scenario with tracing enabled and checks
+// the record stream tells the story: spawn, hop, raise, handler, deliver.
+func TestKernelTrace(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 2, TraceCapacity: 256})
+	if err := sys.RegisterProcs(map[string]ProcFunc{
+		"h": func(_ object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+			return event.VerdictResume
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan ids.ThreadID, 1)
+	far, err := sys.CreateObject(2, object.Spec{
+		Name: "far",
+		Entries: map[string]object.Entry{
+			"park": func(ctx object.Ctx, _ []any) ([]any, error) {
+				if err := ctx.RegisterEvent("TRACED"); err != nil {
+					return nil, err
+				}
+				if err := ctx.AttachHandler(event.HandlerRef{Event: "TRACED", Kind: event.KindProc, Proc: "h"}); err != nil {
+					return nil, err
+				}
+				started <- ctx.Thread()
+				return nil, ctx.Sleep(time.Second)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(1, far, "park")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid := <-started
+	time.Sleep(20 * time.Millisecond)
+	if _, err := sys.RaiseAndWait(1, "TRACED", event.ToThread(tid), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WaitTimeout(waitShort); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := sys.Trace()
+	if tr == nil || !tr.Enabled() {
+		t.Fatal("trace not enabled")
+	}
+	for _, kind := range []trace.Kind{trace.KindSpawn, trace.KindHop, trace.KindRaise, trace.KindHandlerRun, trace.KindDeliver} {
+		if len(tr.OfKind(kind)) == 0 {
+			t.Errorf("no %v records in trace:\n%s", kind, tr.Dump())
+		}
+	}
+	// The thread's own records include the hop from node1 to node2.
+	hops := 0
+	for _, r := range tr.OfThread(tid) {
+		if r.Kind == trace.KindHop && r.Node == 1 && r.Target == "node2" {
+			hops++
+		}
+	}
+	if hops != 1 {
+		t.Errorf("thread trace has %d node1->node2 hops, want 1:\n%s", hops, tr.Dump())
+	}
+}
+
+// TestTraceDisabledByDefault: no TraceCapacity, no records, no crashes.
+func TestTraceDisabledByDefault(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 1})
+	oid, err := sys.CreateObject(1, echoSpec("e"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := sys.Spawn(1, oid, "echo")
+	if _, err := h.WaitTimeout(waitShort); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Trace() != nil {
+		t.Fatal("Trace() non-nil with tracing disabled")
+	}
+}

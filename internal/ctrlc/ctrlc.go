@@ -1,0 +1,133 @@
+// Package ctrlc implements the "distributed ^C problem" of §6.3: cleanly
+// terminating a distributed application whose threads and objects span the
+// cluster — and whose objects may be concurrently shared with unrelated
+// applications that must not be disturbed.
+//
+// The protocol combines object-based and thread-based handlers exactly as
+// the paper prescribes:
+//
+//   - every application object registers an object-based ABORT handler that
+//     performs its cleanup when an invocation through it is torn down;
+//   - the root thread attaches a TERMINATE handler and a QUIT handler, both
+//     inherited by every thread it spawns;
+//   - when the user's ^C raises TERMINATE anywhere, the TERMINATE handler
+//     aborts the top-level invocation (notifying every object along the
+//     invocation chain) and raises QUIT to the application's thread group;
+//   - the QUIT handler simply terminates each receiving thread.
+package ctrlc
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/object"
+)
+
+// Handler-code registry names.
+const (
+	// TerminateProc is the root TERMINATE handler: abort + group QUIT.
+	TerminateProc = "ctrlc.terminate"
+	// QuitProc terminates the receiving thread.
+	QuitProc = "ctrlc.quit"
+)
+
+// Registrar is the system surface the package needs.
+type Registrar interface {
+	RegisterProc(name string, f object.Handler) error
+}
+
+// Register installs the protocol's handler code. Call once per system.
+func Register(r Registrar) error {
+	if err := r.RegisterProc(TerminateProc, terminateHandler); err != nil {
+		return err
+	}
+	return r.RegisterProc(QuitProc, quitHandler)
+}
+
+// terminateHandler runs when TERMINATE reaches any thread of an armed
+// application: it aborts the top-level invocation so every object along
+// the chain is notified, then raises QUIT to the whole thread group.
+func terminateHandler(ctx object.Ctx, ref event.HandlerRef, eb *event.Block) event.Verdict {
+	rootTID, rootObj, err := decode(ref)
+	if err != nil {
+		return event.VerdictPropagate
+	}
+	// Abort the top-level invocation: ABORT cascades object to object
+	// along the invocation chain, giving each a cleanup opportunity.
+	_ = ctx.Abort(rootTID, rootObj)
+
+	// Hunt down every thread in the application's group, including those
+	// spawned by asynchronous invocations (they inherited the membership).
+	if gid := ctx.Attrs().Group; gid.IsValid() {
+		_ = ctx.Raise(event.Quit, event.ToGroup(gid), nil)
+	}
+	// The QUIT we just raised terminates this thread too; resuming here
+	// keeps the handler idempotent if QUIT wins the race.
+	return event.VerdictResume
+}
+
+// quitHandler is the paper's "the handler for the event QUIT simply
+// terminates the thread".
+func quitHandler(_ object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+	return event.VerdictTerminate
+}
+
+// Arm wires the protocol for the calling (root) thread: it creates the
+// application thread group and attaches the TERMINATE and QUIT handlers,
+// all of which are inherited by spawned threads. rootObj is the top-level
+// object of the application (where the abort cascade starts). Arm returns
+// the group so tests and tools can address it.
+func Arm(ctx object.Ctx, rootObj ids.ObjectID) (ids.GroupID, error) {
+	gid, err := ctx.CreateGroup()
+	if err != nil {
+		return ids.NoGroup, fmt.Errorf("ctrlc: create group: %w", err)
+	}
+	data := map[string]string{
+		"root":    strconv.FormatUint(uint64(ctx.Thread()), 10),
+		"rootObj": strconv.FormatUint(uint64(rootObj), 10),
+	}
+	if err := ctx.AttachHandler(event.HandlerRef{
+		Event: event.Terminate, Kind: event.KindProc, Proc: TerminateProc, Data: data,
+	}); err != nil {
+		return ids.NoGroup, err
+	}
+	if err := ctx.AttachHandler(event.HandlerRef{
+		Event: event.Quit, Kind: event.KindProc, Proc: QuitProc,
+	}); err != nil {
+		return ids.NoGroup, err
+	}
+	return gid, nil
+}
+
+// CleanupHandler returns an object-based ABORT handler that records its
+// cleanup by running fn (e.g. closing I/O channels, releasing resources)
+// and resumes. Applications put it in their objects' Handlers map under
+// event.Abort, per the protocol's first requirement.
+func CleanupHandler(fn func(ctx object.Ctx, tid ids.ThreadID)) object.Handler {
+	return func(ctx object.Ctx, _ event.HandlerRef, eb *event.Block) event.Verdict {
+		if fn != nil {
+			var tid ids.ThreadID
+			if eb.User != nil {
+				if v, ok := eb.User["thread"].(ids.ThreadID); ok {
+					tid = v
+				}
+			}
+			fn(ctx, tid)
+		}
+		return event.VerdictResume
+	}
+}
+
+func decode(ref event.HandlerRef) (ids.ThreadID, ids.ObjectID, error) {
+	tv, err := strconv.ParseUint(ref.Data["root"], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("ctrlc: bad root thread: %w", err)
+	}
+	ov, err := strconv.ParseUint(ref.Data["rootObj"], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("ctrlc: bad root object: %w", err)
+	}
+	return ids.ThreadID(tv), ids.ObjectID(ov), nil
+}

@@ -1,0 +1,298 @@
+package ctrlc
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/object"
+)
+
+const waitShort = 10 * time.Second
+
+func newSystem(t *testing.T, nodes int) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem(core.Config{Nodes: nodes, CallTimeout: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	if err := Register(sys); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// buildApp constructs a distributed application: a root object on node 1
+// whose "main" arms the protocol, spawns async workers that sleep, then
+// invokes through mid (node 2) into deep (node 3) and sleeps there.
+// It returns the root object, a channel carrying the root TID once armed,
+// and cleanup/worker counters.
+func buildApp(t *testing.T, sys *core.System, workers int) (ids.ObjectID, chan ids.ThreadID, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var (
+		cleanups  atomic.Int64
+		ready     atomic.Int64
+		rootTID   = make(chan ids.ThreadID, 1)
+		rootObjCh = make(chan ids.ObjectID, 1)
+	)
+	cleanup := CleanupHandler(func(_ object.Ctx, _ ids.ThreadID) { cleanups.Add(1) })
+
+	deep, err := sys.CreateObject(3, object.Spec{
+		Name:     "deep",
+		Handlers: map[event.Name]object.Handler{event.Abort: cleanup},
+		Entries: map[string]object.Entry{
+			"dwell": func(ctx object.Ctx, _ []any) ([]any, error) {
+				ready.Add(1)
+				return nil, ctx.Sleep(time.Hour)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := sys.CreateObject(2, object.Spec{
+		Name:     "mid",
+		Handlers: map[event.Name]object.Handler{event.Abort: cleanup},
+		Entries: map[string]object.Entry{
+			"fwd": func(ctx object.Ctx, _ []any) ([]any, error) {
+				return ctx.Invoke(deep, "dwell")
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := sys.CreateObject(1, object.Spec{
+		Name:     "root",
+		Handlers: map[event.Name]object.Handler{event.Abort: cleanup},
+		Entries: map[string]object.Entry{
+			"main": func(ctx object.Ctx, _ []any) ([]any, error) {
+				self := <-rootObjCh
+				if _, err := Arm(ctx, self); err != nil {
+					return nil, err
+				}
+				for i := 0; i < workers; i++ {
+					if _, err := ctx.InvokeAsync(self, "worker"); err != nil {
+						return nil, err
+					}
+				}
+				rootTID <- ctx.Thread()
+				return ctx.Invoke(mid, "fwd")
+			},
+			"worker": func(ctx object.Ctx, _ []any) ([]any, error) {
+				ready.Add(1)
+				return nil, ctx.Sleep(time.Hour)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootObjCh <- root
+	return root, rootTID, &cleanups, &ready
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(waitShort)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDistributedCtrlC is the full §6.3 scenario: ^C (TERMINATE raised at
+// the root thread) must terminate every thread of the application —
+// including asynchronously spawned ones — and notify every object along
+// the invocation chain, leaving no orphans.
+func TestDistributedCtrlC(t *testing.T) {
+	sys := newSystem(t, 3)
+	const workers = 4
+	root, rootTIDCh, cleanups, ready := buildApp(t, sys, workers)
+	_ = root
+
+	h, err := sys.Spawn(1, root, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootTID := <-rootTIDCh
+	waitFor(t, func() bool { return ready.Load() == workers+1 }, "all threads parked")
+	time.Sleep(30 * time.Millisecond)
+
+	// The user types ^C: TERMINATE for the root thread, raised wherever.
+	if err := sys.Raise(2, event.Terminate, event.ToThread(rootTID), nil); err != nil {
+		t.Fatalf("^C raise: %v", err)
+	}
+
+	// Root thread unwinds (aborted through the chain or QUIT).
+	if _, err := h.WaitTimeout(waitShort); err == nil {
+		t.Fatal("root thread finished cleanly, want aborted/terminated")
+	} else if !errors.Is(err, core.ErrAborted) && !errors.Is(err, core.ErrTerminated) {
+		t.Fatalf("root err = %v", err)
+	}
+
+	// No orphans: every spawned thread terminates.
+	for _, hh := range sys.Handles() {
+		if _, err := hh.WaitTimeout(waitShort); err == nil {
+			t.Fatalf("thread %v survived ^C (orphan)", hh.TID())
+		}
+	}
+
+	// Both objects along the chain were notified via ABORT.
+	waitFor(t, func() bool { return cleanups.Load() >= 2 }, "object cleanups")
+}
+
+// TestNaiveKillLeavesOrphans is the baseline for E5: terminating only the
+// root thread (conventional process kill) leaves asynchronously spawned
+// threads running.
+func TestNaiveKillLeavesOrphans(t *testing.T) {
+	sys := newSystem(t, 3)
+	const workers = 3
+	var ready atomic.Int64
+	rootTIDCh := make(chan ids.ThreadID, 1)
+	objCh := make(chan ids.ObjectID, 1)
+	root, err := sys.CreateObject(1, object.Spec{
+		Name: "naive",
+		Entries: map[string]object.Entry{
+			"main": func(ctx object.Ctx, _ []any) ([]any, error) {
+				self := <-objCh
+				// No protocol arming: plain kill semantics.
+				for i := 0; i < workers; i++ {
+					if _, err := ctx.InvokeAsync(self, "worker"); err != nil {
+						return nil, err
+					}
+				}
+				rootTIDCh <- ctx.Thread()
+				return nil, ctx.Sleep(time.Hour)
+			},
+			"worker": func(ctx object.Ctx, _ []any) ([]any, error) {
+				ready.Add(1)
+				return nil, ctx.Sleep(500 * time.Millisecond)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objCh <- root
+	h, err := sys.Spawn(1, root, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootTID := <-rootTIDCh
+	waitFor(t, func() bool { return ready.Load() == workers }, "workers parked")
+
+	if err := sys.Raise(1, event.Terminate, event.ToThread(rootTID), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WaitTimeout(waitShort); !errors.Is(err, core.ErrTerminated) {
+		t.Fatalf("root err = %v", err)
+	}
+
+	// The workers keep running: they finish their sleep normally instead
+	// of being terminated — i.e. they were orphaned by the naive kill.
+	orphans := 0
+	for _, hh := range sys.Handles() {
+		if hh.TID() == rootTID {
+			continue
+		}
+		if _, err := hh.WaitTimeout(waitShort); err == nil {
+			orphans++
+		}
+	}
+	if orphans != workers {
+		t.Fatalf("orphans = %d, want %d (naive kill must leave workers running)", orphans, workers)
+	}
+}
+
+// TestUnrelatedApplicationUndisturbed checks the sharability requirement:
+// objects shared with an unrelated application keep serving it after the
+// first application is ^C'd.
+func TestUnrelatedApplicationUndisturbed(t *testing.T) {
+	sys := newSystem(t, 2)
+	shared, err := sys.CreateObject(2, object.Spec{
+		Name: "shared",
+		Entries: map[string]object.Entry{
+			"serve": func(ctx object.Ctx, args []any) ([]any, error) {
+				// Simulate steady work with interruption points.
+				for i := 0; i < 20; i++ {
+					if err := ctx.Sleep(5 * time.Millisecond); err != nil {
+						return nil, err
+					}
+				}
+				return []any{"done"}, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootTIDCh := make(chan ids.ThreadID, 1)
+	appA, err := sys.CreateObject(1, object.Spec{
+		Name: "appA",
+		Entries: map[string]object.Entry{
+			"main": func(ctx object.Ctx, _ []any) ([]any, error) {
+				if _, err := Arm(ctx, shared); err != nil {
+					return nil, err
+				}
+				rootTIDCh <- ctx.Thread()
+				return ctx.Invoke(shared, "serve")
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hA, err := sys.SpawnApp(1, "A", appA, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tidA := <-rootTIDCh
+	// Unrelated application B uses the same shared object.
+	hB, err := sys.SpawnApp(2, "B", shared, "serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := sys.Raise(1, event.Terminate, event.ToThread(tidA), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hA.WaitTimeout(waitShort); err == nil {
+		t.Fatal("app A survived ^C")
+	}
+	// App B must complete normally despite sharing the object.
+	res, err := hB.WaitTimeout(waitShort)
+	if err != nil {
+		t.Fatalf("unrelated app B was disturbed: %v", err)
+	}
+	if res[0] != "done" {
+		t.Fatalf("app B result = %v", res)
+	}
+}
+
+func TestCleanupHandlerPassesThreadID(t *testing.T) {
+	var got ids.ThreadID
+	h := CleanupHandler(func(_ object.Ctx, tid ids.ThreadID) { got = tid })
+	tid := ids.NewThreadID(3, 9)
+	eb := &event.Block{Name: event.Abort, User: map[string]any{"thread": tid}}
+	if v := h(nil, event.HandlerRef{}, eb); v != event.VerdictResume {
+		t.Fatalf("verdict = %v", v)
+	}
+	if got != tid {
+		t.Fatalf("cleanup saw tid %v, want %v", got, tid)
+	}
+}
+
+func TestCleanupHandlerNilFn(t *testing.T) {
+	h := CleanupHandler(nil)
+	if v := h(nil, event.HandlerRef{}, &event.Block{}); v != event.VerdictResume {
+		t.Fatalf("verdict = %v", v)
+	}
+}

@@ -1,0 +1,204 @@
+// Package debug implements the debugger application the paper motivates
+// (§4.1: buddy handlers are "quite useful in implementing monitors,
+// debuggers, etc. where an application can specify a central server as the
+// event handler for events posted to its threads"; §9 contrasts Mach's
+// separate-task debuggers).
+//
+// A debugger is a central server object. Debugged threads hit breakpoints
+// by raising the BREAKPOINT user event synchronously at themselves; the
+// buddy handler at the server runs on a surrogate carrying the suspended
+// thread's attributes, records a full stop report (thread state + selected
+// per-thread memory), and decides — per the server's current policy —
+// whether the thread resumes or terminates. The debugged application needs
+// no code beyond the one attach call: the essence of the paper's argument
+// for thread-based handlers.
+package debug
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/object"
+)
+
+// Breakpoint is the user event debugged threads raise at themselves. The
+// debugger's Register installs it as a registered user event name through
+// the attaching thread, so applications only call Attach and Break.
+const Breakpoint event.Name = "BREAKPOINT"
+
+// Entry names of the debugger server object.
+const (
+	HandlerStop  = "on_stop" // buddy handler method
+	EntryStops   = "stops"
+	EntryPolicy  = "policy"
+	EntryControl = "control"
+)
+
+// Policy names accepted by EntryPolicy.
+const (
+	PolicyResume    = "resume"
+	PolicyTerminate = "terminate"
+)
+
+// Stop is one recorded breakpoint hit.
+type Stop struct {
+	Thread ids.ThreadID
+	Node   ids.NodeID
+	Object ids.ObjectID
+	Entry  string
+	PC     uint64
+	Depth  int
+	// Label is the breakpoint label the thread passed to Break.
+	Label string
+	// Memory is the per-thread memory snapshot visible to the surrogate.
+	Memory map[string]string
+}
+
+// String renders the stop like a debugger's backtrace head.
+func (s Stop) String() string {
+	return fmt.Sprintf("stop %q: %v at %v in %v.%s pc=%d depth=%d",
+		s.Label, s.Thread, s.Node, s.Object, s.Entry, s.PC, s.Depth)
+}
+
+// ServerSpec returns the debugger server object. Its default policy
+// resumes stopped threads.
+func ServerSpec(label string) object.Spec {
+	return object.Spec{
+		Name: "debugger:" + label,
+		HandlerMethods: map[string]object.Handler{
+			HandlerStop: onStop,
+		},
+		Entries: map[string]object.Entry{
+			EntryStops:  stopsEntry,
+			EntryPolicy: policyEntry,
+		},
+	}
+}
+
+// onStop is the buddy handler: it runs at the server on a surrogate that
+// carries the stopped thread's attributes, so the debugger can inspect the
+// thread's internals without any cooperation from the object it stopped
+// in.
+func onStop(ctx object.Ctx, _ event.HandlerRef, eb *event.Block) event.Verdict {
+	if eb.State == nil {
+		return event.VerdictPropagate
+	}
+	label := ""
+	if eb.User != nil {
+		if l, ok := eb.User["label"].(string); ok {
+			label = l
+		}
+	}
+	mem := make(map[string]string)
+	for k, v := range ctx.Attrs().PerThread {
+		mem[k] = string(v)
+	}
+	stop := Stop{
+		Thread: eb.State.Thread,
+		Node:   eb.State.Node,
+		Object: eb.State.Object,
+		Entry:  eb.State.Entry,
+		PC:     eb.State.PC,
+		Depth:  eb.State.Depth,
+		Label:  label,
+		Memory: mem,
+	}
+	key := "stops:" + stop.Thread.String()
+	var list []Stop
+	if cur, ok := ctx.Get(key); ok {
+		if old, ok2 := cur.([]Stop); ok2 {
+			list = old
+		}
+	}
+	next := make([]Stop, len(list), len(list)+1)
+	copy(next, list)
+	next = append(next, stop)
+	ctx.Set(key, next)
+
+	if pol, ok := ctx.Get("policy"); ok && pol == PolicyTerminate {
+		return event.VerdictTerminate
+	}
+	return event.VerdictResume
+}
+
+// stopsEntry returns the recorded stops for a thread.
+// Args: tid uint64.
+func stopsEntry(ctx object.Ctx, args []any) ([]any, error) {
+	if len(args) < 1 {
+		return nil, errors.New("debug: stops needs a thread id")
+	}
+	tidV, ok := args[0].(uint64)
+	if !ok {
+		return nil, fmt.Errorf("debug: stops arg %T", args[0])
+	}
+	cur, _ := ctx.Get("stops:" + ids.ThreadID(tidV).String())
+	if cur == nil {
+		return []any{[]Stop(nil)}, nil
+	}
+	list, ok := cur.([]Stop)
+	if !ok {
+		return nil, errors.New("debug: corrupt stop list")
+	}
+	out := make([]Stop, len(list))
+	copy(out, list)
+	return []any{out}, nil
+}
+
+// policyEntry sets the verdict policy for subsequent stops.
+// Args: policy string ("resume" | "terminate").
+func policyEntry(ctx object.Ctx, args []any) ([]any, error) {
+	if len(args) < 1 {
+		return nil, errors.New("debug: policy needs a value")
+	}
+	pol, ok := args[0].(string)
+	if !ok || (pol != PolicyResume && pol != PolicyTerminate) {
+		return nil, fmt.Errorf("debug: invalid policy %v", args[0])
+	}
+	ctx.Set("policy", pol)
+	return nil, nil
+}
+
+// Attach puts the calling thread under the debugger: the BREAKPOINT event
+// (registered if needed) is directed at the server's buddy handler. The
+// attachment is inherited by spawned threads, so one call debugs the whole
+// application.
+func Attach(ctx object.Ctx, server ids.ObjectID) error {
+	if err := ctx.RegisterEvent(Breakpoint); err != nil && !errors.Is(err, event.ErrAlreadyRegistered) {
+		return err
+	}
+	return ctx.AttachHandler(event.HandlerRef{
+		Event:  Breakpoint,
+		Kind:   event.KindBuddy,
+		Object: server,
+		Entry:  HandlerStop,
+	})
+}
+
+// Break stops the calling thread at a labeled breakpoint: it raises
+// BREAKPOINT synchronously at itself and blocks until the debugger's
+// handler resumes (or terminates) it.
+func Break(ctx object.Ctx, label string) error {
+	return ctx.RaiseAndWait(Breakpoint, event.ToThread(ctx.Thread()), map[string]any{"label": label})
+}
+
+// StopsOf queries the server for a thread's recorded stops. Must run on a
+// thread context.
+func StopsOf(ctx object.Ctx, server ids.ObjectID, tid ids.ThreadID) ([]Stop, error) {
+	res, err := ctx.Invoke(server, EntryStops, uint64(tid))
+	if err != nil {
+		return nil, err
+	}
+	list, ok := res[0].([]Stop)
+	if !ok && res[0] != nil {
+		return nil, fmt.Errorf("debug: stops reply %T", res[0])
+	}
+	return list, nil
+}
+
+// SetPolicy sets the server's stop policy. Must run on a thread context.
+func SetPolicy(ctx object.Ctx, server ids.ObjectID, policy string) error {
+	_, err := ctx.Invoke(server, EntryPolicy, policy)
+	return err
+}

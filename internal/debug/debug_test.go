@@ -1,0 +1,214 @@
+package debug
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/object"
+)
+
+const waitShort = 10 * time.Second
+
+func newSystem(t *testing.T, nodes int) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem(core.Config{Nodes: nodes, CallTimeout: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	return sys
+}
+
+// TestBreakpointStopsAndResumes: the debugged thread hits two labeled
+// breakpoints on a remote node; the central debugger records both with the
+// thread's internals and resumes it each time.
+func TestBreakpointStopsAndResumes(t *testing.T) {
+	sys := newSystem(t, 3)
+	server, err := sys.CreateObject(1, ServerSpec("dbg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	work, err := sys.CreateObject(3, object.Spec{
+		Name: "work",
+		Entries: map[string]object.Entry{
+			"compute": func(ctx object.Ctx, _ []any) ([]any, error) {
+				ctx.Attrs().PerThread["acc"] = []byte("7")
+				if err := Break(ctx, "before"); err != nil {
+					return nil, err
+				}
+				ctx.Attrs().PerThread["acc"] = []byte("42")
+				if err := Break(ctx, "after"); err != nil {
+					return nil, err
+				}
+				return []any{"done"}, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := sys.CreateObject(2, object.Spec{
+		Name: "app",
+		Entries: map[string]object.Entry{
+			"main": func(ctx object.Ctx, _ []any) ([]any, error) {
+				if err := Attach(ctx, server); err != nil {
+					return nil, err
+				}
+				return ctx.Invoke(work, "compute")
+			},
+			"query": func(ctx object.Ctx, args []any) ([]any, error) {
+				tid, _ := args[0].(ids.ThreadID)
+				stops, err := StopsOf(ctx, server, tid)
+				if err != nil {
+					return nil, err
+				}
+				return []any{stops}, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(2, app, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.WaitTimeout(waitShort)
+	if err != nil {
+		t.Fatalf("debugged run: %v", err)
+	}
+	if res[0] != "done" {
+		t.Fatalf("result = %v", res)
+	}
+
+	hq, err := sys.Spawn(2, app, "query", h.TID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qres, err := hq.WaitTimeout(waitShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stops := qres[0].([]Stop)
+	if len(stops) != 2 {
+		t.Fatalf("recorded %d stops, want 2", len(stops))
+	}
+	if stops[0].Label != "before" || stops[1].Label != "after" {
+		t.Fatalf("labels = %q, %q", stops[0].Label, stops[1].Label)
+	}
+	// The debugger saw the thread's internals (per-thread memory) at each
+	// stop, from the remote node it stopped on.
+	if stops[0].Memory["acc"] != "7" || stops[1].Memory["acc"] != "42" {
+		t.Fatalf("memory snapshots = %v / %v", stops[0].Memory, stops[1].Memory)
+	}
+	if stops[0].Node != 3 {
+		t.Fatalf("stop recorded at %v, want node3", stops[0].Node)
+	}
+}
+
+// TestTerminatePolicyKillsAtBreakpoint: the debugger's policy decides the
+// stopped thread's fate — the paper's "resumes (or terminates) the
+// signaling thread".
+func TestTerminatePolicyKillsAtBreakpoint(t *testing.T) {
+	sys := newSystem(t, 2)
+	server, err := sys.CreateObject(1, ServerSpec("kill"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := sys.CreateObject(2, object.Spec{
+		Name: "app",
+		Entries: map[string]object.Entry{
+			"main": func(ctx object.Ctx, _ []any) ([]any, error) {
+				if err := Attach(ctx, server); err != nil {
+					return nil, err
+				}
+				if err := Break(ctx, "fatal"); err != nil {
+					return nil, err
+				}
+				return []any{"survived"}, nil
+			},
+			"arm": func(ctx object.Ctx, _ []any) ([]any, error) {
+				return nil, SetPolicy(ctx, server, PolicyTerminate)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, err := sys.Spawn(2, app, "arm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ha.WaitTimeout(waitShort); err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(2, app, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WaitTimeout(waitShort); !errors.Is(err, core.ErrTerminated) {
+		t.Fatalf("Wait err = %v, want ErrTerminated", err)
+	}
+}
+
+func TestSetPolicyValidation(t *testing.T) {
+	sys := newSystem(t, 1)
+	server, err := sys.CreateObject(1, ServerSpec("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := sys.CreateObject(1, object.Spec{
+		Name: "app",
+		Entries: map[string]object.Entry{
+			"bad": func(ctx object.Ctx, _ []any) ([]any, error) {
+				return nil, SetPolicy(ctx, server, "explode")
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := sys.Spawn(1, app, "bad")
+	if _, err := h.WaitTimeout(waitShort); err == nil {
+		t.Fatal("invalid policy accepted")
+	}
+}
+
+func TestBreakWithoutDebuggerIsIgnored(t *testing.T) {
+	sys := newSystem(t, 1)
+	app, err := sys.CreateObject(1, object.Spec{
+		Name: "app",
+		Entries: map[string]object.Entry{
+			"main": func(ctx object.Ctx, _ []any) ([]any, error) {
+				if err := ctx.RegisterEvent(Breakpoint); err != nil {
+					return nil, err
+				}
+				// No Attach: the sync raise finds no handler and reports
+				// unhandled; the thread continues.
+				err := Break(ctx, "nobody-listening")
+				return []any{err != nil}, err
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := sys.Spawn(1, app, "main")
+	if _, err := h.WaitTimeout(waitShort); !errors.Is(err, core.ErrUnhandledSync) {
+		t.Fatalf("Break without debugger err = %v, want ErrUnhandledSync", err)
+	}
+}
+
+func TestStopString(t *testing.T) {
+	s := Stop{
+		Label: "L", Thread: ids.NewThreadID(1, 2), Node: 3,
+		Object: ids.NewObjectID(4, 5), Entry: "e", PC: 6, Depth: 2,
+	}
+	want := `stop "L": t1.2 at node3 in o4.5.e pc=6 depth=2`
+	if s.String() != want {
+		t.Errorf("String = %q, want %q", s.String(), want)
+	}
+}

@@ -1,0 +1,777 @@
+// Package dsm implements the paged, sequentially-consistent distributed
+// shared memory the DO/CT environment is built on (§1: "Structuring such
+// object-based systems using Distributed Shared Memory is becoming a viable
+// paradigm"). Every object's persistent data lives in a DSM segment; in
+// DSM-mode invocation the kernel faults pages to the invoking node instead
+// of shipping the computation.
+//
+// The protocol is a home-based directory scheme in the style of IVY:
+// the segment's home node (encoded in the SegmentID) tracks, per page, the
+// owner (holder of the authoritative copy) and the copyset. Reads fetch a
+// shared copy; writes invalidate the copyset and transfer ownership —
+// single-writer/multiple-reader, which yields sequential consistency.
+//
+// Segments may instead be flagged user-paged (§6.4): the kernel coherence
+// protocol is bypassed and faults are surfaced to a user-level virtual
+// memory manager through the UserFaultFunc hook, which the kernel wires to
+// VM_FAULT events.
+package dsm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/metrics"
+)
+
+// DefaultPageSize is the page granularity when Config.PageSize is 0.
+const DefaultPageSize = 1024
+
+// Package errors.
+var (
+	ErrUnknownSegment = errors.New("dsm: unknown segment")
+	ErrOutOfRange     = errors.New("dsm: access out of segment range")
+	ErrBadRequest     = errors.New("dsm: malformed protocol request")
+	ErrNoPager        = errors.New("dsm: fault on user-paged segment with no pager")
+)
+
+// Protocol message kinds exchanged between managers.
+const (
+	MsgMeta    = "dsm.meta"    // fetch segment metadata from home
+	MsgRead    = "dsm.read"    // read fault -> home
+	MsgWrite   = "dsm.write"   // write fault -> home
+	MsgDegrade = "dsm.degrade" // home -> owner: downgrade to shared, return data
+	MsgTake    = "dsm.take"    // home -> owner: relinquish page, return data
+	MsgInv     = "dsm.inv"     // home -> copy holder: invalidate
+)
+
+// Transport carries DSM protocol requests between nodes and returns the
+// peer's reply. internal/core implements it over the simulated fabric; unit
+// tests use a direct loopback.
+type Transport interface {
+	Call(to ids.NodeID, kind string, req any) (any, error)
+}
+
+// UserFaultFunc services a fault on a user-paged segment: it must return
+// the page contents (the kernel's implementation raises VM_FAULT to the
+// faulting thread and waits for the pager to install a page).
+type UserFaultFunc func(seg ids.SegmentID, page int, write bool) ([]byte, error)
+
+// FaultError reports an unserviced fault on a user-paged segment. The
+// kernel catches it, raises VM_FAULT to the faulting thread's handler
+// chain, and retries the access once a pager installs the page (§6.4).
+type FaultError struct {
+	Seg   ids.SegmentID
+	Page  int
+	Write bool
+}
+
+// Error renders the fault.
+func (e *FaultError) Error() string {
+	op := "read"
+	if e.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("dsm: unserviced user %s fault on %v page %d", op, e.Seg, e.Page)
+}
+
+// pageMode is the local cache state of one page.
+type pageMode int
+
+const (
+	modeInvalid pageMode = iota
+	modeShared
+	modeExclusive
+)
+
+// Meta describes a segment.
+type Meta struct {
+	ID        ids.SegmentID
+	Size      int
+	PageSize  int
+	UserPaged bool
+}
+
+// Pages returns the number of pages in the segment.
+func (m Meta) Pages() int { return (m.Size + m.PageSize - 1) / m.PageSize }
+
+// dirEntry is the home node's directory record for one page.
+type dirEntry struct {
+	mu      sync.Mutex
+	owner   ids.NodeID
+	copyset map[ids.NodeID]bool
+}
+
+// segment is a manager's record of one segment: directory state if this
+// node is home, plus the local page cache.
+type segment struct {
+	meta Meta
+	dir  []*dirEntry // non-nil only at home
+
+	mu    sync.Mutex
+	cache map[int]*cachedPage
+}
+
+type cachedPage struct {
+	mode pageMode
+	data []byte
+}
+
+// Request/reply payloads. Exported fields so a transport may serialize.
+
+// MetaReq asks the home for segment metadata.
+type MetaReq struct{ Seg ids.SegmentID }
+
+// PageReq asks the home to service a read or write fault.
+type PageReq struct {
+	Seg  ids.SegmentID
+	Page int
+	From ids.NodeID
+}
+
+// PageReply returns page data (nil when the requester's copy is usable).
+type PageReply struct{ Data []byte }
+
+// WireSize charges the actual page payload.
+func (r PageReply) WireSize() int { return 16 + len(r.Data) }
+
+// Config parameterizes a Manager.
+type Config struct {
+	Node      ids.NodeID
+	PageSize  int
+	Transport Transport
+	Metrics   *metrics.Registry
+}
+
+// Manager is one node's DSM engine: directory authority for segments homed
+// here, page cache for everything else. Managers are safe for concurrent
+// use.
+type Manager struct {
+	node      ids.NodeID
+	pageSize  int
+	transport Transport
+	reg       *metrics.Registry
+
+	mu        sync.RWMutex
+	segs      map[ids.SegmentID]*segment
+	userFault UserFaultFunc
+}
+
+// NewManager returns a Manager for node.
+func NewManager(cfg Config) *Manager {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = DefaultPageSize
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Manager{
+		node:      cfg.Node,
+		pageSize:  cfg.PageSize,
+		transport: cfg.Transport,
+		reg:       reg,
+		segs:      make(map[ids.SegmentID]*segment),
+	}
+}
+
+// Node returns the node this manager serves.
+func (m *Manager) Node() ids.NodeID { return m.node }
+
+// SetUserFaultHandler installs the hook servicing faults on user-paged
+// segments at this node.
+func (m *Manager) SetUserFaultHandler(f UserFaultFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.userFault = f
+}
+
+// CreateSegment creates a segment homed at this node. Pages start zeroed,
+// owned by home with an empty copyset.
+func (m *Manager) CreateSegment(id ids.SegmentID, size int, userPaged bool) (Meta, error) {
+	if id.Home() != m.node {
+		return Meta{}, fmt.Errorf("dsm: segment %v is not homed at %v", id, m.node)
+	}
+	if size <= 0 {
+		return Meta{}, fmt.Errorf("dsm: invalid segment size %d", size)
+	}
+	meta := Meta{ID: id, Size: size, PageSize: m.pageSize, UserPaged: userPaged}
+	seg := &segment{meta: meta, cache: make(map[int]*cachedPage)}
+	if !userPaged {
+		seg.dir = make([]*dirEntry, meta.Pages())
+		for i := range seg.dir {
+			seg.dir[i] = &dirEntry{owner: m.node, copyset: map[ids.NodeID]bool{}}
+		}
+		// Home starts with every page cached exclusive and zeroed.
+		for i := 0; i < meta.Pages(); i++ {
+			seg.cache[i] = &cachedPage{mode: modeExclusive, data: make([]byte, m.pageSize)}
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.segs[id]; dup {
+		return Meta{}, fmt.Errorf("dsm: segment %v already exists", id)
+	}
+	m.segs[id] = seg
+	return meta, nil
+}
+
+// lookup returns the local record for id, fetching metadata from home on
+// first touch of a remote segment.
+func (m *Manager) lookup(id ids.SegmentID) (*segment, error) {
+	m.mu.RLock()
+	seg, ok := m.segs[id]
+	m.mu.RUnlock()
+	if ok {
+		return seg, nil
+	}
+	if id.Home() == m.node {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownSegment, id)
+	}
+	reply, err := m.transport.Call(id.Home(), MsgMeta, MetaReq{Seg: id})
+	if err != nil {
+		return nil, fmt.Errorf("fetch meta for %v: %w", id, err)
+	}
+	meta, ok := reply.(Meta)
+	if !ok {
+		return nil, fmt.Errorf("%w: meta reply %T", ErrBadRequest, reply)
+	}
+	seg = &segment{meta: meta, cache: make(map[int]*cachedPage)}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if existing, dup := m.segs[id]; dup {
+		return existing, nil
+	}
+	m.segs[id] = seg
+	return seg, nil
+}
+
+// Meta returns the segment's metadata, fetching it from home if needed.
+func (m *Manager) Meta(id ids.SegmentID) (Meta, error) {
+	seg, err := m.lookup(id)
+	if err != nil {
+		return Meta{}, err
+	}
+	return seg.meta, nil
+}
+
+// Read copies n bytes at off from the segment into a fresh slice, faulting
+// pages in as needed.
+func (m *Manager) Read(id ids.SegmentID, off, n int) ([]byte, error) {
+	seg, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || n < 0 || off+n > seg.meta.Size {
+		return nil, fmt.Errorf("%w: read [%d,%d) of %v size %d", ErrOutOfRange, off, off+n, id, seg.meta.Size)
+	}
+	out := make([]byte, n)
+	for done := 0; done < n; {
+		page := (off + done) / seg.meta.PageSize
+		pOff := (off + done) % seg.meta.PageSize
+		chunk := min(n-done, seg.meta.PageSize-pOff)
+		data, err := m.pageForRead(seg, page)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[done:done+chunk], data[pOff:pOff+chunk])
+		done += chunk
+	}
+	return out, nil
+}
+
+// Write stores data at off in the segment, acquiring exclusive ownership of
+// each touched page.
+func (m *Manager) Write(id ids.SegmentID, off int, data []byte) error {
+	seg, err := m.lookup(id)
+	if err != nil {
+		return err
+	}
+	n := len(data)
+	if off < 0 || off+n > seg.meta.Size {
+		return fmt.Errorf("%w: write [%d,%d) of %v size %d", ErrOutOfRange, off, off+n, id, seg.meta.Size)
+	}
+	for done := 0; done < n; {
+		page := (off + done) / seg.meta.PageSize
+		pOff := (off + done) % seg.meta.PageSize
+		chunk := min(n-done, seg.meta.PageSize-pOff)
+		for {
+			cp, err := m.pageForWrite(seg, page)
+			if err != nil {
+				return err
+			}
+			// The page may have been taken by a concurrent write fault
+			// elsewhere between acquiring exclusivity and storing; verify
+			// under the cache lock and refault if so (the MMU makes this
+			// atomic on real hardware).
+			seg.mu.Lock()
+			cur, ok := seg.cache[page]
+			if ok && cur == cp && cur.mode == modeExclusive {
+				copy(cp.data[pOff:pOff+chunk], data[done:done+chunk])
+				seg.mu.Unlock()
+				break
+			}
+			seg.mu.Unlock()
+		}
+		done += chunk
+	}
+	return nil
+}
+
+// pageForRead returns a snapshot of the page's bytes with at least shared
+// access. The snapshot is taken under the cache lock so local writers
+// (which mutate the cached page in place) never race with readers.
+func (m *Manager) pageForRead(seg *segment, page int) ([]byte, error) {
+	seg.mu.Lock()
+	if cp, ok := seg.cache[page]; ok && cp.mode != modeInvalid {
+		data := append([]byte(nil), cp.data...)
+		seg.mu.Unlock()
+		return data, nil
+	}
+	seg.mu.Unlock()
+	m.reg.Inc(metrics.CtrPageFault)
+
+	if seg.meta.UserPaged {
+		return m.userPageIn(seg, page, false)
+	}
+	if seg.meta.ID.Home() == m.node {
+		// Home's copy was taken by a remote owner; go through the local
+		// directory to get it back.
+		data, err := m.dirRead(seg, PageReq{Seg: seg.meta.ID, Page: page, From: m.node})
+		if err != nil {
+			return nil, err
+		}
+		return m.installLocal(seg, page, data, modeShared), nil
+	}
+	reply, err := m.transport.Call(seg.meta.ID.Home(), MsgRead, PageReq{Seg: seg.meta.ID, Page: page, From: m.node})
+	if err != nil {
+		return nil, fmt.Errorf("read fault %v page %d: %w", seg.meta.ID, page, err)
+	}
+	pr, ok := reply.(PageReply)
+	if !ok {
+		return nil, fmt.Errorf("%w: read reply %T", ErrBadRequest, reply)
+	}
+	return m.installLocal(seg, page, pr.Data, modeShared), nil
+}
+
+// pageForWrite returns the page cache slot with exclusive access.
+func (m *Manager) pageForWrite(seg *segment, page int) (*cachedPage, error) {
+	seg.mu.Lock()
+	if cp, ok := seg.cache[page]; ok && cp.mode == modeExclusive {
+		seg.mu.Unlock()
+		return cp, nil
+	}
+	seg.mu.Unlock()
+	m.reg.Inc(metrics.CtrPageFault)
+
+	if seg.meta.UserPaged {
+		// Coherence on user-paged segments is the pager's business: a
+		// locally cached copy (installed by the pager) is writable
+		// directly; the pager merges divergent copies later (§6.4).
+		seg.mu.Lock()
+		if cp, ok := seg.cache[page]; ok && cp.mode != modeInvalid {
+			cp.mode = modeExclusive
+			seg.mu.Unlock()
+			return cp, nil
+		}
+		seg.mu.Unlock()
+		if _, err := m.userPageIn(seg, page, true); err != nil {
+			return nil, err
+		}
+		seg.mu.Lock()
+		defer seg.mu.Unlock()
+		cp := seg.cache[page]
+		cp.mode = modeExclusive
+		return cp, nil
+	}
+
+	var (
+		data []byte
+		err  error
+	)
+	if seg.meta.ID.Home() == m.node {
+		data, err = m.dirWrite(seg, PageReq{Seg: seg.meta.ID, Page: page, From: m.node})
+	} else {
+		var reply any
+		reply, err = m.transport.Call(seg.meta.ID.Home(), MsgWrite, PageReq{Seg: seg.meta.ID, Page: page, From: m.node})
+		if err == nil {
+			pr, ok := reply.(PageReply)
+			if !ok {
+				return nil, fmt.Errorf("%w: write reply %T", ErrBadRequest, reply)
+			}
+			data = pr.Data
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("write fault %v page %d: %w", seg.meta.ID, page, err)
+	}
+
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
+	cp, ok := seg.cache[page]
+	if !ok || cp.mode == modeInvalid {
+		if data == nil {
+			data = make([]byte, seg.meta.PageSize)
+		}
+		cp = &cachedPage{data: data}
+		seg.cache[page] = cp
+	} else if data != nil {
+		cp.data = data
+	}
+	cp.mode = modeExclusive
+	return cp, nil
+}
+
+// userPageIn services a fault on a user-paged segment via the pager hook.
+func (m *Manager) userPageIn(seg *segment, page int, write bool) ([]byte, error) {
+	m.mu.RLock()
+	hook := m.userFault
+	m.mu.RUnlock()
+	m.reg.Inc(metrics.CtrUserFault)
+	if hook == nil {
+		return nil, fmt.Errorf("%w (%w: %v page %d)",
+			&FaultError{Seg: seg.meta.ID, Page: page, Write: write}, ErrNoPager, seg.meta.ID, page)
+	}
+	data, err := hook(seg.meta.ID, page, write)
+	if err != nil {
+		return nil, err
+	}
+	mode := modeShared
+	if write {
+		mode = modeExclusive
+	}
+	return m.installLocal(seg, page, data, mode), nil
+}
+
+// installLocal caches data for page with the given mode and returns an
+// independent snapshot of the bytes (never the cached slice itself, which
+// local writers mutate in place).
+func (m *Manager) installLocal(seg *segment, page int, data []byte, mode pageMode) []byte {
+	stored := make([]byte, seg.meta.PageSize)
+	copy(stored, data)
+	// Snapshot before publishing: once in the cache, writers may mutate
+	// the stored slice at any time.
+	snap := make([]byte, len(stored))
+	copy(snap, stored)
+	seg.mu.Lock()
+	seg.cache[page] = &cachedPage{mode: mode, data: stored}
+	seg.mu.Unlock()
+	return snap
+}
+
+// InstallPage lets a user-level pager place page contents into this node's
+// cache for a user-paged segment (the "install a user supplied page to back
+// a virtual address" operation of §6.4).
+func (m *Manager) InstallPage(id ids.SegmentID, page int, data []byte) error {
+	seg, err := m.lookup(id)
+	if err != nil {
+		return err
+	}
+	if !seg.meta.UserPaged {
+		return fmt.Errorf("dsm: InstallPage on kernel-managed segment %v", id)
+	}
+	if page < 0 || page >= seg.meta.Pages() {
+		return fmt.Errorf("%w: page %d of %v", ErrOutOfRange, page, id)
+	}
+	m.installLocal(seg, page, data, modeShared)
+	return nil
+}
+
+// DropPage discards this node's cached copy of a page (pager-directed
+// invalidation on user-paged segments).
+func (m *Manager) DropPage(id ids.SegmentID, page int) error {
+	seg, err := m.lookup(id)
+	if err != nil {
+		return err
+	}
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
+	delete(seg.cache, page)
+	return nil
+}
+
+// CachedPage returns a copy of this node's cached page contents, if any.
+// Used by pagers to collect copies for merging.
+func (m *Manager) CachedPage(id ids.SegmentID, page int) ([]byte, bool) {
+	seg, err := m.lookup(id)
+	if err != nil {
+		return nil, false
+	}
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
+	cp, ok := seg.cache[page]
+	if !ok || cp.mode == modeInvalid {
+		return nil, false
+	}
+	out := make([]byte, len(cp.data))
+	copy(out, cp.data)
+	return out, true
+}
+
+// HandleRequest services one incoming protocol request. The hosting kernel
+// routes DSM messages here; each call may issue nested Transport calls and
+// must therefore run on its own goroutine.
+func (m *Manager) HandleRequest(kind string, req any) (any, error) {
+	switch kind {
+	case MsgMeta:
+		r, ok := req.(MetaReq)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s payload %T", ErrBadRequest, kind, req)
+		}
+		seg, err := m.homeSegment(r.Seg)
+		if err != nil {
+			return nil, err
+		}
+		return seg.meta, nil
+
+	case MsgRead:
+		r, ok := req.(PageReq)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s payload %T", ErrBadRequest, kind, req)
+		}
+		seg, err := m.homeSegment(r.Seg)
+		if err != nil {
+			return nil, err
+		}
+		data, err := m.dirRead(seg, r)
+		if err != nil {
+			return nil, err
+		}
+		m.reg.Inc(metrics.CtrPageFetch)
+		return PageReply{Data: data}, nil
+
+	case MsgWrite:
+		r, ok := req.(PageReq)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s payload %T", ErrBadRequest, kind, req)
+		}
+		seg, err := m.homeSegment(r.Seg)
+		if err != nil {
+			return nil, err
+		}
+		data, err := m.dirWrite(seg, r)
+		if err != nil {
+			return nil, err
+		}
+		m.reg.Inc(metrics.CtrPageFetch)
+		return PageReply{Data: data}, nil
+
+	case MsgDegrade:
+		r, ok := req.(PageReq)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s payload %T", ErrBadRequest, kind, req)
+		}
+		return m.degradeLocal(r)
+
+	case MsgTake:
+		r, ok := req.(PageReq)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s payload %T", ErrBadRequest, kind, req)
+		}
+		return m.takeLocal(r)
+
+	case MsgInv:
+		r, ok := req.(PageReq)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s payload %T", ErrBadRequest, kind, req)
+		}
+		m.invalidateLocal(r)
+		m.reg.Inc(metrics.CtrPageInvalidate)
+		return PageReply{}, nil
+
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %q", ErrBadRequest, kind)
+	}
+}
+
+// homeSegment returns the segment record, requiring this node to be home.
+func (m *Manager) homeSegment(id ids.SegmentID) (*segment, error) {
+	if id.Home() != m.node {
+		return nil, fmt.Errorf("dsm: node %v is not home of %v", m.node, id)
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	seg, ok := m.segs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownSegment, id)
+	}
+	return seg, nil
+}
+
+// dirRead runs the home directory's read-fault protocol and returns page
+// data for the requester.
+func (m *Manager) dirRead(seg *segment, r PageReq) ([]byte, error) {
+	if r.Page < 0 || r.Page >= seg.meta.Pages() {
+		return nil, fmt.Errorf("%w: page %d of %v", ErrOutOfRange, r.Page, seg.meta.ID)
+	}
+	de := seg.dir[r.Page]
+	de.mu.Lock()
+	defer de.mu.Unlock()
+
+	var data []byte
+	if de.owner == m.node {
+		seg.mu.Lock()
+		cp, ok := seg.cache[r.Page]
+		if !ok || cp.mode == modeInvalid {
+			seg.mu.Unlock()
+			return nil, fmt.Errorf("dsm: directory owner %v lost page %d of %v", m.node, r.Page, seg.meta.ID)
+		}
+		if cp.mode == modeExclusive {
+			cp.mode = modeShared
+		}
+		data = append([]byte(nil), cp.data...)
+		seg.mu.Unlock()
+	} else {
+		reply, err := m.transport.Call(de.owner, MsgDegrade, PageReq{Seg: seg.meta.ID, Page: r.Page, From: r.From})
+		if err != nil {
+			return nil, fmt.Errorf("degrade owner %v: %w", de.owner, err)
+		}
+		pr, ok := reply.(PageReply)
+		if !ok {
+			return nil, fmt.Errorf("%w: degrade reply %T", ErrBadRequest, reply)
+		}
+		data = pr.Data
+	}
+	de.copyset[r.From] = true
+	return data, nil
+}
+
+// dirWrite runs the home directory's write-fault protocol: invalidate the
+// copyset, take the page from the owner, transfer ownership to the
+// requester. A nil data return means the requester's shared copy is already
+// current.
+func (m *Manager) dirWrite(seg *segment, r PageReq) ([]byte, error) {
+	if r.Page < 0 || r.Page >= seg.meta.Pages() {
+		return nil, fmt.Errorf("%w: page %d of %v", ErrOutOfRange, r.Page, seg.meta.ID)
+	}
+	de := seg.dir[r.Page]
+	de.mu.Lock()
+	defer de.mu.Unlock()
+
+	requesterHadCopy := de.copyset[r.From]
+	// Invalidate every copy holder except the requester and the owner
+	// (the owner is dealt with below, where its data may be needed).
+	for member := range de.copyset {
+		if member == r.From || member == de.owner {
+			continue
+		}
+		if member == m.node {
+			m.invalidateLocal(PageReq{Seg: seg.meta.ID, Page: r.Page})
+			m.reg.Inc(metrics.CtrPageInvalidate)
+			continue
+		}
+		if _, err := m.transport.Call(member, MsgInv, PageReq{Seg: seg.meta.ID, Page: r.Page}); err != nil {
+			return nil, fmt.Errorf("invalidate %v: %w", member, err)
+		}
+	}
+
+	var data []byte
+	switch {
+	case de.owner == r.From:
+		// Requester already owns it (e.g. upgrade after losing copies).
+	case requesterHadCopy:
+		// The requester's shared copy is current; ownership transfers
+		// without a data transfer, but the old owner drops its copy.
+		if err := m.relinquish(seg, de.owner, r); err != nil {
+			return nil, err
+		}
+	default:
+		taken, err := m.takeFrom(seg, de.owner, r)
+		if err != nil {
+			return nil, err
+		}
+		data = taken
+	}
+	de.owner = r.From
+	de.copyset = map[ids.NodeID]bool{r.From: true}
+	return data, nil
+}
+
+// takeFrom retrieves the page from owner, invalidating the owner's copy.
+func (m *Manager) takeFrom(seg *segment, owner ids.NodeID, r PageReq) ([]byte, error) {
+	if owner == m.node {
+		seg.mu.Lock()
+		cp, ok := seg.cache[r.Page]
+		var data []byte
+		if ok && cp.mode != modeInvalid {
+			data = append([]byte(nil), cp.data...)
+		}
+		delete(seg.cache, r.Page)
+		seg.mu.Unlock()
+		return data, nil
+	}
+	reply, err := m.transport.Call(owner, MsgTake, PageReq{Seg: seg.meta.ID, Page: r.Page, From: r.From})
+	if err != nil {
+		return nil, fmt.Errorf("take from owner %v: %w", owner, err)
+	}
+	pr, ok := reply.(PageReply)
+	if !ok {
+		return nil, fmt.Errorf("%w: take reply %T", ErrBadRequest, reply)
+	}
+	return pr.Data, nil
+}
+
+// relinquish drops the owner's copy without transferring data.
+func (m *Manager) relinquish(seg *segment, owner ids.NodeID, r PageReq) error {
+	if owner == m.node {
+		m.invalidateLocal(PageReq{Seg: seg.meta.ID, Page: r.Page})
+		return nil
+	}
+	if _, err := m.transport.Call(owner, MsgInv, PageReq{Seg: seg.meta.ID, Page: r.Page}); err != nil {
+		return fmt.Errorf("relinquish %v: %w", owner, err)
+	}
+	return nil
+}
+
+// degradeLocal downgrades this node's exclusive copy to shared and returns
+// the data.
+func (m *Manager) degradeLocal(r PageReq) (PageReply, error) {
+	m.mu.RLock()
+	seg, ok := m.segs[r.Seg]
+	m.mu.RUnlock()
+	if !ok {
+		return PageReply{}, fmt.Errorf("%w: %v", ErrUnknownSegment, r.Seg)
+	}
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
+	cp, ok := seg.cache[r.Page]
+	if !ok || cp.mode == modeInvalid {
+		return PageReply{}, fmt.Errorf("dsm: degrade of page %d not held at %v", r.Page, m.node)
+	}
+	cp.mode = modeShared
+	return PageReply{Data: append([]byte(nil), cp.data...)}, nil
+}
+
+// takeLocal gives up this node's copy entirely, returning the data.
+func (m *Manager) takeLocal(r PageReq) (PageReply, error) {
+	m.mu.RLock()
+	seg, ok := m.segs[r.Seg]
+	m.mu.RUnlock()
+	if !ok {
+		return PageReply{}, fmt.Errorf("%w: %v", ErrUnknownSegment, r.Seg)
+	}
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
+	cp, ok := seg.cache[r.Page]
+	if !ok || cp.mode == modeInvalid {
+		return PageReply{}, fmt.Errorf("dsm: take of page %d not held at %v", r.Page, m.node)
+	}
+	data := cp.data
+	delete(seg.cache, r.Page)
+	return PageReply{Data: data}, nil
+}
+
+// invalidateLocal drops this node's copy of a page.
+func (m *Manager) invalidateLocal(r PageReq) {
+	m.mu.RLock()
+	seg, ok := m.segs[r.Seg]
+	m.mu.RUnlock()
+	if !ok {
+		return
+	}
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
+	delete(seg.cache, r.Page)
+}

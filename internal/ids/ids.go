@@ -1,0 +1,201 @@
+// Package ids defines the typed identifiers used throughout the DO/CT
+// environment: nodes, objects, threads, thread groups, DSM segments and
+// events. Thread identifiers encode the thread's root node (the node the
+// thread was created on), which the path-following location strategy of the
+// paper's §7.1 relies on ("given the unique name of a thread, it is
+// possible to find the root node").
+package ids
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// NodeID names a node (simulated machine) in the cluster. Node identifiers
+// are small dense integers assigned at cluster boot, starting at 1.
+type NodeID uint32
+
+// NoNode is the zero NodeID; it never names a real node.
+const NoNode NodeID = 0
+
+// String returns "node<n>".
+func (n NodeID) String() string { return fmt.Sprintf("node%d", uint32(n)) }
+
+// IsValid reports whether the identifier names a real node.
+func (n NodeID) IsValid() bool { return n != NoNode }
+
+// ThreadID names a distributed logical thread. The identifier encodes the
+// root node in the high 24 bits and a per-root sequence number in the low
+// 40 bits, so any holder of a ThreadID can locate the thread's root node
+// without a directory lookup.
+type ThreadID uint64
+
+// NoThread is the zero ThreadID; it never names a real thread.
+const NoThread ThreadID = 0
+
+const threadSeqBits = 40
+
+// NewThreadID constructs the ThreadID for the seq-th thread rooted at node.
+func NewThreadID(root NodeID, seq uint64) ThreadID {
+	return ThreadID(uint64(root)<<threadSeqBits | (seq & (1<<threadSeqBits - 1)))
+}
+
+// Root returns the node the thread was created on.
+func (t ThreadID) Root() NodeID { return NodeID(uint64(t) >> threadSeqBits) }
+
+// Seq returns the per-root sequence number.
+func (t ThreadID) Seq() uint64 { return uint64(t) & (1<<threadSeqBits - 1) }
+
+// IsValid reports whether the identifier names a real thread.
+func (t ThreadID) IsValid() bool { return t != NoThread }
+
+// String returns "t<root>.<seq>".
+func (t ThreadID) String() string {
+	return fmt.Sprintf("t%d.%d", uint32(t.Root()), t.Seq())
+}
+
+// ObjectID names a passive persistent object. Objects are created on a home
+// node; like threads, the identifier encodes the home node so the object
+// directory can be partitioned without a central service.
+type ObjectID uint64
+
+// NoObject is the zero ObjectID; it never names a real object.
+const NoObject ObjectID = 0
+
+// NewObjectID constructs the ObjectID for the seq-th object homed at node.
+func NewObjectID(home NodeID, seq uint64) ObjectID {
+	return ObjectID(uint64(home)<<threadSeqBits | (seq & (1<<threadSeqBits - 1)))
+}
+
+// Home returns the node the object was created on.
+func (o ObjectID) Home() NodeID { return NodeID(uint64(o) >> threadSeqBits) }
+
+// Seq returns the per-home sequence number.
+func (o ObjectID) Seq() uint64 { return uint64(o) & (1<<threadSeqBits - 1) }
+
+// IsValid reports whether the identifier names a real object.
+func (o ObjectID) IsValid() bool { return o != NoObject }
+
+// String returns "o<home>.<seq>".
+func (o ObjectID) String() string {
+	return fmt.Sprintf("o%d.%d", uint32(o.Home()), o.Seq())
+}
+
+// GroupID names a thread group (after the process groups of the V kernel).
+// The identifier encodes the node holding the group's membership directory.
+type GroupID uint64
+
+// NoGroup is the zero GroupID; it never names a real group.
+const NoGroup GroupID = 0
+
+// NewGroupID constructs the GroupID for the seq-th group directed at node.
+func NewGroupID(dir NodeID, seq uint64) GroupID {
+	return GroupID(uint64(dir)<<threadSeqBits | (seq & (1<<threadSeqBits - 1)))
+}
+
+// Directory returns the node holding the group's membership list.
+func (g GroupID) Directory() NodeID { return NodeID(uint64(g) >> threadSeqBits) }
+
+// Seq returns the per-directory sequence number.
+func (g GroupID) Seq() uint64 { return uint64(g) & (1<<threadSeqBits - 1) }
+
+// IsValid reports whether the identifier names a real group.
+func (g GroupID) IsValid() bool { return g != NoGroup }
+
+// String returns "g<dir>.<seq>".
+func (g GroupID) String() string {
+	return fmt.Sprintf("g%d.%d", uint32(g.Directory()), g.Seq())
+}
+
+// SegmentID names a DSM segment. The identifier encodes the segment's home
+// node, which holds the page directory.
+type SegmentID uint64
+
+// NoSegment is the zero SegmentID; it never names a real segment.
+const NoSegment SegmentID = 0
+
+// NewSegmentID constructs the SegmentID for the seq-th segment homed at node.
+func NewSegmentID(home NodeID, seq uint64) SegmentID {
+	return SegmentID(uint64(home)<<threadSeqBits | (seq & (1<<threadSeqBits - 1)))
+}
+
+// Home returns the node holding the segment's page directory.
+func (s SegmentID) Home() NodeID { return NodeID(uint64(s) >> threadSeqBits) }
+
+// Seq returns the per-home sequence number.
+func (s SegmentID) Seq() uint64 { return uint64(s) & (1<<threadSeqBits - 1) }
+
+// IsValid reports whether the identifier names a real segment.
+func (s SegmentID) IsValid() bool { return s != NoSegment }
+
+// String returns "seg<home>.<seq>".
+func (s SegmentID) String() string {
+	return fmt.Sprintf("seg%d.%d", uint32(s.Home()), s.Seq())
+}
+
+// EventSeq is a system-wide unique sequence number stamped on every raised
+// event, used to correlate notices, deliveries and handler executions in
+// traces and tests.
+type EventSeq uint64
+
+// Generator hands out per-node sequence numbers for every identifier class.
+// A Generator is safe for concurrent use.
+type Generator struct {
+	node     NodeID
+	threads  atomic.Uint64
+	objects  atomic.Uint64
+	groups   atomic.Uint64
+	segments atomic.Uint64
+	events   atomic.Uint64
+}
+
+// NewGenerator returns a Generator minting identifiers rooted at node.
+func NewGenerator(node NodeID) *Generator {
+	return &Generator{node: node}
+}
+
+// Node returns the node this generator mints identifiers for.
+func (g *Generator) Node() NodeID { return g.node }
+
+// NextThread mints a fresh ThreadID rooted at this node.
+func (g *Generator) NextThread() ThreadID {
+	return NewThreadID(g.node, g.threads.Add(1))
+}
+
+// NextObject mints a fresh ObjectID homed at this node.
+func (g *Generator) NextObject() ObjectID {
+	return NewObjectID(g.node, g.objects.Add(1))
+}
+
+// NextGroup mints a fresh GroupID directed at this node.
+func (g *Generator) NextGroup() GroupID {
+	return NewGroupID(g.node, g.groups.Add(1))
+}
+
+// NextSegment mints a fresh SegmentID homed at this node.
+func (g *Generator) NextSegment() SegmentID {
+	return NewSegmentID(g.node, g.segments.Add(1))
+}
+
+// NextEvent mints a fresh per-node event sequence number. Uniqueness across
+// the cluster comes from combining it with the raising node in EventStamp.
+func (g *Generator) NextEvent() EventSeq {
+	return EventSeq(g.events.Add(1))
+}
+
+// EventStamp is the cluster-unique identity of one raised event: the node
+// that raised it plus that node's sequence number.
+type EventStamp struct {
+	Node NodeID
+	Seq  EventSeq
+}
+
+// String returns "e<node>:<seq>".
+func (s EventStamp) String() string {
+	return fmt.Sprintf("e%d:%d", uint32(s.Node), uint64(s.Seq))
+}
+
+// NextStamp mints a cluster-unique event stamp.
+func (g *Generator) NextStamp() EventStamp {
+	return EventStamp{Node: g.node, Seq: g.NextEvent()}
+}

@@ -1,0 +1,214 @@
+package ids
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestThreadIDRoundTrip(t *testing.T) {
+	cases := []struct {
+		root NodeID
+		seq  uint64
+	}{
+		{1, 1},
+		{1, 0},
+		{7, 42},
+		{255, 1<<40 - 1},
+		{1 << 20, 12345},
+	}
+	for _, tc := range cases {
+		id := NewThreadID(tc.root, tc.seq)
+		if got := id.Root(); got != tc.root {
+			t.Errorf("NewThreadID(%v,%v).Root() = %v, want %v", tc.root, tc.seq, got, tc.root)
+		}
+		if got := id.Seq(); got != tc.seq {
+			t.Errorf("NewThreadID(%v,%v).Seq() = %v, want %v", tc.root, tc.seq, got, tc.seq)
+		}
+	}
+}
+
+func TestThreadIDRoundTripProperty(t *testing.T) {
+	f := func(root uint32, seq uint64) bool {
+		r := NodeID(root % (1 << 24))
+		s := seq % (1 << threadSeqBits)
+		id := NewThreadID(r, s)
+		return id.Root() == r && id.Seq() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObjectIDRoundTripProperty(t *testing.T) {
+	f := func(home uint32, seq uint64) bool {
+		h := NodeID(home % (1 << 24))
+		s := seq % (1 << threadSeqBits)
+		id := NewObjectID(h, s)
+		return id.Home() == h && id.Seq() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupIDRoundTripProperty(t *testing.T) {
+	f := func(dir uint32, seq uint64) bool {
+		d := NodeID(dir % (1 << 24))
+		s := seq % (1 << threadSeqBits)
+		id := NewGroupID(d, s)
+		return id.Directory() == d && id.Seq() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentIDRoundTripProperty(t *testing.T) {
+	f := func(home uint32, seq uint64) bool {
+		h := NodeID(home % (1 << 24))
+		s := seq % (1 << threadSeqBits)
+		id := NewSegmentID(h, s)
+		return id.Home() == h && id.Seq() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroValuesAreInvalid(t *testing.T) {
+	if NoNode.IsValid() {
+		t.Error("NoNode.IsValid() = true, want false")
+	}
+	if NoThread.IsValid() {
+		t.Error("NoThread.IsValid() = true, want false")
+	}
+	if NoObject.IsValid() {
+		t.Error("NoObject.IsValid() = true, want false")
+	}
+	if NoGroup.IsValid() {
+		t.Error("NoGroup.IsValid() = true, want false")
+	}
+	if NoSegment.IsValid() {
+		t.Error("NoSegment.IsValid() = true, want false")
+	}
+}
+
+func TestValidIdentifiers(t *testing.T) {
+	if !NewThreadID(1, 1).IsValid() {
+		t.Error("NewThreadID(1,1).IsValid() = false, want true")
+	}
+	if !NewObjectID(1, 1).IsValid() {
+		t.Error("NewObjectID(1,1).IsValid() = false, want true")
+	}
+	if !NodeID(1).IsValid() {
+		t.Error("NodeID(1).IsValid() = false, want true")
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{NodeID(3).String(), "node3"},
+		{NewThreadID(2, 9).String(), "t2.9"},
+		{NewObjectID(4, 7).String(), "o4.7"},
+		{NewGroupID(5, 1).String(), "g5.1"},
+		{NewSegmentID(6, 2).String(), "seg6.2"},
+		{EventStamp{Node: 1, Seq: 3}.String(), "e1:3"},
+	}
+	for _, tc := range cases {
+		if tc.got != tc.want {
+			t.Errorf("String() = %q, want %q", tc.got, tc.want)
+		}
+	}
+}
+
+func TestGeneratorSequencesAreDenseAndUnique(t *testing.T) {
+	g := NewGenerator(3)
+	if g.Node() != 3 {
+		t.Fatalf("Node() = %v, want 3", g.Node())
+	}
+	seen := make(map[ThreadID]bool)
+	for i := 1; i <= 100; i++ {
+		id := g.NextThread()
+		if id.Root() != 3 {
+			t.Fatalf("NextThread().Root() = %v, want 3", id.Root())
+		}
+		if id.Seq() != uint64(i) {
+			t.Fatalf("NextThread().Seq() = %v, want %v", id.Seq(), i)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate thread id %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestGeneratorClassesAreIndependent(t *testing.T) {
+	g := NewGenerator(1)
+	g.NextThread()
+	g.NextThread()
+	if got := g.NextObject(); got.Seq() != 1 {
+		t.Errorf("first object seq = %v, want 1 (independent of thread counter)", got.Seq())
+	}
+	if got := g.NextGroup(); got.Seq() != 1 {
+		t.Errorf("first group seq = %v, want 1", got.Seq())
+	}
+	if got := g.NextSegment(); got.Seq() != 1 {
+		t.Errorf("first segment seq = %v, want 1", got.Seq())
+	}
+	if got := g.NextEvent(); got != 1 {
+		t.Errorf("first event seq = %v, want 1", got)
+	}
+}
+
+func TestGeneratorConcurrentUniqueness(t *testing.T) {
+	g := NewGenerator(2)
+	const (
+		workers = 8
+		perW    = 500
+	)
+	var (
+		mu  sync.Mutex
+		all = make(map[ThreadID]bool, workers*perW)
+		wg  sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]ThreadID, 0, perW)
+			for i := 0; i < perW; i++ {
+				local = append(local, g.NextThread())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range local {
+				if all[id] {
+					t.Errorf("duplicate id %v", id)
+				}
+				all[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(all) != workers*perW {
+		t.Fatalf("got %d unique ids, want %d", len(all), workers*perW)
+	}
+}
+
+func TestNextStamp(t *testing.T) {
+	g := NewGenerator(9)
+	s1 := g.NextStamp()
+	s2 := g.NextStamp()
+	if s1.Node != 9 || s2.Node != 9 {
+		t.Fatalf("stamps carry wrong node: %v %v", s1, s2)
+	}
+	if s1 == s2 {
+		t.Fatalf("stamps not unique: %v %v", s1, s2)
+	}
+	if s2.Seq != s1.Seq+1 {
+		t.Fatalf("stamps not sequential: %v then %v", s1, s2)
+	}
+}

@@ -1,0 +1,217 @@
+// Package locate implements the thread-location strategies of §7.1. When
+// an event is posted to a thread, the system must find the node hosting the
+// thread's deepest activation before it can deliver. The paper discusses
+// three approaches, all implemented here behind one Strategy interface:
+//
+//   - Broadcast: ask every node; simple but "communication intensive and
+//     wasteful" — cost grows with cluster size.
+//   - PathFollow: start at the thread's root node (recoverable from the
+//     ThreadID) and chase the forwarding pointers left in thread control
+//     blocks; cost grows with the thread's invocation path length, at most
+//     n steps on an n-node system.
+//   - Multicast: each thread has a multicast group that its current node
+//     joins as the thread moves; location is one multicast probe to the
+//     (small) group.
+//
+// The kernel provides the Env; strategies are pure protocol drivers and
+// count every probe they issue, which experiment E2 reads back.
+package locate
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/metrics"
+)
+
+// Package errors.
+var (
+	// ErrNotFound means no node reported hosting the thread (it terminated
+	// or never existed).
+	ErrNotFound = errors.New("locate: thread not found")
+	// ErrPathBroken means path-following hit a node with no forwarding
+	// information for the thread. The paper notes this can happen when
+	// untracked asynchronous invocations are spawned (§7.1).
+	ErrPathBroken = errors.New("locate: forwarding path broken")
+)
+
+// ProbeResult is one node's answer about a thread.
+type ProbeResult struct {
+	// Known reports whether the node has any TCB for the thread.
+	Known bool
+	// Here reports whether the thread's deepest activation is at the node.
+	Here bool
+	// Next is the forwarding pointer: the node the thread moved to from
+	// here (NoNode if Here, or if the node saw the thread return/finish).
+	Next ids.NodeID
+}
+
+// Env is the kernel surface strategies run against.
+type Env interface {
+	// Self is the node performing the location.
+	Self() ids.NodeID
+	// Nodes lists every node in the cluster.
+	Nodes() []ids.NodeID
+	// Probe asks node about tid (one request/reply message pair, or a
+	// local table lookup when node == Self).
+	Probe(node ids.NodeID, tid ids.ThreadID) (ProbeResult, error)
+	// GroupMembers returns the nodes currently in the thread's tracking
+	// multicast group (Multicast strategy only).
+	GroupMembers(tid ids.ThreadID) []ids.NodeID
+	// Metrics receives probe accounting.
+	Metrics() *metrics.Registry
+}
+
+// Strategy finds the node hosting a thread's deepest activation.
+type Strategy interface {
+	// Name identifies the strategy in traces and experiment tables.
+	Name() string
+	// Locate returns the hosting node.
+	Locate(env Env, tid ids.ThreadID) (ids.NodeID, error)
+}
+
+// probe wraps Env.Probe with accounting. Local table lookups are free;
+// remote probes cost one locate-probe each.
+func probe(env Env, node ids.NodeID, tid ids.ThreadID) (ProbeResult, error) {
+	if node != env.Self() {
+		env.Metrics().Inc(metrics.CtrLocateProbe)
+	}
+	return env.Probe(node, tid)
+}
+
+// Broadcast locates by asking every node (§7.1: "A simple solution to
+// finding threads is to broadcast the event request").
+type Broadcast struct{}
+
+var _ Strategy = Broadcast{}
+
+// Name returns "broadcast".
+func (Broadcast) Name() string { return "broadcast" }
+
+// Locate checks the local node first (a free table lookup), then sends the
+// request to every other node at once — a true broadcast: all n-1 remote
+// nodes are probed regardless of where the thread turns out to be, which
+// is why the paper calls this "communication intensive and wasteful".
+func (Broadcast) Locate(env Env, tid ids.ThreadID) (ids.NodeID, error) {
+	env.Metrics().Inc(metrics.CtrThreadLocate)
+	self := env.Self()
+	if res, err := probe(env, self, tid); err == nil && res.Here {
+		return self, nil
+	}
+	found := ids.NoNode
+	for _, node := range env.Nodes() {
+		if node == self {
+			continue
+		}
+		res, err := probe(env, node, tid)
+		if err != nil {
+			return ids.NoNode, fmt.Errorf("broadcast probe %v: %w", node, err)
+		}
+		if res.Here && !found.IsValid() {
+			found = node
+		}
+	}
+	if found.IsValid() {
+		return found, nil
+	}
+	return ids.NoNode, fmt.Errorf("%w: %v (broadcast)", ErrNotFound, tid)
+}
+
+// PathFollow locates by chasing TCB forwarding pointers from the thread's
+// root node (§7.1: "Starting with the root node, one can traverse the path
+// of the thread, using information in the system's thread-control blocks").
+type PathFollow struct {
+	// MaxHops bounds the chase; zero means the cluster size (the paper's
+	// "it is possible to find the thread in n steps").
+	MaxHops int
+}
+
+var _ Strategy = PathFollow{}
+
+// Name returns "path-follow".
+func (PathFollow) Name() string { return "path-follow" }
+
+// Locate chases forwarding pointers starting at tid.Root().
+func (p PathFollow) Locate(env Env, tid ids.ThreadID) (ids.NodeID, error) {
+	env.Metrics().Inc(metrics.CtrThreadLocate)
+	maxHops := p.MaxHops
+	if maxHops <= 0 {
+		maxHops = len(env.Nodes())
+	}
+	node := tid.Root()
+	visited := make(map[ids.NodeID]bool, maxHops)
+	for hop := 0; hop <= maxHops; hop++ {
+		res, err := probe(env, node, tid)
+		if err != nil {
+			return ids.NoNode, fmt.Errorf("path probe %v: %w", node, err)
+		}
+		switch {
+		case res.Here:
+			return node, nil
+		case !res.Known:
+			return ids.NoNode, fmt.Errorf("%w: %v has no TCB for %v", ErrPathBroken, node, tid)
+		case !res.Next.IsValid():
+			// The TCB exists but the thread is neither here nor forwarded:
+			// it returned past this node and is being torn down, or is in
+			// transit. Treat as not found; the caller may retry.
+			return ids.NoNode, fmt.Errorf("%w: %v (path ends at %v)", ErrNotFound, tid, node)
+		case visited[res.Next]:
+			// Cycles can only appear if the thread re-visits a node and the
+			// chain is mid-update; bail rather than spin.
+			return ids.NoNode, fmt.Errorf("%w: %v (forwarding cycle at %v)", ErrNotFound, tid, res.Next)
+		}
+		visited[node] = true
+		node = res.Next
+	}
+	return ids.NoNode, fmt.Errorf("%w: %v (exceeded %d hops)", ErrNotFound, tid, maxHops)
+}
+
+// Multicast locates through the thread's tracking multicast group (§7.1:
+// "application's threads can create a multicast group ... it should be
+// possible to address each thread by sending a message to its multi-cast
+// group"). The kernel keeps the group membership current as the thread
+// moves; locating is one probe per (typically one or two) member.
+type Multicast struct{}
+
+var _ Strategy = Multicast{}
+
+// Name returns "multicast".
+func (Multicast) Name() string { return "multicast" }
+
+// GroupName returns the fabric multicast group that tracks tid.
+func GroupName(tid ids.ThreadID) string { return "thr:" + tid.String() }
+
+// Locate probes the members of the thread's tracking group.
+func (Multicast) Locate(env Env, tid ids.ThreadID) (ids.NodeID, error) {
+	env.Metrics().Inc(metrics.CtrThreadLocate)
+	members := env.GroupMembers(tid)
+	if len(members) == 0 {
+		return ids.NoNode, fmt.Errorf("%w: %v (empty tracking group)", ErrNotFound, tid)
+	}
+	env.Metrics().Inc(metrics.CtrMulticast)
+	for _, node := range members {
+		res, err := probe(env, node, tid)
+		if err != nil {
+			return ids.NoNode, fmt.Errorf("multicast probe %v: %w", node, err)
+		}
+		if res.Here {
+			return node, nil
+		}
+	}
+	return ids.NoNode, fmt.Errorf("%w: %v (no group member hosts it)", ErrNotFound, tid)
+}
+
+// ByName returns the strategy with the given name.
+func ByName(name string) (Strategy, error) {
+	switch name {
+	case "broadcast":
+		return Broadcast{}, nil
+	case "path-follow":
+		return PathFollow{}, nil
+	case "multicast":
+		return Multicast{}, nil
+	default:
+		return nil, fmt.Errorf("locate: unknown strategy %q", name)
+	}
+}

@@ -1,0 +1,333 @@
+package locate
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+	"repro/internal/metrics"
+)
+
+// fakeEnv is a scripted cluster: a map from node to the probe result it
+// returns for the single thread under test.
+type fakeEnv struct {
+	self    ids.NodeID
+	nodes   []ids.NodeID
+	results map[ids.NodeID]ProbeResult
+	members []ids.NodeID
+	reg     *metrics.Registry
+	probed  []ids.NodeID
+	failAt  ids.NodeID
+}
+
+func newFakeEnv(self ids.NodeID, n int) *fakeEnv {
+	e := &fakeEnv{
+		self:    self,
+		results: make(map[ids.NodeID]ProbeResult),
+		reg:     metrics.NewRegistry(),
+	}
+	for i := 1; i <= n; i++ {
+		e.nodes = append(e.nodes, ids.NodeID(i))
+	}
+	return e
+}
+
+func (e *fakeEnv) Self() ids.NodeID    { return e.self }
+func (e *fakeEnv) Nodes() []ids.NodeID { return e.nodes }
+
+func (e *fakeEnv) Probe(node ids.NodeID, tid ids.ThreadID) (ProbeResult, error) {
+	e.probed = append(e.probed, node)
+	if node == e.failAt {
+		return ProbeResult{}, errors.New("probe transport failure")
+	}
+	return e.results[node], nil
+}
+
+func (e *fakeEnv) GroupMembers(ids.ThreadID) []ids.NodeID { return e.members }
+func (e *fakeEnv) Metrics() *metrics.Registry             { return e.reg }
+
+func TestBroadcastFindsThread(t *testing.T) {
+	env := newFakeEnv(1, 8)
+	tid := ids.NewThreadID(1, 1)
+	env.results[5] = ProbeResult{Known: true, Here: true}
+	node, err := Broadcast{}.Locate(env, tid)
+	if err != nil || node != 5 {
+		t.Fatalf("Locate = %v, %v; want node5", node, err)
+	}
+}
+
+func TestBroadcastFastPathWhenLocal(t *testing.T) {
+	env := newFakeEnv(3, 8)
+	tid := ids.NewThreadID(1, 1)
+	env.results[3] = ProbeResult{Known: true, Here: true}
+	node, err := Broadcast{}.Locate(env, tid)
+	if err != nil || node != 3 {
+		t.Fatalf("Locate = %v, %v", node, err)
+	}
+	if len(env.probed) != 1 {
+		t.Fatalf("probed %v, want only the local node", env.probed)
+	}
+	if env.reg.Get(metrics.CtrLocateProbe) != 0 {
+		t.Error("local probe charged as a remote probe")
+	}
+}
+
+func TestBroadcastProbeCountScalesWithN(t *testing.T) {
+	for _, n := range []int{4, 16, 64} {
+		env := newFakeEnv(1, n)
+		tid := ids.NewThreadID(1, 1)
+		env.results[ids.NodeID(n)] = ProbeResult{Known: true, Here: true}
+		if _, err := (Broadcast{}).Locate(env, tid); err != nil {
+			t.Fatal(err)
+		}
+		// Worst case: all n-1 remote nodes probed.
+		if got := env.reg.Get(metrics.CtrLocateProbe); got != int64(n-1) {
+			t.Errorf("n=%d: remote probes = %d, want %d", n, got, n-1)
+		}
+	}
+}
+
+func TestBroadcastNotFound(t *testing.T) {
+	env := newFakeEnv(1, 4)
+	_, err := Broadcast{}.Locate(env, ids.NewThreadID(1, 1))
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestBroadcastProbeError(t *testing.T) {
+	env := newFakeEnv(1, 4)
+	env.failAt = 3
+	_, err := Broadcast{}.Locate(env, ids.NewThreadID(1, 1))
+	if err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want transport error", err)
+	}
+}
+
+func TestPathFollowChasesForwardingPointers(t *testing.T) {
+	env := newFakeEnv(1, 8)
+	tid := ids.NewThreadID(2, 1) // root is node2
+	env.results[2] = ProbeResult{Known: true, Next: 4}
+	env.results[4] = ProbeResult{Known: true, Next: 7}
+	env.results[7] = ProbeResult{Known: true, Here: true}
+	node, err := PathFollow{}.Locate(env, tid)
+	if err != nil || node != 7 {
+		t.Fatalf("Locate = %v, %v; want node7", node, err)
+	}
+	want := []ids.NodeID{2, 4, 7}
+	if len(env.probed) != len(want) {
+		t.Fatalf("probed %v, want %v", env.probed, want)
+	}
+	for i := range want {
+		if env.probed[i] != want[i] {
+			t.Fatalf("probe order %v, want %v", env.probed, want)
+		}
+	}
+}
+
+func TestPathFollowCostIsPathLengthNotClusterSize(t *testing.T) {
+	// 64-node cluster, path of length 3: probes must be 3, independent of n.
+	env := newFakeEnv(1, 64)
+	tid := ids.NewThreadID(2, 1)
+	env.results[2] = ProbeResult{Known: true, Next: 3}
+	env.results[3] = ProbeResult{Known: true, Next: 4}
+	env.results[4] = ProbeResult{Known: true, Here: true}
+	if _, err := (PathFollow{}).Locate(env, tid); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.reg.Get(metrics.CtrLocateProbe); got != 3 {
+		t.Errorf("remote probes = %d, want 3 (path length)", got)
+	}
+}
+
+func TestPathFollowRootIsHere(t *testing.T) {
+	env := newFakeEnv(1, 4)
+	tid := ids.NewThreadID(2, 5)
+	env.results[2] = ProbeResult{Known: true, Here: true}
+	node, err := PathFollow{}.Locate(env, tid)
+	if err != nil || node != 2 {
+		t.Fatalf("Locate = %v, %v", node, err)
+	}
+}
+
+func TestPathFollowBrokenPath(t *testing.T) {
+	env := newFakeEnv(1, 4)
+	tid := ids.NewThreadID(2, 1)
+	env.results[2] = ProbeResult{Known: true, Next: 3}
+	// Node 3 has no TCB at all.
+	_, err := PathFollow{}.Locate(env, tid)
+	if !errors.Is(err, ErrPathBroken) {
+		t.Fatalf("err = %v, want ErrPathBroken", err)
+	}
+}
+
+func TestPathFollowDeadEnd(t *testing.T) {
+	env := newFakeEnv(1, 4)
+	tid := ids.NewThreadID(2, 1)
+	env.results[2] = ProbeResult{Known: true} // neither here nor forwarded
+	_, err := PathFollow{}.Locate(env, tid)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPathFollowCycleDetection(t *testing.T) {
+	env := newFakeEnv(1, 4)
+	tid := ids.NewThreadID(2, 1)
+	env.results[2] = ProbeResult{Known: true, Next: 3}
+	env.results[3] = ProbeResult{Known: true, Next: 2}
+	_, err := PathFollow{}.Locate(env, tid)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound on cycle", err)
+	}
+}
+
+func TestPathFollowMaxHops(t *testing.T) {
+	env := newFakeEnv(1, 8)
+	tid := ids.NewThreadID(1, 1)
+	// Chain 1 -> 2 -> 3 -> ... -> 8, thread at 8, but MaxHops 2.
+	for i := 1; i < 8; i++ {
+		env.results[ids.NodeID(i)] = ProbeResult{Known: true, Next: ids.NodeID(i + 1)}
+	}
+	env.results[8] = ProbeResult{Known: true, Here: true}
+	_, err := PathFollow{MaxHops: 2}.Locate(env, tid)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound after hop cap", err)
+	}
+}
+
+func TestPathFollowProbeError(t *testing.T) {
+	env := newFakeEnv(1, 4)
+	env.failAt = 2
+	_, err := PathFollow{}.Locate(env, ids.NewThreadID(2, 1))
+	if err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want transport error", err)
+	}
+}
+
+func TestMulticastLocates(t *testing.T) {
+	env := newFakeEnv(1, 64)
+	tid := ids.NewThreadID(2, 1)
+	env.members = []ids.NodeID{5, 9}
+	env.results[9] = ProbeResult{Known: true, Here: true}
+	node, err := Multicast{}.Locate(env, tid)
+	if err != nil || node != 9 {
+		t.Fatalf("Locate = %v, %v; want node9", node, err)
+	}
+	// Cost bounded by group size, not cluster size.
+	if got := env.reg.Get(metrics.CtrLocateProbe); got > 2 {
+		t.Errorf("remote probes = %d, want <= 2", got)
+	}
+	if env.reg.Get(metrics.CtrMulticast) != 1 {
+		t.Error("multicast op not counted")
+	}
+}
+
+func TestMulticastEmptyGroup(t *testing.T) {
+	env := newFakeEnv(1, 4)
+	_, err := Multicast{}.Locate(env, ids.NewThreadID(2, 1))
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestMulticastNoMemberHosts(t *testing.T) {
+	env := newFakeEnv(1, 4)
+	env.members = []ids.NodeID{2}
+	env.results[2] = ProbeResult{Known: true}
+	_, err := Multicast{}.Locate(env, ids.NewThreadID(2, 1))
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestMulticastProbeError(t *testing.T) {
+	env := newFakeEnv(1, 4)
+	env.members = []ids.NodeID{2}
+	env.failAt = 2
+	_, err := Multicast{}.Locate(env, ids.NewThreadID(2, 1))
+	if err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want transport error", err)
+	}
+}
+
+func TestGroupName(t *testing.T) {
+	if got := GroupName(ids.NewThreadID(3, 7)); got != "thr:t3.7" {
+		t.Errorf("GroupName = %q", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"broadcast", "path-follow", "multicast"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) succeeded")
+	}
+}
+
+func TestEveryLocateCountsOnce(t *testing.T) {
+	env := newFakeEnv(1, 4)
+	tid := ids.NewThreadID(1, 1)
+	env.results[1] = ProbeResult{Known: true, Here: true}
+	env.members = []ids.NodeID{1}
+	for _, s := range []Strategy{Broadcast{}, PathFollow{}, Multicast{}} {
+		if _, err := s.Locate(env, tid); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+	}
+	if got := env.reg.Get(metrics.CtrThreadLocate); got != 3 {
+		t.Errorf("locate ops = %d, want 3", got)
+	}
+}
+
+// Property: for any forwarding path of length L (within the cluster),
+// PathFollow issues exactly L remote probes (the root is charged when it
+// is not the prober's own node) and finds the final node.
+func TestPathFollowProbeCountProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		pathLen := int(raw%10) + 1 // 1..10 hops beyond the prober
+		n := pathLen + 2
+		env := newFakeEnv(ids.NodeID(n), n) // prober = last node, not on the path
+		tid := ids.NewThreadID(1, 1)
+		for i := 1; i < pathLen; i++ {
+			env.results[ids.NodeID(i)] = ProbeResult{Known: true, Next: ids.NodeID(i + 1)}
+		}
+		env.results[ids.NodeID(pathLen)] = ProbeResult{Known: true, Here: true}
+		node, err := (PathFollow{}).Locate(env, tid)
+		if err != nil || node != ids.NodeID(pathLen) {
+			return false
+		}
+		return env.reg.Get(metrics.CtrLocateProbe) == int64(pathLen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Broadcast always issues exactly n-1 remote probes when the
+// thread is not local, wherever it is.
+func TestBroadcastProbeCountProperty(t *testing.T) {
+	f := func(rawN, rawAt uint8) bool {
+		n := int(rawN%12) + 2
+		at := int(rawAt)%(n-1) + 1 // thread somewhere other than the prober
+		env := newFakeEnv(ids.NodeID(n), n)
+		tid := ids.NewThreadID(1, 1)
+		env.results[ids.NodeID(at)] = ProbeResult{Known: true, Here: true}
+		node, err := (Broadcast{}).Locate(env, tid)
+		if err != nil || node != ids.NodeID(at) {
+			return false
+		}
+		return env.reg.Get(metrics.CtrLocateProbe) == int64(n-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,237 @@
+// Package locks implements the distributed lock management of §4.2: a lock
+// server is an ordinary passive object, and "every time a thread locks data
+// in an object, the unlock routine for that data is chained to the thread's
+// TERMINATE handler. If the threads receive a TERMINATE signal, all locked
+// data are unlocked, regardless of their location and scope."
+//
+// No kernel changes are needed: the package is built entirely on the public
+// event machinery — which is precisely the paper's point about the
+// generality of the mechanism.
+package locks
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/metrics"
+	"repro/internal/object"
+)
+
+// UnlockProc is the handler-code registry name of the chained unlock
+// routine.
+const UnlockProc = "locks.unlock"
+
+// Entry names of the lock-server object.
+const (
+	EntryAcquire = "acquire"
+	EntryRelease = "release"
+	EntryHolder  = "holder"
+)
+
+// Package errors.
+var (
+	// ErrTimeout means the lock stayed held past the acquire deadline.
+	ErrTimeout = errors.New("locks: acquire timed out")
+)
+
+// acquirePoll is the retry interval while a lock is held elsewhere.
+const acquirePoll = 2 * time.Millisecond
+
+// defaultAcquireTimeout bounds acquisition attempts.
+const defaultAcquireTimeout = 5 * time.Second
+
+// Registrar is the system surface the package needs (satisfied by
+// *core.System and by the doct facade).
+type Registrar interface {
+	RegisterProc(name string, f object.Handler) error
+	Metrics() *metrics.Registry
+}
+
+// Register installs the chained unlock handler code. Call once per system
+// before using Acquire.
+func Register(r Registrar) error {
+	reg := r.Metrics()
+	return r.RegisterProc(UnlockProc, func(ctx object.Ctx, ref event.HandlerRef, eb *event.Block) event.Verdict {
+		server, name, holder, err := decodeRef(ref)
+		if err == nil {
+			// Release regardless of where the thread is when TERMINATE
+			// lands; an already-released lock is a no-op (idempotent).
+			if _, err := ctx.Invoke(server, EntryRelease, name, uint64(holder)); err == nil {
+				reg.Inc(metrics.CtrLockCleanup)
+			}
+		}
+		// Propagate so the next chained unlock routine runs too, and the
+		// TERMINATE ultimately reaches the system default (§4.2).
+		return event.VerdictPropagate
+	})
+}
+
+// ServerSpec returns the object specification of a lock server. Create one
+// per node (or per application) with System.CreateObject.
+func ServerSpec(label string) object.Spec {
+	return object.Spec{
+		Name: "lock-server:" + label,
+		Entries: map[string]object.Entry{
+			EntryAcquire: acquireEntry,
+			EntryRelease: releaseEntry,
+			EntryHolder:  holderEntry,
+		},
+	}
+}
+
+// acquireEntry blocks (with polling kernel waits, so TERMINATE can
+// interrupt) until the named lock is granted to the calling thread.
+// Args: name string, [timeout time.Duration].
+func acquireEntry(ctx object.Ctx, args []any) ([]any, error) {
+	if len(args) < 1 {
+		return nil, errors.New("locks: acquire needs a lock name")
+	}
+	name, ok := args[0].(string)
+	if !ok {
+		return nil, fmt.Errorf("locks: acquire name %T", args[0])
+	}
+	timeout := defaultAcquireTimeout
+	if len(args) >= 2 {
+		if d, ok := args[1].(time.Duration); ok {
+			timeout = d
+		}
+	}
+	deadline := time.Now().Add(timeout)
+	key := "lock:" + name
+	self := uint64(ctx.Thread())
+	for {
+		// Free locks are taken atomically; both transitions (missing key
+		// and explicit 0) are tried so release can store 0.
+		if ctx.CompareAndSwap(key, nil, self) || ctx.CompareAndSwap(key, uint64(0), self) {
+			return []any{true}, nil
+		}
+		if cur, _ := ctx.Get(key); cur == self {
+			return []any{true}, nil // re-entrant
+		}
+		if time.Now().After(deadline) {
+			cur, _ := ctx.Get(key)
+			return nil, fmt.Errorf("%w: %s (held by %v)", ErrTimeout, name, cur)
+		}
+		if err := ctx.Sleep(acquirePoll); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// releaseEntry frees the named lock if the given holder owns it.
+// Args: name string, holder uint64. Releasing an unheld lock is a no-op so
+// chained cleanup handlers are idempotent.
+func releaseEntry(ctx object.Ctx, args []any) ([]any, error) {
+	if len(args) < 2 {
+		return nil, errors.New("locks: release needs name and holder")
+	}
+	name, ok := args[0].(string)
+	if !ok {
+		return nil, fmt.Errorf("locks: release name %T", args[0])
+	}
+	holder, ok := args[1].(uint64)
+	if !ok {
+		return nil, fmt.Errorf("locks: release holder %T", args[1])
+	}
+	if ctx.CompareAndSwap("lock:"+name, holder, uint64(0)) {
+		return []any{true}, nil
+	}
+	return []any{false}, nil
+}
+
+// holderEntry reports the current holder of the named lock (0 if free).
+// Args: name string.
+func holderEntry(ctx object.Ctx, args []any) ([]any, error) {
+	if len(args) < 1 {
+		return nil, errors.New("locks: holder needs a lock name")
+	}
+	name, ok := args[0].(string)
+	if !ok {
+		return nil, fmt.Errorf("locks: holder name %T", args[0])
+	}
+	v, held := ctx.Get("lock:" + name)
+	if !held {
+		return []any{uint64(0)}, nil
+	}
+	return []any{v}, nil
+}
+
+// Acquire takes the named lock on the given server for the calling thread
+// and chains the unlock routine onto the thread's TERMINATE handler.
+func Acquire(ctx object.Ctx, server ids.ObjectID, name string) error {
+	ctx2 := ctx // the attach must happen on the caller's own chain
+	reg := ctxMetricsInc(ctx)
+	if _, err := ctx.Invoke(server, EntryAcquire, name); err != nil {
+		return fmt.Errorf("acquire %s: %w", name, err)
+	}
+	reg(metrics.CtrLockAcquire)
+	return ctx2.AttachHandler(event.HandlerRef{
+		Event: event.Terminate,
+		Kind:  event.KindProc,
+		Proc:  UnlockProc,
+		Data: map[string]string{
+			"server": strconv.FormatUint(uint64(server), 10),
+			"lock":   name,
+			"holder": strconv.FormatUint(uint64(ctx.Thread()), 10),
+		},
+	})
+}
+
+// Release frees the named lock. The chained TERMINATE handler stays
+// attached; it is idempotent and no-ops once the lock is released.
+func Release(ctx object.Ctx, server ids.ObjectID, name string) error {
+	res, err := ctx.Invoke(server, EntryRelease, name, uint64(ctx.Thread()))
+	if err != nil {
+		return fmt.Errorf("release %s: %w", name, err)
+	}
+	if len(res) == 1 && res[0] == true {
+		ctxMetricsInc(ctx)(metrics.CtrLockRelease)
+	}
+	return nil
+}
+
+// Holder returns the thread currently holding the lock (NoThread if free).
+func Holder(ctx object.Ctx, server ids.ObjectID, name string) (ids.ThreadID, error) {
+	res, err := ctx.Invoke(server, EntryHolder, name)
+	if err != nil {
+		return ids.NoThread, err
+	}
+	v, ok := res[0].(uint64)
+	if !ok {
+		return ids.NoThread, fmt.Errorf("locks: holder reply %T", res[0])
+	}
+	return ids.ThreadID(v), nil
+}
+
+// decodeRef unpacks the statically-bound parameters of a chained unlock
+// handler.
+func decodeRef(ref event.HandlerRef) (ids.ObjectID, string, ids.ThreadID, error) {
+	sv, err := strconv.ParseUint(ref.Data["server"], 10, 64)
+	if err != nil {
+		return 0, "", 0, fmt.Errorf("locks: bad server in handler data: %w", err)
+	}
+	hv, err := strconv.ParseUint(ref.Data["holder"], 10, 64)
+	if err != nil {
+		return 0, "", 0, fmt.Errorf("locks: bad holder in handler data: %w", err)
+	}
+	name := ref.Data["lock"]
+	if name == "" {
+		return 0, "", 0, errors.New("locks: missing lock name in handler data")
+	}
+	return ids.ObjectID(sv), name, ids.ThreadID(hv), nil
+}
+
+// ctxMetricsInc plumbs lock counters without forcing a metrics dependency
+// on every Ctx; contexts that do not expose metrics get a no-op.
+func ctxMetricsInc(ctx object.Ctx) func(string) {
+	type metricser interface{ Metrics() *metrics.Registry }
+	if m, ok := ctx.(metricser); ok {
+		reg := m.Metrics()
+		return func(name string) { reg.Inc(name) }
+	}
+	return func(string) {}
+}

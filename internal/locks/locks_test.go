@@ -1,0 +1,358 @@
+package locks
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/metrics"
+	"repro/internal/object"
+)
+
+const waitShort = 5 * time.Second
+
+func newSystem(t *testing.T, nodes int) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem(core.Config{Nodes: nodes, CallTimeout: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	if err := Register(sys); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestAcquireReleaseBasic(t *testing.T) {
+	sys := newSystem(t, 1)
+	server, err := sys.CreateObject(1, ServerSpec("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := sys.CreateObject(1, object.Spec{
+		Name: "app",
+		Entries: map[string]object.Entry{
+			"run": func(ctx object.Ctx, _ []any) ([]any, error) {
+				if err := Acquire(ctx, server, "data1"); err != nil {
+					return nil, err
+				}
+				holder, err := Holder(ctx, server, "data1")
+				if err != nil {
+					return nil, err
+				}
+				if holder != ctx.Thread() {
+					return nil, errors.New("holder is not me")
+				}
+				if err := Release(ctx, server, "data1"); err != nil {
+					return nil, err
+				}
+				holder, err = Holder(ctx, server, "data1")
+				if err != nil {
+					return nil, err
+				}
+				return []any{holder}, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(1, app, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.WaitTimeout(waitShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != ids.NoThread {
+		t.Fatalf("lock still held after release: %v", res[0])
+	}
+}
+
+func TestMutualExclusion(t *testing.T) {
+	sys := newSystem(t, 2)
+	server, err := sys.CreateObject(1, ServerSpec("mx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		inside  atomic.Int64
+		maxSeen atomic.Int64
+		total   atomic.Int64
+	)
+	app, err := sys.CreateObject(2, object.Spec{
+		Name: "worker",
+		Entries: map[string]object.Entry{
+			"work": func(ctx object.Ctx, _ []any) ([]any, error) {
+				for i := 0; i < 5; i++ {
+					if err := Acquire(ctx, server, "shared"); err != nil {
+						return nil, err
+					}
+					if v := inside.Add(1); v > maxSeen.Load() {
+						maxSeen.Store(v)
+					}
+					if err := ctx.Sleep(time.Millisecond); err != nil {
+						return nil, err
+					}
+					inside.Add(-1)
+					total.Add(1)
+					if err := Release(ctx, server, "shared"); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles := make([]*core.Handle, 0, 4)
+	for i := 0; i < 4; i++ {
+		h, err := sys.Spawn(ids.NodeID(i%2+1), app, "work")
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	for _, h := range handles {
+		if _, err := h.WaitTimeout(30 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if maxSeen.Load() != 1 {
+		t.Fatalf("mutual exclusion violated: %d threads inside", maxSeen.Load())
+	}
+	if total.Load() != 20 {
+		t.Fatalf("critical sections = %d, want 20", total.Load())
+	}
+}
+
+func TestAcquireTimeout(t *testing.T) {
+	sys := newSystem(t, 1)
+	server, err := sys.CreateObject(1, ServerSpec("to"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	holding := make(chan struct{})
+	app, err := sys.CreateObject(1, object.Spec{
+		Name: "app",
+		Entries: map[string]object.Entry{
+			"hold": func(ctx object.Ctx, _ []any) ([]any, error) {
+				if err := Acquire(ctx, server, "l"); err != nil {
+					return nil, err
+				}
+				close(holding)
+				return nil, ctx.Sleep(2 * time.Second)
+			},
+			"contend": func(ctx object.Ctx, _ []any) ([]any, error) {
+				_, err := ctx.Invoke(server, EntryAcquire, "l", 50*time.Millisecond)
+				return nil, err
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := sys.Spawn(1, app, "hold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-holding
+	h2, err := sys.Spawn(1, app, "contend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h2.WaitTimeout(waitShort); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("contender err = %v, want ErrTimeout", err)
+	}
+	_ = h1
+}
+
+// TestTerminateReleasesAllLocks reproduces the paper's §4.2 scenario: a
+// thread holds locks on servers at several nodes; TERMINATE must release
+// all of them through the chained unlock handlers, regardless of location.
+func TestTerminateReleasesAllLocks(t *testing.T) {
+	sys := newSystem(t, 3)
+	servers := make([]ids.ObjectID, 3)
+	for i := range servers {
+		s, err := sys.CreateObject(ids.NodeID(i+1), ServerSpec("n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = s
+	}
+	started := make(chan ids.ThreadID, 1)
+	app, err := sys.CreateObject(1, object.Spec{
+		Name: "locker",
+		Entries: map[string]object.Entry{
+			"run": func(ctx object.Ctx, _ []any) ([]any, error) {
+				for _, s := range servers {
+					if err := Acquire(ctx, s, "data"); err != nil {
+						return nil, err
+					}
+				}
+				started <- ctx.Thread()
+				return nil, ctx.Sleep(30 * time.Second)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sys.Metrics().Snapshot()
+	h, err := sys.Spawn(1, app, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid := <-started
+	time.Sleep(30 * time.Millisecond)
+
+	if err := sys.Raise(1, event.Terminate, event.ToThread(tid), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WaitTimeout(waitShort); !errors.Is(err, core.ErrTerminated) {
+		t.Fatalf("Wait err = %v, want ErrTerminated", err)
+	}
+
+	// Every lock must be free again.
+	checker, err := sys.CreateObject(1, object.Spec{
+		Name: "checker",
+		Entries: map[string]object.Entry{
+			"check": func(ctx object.Ctx, _ []any) ([]any, error) {
+				free := 0
+				for _, s := range servers {
+					holder, err := Holder(ctx, s, "data")
+					if err != nil {
+						return nil, err
+					}
+					if holder == ids.NoThread {
+						free++
+					}
+				}
+				return []any{free}, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := sys.Spawn(1, checker, "check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hc.WaitTimeout(waitShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 3 {
+		t.Fatalf("%v of 3 locks free after TERMINATE, want all", res[0])
+	}
+	d := sys.Metrics().Snapshot().Diff(before)
+	if got := d.Get(metrics.CtrLockCleanup); got != 3 {
+		t.Errorf("chained cleanups = %d, want 3", got)
+	}
+	if got := d.Get(metrics.CtrChainLinksWalked); got < 3 {
+		t.Errorf("chain links walked = %d, want >= 3 (one per lock)", got)
+	}
+}
+
+func TestReleaseIsIdempotent(t *testing.T) {
+	sys := newSystem(t, 1)
+	server, err := sys.CreateObject(1, ServerSpec("idem"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := sys.CreateObject(1, object.Spec{
+		Name: "app",
+		Entries: map[string]object.Entry{
+			"run": func(ctx object.Ctx, _ []any) ([]any, error) {
+				if err := Acquire(ctx, server, "l"); err != nil {
+					return nil, err
+				}
+				if err := Release(ctx, server, "l"); err != nil {
+					return nil, err
+				}
+				// Double release must be harmless.
+				return nil, Release(ctx, server, "l")
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(1, app, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WaitTimeout(waitShort); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReentrantAcquire(t *testing.T) {
+	sys := newSystem(t, 1)
+	server, err := sys.CreateObject(1, ServerSpec("re"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := sys.CreateObject(1, object.Spec{
+		Name: "app",
+		Entries: map[string]object.Entry{
+			"run": func(ctx object.Ctx, _ []any) ([]any, error) {
+				if err := Acquire(ctx, server, "l"); err != nil {
+					return nil, err
+				}
+				// Second acquire by the same thread succeeds immediately.
+				return nil, Acquire(ctx, server, "l")
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(1, app, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WaitTimeout(waitShort); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAcquireBadArgs(t *testing.T) {
+	sys := newSystem(t, 1)
+	server, err := sys.CreateObject(1, ServerSpec("bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := sys.CreateObject(1, object.Spec{
+		Name: "app",
+		Entries: map[string]object.Entry{
+			"noargs": func(ctx object.Ctx, _ []any) ([]any, error) {
+				return ctx.Invoke(server, EntryAcquire)
+			},
+			"badname": func(ctx object.Ctx, _ []any) ([]any, error) {
+				return ctx.Invoke(server, EntryAcquire, 42)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, entry := range []string{"noargs", "badname"} {
+		h, err := sys.Spawn(1, app, entry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.WaitTimeout(waitShort); err == nil {
+			t.Errorf("%s: expected error", entry)
+		}
+	}
+}

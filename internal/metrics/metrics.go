@@ -1,0 +1,162 @@
+// Package metrics provides the counters the experiment harness uses to
+// measure protocol costs: messages by kind, event lifecycle counts, handler
+// executions and thread hops. Counters are cheap (atomic adds) and can be
+// snapshotted and diffed, which is how the benchmarks report per-operation
+// message costs rather than wall-clock noise.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter names used by the kernel. The set is open: any string is a valid
+// counter, but the kernel sticks to these so experiments are comparable.
+const (
+	// Network fabric.
+	CtrMsgSent      = "net.msg.sent"
+	CtrMsgDelivered = "net.msg.delivered"
+	CtrMsgDropped   = "net.msg.dropped"
+	CtrMsgBytes     = "net.msg.bytes"
+	CtrBroadcast    = "net.broadcast"
+	CtrMulticast    = "net.multicast"
+
+	// Invocation engine.
+	CtrInvokeLocal  = "invoke.local"
+	CtrInvokeRemote = "invoke.remote"
+	CtrInvokeDSM    = "invoke.dsm"
+
+	// Event machinery.
+	CtrEventRaised      = "event.raised"
+	CtrEventDelivered   = "event.delivered"
+	CtrEventDefault     = "event.default_action"
+	CtrHandlerRunThread = "handler.run.thread"
+	CtrHandlerRunObject = "handler.run.object"
+	CtrHandlerRunBuddy  = "handler.run.buddy"
+	CtrHandlerRunOwnCtx = "handler.run.ownctx"
+	CtrSurrogateRuns    = "handler.surrogate"
+	CtrChainLinksWalked = "handler.chain.links"
+
+	// Thread management.
+	CtrThreadSpawn   = "thread.spawn"
+	CtrThreadHop     = "thread.hop"
+	CtrThreadLocate  = "thread.locate"
+	CtrLocateProbe   = "thread.locate.probe"
+	CtrThreadCreated = "thread.goroutine.created"
+	CtrMasterServed  = "object.master.served"
+
+	// DSM.
+	CtrPageFault      = "dsm.fault"
+	CtrPageFetch      = "dsm.fetch"
+	CtrPageInvalidate = "dsm.invalidate"
+	CtrUserFault      = "dsm.userfault"
+
+	// Locks.
+	CtrLockAcquire = "lock.acquire"
+	CtrLockRelease = "lock.release"
+	CtrLockCleanup = "lock.cleanup"
+)
+
+// Registry is a concurrent counter set. The zero value is not usable; use
+// NewRegistry.
+type Registry struct {
+	mu   sync.RWMutex
+	ctrs map[string]*atomic.Int64
+}
+
+// NewRegistry returns an empty counter registry.
+func NewRegistry() *Registry {
+	return &Registry{ctrs: make(map[string]*atomic.Int64)}
+}
+
+// counter returns the counter for name, creating it if needed.
+func (r *Registry) counter(name string) *atomic.Int64 {
+	r.mu.RLock()
+	c, ok := r.ctrs[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.ctrs[name]; ok {
+		return c
+	}
+	c = new(atomic.Int64)
+	r.ctrs[name] = c
+	return c
+}
+
+// Add increments counter name by delta.
+func (r *Registry) Add(name string, delta int64) {
+	r.counter(name).Add(delta)
+}
+
+// Inc increments counter name by one.
+func (r *Registry) Inc(name string) { r.Add(name, 1) }
+
+// Get returns the current value of counter name (zero if never touched).
+func (r *Registry) Get(name string) int64 {
+	r.mu.RLock()
+	c, ok := r.ctrs[name]
+	r.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	return c.Load()
+}
+
+// Snapshot returns a copy of every counter's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := make(Snapshot, len(r.ctrs))
+	for name, c := range r.ctrs {
+		s[name] = c.Load()
+	}
+	return s
+}
+
+// Reset zeroes every counter.
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.ctrs {
+		c.Store(0)
+	}
+}
+
+// Snapshot is a point-in-time copy of a Registry's counters.
+type Snapshot map[string]int64
+
+// Diff returns the counter deltas from earlier to s. Counters absent from
+// earlier are treated as zero there.
+func (s Snapshot) Diff(earlier Snapshot) Snapshot {
+	out := make(Snapshot, len(s))
+	for name, v := range s {
+		if d := v - earlier[name]; d != 0 {
+			out[name] = d
+		}
+	}
+	return out
+}
+
+// Get returns the value of name, zero if absent.
+func (s Snapshot) Get(name string) int64 { return s[name] }
+
+// String renders the snapshot sorted by counter name, one per line.
+func (s Snapshot) String() string {
+	names := make([]string, 0, len(s))
+	for name := range s {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-28s %d\n", name, s[name])
+	}
+	return b.String()
+}

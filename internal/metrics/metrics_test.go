@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndGet(t *testing.T) {
+	r := NewRegistry()
+	if got := r.Get("x"); got != 0 {
+		t.Fatalf("Get untouched = %d, want 0", got)
+	}
+	r.Add("x", 5)
+	r.Inc("x")
+	if got := r.Get("x"); got != 6 {
+		t.Fatalf("Get = %d, want 6", got)
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a", 1)
+	s := r.Snapshot()
+	r.Add("a", 10)
+	if s.Get("a") != 1 {
+		t.Fatalf("snapshot mutated: %d, want 1", s.Get("a"))
+	}
+	if r.Get("a") != 11 {
+		t.Fatalf("registry = %d, want 11", r.Get("a"))
+	}
+}
+
+func TestDiff(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a", 2)
+	r.Add("b", 3)
+	before := r.Snapshot()
+	r.Add("a", 5)
+	r.Add("c", 1)
+	d := r.Snapshot().Diff(before)
+	if d.Get("a") != 5 {
+		t.Errorf("diff a = %d, want 5", d.Get("a"))
+	}
+	if d.Get("c") != 1 {
+		t.Errorf("diff c = %d, want 1", d.Get("c"))
+	}
+	if _, ok := d["b"]; ok {
+		t.Errorf("diff contains unchanged counter b: %v", d)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a", 7)
+	r.Reset()
+	if got := r.Get("a"); got != 0 {
+		t.Fatalf("after Reset Get = %d, want 0", got)
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 16
+		perW    = 1000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				r.Inc("hits")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Get("hits"); got != workers*perW {
+		t.Fatalf("Get = %d, want %d", got, workers*perW)
+	}
+}
+
+func TestConcurrentDistinctCounters(t *testing.T) {
+	r := NewRegistry()
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Inc(name)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, name := range names {
+		if got := r.Get(name); got != 200 {
+			t.Errorf("Get(%q) = %d, want 200", name, got)
+		}
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	r := NewRegistry()
+	r.Add("zzz", 1)
+	r.Add("aaa", 2)
+	s := r.Snapshot().String()
+	ia, iz := strings.Index(s, "aaa"), strings.Index(s, "zzz")
+	if ia < 0 || iz < 0 || ia > iz {
+		t.Fatalf("String not sorted by name:\n%s", s)
+	}
+}
+
+// Property: for any sequence of adds, Snapshot.Diff of consecutive snapshots
+// sums back to the total.
+func TestDiffSumsProperty(t *testing.T) {
+	f := func(deltas []int8) bool {
+		r := NewRegistry()
+		var total int64
+		prev := r.Snapshot()
+		var diffSum int64
+		for _, d := range deltas {
+			r.Add("k", int64(d))
+			total += int64(d)
+			cur := r.Snapshot()
+			diffSum += cur.Diff(prev).Get("k")
+			prev = cur
+		}
+		return diffSum == total && r.Get("k") == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

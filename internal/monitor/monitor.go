@@ -1,0 +1,193 @@
+// Package monitor implements the distributed liveliness monitoring of
+// §6.2: a periodic TIMER event is added to a thread's attribute list, a
+// per-thread-memory handler samples the suspended thread's state (current
+// object, simulated program counter) in the context of whatever object the
+// thread occupies, and ships the sample to a central monitor server.
+//
+// Because the timer registration travels in the thread's attributes and is
+// recreated at every node the thread visits, samples arrive wherever the
+// thread currently is — the paper's headline property for this
+// application.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/object"
+)
+
+// SampleProc is the handler-code registry name of the sampling procedure.
+const SampleProc = "monitor.sample"
+
+// Entry names of the monitor server object.
+const (
+	EntryReport  = "report"
+	EntrySamples = "samples"
+	EntryCount   = "count"
+)
+
+// Sample is one liveliness observation of a monitored thread.
+type Sample struct {
+	Thread ids.ThreadID
+	Node   ids.NodeID
+	Object ids.ObjectID
+	Entry  string
+	PC     uint64
+	Depth  int
+}
+
+// String renders the sample like the paper's central display would.
+func (s Sample) String() string {
+	return fmt.Sprintf("%v at %v in %v.%s pc=%d depth=%d",
+		s.Thread, s.Node, s.Object, s.Entry, s.PC, s.Depth)
+}
+
+// Registrar is the system surface the package needs.
+type Registrar interface {
+	RegisterProc(name string, f object.Handler) error
+}
+
+// Register installs the sampling handler code. Call once per system.
+func Register(r Registrar) error {
+	return r.RegisterProc(SampleProc, func(ctx object.Ctx, ref event.HandlerRef, eb *event.Block) event.Verdict {
+		// The handler executes in the context of the current object
+		// (OWN_CONTEXT): it reads the suspended thread's state from the
+		// event block and forwards it to the central server.
+		sv, err := strconv.ParseUint(ref.Data["server"], 10, 64)
+		if err != nil || eb.State == nil {
+			return event.VerdictResume
+		}
+		server := ids.ObjectID(sv)
+		_, _ = ctx.Invoke(server, EntryReport,
+			uint64(eb.State.Thread), uint32(eb.State.Node), uint64(eb.State.Object),
+			eb.State.Entry, eb.State.PC, eb.State.Depth)
+		return event.VerdictResume
+	})
+}
+
+// ServerSpec returns the central monitor server object: it collects samples
+// in its volatile state and serves queries. The paper's server would
+// combine these with symbol tables for display; ours retains the raw
+// stream.
+func ServerSpec(label string) object.Spec {
+	return object.Spec{
+		Name: "monitor-server:" + label,
+		Entries: map[string]object.Entry{
+			EntryReport:  reportEntry,
+			EntrySamples: samplesEntry,
+			EntryCount:   countEntry,
+		},
+	}
+}
+
+func reportEntry(ctx object.Ctx, args []any) ([]any, error) {
+	if len(args) < 6 {
+		return nil, errors.New("monitor: report needs 6 fields")
+	}
+	tidV, ok0 := args[0].(uint64)
+	nodeV, ok1 := args[1].(uint32)
+	objV, ok2 := args[2].(uint64)
+	entry, ok3 := args[3].(string)
+	pc, ok4 := args[4].(uint64)
+	depth, ok5 := args[5].(int)
+	if !(ok0 && ok1 && ok2 && ok3 && ok4 && ok5) {
+		return nil, errors.New("monitor: malformed report")
+	}
+	s := Sample{
+		Thread: ids.ThreadID(tidV),
+		Node:   ids.NodeID(nodeV),
+		Object: ids.ObjectID(objV),
+		Entry:  entry,
+		PC:     pc,
+		Depth:  depth,
+	}
+	// The map stores an immutable slice per monitored thread; each thread
+	// has exactly one timer stream, so appends for one key never race.
+	key := "samples:" + s.Thread.String()
+	cur, _ := ctx.Get(key)
+	var list []Sample
+	if cur != nil {
+		old, ok := cur.([]Sample)
+		if !ok {
+			return nil, errors.New("monitor: corrupt sample list")
+		}
+		list = old
+	}
+	next := make([]Sample, len(list), len(list)+1)
+	copy(next, list)
+	next = append(next, s)
+	ctx.Set(key, next)
+	return nil, nil
+}
+
+func samplesEntry(ctx object.Ctx, args []any) ([]any, error) {
+	if len(args) < 1 {
+		return nil, errors.New("monitor: samples needs a thread id")
+	}
+	tidV, ok := args[0].(uint64)
+	if !ok {
+		return nil, fmt.Errorf("monitor: samples arg %T", args[0])
+	}
+	cur, _ := ctx.Get("samples:" + ids.ThreadID(tidV).String())
+	if cur == nil {
+		return []any{[]Sample(nil)}, nil
+	}
+	list, ok := cur.([]Sample)
+	if !ok {
+		return nil, errors.New("monitor: corrupt sample list")
+	}
+	out := make([]Sample, len(list))
+	copy(out, list)
+	return []any{out}, nil
+}
+
+func countEntry(ctx object.Ctx, args []any) ([]any, error) {
+	res, err := samplesEntry(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	list, _ := res[0].([]Sample)
+	return []any{len(list)}, nil
+}
+
+// Attach starts monitoring the calling thread: a TIMER handler running in
+// the thread's current context plus a periodic timer registration in the
+// thread's attributes (§6.2's two required facilities).
+func Attach(ctx object.Ctx, server ids.ObjectID, period time.Duration) error {
+	if err := ctx.AttachHandler(event.HandlerRef{
+		Event: event.Timer,
+		Kind:  event.KindProc,
+		Proc:  SampleProc,
+		Data:  map[string]string{"server": strconv.FormatUint(uint64(server), 10)},
+	}); err != nil {
+		return err
+	}
+	return ctx.SetTimer(event.Timer, period)
+}
+
+// Detach stops monitoring the calling thread.
+func Detach(ctx object.Ctx) error {
+	if err := ctx.ClearTimer(event.Timer); err != nil {
+		return err
+	}
+	return ctx.DetachHandler(event.Timer)
+}
+
+// SamplesOf queries the server for the samples recorded for tid. It must
+// run on a thread context (e.g. from a query entry).
+func SamplesOf(ctx object.Ctx, server ids.ObjectID, tid ids.ThreadID) ([]Sample, error) {
+	res, err := ctx.Invoke(server, EntrySamples, uint64(tid))
+	if err != nil {
+		return nil, err
+	}
+	list, ok := res[0].([]Sample)
+	if !ok && res[0] != nil {
+		return nil, fmt.Errorf("monitor: samples reply %T", res[0])
+	}
+	return list, nil
+}

@@ -1,0 +1,264 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/object"
+)
+
+const waitShort = 10 * time.Second
+
+func newSystem(t *testing.T, nodes int) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem(core.Config{Nodes: nodes, CallTimeout: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	if err := Register(sys); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// queryCount asks the server how many samples it holds for tid.
+func queryCount(t *testing.T, sys *core.System, server ids.ObjectID, tid ids.ThreadID) int {
+	t.Helper()
+	q, err := sys.CreateObject(1, object.Spec{
+		Name: "query",
+		Entries: map[string]object.Entry{
+			"q": func(ctx object.Ctx, _ []any) ([]any, error) {
+				return ctx.Invoke(server, EntryCount, uint64(tid))
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(1, q, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.WaitTimeout(waitShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := res[0].(int)
+	return n
+}
+
+func TestMonitorCollectsSamples(t *testing.T) {
+	sys := newSystem(t, 2)
+	server, err := sys.CreateObject(1, ServerSpec("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := sys.CreateObject(1, object.Spec{
+		Name: "monitored",
+		Entries: map[string]object.Entry{
+			"run": func(ctx object.Ctx, _ []any) ([]any, error) {
+				if err := Attach(ctx, server, 10*time.Millisecond); err != nil {
+					return nil, err
+				}
+				return nil, ctx.Sleep(150 * time.Millisecond)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(1, app, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WaitTimeout(waitShort); err != nil {
+		t.Fatal(err)
+	}
+	if n := queryCount(t, sys, server, h.TID()); n < 3 {
+		t.Fatalf("collected %d samples, want >= 3", n)
+	}
+}
+
+// TestSamplesFollowThreadAcrossNodes is the §6.2 scenario: the monitored
+// thread migrates; samples must report the node and object it is actually
+// in at each moment.
+func TestSamplesFollowThreadAcrossNodes(t *testing.T) {
+	sys := newSystem(t, 3)
+	server, err := sys.CreateObject(1, ServerSpec("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var farObj ids.ObjectID
+	far, err := sys.CreateObject(3, object.Spec{
+		Name: "far",
+		Entries: map[string]object.Entry{
+			"dwell": func(ctx object.Ctx, _ []any) ([]any, error) {
+				return nil, ctx.Sleep(100 * time.Millisecond)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	farObj = far
+	app, err := sys.CreateObject(2, object.Spec{
+		Name: "roamer",
+		Entries: map[string]object.Entry{
+			"run": func(ctx object.Ctx, _ []any) ([]any, error) {
+				if err := Attach(ctx, server, 10*time.Millisecond); err != nil {
+					return nil, err
+				}
+				if err := ctx.Sleep(100 * time.Millisecond); err != nil {
+					return nil, err
+				}
+				if _, err := ctx.Invoke(farObj, "dwell"); err != nil {
+					return nil, err
+				}
+				return nil, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(2, app, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WaitTimeout(waitShort); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fetch the full sample list and check both nodes are represented.
+	q, err := sys.CreateObject(1, object.Spec{
+		Name: "q2",
+		Entries: map[string]object.Entry{
+			"q": func(ctx object.Ctx, _ []any) ([]any, error) {
+				samples, err := SamplesOf(ctx, server, h.TID())
+				if err != nil {
+					return nil, err
+				}
+				nodes := map[ids.NodeID]bool{}
+				objs := map[ids.ObjectID]bool{}
+				for _, s := range samples {
+					nodes[s.Node] = true
+					objs[s.Object] = true
+				}
+				return []any{len(samples), nodes[2], nodes[3], objs[farObj]}, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hq, err := sys.Spawn(1, q, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hq.WaitTimeout(waitShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1] != true {
+		t.Error("no samples taken at node2 (origin)")
+	}
+	if res[2] != true {
+		t.Error("no samples taken at node3 (after migration): timer did not chase the thread")
+	}
+	if res[3] != true {
+		t.Error("no sample names the far object as the thread's current object")
+	}
+}
+
+func TestDetachStopsSampling(t *testing.T) {
+	sys := newSystem(t, 1)
+	server, err := sys.CreateObject(1, ServerSpec("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := sys.CreateObject(1, object.Spec{
+		Name: "app",
+		Entries: map[string]object.Entry{
+			"run": func(ctx object.Ctx, _ []any) ([]any, error) {
+				if err := Attach(ctx, server, 10*time.Millisecond); err != nil {
+					return nil, err
+				}
+				if err := ctx.Sleep(60 * time.Millisecond); err != nil {
+					return nil, err
+				}
+				if err := Detach(ctx); err != nil {
+					return nil, err
+				}
+				return nil, ctx.Sleep(100 * time.Millisecond)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(1, app, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WaitTimeout(waitShort); err != nil {
+		t.Fatal(err)
+	}
+	n1 := queryCount(t, sys, server, h.TID())
+	time.Sleep(50 * time.Millisecond)
+	n2 := queryCount(t, sys, server, h.TID())
+	if n1 == 0 {
+		t.Fatal("no samples before Detach")
+	}
+	if n2 != n1 {
+		t.Fatalf("samples kept arriving after Detach: %d -> %d", n1, n2)
+	}
+}
+
+func TestSampleString(t *testing.T) {
+	s := Sample{
+		Thread: ids.NewThreadID(1, 2),
+		Node:   3,
+		Object: ids.NewObjectID(4, 5),
+		Entry:  "work",
+		PC:     7,
+		Depth:  1,
+	}
+	want := "t1.2 at node3 in o4.5.work pc=7 depth=1"
+	if s.String() != want {
+		t.Errorf("String = %q, want %q", s.String(), want)
+	}
+}
+
+func TestReportRejectsMalformed(t *testing.T) {
+	sys := newSystem(t, 1)
+	server, err := sys.CreateObject(1, ServerSpec("bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := sys.CreateObject(1, object.Spec{
+		Name: "app",
+		Entries: map[string]object.Entry{
+			"short": func(ctx object.Ctx, _ []any) ([]any, error) {
+				return ctx.Invoke(server, EntryReport, uint64(1))
+			},
+			"wrongtype": func(ctx object.Ctx, _ []any) ([]any, error) {
+				return ctx.Invoke(server, EntryReport, "x", "y", "z", 1, 2, 3)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, entry := range []string{"short", "wrongtype"} {
+		h, err := sys.Spawn(1, app, entry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.WaitTimeout(waitShort); err == nil {
+			t.Errorf("%s: expected error", entry)
+		}
+	}
+}

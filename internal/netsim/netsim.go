@@ -1,0 +1,400 @@
+// Package netsim simulates the cluster interconnect: reliable FIFO unicast
+// between nodes, broadcast, and multicast groups, with configurable latency,
+// drop injection and partitions, and full message accounting.
+//
+// The DO/CT kernel (internal/core) exchanges all cross-node traffic through
+// a Fabric, so experiment harnesses can read protocol costs (message and
+// byte counts per operation) directly from the fabric's metrics instead of
+// timing a real network. This substitutes for the physical Ethernet cluster
+// the paper's Clouds prototype ran on while preserving message-level
+// protocol structure.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/metrics"
+)
+
+// Common fabric errors.
+var (
+	ErrUnknownNode  = errors.New("netsim: unknown node")
+	ErrClosed       = errors.New("netsim: fabric closed")
+	ErrUnknownGroup = errors.New("netsim: unknown multicast group")
+)
+
+// Message is one envelope on the wire.
+type Message struct {
+	From    ids.NodeID
+	To      ids.NodeID
+	Kind    string // protocol message kind, e.g. "invoke.req"
+	Payload any
+	Size    int // wire size estimate in bytes
+}
+
+// Sizer lets payloads report their wire size; payloads that do not
+// implement it are charged DefaultMessageSize bytes.
+type Sizer interface {
+	WireSize() int
+}
+
+// DefaultMessageSize is the byte charge for payloads without a Sizer.
+const DefaultMessageSize = 64
+
+// Handler consumes messages delivered to a node. Handlers run on the node's
+// dispatch goroutine; they must not block indefinitely.
+type Handler func(Message)
+
+// Config parameterizes a Fabric.
+type Config struct {
+	// Latency is the simulated one-way latency applied to every message.
+	// Zero means immediate handoff (still asynchronous and FIFO).
+	Latency time.Duration
+	// Jitter adds up to this much uniformly-random extra latency.
+	Jitter time.Duration
+	// DropRate is the probability in [0,1) that a unicast message is
+	// silently dropped. Used by failure-injection tests only; the DO/CT
+	// protocols assume a reliable transport, as Clouds did.
+	DropRate float64
+	// Seed seeds the jitter/drop random source; zero picks 1.
+	Seed int64
+	// QueueDepth is each node's inbox capacity. Zero picks 1024.
+	QueueDepth int
+	// Metrics receives message accounting. Nil creates a private registry.
+	Metrics *metrics.Registry
+}
+
+type endpoint struct {
+	node    ids.NodeID
+	inbox   chan Message
+	handler Handler
+	done    chan struct{}
+}
+
+// Fabric connects a fixed set of nodes. Create with New, attach node
+// handlers with Attach, then Start. All methods are safe for concurrent
+// use.
+type Fabric struct {
+	cfg Config
+	reg *metrics.Registry
+
+	mu        sync.RWMutex
+	endpoints map[ids.NodeID]*endpoint
+	groups    map[string]map[ids.NodeID]bool
+	cut       map[[2]ids.NodeID]bool // severed directed links
+	started   bool
+	closed    bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	wg sync.WaitGroup
+}
+
+// New returns a Fabric with the given configuration and no nodes attached.
+func New(cfg Config) *Fabric {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Fabric{
+		cfg:       cfg,
+		reg:       reg,
+		endpoints: make(map[ids.NodeID]*endpoint),
+		groups:    make(map[string]map[ids.NodeID]bool),
+		cut:       make(map[[2]ids.NodeID]bool),
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Metrics returns the registry accounting this fabric's traffic.
+func (f *Fabric) Metrics() *metrics.Registry { return f.reg }
+
+// Attach registers node with its message handler. Attach must be called
+// before Start.
+func (f *Fabric) Attach(node ids.NodeID, h Handler) error {
+	if !node.IsValid() {
+		return fmt.Errorf("netsim: attach: %v is not a valid node", node)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started {
+		return errors.New("netsim: attach after Start")
+	}
+	if _, dup := f.endpoints[node]; dup {
+		return fmt.Errorf("netsim: node %v already attached", node)
+	}
+	f.endpoints[node] = &endpoint{
+		node:    node,
+		inbox:   make(chan Message, f.cfg.QueueDepth),
+		handler: h,
+		done:    make(chan struct{}),
+	}
+	return nil
+}
+
+// Nodes returns the attached node identifiers in unspecified order.
+func (f *Fabric) Nodes() []ids.NodeID {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]ids.NodeID, 0, len(f.endpoints))
+	for n := range f.endpoints {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Start launches one dispatch goroutine per attached node.
+func (f *Fabric) Start() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started {
+		return
+	}
+	f.started = true
+	for _, ep := range f.endpoints {
+		f.wg.Add(1)
+		go f.dispatch(ep)
+	}
+}
+
+// Close stops delivery and waits for dispatch goroutines to exit. Messages
+// still queued are discarded.
+func (f *Fabric) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		f.wg.Wait()
+		return
+	}
+	f.closed = true
+	for _, ep := range f.endpoints {
+		close(ep.done)
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+}
+
+func (f *Fabric) dispatch(ep *endpoint) {
+	defer f.wg.Done()
+	for {
+		select {
+		case <-ep.done:
+			return
+		case m := <-ep.inbox:
+			f.reg.Inc(metrics.CtrMsgDelivered)
+			if ep.handler != nil {
+				ep.handler(m)
+			}
+		}
+	}
+}
+
+// Send delivers m.Payload from m.From to m.To asynchronously. It returns an
+// error only for structural problems (unknown node, closed fabric);
+// injected drops are silent, as on a real network.
+func (f *Fabric) Send(m Message) error {
+	f.mu.RLock()
+	if f.closed {
+		f.mu.RUnlock()
+		return ErrClosed
+	}
+	ep, ok := f.endpoints[m.To]
+	severed := f.cut[[2]ids.NodeID{m.From, m.To}]
+	f.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownNode, m.To)
+	}
+	if m.Size == 0 {
+		m.Size = payloadSize(m.Payload)
+	}
+	f.reg.Inc(metrics.CtrMsgSent)
+	f.reg.Add(metrics.CtrMsgBytes, int64(m.Size))
+	if severed || f.roll() < f.cfg.DropRate {
+		f.reg.Inc(metrics.CtrMsgDropped)
+		return nil
+	}
+	delay := f.delay()
+	if delay == 0 {
+		f.deliver(ep, m)
+		return nil
+	}
+	// A delayed message is handed to the destination inbox by a timer
+	// goroutine. FIFO order between any pair of nodes is preserved as long
+	// as latency is constant (jitter deliberately relaxes ordering, as a
+	// real datagram network would).
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			f.deliver(ep, m)
+		case <-ep.done:
+		}
+	}()
+	return nil
+}
+
+func (f *Fabric) deliver(ep *endpoint, m Message) {
+	select {
+	case ep.inbox <- m:
+	case <-ep.done:
+	}
+}
+
+func (f *Fabric) delay() time.Duration {
+	d := f.cfg.Latency
+	if f.cfg.Jitter > 0 {
+		f.rngMu.Lock()
+		d += time.Duration(f.rng.Int63n(int64(f.cfg.Jitter)))
+		f.rngMu.Unlock()
+	}
+	return d
+}
+
+func (f *Fabric) roll() float64 {
+	if f.cfg.DropRate <= 0 {
+		return 1
+	}
+	f.rngMu.Lock()
+	defer f.rngMu.Unlock()
+	return f.rng.Float64()
+}
+
+// Broadcast sends payload from the sender to every other attached node.
+// It costs n-1 unicast messages plus one broadcast operation in the
+// accounting, mirroring an Ethernet broadcast followed by per-host
+// processing.
+func (f *Fabric) Broadcast(from ids.NodeID, kind string, payload any) error {
+	f.mu.RLock()
+	nodes := make([]ids.NodeID, 0, len(f.endpoints))
+	for n := range f.endpoints {
+		if n != from {
+			nodes = append(nodes, n)
+		}
+	}
+	f.mu.RUnlock()
+	f.reg.Inc(metrics.CtrBroadcast)
+	for _, n := range nodes {
+		if err := f.Send(Message{From: from, To: n, Kind: kind, Payload: payload}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JoinGroup adds node to the named multicast group, creating the group on
+// first join.
+func (f *Fabric) JoinGroup(group string, node ids.NodeID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	g, ok := f.groups[group]
+	if !ok {
+		g = make(map[ids.NodeID]bool)
+		f.groups[group] = g
+	}
+	g[node] = true
+}
+
+// LeaveGroup removes node from the named multicast group.
+func (f *Fabric) LeaveGroup(group string, node ids.NodeID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if g, ok := f.groups[group]; ok {
+		delete(g, node)
+		if len(g) == 0 {
+			delete(f.groups, group)
+		}
+	}
+}
+
+// GroupMembers returns the current members of group.
+func (f *Fabric) GroupMembers(group string) []ids.NodeID {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	g := f.groups[group]
+	out := make([]ids.NodeID, 0, len(g))
+	for n := range g {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Multicast sends payload to every member of group (including the sender if
+// it is a member). It costs one multicast operation plus one unicast per
+// member in the accounting.
+func (f *Fabric) Multicast(from ids.NodeID, group, kind string, payload any) error {
+	f.mu.RLock()
+	g, ok := f.groups[group]
+	members := make([]ids.NodeID, 0, len(g))
+	for n := range g {
+		members = append(members, n)
+	}
+	f.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	}
+	f.reg.Inc(metrics.CtrMulticast)
+	for _, n := range members {
+		if err := f.Send(Message{From: from, To: n, Kind: kind, Payload: payload}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CutLink severs the directed link from -> to: messages on it are counted
+// as dropped. Used by failure-injection tests.
+func (f *Fabric) CutLink(from, to ids.NodeID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cut[[2]ids.NodeID{from, to}] = true
+}
+
+// HealLink restores a severed directed link.
+func (f *Fabric) HealLink(from, to ids.NodeID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.cut, [2]ids.NodeID{from, to})
+}
+
+// Partition severs every link between the two node sets, in both
+// directions. Links within each side stay up.
+func (f *Fabric) Partition(sideA, sideB []ids.NodeID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, a := range sideA {
+		for _, b := range sideB {
+			f.cut[[2]ids.NodeID{a, b}] = true
+			f.cut[[2]ids.NodeID{b, a}] = true
+		}
+	}
+}
+
+// HealAll restores every severed link.
+func (f *Fabric) HealAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cut = make(map[[2]ids.NodeID]bool)
+}
+
+func payloadSize(p any) int {
+	if s, ok := p.(Sizer); ok {
+		return s.WireSize()
+	}
+	return DefaultMessageSize
+}

@@ -1,0 +1,413 @@
+package netsim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/metrics"
+)
+
+// collector accumulates messages delivered to one node.
+type collector struct {
+	mu   sync.Mutex
+	got  []Message
+	cond *sync.Cond
+}
+
+func newCollector() *collector {
+	c := &collector{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *collector) handle(m Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.got = append(c.got, m)
+	c.cond.Broadcast()
+}
+
+// waitN blocks until n messages arrived or the timeout elapses.
+func (c *collector) waitN(t *testing.T, n int) []Message {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.got) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d messages, have %d", n, len(c.got))
+		}
+		c.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		c.mu.Lock()
+	}
+	out := make([]Message, len(c.got))
+	copy(out, c.got)
+	return out
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.got)
+}
+
+func buildFabric(t *testing.T, cfg Config, n int) (*Fabric, map[ids.NodeID]*collector) {
+	t.Helper()
+	f := New(cfg)
+	cols := make(map[ids.NodeID]*collector, n)
+	for i := 1; i <= n; i++ {
+		node := ids.NodeID(i)
+		col := newCollector()
+		cols[node] = col
+		if err := f.Attach(node, col.handle); err != nil {
+			t.Fatalf("Attach(%v): %v", node, err)
+		}
+	}
+	f.Start()
+	t.Cleanup(f.Close)
+	return f, cols
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	f, cols := buildFabric(t, Config{}, 2)
+	if err := f.Send(Message{From: 1, To: 2, Kind: "ping", Payload: "hello"}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got := cols[2].waitN(t, 1)
+	if got[0].Kind != "ping" || got[0].Payload != "hello" || got[0].From != 1 {
+		t.Fatalf("delivered %+v, want ping/hello from node1", got[0])
+	}
+}
+
+func TestFIFOOrderingPerPair(t *testing.T) {
+	f, cols := buildFabric(t, Config{}, 2)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := f.Send(Message{From: 1, To: 2, Kind: "seq", Payload: i}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	got := cols[2].waitN(t, n)
+	for i, m := range got {
+		if m.Payload != i {
+			t.Fatalf("message %d has payload %v, want %d (FIFO violated)", i, m.Payload, i)
+		}
+	}
+}
+
+func TestSendToUnknownNode(t *testing.T) {
+	f, _ := buildFabric(t, Config{}, 2)
+	err := f.Send(Message{From: 1, To: 99, Kind: "x"})
+	if !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Send to unknown node: err = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	f := New(Config{})
+	col := newCollector()
+	if err := f.Attach(1, col.handle); err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	f.Close()
+	if err := f.Send(Message{From: 1, To: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestAttachAfterStartFails(t *testing.T) {
+	f := New(Config{})
+	f.Start()
+	t.Cleanup(f.Close)
+	if err := f.Attach(1, nil); err == nil {
+		t.Fatal("Attach after Start succeeded, want error")
+	}
+}
+
+func TestAttachDuplicateFails(t *testing.T) {
+	f := New(Config{})
+	if err := f.Attach(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Attach(1, nil); err == nil {
+		t.Fatal("duplicate Attach succeeded, want error")
+	}
+}
+
+func TestAttachInvalidNodeFails(t *testing.T) {
+	f := New(Config{})
+	if err := f.Attach(ids.NoNode, nil); err == nil {
+		t.Fatal("Attach(NoNode) succeeded, want error")
+	}
+}
+
+func TestBroadcastReachesAllOthers(t *testing.T) {
+	f, cols := buildFabric(t, Config{}, 5)
+	if err := f.Broadcast(3, "announce", "v"); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	for node, col := range cols {
+		if node == 3 {
+			continue
+		}
+		got := col.waitN(t, 1)
+		if got[0].Kind != "announce" {
+			t.Errorf("node %v got %+v", node, got[0])
+		}
+	}
+	// The sender must not receive its own broadcast.
+	time.Sleep(10 * time.Millisecond)
+	if n := cols[3].count(); n != 0 {
+		t.Errorf("sender received %d of its own broadcast messages", n)
+	}
+}
+
+func TestBroadcastAccounting(t *testing.T) {
+	reg := metrics.NewRegistry()
+	f, _ := buildFabric(t, Config{Metrics: reg}, 8)
+	before := reg.Snapshot()
+	if err := f.Broadcast(1, "b", nil); err != nil {
+		t.Fatal(err)
+	}
+	d := reg.Snapshot().Diff(before)
+	if got := d.Get(metrics.CtrMsgSent); got != 7 {
+		t.Errorf("broadcast on 8 nodes sent %d messages, want 7", got)
+	}
+	if got := d.Get(metrics.CtrBroadcast); got != 1 {
+		t.Errorf("broadcast ops = %d, want 1", got)
+	}
+}
+
+func TestMulticastGroup(t *testing.T) {
+	f, cols := buildFabric(t, Config{}, 4)
+	f.JoinGroup("g", 2)
+	f.JoinGroup("g", 4)
+	if err := f.Multicast(1, "g", "mc", 7); err != nil {
+		t.Fatalf("Multicast: %v", err)
+	}
+	cols[2].waitN(t, 1)
+	cols[4].waitN(t, 1)
+	time.Sleep(10 * time.Millisecond)
+	if n := cols[3].count(); n != 0 {
+		t.Errorf("non-member node3 received %d messages", n)
+	}
+}
+
+func TestMulticastUnknownGroup(t *testing.T) {
+	f, _ := buildFabric(t, Config{}, 2)
+	if err := f.Multicast(1, "nope", "k", nil); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatalf("err = %v, want ErrUnknownGroup", err)
+	}
+}
+
+func TestLeaveGroup(t *testing.T) {
+	f, cols := buildFabric(t, Config{}, 3)
+	f.JoinGroup("g", 2)
+	f.JoinGroup("g", 3)
+	f.LeaveGroup("g", 2)
+	if err := f.Multicast(1, "g", "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	cols[3].waitN(t, 1)
+	time.Sleep(10 * time.Millisecond)
+	if n := cols[2].count(); n != 0 {
+		t.Errorf("departed member received %d messages", n)
+	}
+	members := f.GroupMembers("g")
+	if len(members) != 1 || members[0] != 3 {
+		t.Errorf("GroupMembers = %v, want [node3]", members)
+	}
+}
+
+func TestGroupVanishesWhenEmpty(t *testing.T) {
+	f, _ := buildFabric(t, Config{}, 2)
+	f.JoinGroup("g", 2)
+	f.LeaveGroup("g", 2)
+	if err := f.Multicast(1, "g", "k", nil); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatalf("multicast to emptied group: err = %v, want ErrUnknownGroup", err)
+	}
+}
+
+func TestCutLinkDropsAndHealRestores(t *testing.T) {
+	reg := metrics.NewRegistry()
+	f, cols := buildFabric(t, Config{Metrics: reg}, 2)
+	f.CutLink(1, 2)
+	if err := f.Send(Message{From: 1, To: 2, Kind: "x"}); err != nil {
+		t.Fatalf("Send over cut link: %v", err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if n := cols[2].count(); n != 0 {
+		t.Fatalf("message crossed a cut link")
+	}
+	if got := reg.Get(metrics.CtrMsgDropped); got != 1 {
+		t.Fatalf("dropped = %d, want 1", got)
+	}
+	// Reverse direction unaffected.
+	if err := f.Send(Message{From: 2, To: 1, Kind: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	cols[1].waitN(t, 1)
+
+	f.HealLink(1, 2)
+	if err := f.Send(Message{From: 1, To: 2, Kind: "z"}); err != nil {
+		t.Fatal(err)
+	}
+	cols[2].waitN(t, 1)
+}
+
+func TestDropRateDropsRoughlyThatFraction(t *testing.T) {
+	reg := metrics.NewRegistry()
+	f, _ := buildFabric(t, Config{DropRate: 0.5, Seed: 42, Metrics: reg}, 2)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := f.Send(Message{From: 1, To: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dropped := reg.Get(metrics.CtrMsgDropped)
+	if dropped < n/3 || dropped > 2*n/3 {
+		t.Fatalf("dropped %d of %d with rate 0.5, want roughly half", dropped, n)
+	}
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	f, cols := buildFabric(t, Config{Latency: 30 * time.Millisecond}, 2)
+	start := time.Now()
+	if err := f.Send(Message{From: 1, To: 2}); err != nil {
+		t.Fatal(err)
+	}
+	cols[2].waitN(t, 1)
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= ~30ms", elapsed)
+	}
+}
+
+func TestByteAccountingUsesSizer(t *testing.T) {
+	reg := metrics.NewRegistry()
+	f, cols := buildFabric(t, Config{Metrics: reg}, 2)
+	if err := f.Send(Message{From: 1, To: 2, Payload: sized(100)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(Message{From: 1, To: 2, Payload: "unsized"}); err != nil {
+		t.Fatal(err)
+	}
+	cols[2].waitN(t, 2)
+	if got := reg.Get(metrics.CtrMsgBytes); got != 100+DefaultMessageSize {
+		t.Fatalf("bytes = %d, want %d", got, 100+DefaultMessageSize)
+	}
+}
+
+type sized int
+
+func (s sized) WireSize() int { return int(s) }
+
+func TestCloseIsIdempotent(t *testing.T) {
+	f := New(Config{})
+	if err := f.Attach(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	f.Close()
+	f.Close()
+}
+
+func TestNodesList(t *testing.T) {
+	f, _ := buildFabric(t, Config{}, 3)
+	nodes := f.Nodes()
+	if len(nodes) != 3 {
+		t.Fatalf("Nodes() = %v, want 3 nodes", nodes)
+	}
+	seen := map[ids.NodeID]bool{}
+	for _, n := range nodes {
+		seen[n] = true
+	}
+	for i := 1; i <= 3; i++ {
+		if !seen[ids.NodeID(i)] {
+			t.Errorf("Nodes() missing node%d", i)
+		}
+	}
+}
+
+func TestConcurrentSendersManyReceivers(t *testing.T) {
+	f, cols := buildFabric(t, Config{}, 4)
+	const perSender = 100
+	var wg sync.WaitGroup
+	for s := 1; s <= 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				dst := ids.NodeID(i%4 + 1)
+				if err := f.Send(Message{From: ids.NodeID(s), To: dst, Kind: "load"}); err != nil {
+					t.Errorf("Send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for total < 4*perSender && time.Now().Before(deadline) {
+		total = 0
+		for _, c := range cols {
+			total += c.count()
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if total != 4*perSender {
+		t.Fatalf("delivered %d, want %d", total, 4*perSender)
+	}
+}
+
+func TestPartitionAndHealAll(t *testing.T) {
+	reg := metrics.NewRegistry()
+	f, cols := buildFabric(t, Config{Metrics: reg}, 4)
+	f.Partition([]ids.NodeID{1, 2}, []ids.NodeID{3, 4})
+
+	// Cross-partition traffic drops, both directions.
+	if err := f.Send(Message{From: 1, To: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(Message{From: 4, To: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Intra-partition traffic flows.
+	if err := f.Send(Message{From: 1, To: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(Message{From: 3, To: 4}); err != nil {
+		t.Fatal(err)
+	}
+	cols[2].waitN(t, 1)
+	cols[4].waitN(t, 1)
+	time.Sleep(10 * time.Millisecond)
+	if n := cols[3].count(); n != 0 {
+		t.Fatalf("message crossed the partition to node3")
+	}
+	if got := reg.Get(metrics.CtrMsgDropped); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+
+	f.HealAll()
+	if err := f.Send(Message{From: 1, To: 3}); err != nil {
+		t.Fatal(err)
+	}
+	cols[3].waitN(t, 1)
+}
+
+func TestFabricMetricsAccessor(t *testing.T) {
+	reg := metrics.NewRegistry()
+	f := New(Config{Metrics: reg})
+	if f.Metrics() != reg {
+		t.Fatal("Metrics() did not return the configured registry")
+	}
+	if New(Config{}).Metrics() == nil {
+		t.Fatal("default Metrics() nil")
+	}
+}

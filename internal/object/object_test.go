@@ -1,0 +1,225 @@
+package object
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/ids"
+)
+
+func noopEntry(_ Ctx, _ []any) ([]any, error) { return nil, nil }
+
+func noopHandler(_ Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+	return event.VerdictResume
+}
+
+func newTestObject(t *testing.T, spec Spec) *Object {
+	t.Helper()
+	obj, err := New(ids.NewObjectID(1, 1), ids.NewSegmentID(1, 1), spec)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return obj
+}
+
+func TestNewDefaults(t *testing.T) {
+	obj := newTestObject(t, Spec{Name: "x"})
+	if obj.Policy() != MasterThread {
+		t.Errorf("default Policy = %v, want MasterThread", obj.Policy())
+	}
+	if obj.DataSize() != DefaultDataSize {
+		t.Errorf("default DataSize = %d, want %d", obj.DataSize(), DefaultDataSize)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(ids.NoObject, ids.NoSegment, Spec{}); err == nil {
+		t.Error("New with invalid id succeeded")
+	}
+	if _, err := New(ids.NewObjectID(1, 1), ids.NoSegment, Spec{Entries: map[string]Entry{"": noopEntry}}); err == nil {
+		t.Error("New with empty entry name succeeded")
+	}
+	if _, err := New(ids.NewObjectID(1, 1), ids.NoSegment, Spec{Entries: map[string]Entry{"e": nil}}); err == nil {
+		t.Error("New with nil entry succeeded")
+	}
+	if _, err := New(ids.NewObjectID(1, 1), ids.NoSegment, Spec{Handlers: map[event.Name]Handler{event.Delete: nil}}); err == nil {
+		t.Error("New with nil handler succeeded")
+	}
+}
+
+func TestEntryLookup(t *testing.T) {
+	obj := newTestObject(t, Spec{Entries: map[string]Entry{"work": noopEntry, "init": noopEntry}})
+	if _, ok := obj.Entry("work"); !ok {
+		t.Error("Entry(work) not found")
+	}
+	if _, ok := obj.Entry("nope"); ok {
+		t.Error("Entry(nope) found")
+	}
+	names := obj.Entries()
+	if len(names) != 2 || names[0] != "init" || names[1] != "work" {
+		t.Errorf("Entries() = %v, want sorted [init work]", names)
+	}
+}
+
+func TestHandlerLookup(t *testing.T) {
+	obj := newTestObject(t, Spec{Handlers: map[event.Name]Handler{
+		event.Delete: noopHandler,
+		event.Abort:  noopHandler,
+	}})
+	if _, ok := obj.Handler(event.Delete); !ok {
+		t.Error("Handler(DELETE) not found")
+	}
+	if _, ok := obj.Handler(event.Timer); ok {
+		t.Error("Handler(TIMER) found")
+	}
+	evs := obj.HandledEvents()
+	if len(evs) != 2 || evs[0] != event.Abort || evs[1] != event.Delete {
+		t.Errorf("HandledEvents() = %v, want sorted [ABORT DELETE]", evs)
+	}
+}
+
+func TestRaisesIsACopy(t *testing.T) {
+	obj := newTestObject(t, Spec{Raises: []event.Name{event.DivZero}})
+	r := obj.Raises()
+	r[0] = "MUTATED"
+	if obj.Raises()[0] != event.DivZero {
+		t.Error("Raises exposed internal slice")
+	}
+}
+
+func TestVolatileState(t *testing.T) {
+	obj := newTestObject(t, Spec{})
+	if _, ok := obj.Get("k"); ok {
+		t.Error("Get on empty state found a value")
+	}
+	obj.Set("k", 42)
+	v, ok := obj.Get("k")
+	if !ok || v != 42 {
+		t.Errorf("Get = %v, %v", v, ok)
+	}
+}
+
+func TestVolatileStateConcurrent(t *testing.T) {
+	obj := newTestObject(t, Spec{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				obj.Set("k", j)
+				obj.Get("k")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestDeletedFlag(t *testing.T) {
+	obj := newTestObject(t, Spec{})
+	if obj.Deleted() {
+		t.Fatal("fresh object reports Deleted")
+	}
+	obj.MarkDeleted()
+	if !obj.Deleted() {
+		t.Fatal("Deleted = false after MarkDeleted")
+	}
+}
+
+func TestStoreAddLookupRemove(t *testing.T) {
+	s := NewStore()
+	obj := newTestObject(t, Spec{Name: "a"})
+	if err := s.Add(obj); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(obj); err == nil {
+		t.Fatal("duplicate Add succeeded")
+	}
+	got, err := s.Lookup(obj.ID())
+	if err != nil || got != obj {
+		t.Fatalf("Lookup = %v, %v", got, err)
+	}
+	s.Remove(obj.ID())
+	if _, err := s.Lookup(obj.ID()); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("Lookup after Remove err = %v, want ErrUnknownObject", err)
+	}
+}
+
+func TestStoreObjectsSorted(t *testing.T) {
+	s := NewStore()
+	for _, seq := range []uint64{3, 1, 2} {
+		obj, err := New(ids.NewObjectID(1, seq), ids.NoSegment, Spec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Add(obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Objects()
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("Objects not sorted: %v", got)
+		}
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if SpawnPerEvent.String() != "spawn-per-event" || MasterThread.String() != "master-thread" {
+		t.Error("HandlerPolicy strings wrong")
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	obj := newTestObject(t, Spec{})
+	if !obj.CompareAndSwap("k", nil, 1) {
+		t.Fatal("CAS on missing key with nil old failed")
+	}
+	if obj.CompareAndSwap("k", nil, 2) {
+		t.Fatal("CAS with stale old succeeded")
+	}
+	if !obj.CompareAndSwap("k", 1, 2) {
+		t.Fatal("CAS with matching old failed")
+	}
+	if v, _ := obj.Get("k"); v != 2 {
+		t.Fatalf("value = %v, want 2", v)
+	}
+}
+
+func TestSnapshotRestoreKV(t *testing.T) {
+	obj := newTestObject(t, Spec{})
+	obj.Set("a", 1)
+	obj.Set("b", "two")
+	snap := obj.SnapshotKV()
+	obj.Set("a", 99)
+	if snap["a"] != 1 {
+		t.Fatal("snapshot mutated by later Set")
+	}
+	other := newTestObject(t, Spec{Name: "other"})
+	other.RestoreKV(snap)
+	if v, _ := other.Get("a"); v != 1 {
+		t.Fatalf("restored a = %v", v)
+	}
+	if v, _ := other.Get("b"); v != "two" {
+		t.Fatalf("restored b = %v", v)
+	}
+	// Restore copies: mutating the source map later must not leak in.
+	snap["a"] = 42
+	if v, _ := other.Get("a"); v != 1 {
+		t.Fatal("RestoreKV aliased the input map")
+	}
+}
+
+func TestHandlerMethodLookup(t *testing.T) {
+	obj := newTestObject(t, Spec{
+		HandlerMethods: map[string]Handler{"m": noopHandler},
+	})
+	if _, ok := obj.HandlerMethod("m"); !ok {
+		t.Error("HandlerMethod(m) not found")
+	}
+	if _, ok := obj.HandlerMethod("nope"); ok {
+		t.Error("HandlerMethod(nope) found")
+	}
+}

@@ -1,0 +1,245 @@
+// Package pager implements the user-level virtual memory managers of §6.4:
+// applications tag DSM segments as user-pageable, attach a VM_FAULT buddy
+// handler naming a pager server object, and the server supplies pages when
+// threads fault. When two threads fault on the same page concurrently, the
+// server hands each node a copy and later merges the copies — the paper's
+// mechanism for bypassing the kernel's strict sequential consistency.
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/object"
+)
+
+// Entry names of the pager server object.
+const (
+	EntryFault   = "fault"    // handler method: VM_FAULT buddy target
+	EntryWrite   = "write"    // write the master copy of a page
+	EntryRead    = "read"     // read the master copy of a page
+	EntryMerge   = "merge"    // merge node copies back into the master
+	EntryCopies  = "copies"   // report how many nodes hold a copy
+	EntryFaults  = "faults"   // report how many faults were serviced
+	HandlerFault = EntryFault // the buddy handler method name
+)
+
+// MergeFunc combines divergent page copies into one. The default keeps the
+// byte-wise maximum, which suffices for the monotonic workloads of the
+// examples; applications install their own merge policy per server.
+type MergeFunc func(master []byte, copies [][]byte) []byte
+
+// DefaultMerge is the byte-wise maximum merge policy.
+func DefaultMerge(master []byte, copies [][]byte) []byte {
+	out := make([]byte, len(master))
+	copy(out, master)
+	for _, c := range copies {
+		for i := 0; i < len(out) && i < len(c); i++ {
+			if c[i] > out[i] {
+				out[i] = c[i]
+			}
+		}
+	}
+	return out
+}
+
+// ServerSpec returns a pager server object managing pages of pageSize
+// bytes with the given merge policy (nil = DefaultMerge).
+func ServerSpec(label string, pageSize int, merge MergeFunc) object.Spec {
+	if merge == nil {
+		merge = DefaultMerge
+	}
+	s := &server{pageSize: pageSize, merge: merge}
+	return object.Spec{
+		Name: "pager:" + label,
+		HandlerMethods: map[string]object.Handler{
+			HandlerFault: s.onFault,
+		},
+		Entries: map[string]object.Entry{
+			EntryWrite:  s.writeMaster,
+			EntryRead:   s.readMaster,
+			EntryMerge:  s.mergeEntry,
+			EntryCopies: s.copies,
+			EntryFaults: s.faults,
+		},
+	}
+}
+
+// server carries the pager's configuration; its mutable state lives in the
+// object's volatile store so it stays with the object.
+type server struct {
+	pageSize int
+	merge    MergeFunc
+}
+
+func pageKey(seg ids.SegmentID, page int) string {
+	return "page:" + seg.String() + ":" + strconv.Itoa(page)
+}
+
+func copysetKey(seg ids.SegmentID, page int) string {
+	return "copyset:" + seg.String() + ":" + strconv.Itoa(page)
+}
+
+// onFault is the buddy handler for VM_FAULT: it installs the master copy
+// of the faulted page at the faulting node and records the copy.
+func (s *server) onFault(ctx object.Ctx, _ event.HandlerRef, eb *event.Block) event.Verdict {
+	seg, ok1 := eb.User["seg"].(ids.SegmentID)
+	page, ok2 := eb.User["page"].(int)
+	node, ok3 := eb.User["node"].(ids.NodeID)
+	if !(ok1 && ok2 && ok3) {
+		return event.VerdictPropagate
+	}
+	data := s.masterPage(ctx, seg, page)
+	if err := ctx.InstallPage(node, seg, page, data); err != nil {
+		return event.VerdictPropagate
+	}
+	s.addCopy(ctx, seg, page, node)
+	n, _ := ctx.Get("faults")
+	cnt, _ := n.(int)
+	ctx.Set("faults", cnt+1)
+	return event.VerdictResume
+}
+
+// masterPage reads (or zero-creates) the master copy.
+func (s *server) masterPage(ctx object.Ctx, seg ids.SegmentID, page int) []byte {
+	if v, ok := ctx.Get(pageKey(seg, page)); ok {
+		if b, ok := v.([]byte); ok {
+			out := make([]byte, len(b))
+			copy(out, b)
+			return out
+		}
+	}
+	return make([]byte, s.pageSize)
+}
+
+func (s *server) addCopy(ctx object.Ctx, seg ids.SegmentID, page int, node ids.NodeID) {
+	key := copysetKey(seg, page)
+	var set []ids.NodeID
+	if v, ok := ctx.Get(key); ok {
+		if cur, ok := v.([]ids.NodeID); ok {
+			set = cur
+		}
+	}
+	for _, n := range set {
+		if n == node {
+			return
+		}
+	}
+	next := make([]ids.NodeID, len(set), len(set)+1)
+	copy(next, set)
+	next = append(next, node)
+	ctx.Set(key, next)
+}
+
+// writeMaster stores the master copy of a page.
+// Args: seg uint64, page int, data []byte.
+func (s *server) writeMaster(ctx object.Ctx, args []any) ([]any, error) {
+	seg, page, err := segPageArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	data, ok := args[2].([]byte)
+	if !ok {
+		return nil, fmt.Errorf("pager: write data %T", args[2])
+	}
+	stored := make([]byte, s.pageSize)
+	copy(stored, data)
+	ctx.Set(pageKey(seg, page), stored)
+	return nil, nil
+}
+
+// readMaster returns the master copy of a page.
+// Args: seg uint64, page int.
+func (s *server) readMaster(ctx object.Ctx, args []any) ([]any, error) {
+	seg, page, err := segPageArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return []any{s.masterPage(ctx, seg, page)}, nil
+}
+
+// mergeEntry collects the copies handed out for a page, merges them into
+// the master with the server's policy, drops the node copies, and returns
+// the merged bytes (§6.4: "the server can supply a copy of the page, and
+// later merge the pages").
+// Args: seg uint64, page int.
+func (s *server) mergeEntry(ctx object.Ctx, args []any) ([]any, error) {
+	seg, page, err := segPageArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	var set []ids.NodeID
+	if v, ok := ctx.Get(copysetKey(seg, page)); ok {
+		set, _ = v.([]ids.NodeID)
+	}
+	var copies [][]byte
+	for _, node := range set {
+		data, found, err := ctx.FetchPage(node, seg, page)
+		if err != nil {
+			return nil, fmt.Errorf("fetch copy from %v: %w", node, err)
+		}
+		if found {
+			copies = append(copies, data)
+		}
+		if err := ctx.DropPage(node, seg, page); err != nil {
+			return nil, fmt.Errorf("drop copy at %v: %w", node, err)
+		}
+	}
+	merged := s.merge(s.masterPage(ctx, seg, page), copies)
+	ctx.Set(pageKey(seg, page), merged)
+	ctx.Set(copysetKey(seg, page), []ids.NodeID(nil))
+	out := make([]byte, len(merged))
+	copy(out, merged)
+	return []any{out, len(copies)}, nil
+}
+
+// copies reports how many nodes currently hold a handed-out copy.
+// Args: seg uint64, page int.
+func (s *server) copies(ctx object.Ctx, args []any) ([]any, error) {
+	seg, page, err := segPageArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	var set []ids.NodeID
+	if v, ok := ctx.Get(copysetKey(seg, page)); ok {
+		set, _ = v.([]ids.NodeID)
+	}
+	return []any{len(set)}, nil
+}
+
+// faults reports the number of VM_FAULT events serviced.
+func (s *server) faults(ctx object.Ctx, _ []any) ([]any, error) {
+	n, _ := ctx.Get("faults")
+	cnt, _ := n.(int)
+	return []any{cnt}, nil
+}
+
+func segPageArgs(args []any) (ids.SegmentID, int, error) {
+	if len(args) < 2 {
+		return 0, 0, errors.New("pager: need segment and page")
+	}
+	segV, ok := args[0].(uint64)
+	if !ok {
+		return 0, 0, fmt.Errorf("pager: segment arg %T", args[0])
+	}
+	page, ok := args[1].(int)
+	if !ok {
+		return 0, 0, fmt.Errorf("pager: page arg %T", args[1])
+	}
+	return ids.SegmentID(segV), page, nil
+}
+
+// AttachPager directs the calling thread's VM_FAULT events at the pager
+// server (a buddy handler, §6.4): "the applications will ... request
+// VM_FAULT events and designate a server as the handler".
+func AttachPager(ctx object.Ctx, server ids.ObjectID) error {
+	return ctx.AttachHandler(event.HandlerRef{
+		Event:  event.VMFault,
+		Kind:   event.KindBuddy,
+		Object: server,
+		Entry:  HandlerFault,
+	})
+}

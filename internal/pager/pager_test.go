@@ -1,0 +1,276 @@
+package pager
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/object"
+)
+
+const (
+	waitShort = 10 * time.Second
+	pageSize  = 256
+)
+
+func newSystem(t *testing.T, nodes int) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem(core.Config{Nodes: nodes, PageSize: pageSize, CallTimeout: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	return sys
+}
+
+func TestFaultServicedByPager(t *testing.T) {
+	sys := newSystem(t, 2)
+	server, err := sys.CreateObject(1, ServerSpec("p", pageSize, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := sys.Kernel(2)
+	seg, err := k2.CreateSegment(4*pageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preload the master copy of page 1 at the server.
+	pre, err := sys.CreateObject(1, object.Spec{
+		Name: "pre",
+		Entries: map[string]object.Entry{
+			"load": func(ctx object.Ctx, _ []any) ([]any, error) {
+				data := make([]byte, pageSize)
+				data[0] = 77
+				return ctx.Invoke(server, EntryWrite, uint64(seg), 1, data)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, _ := sys.Spawn(1, pre, "load")
+	if _, err := hp.WaitTimeout(waitShort); err != nil {
+		t.Fatal(err)
+	}
+
+	app, err := sys.CreateObject(2, object.Spec{
+		Name: "faulter",
+		Entries: map[string]object.Entry{
+			"run": func(ctx object.Ctx, _ []any) ([]any, error) {
+				if err := AttachPager(ctx, server); err != nil {
+					return nil, err
+				}
+				// Touch page 1: faults, buddy handler at the server
+				// installs the master copy here, access retries.
+				data, err := ctx.SegRead(seg, pageSize, 1)
+				if err != nil {
+					return nil, err
+				}
+				return []any{data[0]}, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(2, app, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.WaitTimeout(waitShort)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if res[0] != byte(77) {
+		t.Fatalf("faulted read = %v, want 77 (master copy)", res[0])
+	}
+}
+
+func TestFaultWithoutPagerFails(t *testing.T) {
+	sys := newSystem(t, 1)
+	k1, _ := sys.Kernel(1)
+	seg, err := k1.CreateSegment(pageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := sys.CreateObject(1, object.Spec{
+		Name: "noPager",
+		Entries: map[string]object.Entry{
+			"run": func(ctx object.Ctx, _ []any) ([]any, error) {
+				_, err := ctx.SegRead(seg, 0, 1)
+				return nil, err
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := sys.Spawn(1, app, "run")
+	if _, err := h.WaitTimeout(waitShort); err == nil {
+		t.Fatal("user fault with no VM_FAULT handler succeeded")
+	}
+}
+
+// TestConcurrentFaultsGetCopiesThenMerge is the §6.4 scenario: two threads
+// on different nodes fault on the same page; each gets a copy, both write
+// divergently, and the server merges the copies.
+func TestConcurrentFaultsGetCopiesThenMerge(t *testing.T) {
+	sys := newSystem(t, 3)
+	server, err := sys.CreateObject(1, ServerSpec("m", pageSize, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, _ := sys.Kernel(1)
+	seg, err := k1.CreateSegment(pageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer := func(off int, val byte) object.Spec {
+		return object.Spec{
+			Name: "writer",
+			Entries: map[string]object.Entry{
+				"run": func(ctx object.Ctx, _ []any) ([]any, error) {
+					if err := AttachPager(ctx, server); err != nil {
+						return nil, err
+					}
+					return nil, ctx.SegWrite(seg, off, []byte{val})
+				},
+			},
+		}
+	}
+	w2, err := sys.CreateObject(2, writer(0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w3, err := sys.CreateObject(3, writer(5, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := sys.Spawn(2, w2, "run")
+	h3, _ := sys.Spawn(3, w3, "run")
+	if _, err := h2.WaitTimeout(waitShort); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h3.WaitTimeout(waitShort); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both nodes hold divergent copies; merge at the server.
+	merger, err := sys.CreateObject(1, object.Spec{
+		Name: "merger",
+		Entries: map[string]object.Entry{
+			"run": func(ctx object.Ctx, _ []any) ([]any, error) {
+				nres, err := ctx.Invoke(server, EntryCopies, uint64(seg), 0)
+				if err != nil {
+					return nil, err
+				}
+				mres, err := ctx.Invoke(server, EntryMerge, uint64(seg), 0)
+				if err != nil {
+					return nil, err
+				}
+				return []any{nres[0], mres[0], mres[1]}, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, _ := sys.Spawn(1, merger, "run")
+	res, err := hm.WaitTimeout(waitShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copies := res[0].(int); copies != 2 {
+		t.Fatalf("copyset size = %d, want 2 (one per faulting node)", copies)
+	}
+	merged := res[1].([]byte)
+	if merged[0] != 10 || merged[5] != 20 {
+		t.Fatalf("merged page lost writes: [0]=%d [5]=%d, want 10 and 20", merged[0], merged[5])
+	}
+	if collected := res[2].(int); collected != 2 {
+		t.Fatalf("merged %d copies, want 2", collected)
+	}
+}
+
+func TestFaultCountReported(t *testing.T) {
+	sys := newSystem(t, 2)
+	server, err := sys.CreateObject(1, ServerSpec("c", pageSize, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, _ := sys.Kernel(1)
+	seg, err := k1.CreateSegment(4*pageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := sys.CreateObject(2, object.Spec{
+		Name: "toucher",
+		Entries: map[string]object.Entry{
+			"run": func(ctx object.Ctx, _ []any) ([]any, error) {
+				if err := AttachPager(ctx, server); err != nil {
+					return nil, err
+				}
+				for p := 0; p < 4; p++ {
+					if _, err := ctx.SegRead(seg, p*pageSize, 1); err != nil {
+						return nil, err
+					}
+				}
+				return ctx.Invoke(server, EntryFaults)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := sys.Spawn(2, app, "run")
+	res, err := h.WaitTimeout(waitShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 4 {
+		t.Fatalf("serviced faults = %v, want 4", res[0])
+	}
+}
+
+func TestDefaultMerge(t *testing.T) {
+	master := []byte{1, 5, 0, 9}
+	copies := [][]byte{{3, 2, 0, 0}, {0, 7, 4}}
+	got := DefaultMerge(master, copies)
+	want := []byte{3, 7, 4, 9}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("DefaultMerge = %v, want %v", got, want)
+	}
+	// Master unchanged.
+	if master[0] != 1 {
+		t.Fatal("DefaultMerge mutated the master")
+	}
+}
+
+func TestServerBadArgs(t *testing.T) {
+	sys := newSystem(t, 1)
+	server, err := sys.CreateObject(1, ServerSpec("b", pageSize, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := sys.CreateObject(1, object.Spec{
+		Name: "bad",
+		Entries: map[string]object.Entry{
+			"short": func(ctx object.Ctx, _ []any) ([]any, error) {
+				return ctx.Invoke(server, EntryRead, uint64(1))
+			},
+			"badtype": func(ctx object.Ctx, _ []any) ([]any, error) {
+				return ctx.Invoke(server, EntryRead, "x", "y")
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, entry := range []string{"short", "badtype"} {
+		h, _ := sys.Spawn(1, app, entry)
+		if _, err := h.WaitTimeout(waitShort); err == nil {
+			t.Errorf("%s: expected error", entry)
+		}
+	}
+}

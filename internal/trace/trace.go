@@ -1,0 +1,201 @@
+// Package trace is a bounded in-memory event trace for the DO/CT kernel:
+// every raise, delivery, handler run and thread lifecycle transition can be
+// recorded and queried. It exists for the debugging and monitoring story
+// the paper motivates (§1, §6.2) — a debugger is "an application that
+// requires access to the internals of the application being debugged" —
+// and for tests that assert on protocol behaviour rather than counters.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/ids"
+)
+
+// Kind classifies trace records.
+type Kind int
+
+// Record kinds.
+const (
+	// KindRaise is an event being raised.
+	KindRaise Kind = iota + 1
+	// KindDeliver is an event reaching its target.
+	KindDeliver
+	// KindHandlerRun is one handler execution.
+	KindHandlerRun
+	// KindDefault is a default action applying.
+	KindDefault
+	// KindSpawn is a thread spawn.
+	KindSpawn
+	// KindTerminate is a thread terminating.
+	KindTerminate
+	// KindHop is a thread moving between nodes.
+	KindHop
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindRaise:
+		return "raise"
+	case KindDeliver:
+		return "deliver"
+	case KindHandlerRun:
+		return "handler"
+	case KindDefault:
+		return "default"
+	case KindSpawn:
+		return "spawn"
+	case KindTerminate:
+		return "terminate"
+	case KindHop:
+		return "hop"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Record is one trace entry.
+type Record struct {
+	Seq    uint64
+	At     time.Time
+	Kind   Kind
+	Node   ids.NodeID
+	Thread ids.ThreadID
+	Event  event.Name
+	Target string
+	Detail string
+}
+
+// String renders the record as one line.
+func (r Record) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d %s %v", r.Seq, r.Kind, r.Node)
+	if r.Thread.IsValid() {
+		fmt.Fprintf(&b, " %v", r.Thread)
+	}
+	if r.Event != "" {
+		fmt.Fprintf(&b, " %s", r.Event)
+	}
+	if r.Target != "" {
+		fmt.Fprintf(&b, " -> %s", r.Target)
+	}
+	if r.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", r.Detail)
+	}
+	return b.String()
+}
+
+// Buffer is a bounded ring of trace records. The zero value is disabled
+// (records are dropped); create an active buffer with New. Buffer is safe
+// for concurrent use.
+type Buffer struct {
+	mu   sync.Mutex
+	ring []Record
+	next uint64 // total records ever added
+	cap  int
+	now  func() time.Time
+}
+
+// New returns a Buffer retaining the last capacity records.
+func New(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Buffer{
+		ring: make([]Record, 0, capacity),
+		cap:  capacity,
+		now:  time.Now,
+	}
+}
+
+// Enabled reports whether the buffer records anything.
+func (b *Buffer) Enabled() bool { return b != nil && b.cap > 0 }
+
+// Add appends a record, evicting the oldest when full. Calling Add on a
+// nil Buffer is a no-op, so call sites need no guards.
+func (b *Buffer) Add(r Record) {
+	if b == nil || b.cap == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r.Seq = b.next
+	b.next++
+	if r.At.IsZero() {
+		r.At = b.now()
+	}
+	if len(b.ring) < b.cap {
+		b.ring = append(b.ring, r)
+		return
+	}
+	copy(b.ring, b.ring[1:])
+	b.ring[len(b.ring)-1] = r
+}
+
+// Len returns the number of retained records.
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.ring)
+}
+
+// Total returns the number of records ever added (including evicted).
+func (b *Buffer) Total() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.next
+}
+
+// Snapshot returns the retained records, oldest first.
+func (b *Buffer) Snapshot() []Record {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Record, len(b.ring))
+	copy(out, b.ring)
+	return out
+}
+
+// Filter returns the retained records matching pred, oldest first.
+func (b *Buffer) Filter(pred func(Record) bool) []Record {
+	var out []Record
+	for _, r := range b.Snapshot() {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// OfThread returns the retained records for one thread.
+func (b *Buffer) OfThread(tid ids.ThreadID) []Record {
+	return b.Filter(func(r Record) bool { return r.Thread == tid })
+}
+
+// OfKind returns the retained records of one kind.
+func (b *Buffer) OfKind(k Kind) []Record {
+	return b.Filter(func(r Record) bool { return r.Kind == k })
+}
+
+// Dump renders the retained records, one per line.
+func (b *Buffer) Dump() string {
+	var sb strings.Builder
+	for _, r := range b.Snapshot() {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/ids"
+)
+
+func TestAddAndSnapshot(t *testing.T) {
+	b := New(4)
+	b.Add(Record{Kind: KindRaise, Node: 1, Event: event.Terminate})
+	b.Add(Record{Kind: KindDeliver, Node: 2})
+	snap := b.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("Len = %d, want 2", len(snap))
+	}
+	if snap[0].Seq != 0 || snap[1].Seq != 1 {
+		t.Fatalf("sequence numbers wrong: %v", snap)
+	}
+	if snap[0].At.IsZero() {
+		t.Fatal("timestamp not stamped")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	b := New(3)
+	for i := 0; i < 10; i++ {
+		b.Add(Record{Kind: KindRaise, Node: ids.NodeID(i + 1)})
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	if b.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", b.Total())
+	}
+	snap := b.Snapshot()
+	// Oldest retained is record #7 (0-indexed).
+	if snap[0].Seq != 7 || snap[2].Seq != 9 {
+		t.Fatalf("retained %v, want seqs 7..9", snap)
+	}
+}
+
+func TestNilBufferIsNoop(t *testing.T) {
+	var b *Buffer
+	b.Add(Record{Kind: KindRaise}) // must not panic
+	if b.Len() != 0 || b.Total() != 0 || b.Snapshot() != nil {
+		t.Fatal("nil buffer not inert")
+	}
+	if b.Enabled() {
+		t.Fatal("nil buffer reports enabled")
+	}
+	if got := b.OfKind(KindRaise); got != nil {
+		t.Fatalf("nil OfKind = %v", got)
+	}
+}
+
+func TestFilters(t *testing.T) {
+	b := New(16)
+	tid := ids.NewThreadID(1, 5)
+	b.Add(Record{Kind: KindRaise, Thread: tid})
+	b.Add(Record{Kind: KindDeliver, Thread: tid})
+	b.Add(Record{Kind: KindRaise, Thread: ids.NewThreadID(2, 1)})
+	if got := b.OfThread(tid); len(got) != 2 {
+		t.Fatalf("OfThread = %d records, want 2", len(got))
+	}
+	if got := b.OfKind(KindRaise); len(got) != 2 {
+		t.Fatalf("OfKind(raise) = %d records, want 2", len(got))
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{
+		Seq: 3, Kind: KindDeliver, Node: 2, Thread: ids.NewThreadID(1, 1),
+		Event: event.Timer, Target: "t1.1", Detail: "verdict=resume",
+	}
+	s := r.String()
+	for _, want := range []string{"#3", "deliver", "node2", "t1.1", "TIMER", "verdict=resume"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := map[Kind]string{
+		KindRaise: "raise", KindDeliver: "deliver", KindHandlerRun: "handler",
+		KindDefault: "default", KindSpawn: "spawn", KindTerminate: "terminate",
+		KindHop: "hop",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestDump(t *testing.T) {
+	b := New(8)
+	b.Add(Record{Kind: KindSpawn, Node: 1})
+	b.Add(Record{Kind: KindHop, Node: 1, Target: "node2"})
+	d := b.Dump()
+	if strings.Count(d, "\n") != 2 {
+		t.Fatalf("Dump = %q", d)
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	b := New(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Add(Record{Kind: KindRaise, Node: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Total() != 800 {
+		t.Fatalf("Total = %d, want 800", b.Total())
+	}
+	if b.Len() != 64 {
+		t.Fatalf("Len = %d, want 64 (capacity)", b.Len())
+	}
+}
+
+func TestExplicitTimestampKept(t *testing.T) {
+	b := New(2)
+	at := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.Add(Record{Kind: KindRaise, At: at})
+	if got := b.Snapshot()[0].At; !got.Equal(at) {
+		t.Fatalf("At = %v, want %v", got, at)
+	}
+}
+
+// Property: after any number of adds n, Total() == n, Len() == min(n, cap),
+// and the retained records are exactly the last Len() with ascending seqs.
+func TestRingProperty(t *testing.T) {
+	f := func(n uint8, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		b := New(capacity)
+		total := int(n % 64)
+		for i := 0; i < total; i++ {
+			b.Add(Record{Kind: KindRaise})
+		}
+		if b.Total() != uint64(total) {
+			return false
+		}
+		wantLen := total
+		if wantLen > capacity {
+			wantLen = capacity
+		}
+		snap := b.Snapshot()
+		if len(snap) != wantLen {
+			return false
+		}
+		for i, r := range snap {
+			if r.Seq != uint64(total-wantLen+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package workload builds synthetic DO/CT applications for stress tests
+// and benchmarks: invocation pipelines threading across the cluster,
+// fan-out trees of asynchronously spawned threads, and shared-object event
+// mixes. The generators return ordinary objects and handles, so tests can
+// combine them with events, termination and monitoring — the kinds of
+// "multiple processes performing a task concurrently, asynchronously
+// notifying each other of partial results" the paper's introduction
+// motivates.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/object"
+)
+
+// Pipeline is a chain of stage objects, one per node (round-robin), that a
+// logical thread traverses end to end. Each stage increments a shared
+// counter in the request payload, optionally dwelling at each hop.
+type Pipeline struct {
+	// Root is the first stage; invoke entry "flow" with an int payload.
+	Root ids.ObjectID
+	// Stages is the chain length.
+	Stages int
+}
+
+// BuildPipeline creates a pipeline of the given length across the
+// cluster's nodes. Each stage adds 1 to the payload and forwards; the last
+// stage dwells for dwell before returning, so events can target the thread
+// mid-flight.
+func BuildPipeline(sys *core.System, stages int, dwell time.Duration) (Pipeline, error) {
+	if stages < 1 {
+		return Pipeline{}, errors.New("workload: pipeline needs at least one stage")
+	}
+	nodes := sys.Nodes()
+	var next ids.ObjectID
+	for i := stages; i >= 1; i-- {
+		node := nodes[(i-1)%len(nodes)]
+		spec := object.Spec{Name: fmt.Sprintf("stage%d", i)}
+		if i == stages {
+			spec.Entries = map[string]object.Entry{
+				"flow": func(ctx object.Ctx, args []any) ([]any, error) {
+					v, _ := args[0].(int)
+					if dwell > 0 {
+						if err := ctx.Sleep(dwell); err != nil {
+							return nil, err
+						}
+					}
+					return []any{v + 1}, nil
+				},
+			}
+		} else {
+			target := next
+			spec.Entries = map[string]object.Entry{
+				"flow": func(ctx object.Ctx, args []any) ([]any, error) {
+					v, _ := args[0].(int)
+					res, err := ctx.Invoke(target, "flow", v+1)
+					if err != nil {
+						return nil, err
+					}
+					return res, nil
+				},
+			}
+		}
+		oid, err := sys.CreateObject(node, spec)
+		if err != nil {
+			return Pipeline{}, err
+		}
+		next = oid
+	}
+	return Pipeline{Root: next, Stages: stages}, nil
+}
+
+// Run sends one thread through the pipeline from node and returns its
+// handle. On completion the result is the stage count.
+func (p Pipeline) Run(sys *core.System, node ids.NodeID) (*core.Handle, error) {
+	return sys.Spawn(node, p.Root, "flow", 0)
+}
+
+// Verify checks a completed pipeline run's result.
+func (p Pipeline) Verify(res []any) error {
+	if len(res) != 1 {
+		return fmt.Errorf("workload: pipeline returned %d values", len(res))
+	}
+	v, _ := res[0].(int)
+	if v != p.Stages {
+		return fmt.Errorf("workload: pipeline counted %d stages, want %d", v, p.Stages)
+	}
+	return nil
+}
+
+// Fanout is a tree of asynchronously spawned threads, all members of one
+// thread group — the population the distributed ^C protocol must hunt down
+// (§6.3).
+type Fanout struct {
+	// Root is the tree's object; spawn entry "root".
+	Root ids.ObjectID
+	// Group receives every spawned thread (set after the root runs).
+	Group ids.GroupID
+	// Parked counts threads currently parked in the tree.
+	Parked *atomic.Int64
+}
+
+// BuildFanout creates a tree object: the root thread creates a group and
+// recursively spawns branch^depth descendants via asynchronous
+// invocations, every one inheriting the group membership and parking until
+// terminated. The group id is sent on gidCh when ready.
+func BuildFanout(sys *core.System, node ids.NodeID, branch, depth int, gidCh chan<- ids.GroupID) (Fanout, error) {
+	if branch < 1 || depth < 1 {
+		return Fanout{}, errors.New("workload: fanout needs branch >= 1 and depth >= 1")
+	}
+	parked := new(atomic.Int64)
+	var self ids.ObjectID
+	spawnChildren := func(ctx object.Ctx, level int) error {
+		if level >= depth {
+			return nil
+		}
+		for i := 0; i < branch; i++ {
+			if _, err := ctx.InvokeAsync(self, "branch", level+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	spec := object.Spec{
+		Name: "fanout",
+		Entries: map[string]object.Entry{
+			"root": func(ctx object.Ctx, _ []any) ([]any, error) {
+				gid, err := ctx.CreateGroup()
+				if err != nil {
+					return nil, err
+				}
+				if err := spawnChildren(ctx, 0); err != nil {
+					return nil, err
+				}
+				gidCh <- gid
+				parked.Add(1)
+				defer parked.Add(-1)
+				return nil, ctx.Sleep(time.Hour)
+			},
+			"branch": func(ctx object.Ctx, args []any) ([]any, error) {
+				level, _ := args[0].(int)
+				if err := spawnChildren(ctx, level); err != nil {
+					return nil, err
+				}
+				parked.Add(1)
+				defer parked.Add(-1)
+				return nil, ctx.Sleep(time.Hour)
+			},
+		},
+	}
+	oid, err := sys.CreateObject(node, spec)
+	if err != nil {
+		return Fanout{}, err
+	}
+	self = oid
+	return Fanout{Root: oid, Parked: parked}, nil
+}
+
+// TreeSize returns the total thread count of a branch^depth tree including
+// the root.
+func TreeSize(branch, depth int) int {
+	total, level := 1, 1
+	for d := 1; d <= depth; d++ {
+		level *= branch
+		total += level
+	}
+	return total
+}
+
+// SharedMix parks m threads from each of k labeled applications inside one
+// shared object, each with a handler for the given user event. It returns
+// the thread ids grouped by application label.
+func SharedMix(sys *core.System, node ids.NodeID, k, m int, ev event.Name, proc string) (map[string][]ids.ThreadID, error) {
+	started := make(chan struct {
+		app string
+		tid ids.ThreadID
+	}, k*m)
+	shared, err := sys.CreateObject(node, object.Spec{
+		Name: "shared-mix",
+		Entries: map[string]object.Entry{
+			"park": func(ctx object.Ctx, _ []any) ([]any, error) {
+				if err := ctx.AttachHandler(event.HandlerRef{Event: ev, Kind: event.KindProc, Proc: proc}); err != nil {
+					return nil, err
+				}
+				started <- struct {
+					app string
+					tid ids.ThreadID
+				}{ctx.Attrs().App, ctx.Thread()}
+				return nil, ctx.Sleep(time.Hour)
+			},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for a := 0; a < k; a++ {
+		for i := 0; i < m; i++ {
+			if _, err := sys.SpawnApp(node, fmt.Sprintf("app%d", a), shared, "park"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make(map[string][]ids.ThreadID, k)
+	for i := 0; i < k*m; i++ {
+		rec := <-started
+		out[rec.app] = append(out[rec.app], rec.tid)
+	}
+	return out, nil
+}

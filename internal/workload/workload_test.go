@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/object"
+)
+
+const waitShort = 15 * time.Second
+
+func newSystem(t *testing.T, nodes int) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem(core.Config{Nodes: nodes, CallTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	return sys
+}
+
+func TestPipelineCountsStages(t *testing.T) {
+	sys := newSystem(t, 3)
+	p, err := BuildPipeline(sys, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := p.Run(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.WaitTimeout(waitShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	sys := newSystem(t, 1)
+	if _, err := BuildPipeline(sys, 0, 0); err == nil {
+		t.Fatal("zero-stage pipeline accepted")
+	}
+	p := Pipeline{Stages: 3}
+	if err := p.Verify([]any{2}); err == nil {
+		t.Fatal("Verify accepted a short count")
+	}
+	if err := p.Verify(nil); err == nil {
+		t.Fatal("Verify accepted empty result")
+	}
+}
+
+func TestPipelineTerminatedMidFlight(t *testing.T) {
+	sys := newSystem(t, 3)
+	p, err := BuildPipeline(sys, 5, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := p.Run(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let it reach the dwelling stage
+	if err := sys.Raise(2, event.Terminate, event.ToThread(h.TID()), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WaitTimeout(waitShort); !errors.Is(err, core.ErrTerminated) {
+		t.Fatalf("Wait err = %v, want ErrTerminated", err)
+	}
+}
+
+func TestTreeSize(t *testing.T) {
+	cases := []struct{ b, d, want int }{
+		{1, 1, 2},
+		{2, 1, 3},
+		{2, 2, 7},
+		{3, 2, 13},
+	}
+	for _, tc := range cases {
+		if got := TreeSize(tc.b, tc.d); got != tc.want {
+			t.Errorf("TreeSize(%d,%d) = %d, want %d", tc.b, tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestFanoutSpawnsTreeAndQuits(t *testing.T) {
+	sys := newSystem(t, 2)
+	gidCh := make(chan ids.GroupID, 1)
+	f, err := BuildFanout(sys, 1, 2, 2, gidCh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Spawn(1, f.Root, "root"); err != nil {
+		t.Fatal(err)
+	}
+	gid := <-gidCh
+	want := int64(TreeSize(2, 2))
+	deadline := time.Now().Add(waitShort)
+	for f.Parked.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("parked = %d, want %d", f.Parked.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Kill the whole tree with one group QUIT.
+	if err := sys.Raise(2, event.Quit, event.ToGroup(gid), nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range sys.Handles() {
+		if _, err := h.WaitTimeout(waitShort); !errors.Is(err, core.ErrTerminated) {
+			t.Fatalf("thread %v err = %v", h.TID(), err)
+		}
+	}
+	if f.Parked.Load() != 0 {
+		t.Fatalf("still parked: %d", f.Parked.Load())
+	}
+}
+
+func TestFanoutValidation(t *testing.T) {
+	sys := newSystem(t, 1)
+	if _, err := BuildFanout(sys, 1, 0, 1, nil); err == nil {
+		t.Fatal("branch 0 accepted")
+	}
+	if _, err := BuildFanout(sys, 1, 1, 0, nil); err == nil {
+		t.Fatal("depth 0 accepted")
+	}
+}
+
+func TestSharedMixGroupsThreadsByApp(t *testing.T) {
+	sys := newSystem(t, 2)
+	var handled atomic.Int64
+	if err := sys.RegisterProc("mix.h", func(_ object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+		handled.Add(1)
+		return event.VerdictResume
+	}); err != nil {
+		t.Fatal(err)
+	}
+	byApp, err := SharedMix(sys, 2, 3, 2, event.Interrupt, "mix.h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byApp) != 3 {
+		t.Fatalf("apps = %d, want 3", len(byApp))
+	}
+	total := 0
+	for app, tids := range byApp {
+		if len(tids) != 2 {
+			t.Errorf("app %s has %d threads, want 2", app, len(tids))
+		}
+		total += len(tids)
+	}
+	time.Sleep(30 * time.Millisecond)
+	// Target one app's threads: exactly those handle the event.
+	for _, tid := range byApp["app1"] {
+		if _, err := sys.RaiseAndWait(1, event.Interrupt, event.ToThread(tid), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if handled.Load() != 2 {
+		t.Fatalf("handled = %d, want 2 (only app1's threads)", handled.Load())
+	}
+}
+
+// TestBigStress: a larger combined run — pipelines flowing while a fan-out
+// tree is built and QUIT-killed, all under one system.
+func TestBigStress(t *testing.T) {
+	sys := newSystem(t, 4)
+	p, err := BuildPipeline(sys, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var handles []*core.Handle
+	for i := 0; i < 6; i++ {
+		h, err := p.Run(sys, ids.NodeID(i%4+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	gidCh := make(chan ids.GroupID, 1)
+	f, err := BuildFanout(sys, 2, 2, 3, gidCh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Spawn(2, f.Root, "root"); err != nil {
+		t.Fatal(err)
+	}
+	gid := <-gidCh
+	want := int64(TreeSize(2, 3))
+	deadline := time.Now().Add(waitShort)
+	for f.Parked.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("parked = %d, want %d", f.Parked.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Pipelines complete correctly despite the concurrent tree.
+	for _, h := range handles {
+		res, err := h.WaitTimeout(waitShort)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Verify(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Raise(4, event.Quit, event.ToGroup(gid), nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range sys.Handles() {
+		if _, err := h.WaitTimeout(waitShort); err != nil && !errors.Is(err, core.ErrTerminated) {
+			t.Fatalf("thread %v: %v", h.TID(), err)
+		}
+	}
+}
