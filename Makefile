@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all vet build test race bench check
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race target runs every internal package — including the migration
+# stress test (internal/core TestMigrationStressExactlyOnce), which doubles
+# as the locking proof for the location cache and the sharded kernel state —
+# under the race detector.
+race:
+	$(GO) test -race ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+check: vet build test race

@@ -16,6 +16,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/ids"
 	"repro/internal/locate"
+	"repro/internal/metrics"
 	"repro/internal/object"
 )
 
@@ -261,6 +262,217 @@ func BenchmarkE9Monitor(b *testing.B) {
 }
 
 // Micro-benchmarks of the core mechanisms.
+
+// parkSleeper registers a "noop" handler proc, creates a sleeper object on
+// node, and spawns a thread that attaches the proc to "PING" and blocks in a
+// kernel sleep — the standard deliverable raise target for the locate
+// benchmarks. The returned thread stays resident at node.
+func parkSleeper(b *testing.B, sys *core.System, node ids.NodeID) ids.ThreadID {
+	b.Helper()
+	if err := sys.RegisterProc("noop", func(_ object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+		return event.VerdictResume
+	}); err != nil {
+		b.Fatal(err)
+	}
+	started := make(chan ids.ThreadID, 1)
+	oid, err := sys.CreateObject(node, object.Spec{
+		Name: "sleeper",
+		Entries: map[string]object.Entry{
+			"sleep": func(ctx object.Ctx, _ []any) ([]any, error) {
+				if err := ctx.RegisterEvent("PING"); err != nil {
+					return nil, err
+				}
+				if err := ctx.AttachHandler(event.HandlerRef{Event: "PING", Kind: event.KindProc, Proc: "noop"}); err != nil {
+					return nil, err
+				}
+				started <- ctx.Thread()
+				return nil, ctx.Sleep(time.Hour)
+			},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Spawn(node, oid, "sleep"); err != nil {
+		b.Fatal(err)
+	}
+	tid := <-started
+	time.Sleep(10 * time.Millisecond)
+	return tid
+}
+
+// BenchmarkLocateCached measures the thread-location cache on the delivery
+// path. hot-hit must locate from the cache alone — the sub-benchmark fails
+// if even one remote probe is issued. cold-miss invalidates before every
+// raise, paying the inner broadcast each time. post-migration-stale raises
+// at a thread bouncing between nodes, so cached locations go stale and each
+// delivery pays the invalidate-and-relocate bounce.
+func BenchmarkLocateCached(b *testing.B) {
+	b.Run("hot-hit", func(b *testing.B) {
+		reg := metrics.NewRegistry()
+		cache := locate.NewCache(locate.Broadcast{}, 0)
+		sys := benchSystem(b, core.Config{Nodes: 4, Locator: cache, Metrics: reg})
+		tid := parkSleeper(b, sys, 2)
+		// Warm the cache with one delivered raise.
+		if _, err := sys.RaiseAndWait(1, "PING", event.ToThread(tid), nil); err != nil {
+			b.Fatal(err)
+		}
+		probes := reg.Get(metrics.CtrLocateProbe)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.RaiseAndWait(1, "PING", event.ToThread(tid), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if d := reg.Get(metrics.CtrLocateProbe) - probes; d != 0 {
+			b.Fatalf("hot-hit issued %d remote probes over %d raises, want 0", d, b.N)
+		}
+		b.ReportMetric(0, "probes/locate")
+	})
+
+	b.Run("cold-miss", func(b *testing.B) {
+		reg := metrics.NewRegistry()
+		cache := locate.NewCache(locate.Broadcast{}, 0)
+		sys := benchSystem(b, core.Config{Nodes: 4, Locator: cache, Metrics: reg})
+		tid := parkSleeper(b, sys, 2)
+		probes := reg.Get(metrics.CtrLocateProbe)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cache.Invalidate(tid)
+			if _, err := sys.RaiseAndWait(1, "PING", event.ToThread(tid), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		d := reg.Get(metrics.CtrLocateProbe) - probes
+		if d == 0 {
+			b.Fatal("cold-miss issued no remote probes; every locate should pay the broadcast")
+		}
+		b.ReportMetric(float64(d)/float64(b.N), "probes/locate")
+	})
+
+	b.Run("post-migration-stale", func(b *testing.B) {
+		reg := metrics.NewRegistry()
+		cache := locate.NewCache(locate.Broadcast{}, 0)
+		sys := benchSystem(b, core.Config{
+			Nodes:   3,
+			Latency: 300 * time.Microsecond,
+			Locator: cache,
+			Metrics: reg,
+		})
+		if err := sys.RegisterProc("noop", func(_ object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+			return event.VerdictResume
+		}); err != nil {
+			b.Fatal(err)
+		}
+		var visits atomic.Int64
+		hopOID, err := sys.CreateObject(2, object.Spec{
+			Name: "hop",
+			Entries: map[string]object.Entry{
+				// A kernel sleep, so the thread is deliverable while dwelling
+				// at node 2 and its cached location there goes stale when the
+				// activation retires back to node 1. The dwell varies per
+				// visit: the fabric latency is an exact constant, and a fixed
+				// dwell phase-locks the bounce cycle with the raise cycle so
+				// raises always land in the same window and never hit a stale
+				// entry.
+				"dwell": func(ctx object.Ctx, _ []any) ([]any, error) {
+					return nil, ctx.Sleep(time.Duration(visits.Add(1)%5) * 400 * time.Microsecond)
+				},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var stop atomic.Bool
+		started := make(chan ids.ThreadID, 1)
+		bouncerOID, err := sys.CreateObject(1, object.Spec{
+			Name: "bouncer",
+			Entries: map[string]object.Entry{
+				"bounce": func(ctx object.Ctx, _ []any) ([]any, error) {
+					if err := ctx.RegisterEvent("MIG"); err != nil {
+						return nil, err
+					}
+					if err := ctx.AttachHandler(event.HandlerRef{Event: "MIG", Kind: event.KindProc, Proc: "noop"}); err != nil {
+						return nil, err
+					}
+					started <- ctx.Thread()
+					for !stop.Load() {
+						if _, err := ctx.Invoke(hopOID, "dwell"); err != nil {
+							return nil, err
+						}
+					}
+					return nil, nil
+				},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := sys.Spawn(1, bouncerOID, "bounce")
+		if err != nil {
+			b.Fatal(err)
+		}
+		tid := <-started
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Sweep the raise phase relative to the bounce cycle (the periods
+			// are coprime), so raises land in transit windows as well as dwell
+			// windows; a synchronous raiser otherwise self-synchronizes with
+			// the dwell and never observes a stale entry.
+			time.Sleep(time.Duration(i%7) * 150 * time.Microsecond)
+			// A raise can fail transiently while the thread is mid-flight
+			// everywhere; retry — the delivered count is what's measured.
+			for {
+				if _, err := sys.RaiseAndWait(3, "MIG", event.ToThread(tid), nil); err == nil {
+					break
+				}
+			}
+		}
+		b.StopTimer()
+		stop.Store(true)
+		if _, err := h.WaitTimeout(10 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(reg.Get(metrics.CtrLocateCacheStale))/float64(b.N), "stale/op")
+		b.ReportMetric(float64(reg.Get(metrics.CtrLocateCacheHit))/float64(b.N), "hit/op")
+		b.ReportMetric(float64(reg.Get(metrics.CtrLocateCacheMiss))/float64(b.N), "miss/op")
+	})
+}
+
+// BenchmarkBroadcastLocate8Nodes reproduces the seed's E2 measurement point
+// — one broadcast locate plus synchronous delivery on an 8-node fabric with
+// 1 ms one-way latency — on the concurrent scatter path. The seed's
+// sequential probe loop measured 18.28 ms/op here (7 blocking probe RTTs
+// before the post); the parallel fan-out pays ~1 probe RTT, and the cached
+// variant skips even that once warm.
+func BenchmarkBroadcastLocate8Nodes(b *testing.B) {
+	cases := []struct {
+		name string
+		mk   func() locate.Strategy
+	}{
+		{"parallel", func() locate.Strategy { return locate.Broadcast{} }},
+		{"parallel+cache", func() locate.Strategy { return locate.NewCache(locate.Broadcast{}, 0) }},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			sys := benchSystem(b, core.Config{
+				Nodes:       8,
+				Latency:     time.Millisecond,
+				Locator:     tc.mk(),
+				CallTimeout: 30 * time.Second,
+			})
+			tid := parkSleeper(b, sys, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.RaiseAndWait(8, "PING", event.ToThread(tid), nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkLocalInvoke measures a same-node cross-object invocation.
 func BenchmarkLocalInvoke(b *testing.B) {

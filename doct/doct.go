@@ -217,13 +217,11 @@ type System struct {
 // code (locks cleanup, monitor sampling, ^C protocol).
 func NewSystem(cfg Config) (*System, error) {
 	var strat locate.Strategy
-	trackMC := false
 	switch cfg.Locate {
 	case LocateBroadcast:
 		strat = locate.Broadcast{}
 	case LocateMulticast:
 		strat = locate.Multicast{}
-		trackMC = true
 	case LocatePathFollow, "":
 		strat = locate.PathFollow{}
 	default:
@@ -233,6 +231,9 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		strat = s
 	}
+	// Multicast only works when the kernel maintains the tracking groups —
+	// including when it arrives wrapped ("cached+multicast").
+	trackMC := locate.UsesMulticast(strat)
 	cs, err := core.NewSystem(core.Config{
 		Nodes:          cfg.Nodes,
 		Latency:        cfg.Latency,

@@ -186,12 +186,71 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestAllLocateStrategiesBoot(t *testing.T) {
-	for _, strat := range []LocateStrategy{LocateBroadcast, LocatePathFollow, LocateMulticast, ""} {
-		sys, err := NewSystem(Config{Nodes: 2})
+	for _, strat := range []LocateStrategy{
+		LocateBroadcast, LocatePathFollow, LocateMulticast, "",
+		"cached+broadcast", "cached+path-follow", "cached+multicast",
+	} {
+		sys, err := NewSystem(Config{Nodes: 2, Locate: strat})
 		if err != nil {
 			t.Fatalf("%q: %v", strat, err)
 		}
 		sys.Close()
+	}
+}
+
+// TestCachedMulticastDelivers guards the by-name wiring: a "cached+multicast"
+// locator must still turn on the kernel's tracking-group maintenance, or the
+// first cache miss probes an empty group and every delivery fails.
+func TestCachedMulticastDelivers(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 2, Locate: "cached+multicast"})
+	var handled atomic.Int64
+	if err := sys.RegisterProc("h", func(_ Ctx, _ HandlerRef, _ *EventBlock) Verdict {
+		handled.Add(1)
+		return Resume
+	}); err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan ThreadID, 1)
+	app, err := sys.CreateObject(1, ObjectSpec{
+		Name: "app",
+		Entries: map[string]Entry{
+			"run": func(ctx Ctx, _ []any) ([]any, error) {
+				if err := ctx.RegisterEvent("SYNCHRONIZE"); err != nil {
+					return nil, err
+				}
+				if err := ctx.AttachHandler(HandlerRef{Event: "SYNCHRONIZE", Kind: HandlerProc, Proc: "h"}); err != nil {
+					return nil, err
+				}
+				started <- ctx.Thread()
+				return nil, ctx.Sleep(300 * time.Millisecond)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(1, app, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid := <-started
+	time.Sleep(20 * time.Millisecond)
+	// Two raises: the first misses the cache and probes the tracking group,
+	// the second must be answered from the cache.
+	for i := 0; i < 2; i++ {
+		if _, err := sys.RaiseAndWait(2, "SYNCHRONIZE", ToThread(tid), nil); err != nil {
+			t.Fatalf("raise %d: %v", i, err)
+		}
+	}
+	if handled.Load() != 2 {
+		t.Fatalf("handled = %d, want 2", handled.Load())
+	}
+	m := sys.Metrics()
+	if m.Get("thread.locate.cache.hit") == 0 {
+		t.Error("second locate did not hit the cache")
+	}
+	if _, err := h.WaitTimeout(waitShort); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -49,6 +49,10 @@ type activation struct {
 	// pending are events queued for delivery at the next interruption
 	// point (or by a surrogate if the activation is blocked).
 	pending []*event.Block
+	// departed marks a completed non-root activation whose logical thread
+	// lives on at the caller's node: enqueue refuses new events (the
+	// raiser re-locates) and anything already pending is rerouted.
+	departed bool
 	// delivering is set while a goroutine (the activation itself at a
 	// checkpoint, or a surrogate) is walking handler chains.
 	delivering bool
@@ -111,6 +115,25 @@ func (a *activation) finish() {
 	a.mu.Lock()
 	a.status = thread.StatusTerminated
 	a.mu.Unlock()
+}
+
+// depart retires a non-root activation whose entry returned normally: the
+// logical thread is NOT dead — it continues in the caller's activation at
+// the invoking node — so events that raced into this activation's queue
+// must not be death-noticed the way finish/drainPending would. depart
+// marks the activation unable to accept new posts (enqueue refuses, the
+// raiser re-locates) and hands back whatever was pending so the kernel
+// can reroute it to the thread's current location (exactly-once: these
+// blocks were queued but never delivered here).
+func (a *activation) depart() []*event.Block {
+	a.stopTimers()
+	a.mu.Lock()
+	a.departed = true
+	a.status = thread.StatusTerminated
+	pending := a.pending
+	a.pending = nil
+	a.mu.Unlock()
+	return pending
 }
 
 // childNodeLocked reads the forwarding target under the activation lock.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dsm"
 	"repro/internal/event"
 	"repro/internal/ids"
+	"repro/internal/locate"
 	"repro/internal/metrics"
 	"repro/internal/object"
 	"repro/internal/thread"
@@ -52,13 +53,13 @@ func (k *Kernel) raiseAndWait(raiser *activation, name event.Name, target event.
 	id := k.syncSeq.Add(1)
 	eb.SyncID = id
 	w := &syncWaiter{ch: make(chan releaseReq, expect), expect: expect}
-	k.mu.Lock()
+	k.syncMu.Lock()
 	k.syncWait[id] = w
-	k.mu.Unlock()
+	k.syncMu.Unlock()
 	defer func() {
-		k.mu.Lock()
+		k.syncMu.Lock()
 		delete(k.syncWait, id)
-		k.mu.Unlock()
+		k.syncMu.Unlock()
 	}()
 
 	if err := k.route(eb); err != nil {
@@ -199,13 +200,22 @@ func (k *Kernel) raiseToThread(eb *event.Block, tid ids.ThreadID) error {
 		node, err := k.sys.cfg.Locator.Locate(k, tid)
 		if err != nil {
 			// The thread may be in transit between nodes (its forwarding
-			// state mid-update); back off briefly and re-locate.
+			// state mid-update); back off briefly and re-locate. A cached
+			// location cannot help a thread in transit, so drop it too.
+			k.invalidateLocation(tid)
 			lastErr = err
 			if attempt < locateRetries-1 {
 				time.Sleep(time.Duration(attempt+1) * time.Millisecond)
 				continue
 			}
 			return fmt.Errorf("%w: %v (%v)", ErrThreadNotFound, tid, err)
+		}
+		if tr := k.sys.tr; tr.Enabled() {
+			tr.Add(trace.Record{
+				Kind: trace.KindLocate, Node: k.node, Thread: tid,
+				Event: eb.Name, Target: node.String(),
+				Detail: fmt.Sprintf("strategy=%s attempt=%d", k.sys.cfg.Locator.Name(), attempt),
+			})
 		}
 		var postErr error
 		if node == k.node {
@@ -219,18 +229,37 @@ func (k *Kernel) raiseToThread(eb *event.Block, tid ids.ThreadID) error {
 		if !errors.Is(postErr, errThreadMoved) {
 			return postErr
 		}
+		// The thread left node between locate and post: any cached
+		// location for it is stale. Invalidate before re-locating so the
+		// retry falls through to the wrapped strategy (the §7.1 retry loop
+		// is what keeps the cache sound).
+		k.invalidateLocation(tid)
 		lastErr = postErr
 		time.Sleep(time.Millisecond)
 	}
 	return fmt.Errorf("%w: %v (%v)", ErrThreadNotFound, tid, lastErr)
 }
 
+// invalidateLocation drops tid from the locator's cache, if the configured
+// strategy keeps one, charging the stale counter when an entry was
+// actually present.
+func (k *Kernel) invalidateLocation(tid ids.ThreadID) {
+	if inv, ok := k.sys.cfg.Locator.(locate.Invalidator); ok {
+		if inv.Invalidate(tid) {
+			k.sys.reg.Inc(metrics.CtrLocateCacheStale)
+		}
+	}
+}
+
 // postToThreadLocal enqueues the event for the thread's deepest activation
-// at this node. It fails with errThreadMoved if the thread is not (or no
-// longer) current here, so the raiser re-locates.
+// at this node. The thread need not be resident: a TCB left behind as a
+// forwarding pointer means an activation is blocked here mid-invoke, and
+// enqueueing on it delivers by surrogate (§6.1) — this is how events reach
+// a thread that is in transit on the wire (§7.1). Only when no TCB exists
+// at all does the post fail with errThreadMoved, so the raiser re-locates.
 func (k *Kernel) postToThreadLocal(eb *event.Block) error {
 	tid := eb.Target.Thread
-	if !k.tcbs.Present(tid) {
+	if _, ok := k.tcbs.Lookup(tid); !ok {
 		return fmt.Errorf("%w: %v at %v", errThreadMoved, tid, k.node)
 	}
 	a, ok := k.topAct(tid)
@@ -240,7 +269,12 @@ func (k *Kernel) postToThreadLocal(eb *event.Block) error {
 	if a.stopped() != nil {
 		return fmt.Errorf("%w: %v already stopped", ErrThreadNotFound, tid)
 	}
-	k.enqueue(a, eb)
+	if !k.enqueue(a, eb) {
+		// The activation returned to its caller between topAct and
+		// enqueue; the thread lives on upstream, so have the raiser
+		// re-locate rather than dropping or death-noticing the event.
+		return fmt.Errorf("%w: %v departed %v", errThreadMoved, tid, k.node)
+	}
 	return nil
 }
 
@@ -256,21 +290,30 @@ func (k *Kernel) postTimerLocal(a *activation, name event.Name) {
 	}
 	k.sys.reg.Inc(metrics.CtrEventRaised)
 	if a.stopped() == nil {
+		// A departed activation drops node-local timer events: the timers
+		// are recreated wherever the thread now runs (§6.2).
 		k.enqueue(a, eb)
 	}
 }
 
 // enqueue queues the event and arranges for its delivery: inline at the
 // activation's next interruption point if it is running, by a surrogate
-// thread if it is blocked in a kernel operation.
-func (k *Kernel) enqueue(a *activation, eb *event.Block) {
+// thread if it is blocked in a kernel operation. It reports false if the
+// activation has departed (returned to its caller), in which case the
+// event was not queued and the caller must re-locate the thread.
+func (k *Kernel) enqueue(a *activation, eb *event.Block) bool {
 	a.mu.Lock()
+	if a.departed {
+		a.mu.Unlock()
+		return false
+	}
 	a.pending = append(a.pending, eb)
 	needSurrogate := a.status != thread.StatusRunning && !a.delivering
 	a.mu.Unlock()
 	if needSurrogate {
 		k.spawnSurrogate(a)
 	}
+	return true
 }
 
 // spawnSurrogate starts a surrogate delivery thread for a blocked
@@ -302,6 +345,48 @@ func (k *Kernel) drainPending(a *activation) {
 			continue
 		}
 		k.notifyThreadDeath(a.tid, eb)
+	}
+}
+
+// rerouteRetries bounds re-posting of events stranded in a departed
+// activation's queue. Each attempt already includes raiseToThread's own
+// locate-and-retry rounds; the outer loop rides out the invoke-reply
+// latency window during which no node's TCB claims the thread.
+const rerouteRetries = 25
+
+// reroutePending re-posts events that were queued on an activation that
+// then returned to its caller. The thread is still alive — it continues
+// at the invoking node — so these events are re-raised at its current
+// location instead of being death-noticed (exactly-once: they were queued
+// here but never delivered). Only if the thread cannot be found after the
+// retry budget (it genuinely terminated in the meantime, or the system is
+// closing) does the §7.2 death-notice protocol apply.
+func (k *Kernel) reroutePending(tid ids.ThreadID, pending []*event.Block) {
+	for _, eb := range pending {
+		eb := eb
+		k.wg.Add(1)
+		go func() {
+			defer k.wg.Done()
+			var err error
+			for attempt := 0; attempt < rerouteRetries; attempt++ {
+				if err = k.raiseToThread(eb, tid); err == nil {
+					return
+				}
+				if !errors.Is(err, ErrThreadNotFound) {
+					break
+				}
+				select {
+				case <-k.sys.closed:
+					return
+				case <-time.After(2 * time.Millisecond):
+				}
+			}
+			if eb.Sync {
+				k.releaseRaiser(eb, 0, false, err)
+			} else {
+				k.notifyThreadDeath(tid, eb)
+			}
+		}()
 	}
 }
 
@@ -613,9 +698,9 @@ func (k *Kernel) releaseRaiser(eb *event.Block, verdict event.Verdict, consumed 
 
 // release hands a release to the local waiter.
 func (k *Kernel) release(rel releaseReq) {
-	k.mu.Lock()
+	k.syncMu.Lock()
 	w := k.syncWait[rel.ID]
-	k.mu.Unlock()
+	k.syncMu.Unlock()
 	if w != nil {
 		select {
 		case w.ch <- rel:
@@ -793,7 +878,7 @@ type masterReq struct {
 
 // masterFor lazily starts the object's master handler thread.
 func (k *Kernel) masterFor(obj *object.Object) *master {
-	k.mu.Lock()
+	k.masterMu.Lock()
 	m, ok := k.masters[obj.ID()]
 	if !ok {
 		m = &master{k: k, obj: obj, ch: make(chan masterReq, 256), stopCh: make(chan struct{})}
@@ -802,7 +887,7 @@ func (k *Kernel) masterFor(obj *object.Object) *master {
 		k.wg.Add(1)
 		go m.loop()
 	}
-	k.mu.Unlock()
+	k.masterMu.Unlock()
 	return m
 }
 
@@ -892,7 +977,7 @@ func (k *Kernel) serveAbort(req abortReq) error {
 
 	// Find the thread's activation that entered this object and chase the
 	// invocation toward its other end.
-	k.mu.Lock()
+	k.actMu.Lock()
 	stack := k.acts[req.TID]
 	var target *activation
 	for i := len(stack) - 1; i >= 0; i-- {
@@ -909,7 +994,7 @@ func (k *Kernel) serveAbort(req abortReq) error {
 			break
 		}
 	}
-	k.mu.Unlock()
+	k.actMu.Unlock()
 	if target == nil {
 		return nil
 	}

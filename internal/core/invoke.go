@@ -242,8 +242,19 @@ func (k *Kernel) serveInvoke(req invokeReq) (any, error) {
 	}
 
 	stopErr := a.stopped()
-	a.finish()
-	k.popAct(a)
+	if stopErr == nil {
+		// Normal return: the logical thread continues at the caller's
+		// node. Events that raced into this activation's queue are
+		// rerouted there, not death-noticed — the thread is not dead.
+		pending := a.depart()
+		k.popAct(a)
+		k.reroutePending(a.tid, pending)
+	} else {
+		// Terminated or aborted: the thread really is unwinding; pending
+		// events get the §7.2 death-notice treatment.
+		a.finish()
+		k.popAct(a)
+	}
 
 	if stopErr != nil {
 		return nil, stopErr

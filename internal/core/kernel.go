@@ -97,12 +97,20 @@ type Kernel struct {
 
 	reqSeq atomic.Uint64
 
-	mu       sync.Mutex
-	waiters  map[uint64]chan rpcResponse
-	acts     map[ids.ThreadID][]*activation // activation stack per thread
+	// Hot kernel state is sharded: each map has its own lock (waiters is
+	// further striped by request ID — see shard.go) so RPC completions,
+	// deliveries, and activation bookkeeping stop serializing each other.
+	waiters *waiterTable
+
+	actMu sync.Mutex
+	acts  map[ids.ThreadID][]*activation // activation stack per thread
+
+	syncMu   sync.Mutex
 	syncWait map[uint64]*syncWaiter
-	masters  map[ids.ObjectID]*master
 	syncSeq  atomic.Uint64
+
+	masterMu sync.Mutex
+	masters  map[ids.ObjectID]*master
 
 	wg sync.WaitGroup
 }
@@ -131,7 +139,7 @@ func newKernel(s *System, node ids.NodeID) *Kernel {
 		store:    object.NewStore(),
 		tcbs:     thread.NewTable(),
 		groups:   thread.NewGroups(),
-		waiters:  make(map[uint64]chan rpcResponse),
+		waiters:  newWaiterTable(),
 		acts:     make(map[ids.ThreadID][]*activation),
 		syncWait: make(map[uint64]*syncWaiter),
 		masters:  make(map[ids.ObjectID]*master),
@@ -160,12 +168,12 @@ func (k *Kernel) Store() *object.Store { return k.store }
 
 // shutdown stops master handler threads and releases waiters.
 func (k *Kernel) shutdown() {
-	k.mu.Lock()
+	k.masterMu.Lock()
 	masters := make([]*master, 0, len(k.masters))
 	for _, m := range k.masters {
 		masters = append(masters, m)
 	}
-	k.mu.Unlock()
+	k.masterMu.Unlock()
 	for _, m := range masters {
 		m.stop()
 	}
@@ -196,11 +204,7 @@ func (k *Kernel) onMessage(m netsim.Message) {
 		if !ok {
 			return
 		}
-		k.mu.Lock()
-		ch, ok := k.waiters[rsp.ID]
-		delete(k.waiters, rsp.ID)
-		k.mu.Unlock()
-		if ok {
+		if ch, ok := k.waiters.take(rsp.ID); ok {
 			ch <- rsp
 		}
 	}
@@ -213,18 +217,14 @@ func (k *Kernel) call(to ids.NodeID, kind string, body any) (any, error) {
 	}
 	id := k.reqSeq.Add(1)
 	ch := make(chan rpcResponse, 1)
-	k.mu.Lock()
-	k.waiters[id] = ch
-	k.mu.Unlock()
+	k.waiters.put(id, ch)
 
 	err := k.sys.fabric.Send(netsim.Message{
 		From: k.node, To: to, Kind: msgRPCReq,
 		Payload: rpcRequest{ID: id, Kind: kind, From: k.node, Body: body},
 	})
 	if err != nil {
-		k.mu.Lock()
-		delete(k.waiters, id)
-		k.mu.Unlock()
+		k.waiters.drop(id)
 		return nil, fmt.Errorf("call %s to %v: %w", kind, to, err)
 	}
 
@@ -236,9 +236,7 @@ func (k *Kernel) call(to ids.NodeID, kind string, body any) (any, error) {
 	case <-k.sys.closed:
 		return nil, ErrShutdown
 	case <-timer.C:
-		k.mu.Lock()
-		delete(k.waiters, id)
-		k.mu.Unlock()
+		k.waiters.drop(id)
 		return nil, fmt.Errorf("call %s to %v: timeout after %v", kind, to, k.sys.cfg.CallTimeout)
 	}
 }
@@ -521,9 +519,9 @@ func (k *Kernel) deleteObjectLocal(oid ids.ObjectID) error {
 // pushAct registers an activation as the deepest for its thread at this
 // node and updates the TCB.
 func (k *Kernel) pushAct(a *activation) {
-	k.mu.Lock()
+	k.actMu.Lock()
 	k.acts[a.tid] = append(k.acts[a.tid], a)
-	k.mu.Unlock()
+	k.actMu.Unlock()
 	k.tcbs.Arrive(a.tid, a.baseDepth)
 	if k.sys.cfg.TrackMulticast {
 		k.sys.fabric.JoinGroup(locate.GroupName(a.tid), k.node)
@@ -534,7 +532,7 @@ func (k *Kernel) pushAct(a *activation) {
 // same thread is still present (the thread re-visited this node), the TCB
 // reverts to forwarding at that activation's child.
 func (k *Kernel) popAct(a *activation) {
-	k.mu.Lock()
+	k.actMu.Lock()
 	stack := k.acts[a.tid]
 	for i := len(stack) - 1; i >= 0; i-- {
 		if stack[i] == a {
@@ -551,7 +549,7 @@ func (k *Kernel) popAct(a *activation) {
 	if len(stack) > 0 {
 		prev = stack[len(stack)-1]
 	}
-	k.mu.Unlock()
+	k.actMu.Unlock()
 
 	if prev == nil {
 		k.tcbs.Remove(a.tid)
@@ -570,8 +568,8 @@ func (k *Kernel) popAct(a *activation) {
 
 // topAct returns the deepest activation for tid at this node.
 func (k *Kernel) topAct(tid ids.ThreadID) (*activation, bool) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	k.actMu.Lock()
+	defer k.actMu.Unlock()
 	stack := k.acts[tid]
 	if len(stack) == 0 {
 		return nil, false

@@ -1,0 +1,63 @@
+package core
+
+import "sync"
+
+// The kernel's hot maps used to share one Kernel.mu, so every RPC
+// completion, every delivery, and every activation push/pop serialized on
+// the same lock. They now each have their own lock, and the RPC waiter map
+// — touched twice per kernel call, by caller and fabric dispatcher alike —
+// is striped by request ID so concurrent calls rarely contend at all.
+
+// waiterShards is the stripe count for the RPC waiter table. Power of two
+// so the shard index is a mask of the (sequential) request ID, which also
+// spreads consecutive requests across distinct stripes.
+const waiterShards = 32
+
+// waiterTable maps in-flight RPC request IDs to their reply channels.
+type waiterTable struct {
+	shards [waiterShards]waiterShard
+}
+
+type waiterShard struct {
+	mu sync.Mutex
+	m  map[uint64]chan rpcResponse
+}
+
+func newWaiterTable() *waiterTable {
+	t := &waiterTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint64]chan rpcResponse)
+	}
+	return t
+}
+
+func (t *waiterTable) shard(id uint64) *waiterShard {
+	return &t.shards[id&(waiterShards-1)]
+}
+
+// put registers the reply channel for request id.
+func (t *waiterTable) put(id uint64, ch chan rpcResponse) {
+	s := t.shard(id)
+	s.mu.Lock()
+	s.m[id] = ch
+	s.mu.Unlock()
+}
+
+// take removes and returns the reply channel for request id; ok is false
+// if the waiter already gave up (timeout) or was never registered.
+func (t *waiterTable) take(id uint64) (chan rpcResponse, bool) {
+	s := t.shard(id)
+	s.mu.Lock()
+	ch, ok := s.m[id]
+	delete(s.m, id)
+	s.mu.Unlock()
+	return ch, ok
+}
+
+// drop removes the waiter for request id, if still present.
+func (t *waiterTable) drop(id uint64) {
+	s := t.shard(id)
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+}

@@ -257,14 +257,19 @@ func RunE1() Table {
 	return t
 }
 
-// RunE2 measures thread-location cost for the three §7.1 strategies as a
-// function of cluster size n and invocation path depth d.
+// RunE2 measures thread-location cost for the three §7.1 strategies — plus
+// their location-cache wrappings — as a function of cluster size n and
+// invocation path depth d. Each delivery is measured twice: cold (first
+// contact, the cache empty) and warm (the thread has not moved since); the
+// warm column is where the cache earns its keep, locating with zero remote
+// probes.
 func RunE2(clusterSizes, depths []int) Table {
 	t := Table{
 		ID:    "E2",
 		Title: "thread location cost (probes per delivery) — paper §7.1",
 		Headers: []string{
 			"strategy", "n nodes", "path depth", "remote probes", "msgs/delivery",
+			"warm probes", "cache h/m/s",
 		},
 	}
 	if len(clusterSizes) == 0 {
@@ -273,15 +278,20 @@ func RunE2(clusterSizes, depths []int) Table {
 	if len(depths) == 0 {
 		depths = []int{1, 2, 4, 8}
 	}
+	// Factories, not instances: a Cache carries per-system state (the
+	// tid → node map), so every system boot needs a fresh strategy value.
 	type strat struct {
 		name string
-		s    locate.Strategy
+		mk   func() locate.Strategy
 		mc   bool
 	}
 	strategies := []strat{
-		{"broadcast", locate.Broadcast{}, false},
-		{"path-follow", locate.PathFollow{}, false},
-		{"multicast", locate.Multicast{}, true},
+		{"broadcast", func() locate.Strategy { return locate.Broadcast{} }, false},
+		{"path-follow", func() locate.Strategy { return locate.PathFollow{} }, false},
+		{"multicast", func() locate.Strategy { return locate.Multicast{} }, true},
+		{"cached+broadcast", func() locate.Strategy { return locate.NewCache(locate.Broadcast{}, 0) }, false},
+		{"cached+path-follow", func() locate.Strategy { return locate.NewCache(locate.PathFollow{}, 0) }, false},
+		{"cached+multicast", func() locate.Strategy { return locate.NewCache(locate.Multicast{}, 0) }, true},
 	}
 	for _, st := range strategies {
 		for _, n := range clusterSizes {
@@ -289,35 +299,59 @@ func RunE2(clusterSizes, depths []int) Table {
 				if d >= n {
 					continue
 				}
-				probes, msgs := locateCost(st.s, st.mc, n, d)
+				cold, msgs, warm, hms := locateCost(st.mk, st.mc, n, d)
 				t.Rows = append(t.Rows, []string{
-					st.name, itoa(n), itoa(d), i64(probes), i64(msgs),
+					st.name, itoa(n), itoa(d), i64(cold), i64(msgs), i64(warm), hms,
 				})
 			}
 		}
 	}
 	t.Notes = append(t.Notes,
 		"broadcast grows with n; path-follow grows with d; multicast is flat (claim of §7.1)",
-		"msgs/delivery includes probe replies and the delivery post itself")
+		"msgs/delivery includes probe replies and the delivery post itself (cold delivery)",
+		"warm probes = remote probes for a second delivery to the unmoved thread; 0 for cached strategies",
+		"cache h/m/s = location-cache hit/miss/stale counters over both deliveries ('-' when uncached)")
 	return t
 }
 
 // locateCost builds an n-node cluster, walks a thread through d hops, and
-// measures the probes and messages of one TERMINATE delivery raised from a
-// node that never hosted the thread.
-func locateCost(s locate.Strategy, trackMC bool, n, d int) (probes, msgs int64) {
+// measures the remote probes and messages of event deliveries raised from a
+// node that never hosted the thread: one cold (first contact) and one warm
+// (the thread has not moved since, so a location cache answers without
+// probing). The thread is then terminated outside the measured window.
+func locateCost(mk func() locate.Strategy, trackMC bool, n, d int) (cold, msgs, warm int64, cacheHMS string) {
+	s := mk()
 	sys := mustSystem(core.Config{Nodes: n, Locator: s, TrackMulticast: trackMC})
 	defer sys.Close()
+	if err := sys.RegisterProc("e2.noop", func(_ object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+		return event.VerdictResume
+	}); err != nil {
+		panic(err)
+	}
 
 	started := make(chan ids.ThreadID, 1)
-	// Build a chain of objects on nodes 2..d+1; the deepest sleeps.
+	// Build a chain of objects on nodes 2..d+1; the deepest attaches a
+	// no-op handler for the measured event and sleeps.
 	var prev ids.ObjectID
 	for i := d; i >= 1; i-- {
 		node := ids.NodeID(i + 1)
 		var spec object.Spec
 		if i == d {
-			spec = sleeperSpec(started)
-			spec.Entries["fwd"] = spec.Entries["sleep"]
+			spec = object.Spec{
+				Name: "deepest",
+				Entries: map[string]object.Entry{
+					"fwd": func(ctx object.Ctx, _ []any) ([]any, error) {
+						if err := ctx.RegisterEvent("E2EV"); err != nil {
+							return nil, err
+						}
+						if err := ctx.AttachHandler(event.HandlerRef{Event: "E2EV", Kind: event.KindProc, Proc: "e2.noop"}); err != nil {
+							return nil, err
+						}
+						started <- ctx.Thread()
+						return nil, ctx.Sleep(time.Hour)
+					},
+				},
+			}
 		} else {
 			next := prev
 			spec = object.Spec{
@@ -342,16 +376,42 @@ func locateCost(s locate.Strategy, trackMC bool, n, d int) (probes, msgs int64) 
 	<-started
 	time.Sleep(20 * time.Millisecond)
 
-	before := sys.Metrics().Snapshot()
 	// Raise from the last node, which has never seen the thread.
-	if err := sys.Raise(ids.NodeID(n), event.Terminate, event.ToThread(h.TID()), nil); err != nil {
+	raiser := ids.NodeID(n)
+	before := sys.Metrics().Snapshot()
+	if err := sys.Raise(raiser, "E2EV", event.ToThread(h.TID()), nil); err != nil {
+		panic(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	coldDiff := sys.Metrics().Snapshot().Diff(before)
+	cold = coldDiff.Get(metrics.CtrLocateProbe)
+	msgs = coldDiff.Get(metrics.CtrMsgSent)
+
+	warmBefore := sys.Metrics().Snapshot()
+	if err := sys.Raise(raiser, "E2EV", event.ToThread(h.TID()), nil); err != nil {
+		panic(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	warm = sys.Metrics().Snapshot().Diff(warmBefore).Get(metrics.CtrLocateProbe)
+
+	if _, cached := s.(*locate.Cache); cached {
+		full := sys.Metrics().Snapshot().Diff(before)
+		cacheHMS = fmt.Sprintf("%d/%d/%d",
+			full.Get(metrics.CtrLocateCacheHit),
+			full.Get(metrics.CtrLocateCacheMiss),
+			full.Get(metrics.CtrLocateCacheStale))
+	} else {
+		cacheHMS = "-"
+	}
+
+	// Tear down deterministically, outside the measured window.
+	if err := sys.Raise(raiser, event.Terminate, event.ToThread(h.TID()), nil); err != nil {
 		panic(err)
 	}
 	if _, err := h.WaitTimeout(waitLong); err == nil {
 		panic("thread survived terminate")
 	}
-	diff := sys.Metrics().Snapshot().Diff(before)
-	return diff.Get(metrics.CtrLocateProbe), diff.Get(metrics.CtrMsgSent)
+	return cold, msgs, warm, cacheHMS
 }
 
 // RunE3 measures object event handling under the two §4.3 policies:

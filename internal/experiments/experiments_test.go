@@ -82,6 +82,32 @@ func TestE2Shapes(t *testing.T) {
 	}
 }
 
+// TestE2CachedWarmProbesZero: a cached strategy must locate the unmoved
+// thread's second delivery from the cache — zero remote probes — and report
+// its hit/miss/stale counters; uncached rows carry no cache column.
+func TestE2CachedWarmProbesZero(t *testing.T) {
+	tbl := RunE2([]int{4}, []int{1})
+	cachedRows := 0
+	for _, row := range tbl.Rows {
+		if !strings.HasPrefix(row[0], "cached+") {
+			if row[6] != "-" {
+				t.Errorf("%s: cache column = %q, want '-'", row[0], row[6])
+			}
+			continue
+		}
+		cachedRows++
+		if got := atoiCell(t, row[5]); got != 0 {
+			t.Errorf("%s: warm probes = %d, want 0 (cache hit)", row[0], got)
+		}
+		if !strings.Contains(row[6], "/") {
+			t.Errorf("%s: cache column = %q, want h/m/s counters", row[0], row[6])
+		}
+	}
+	if cachedRows != 3 {
+		t.Errorf("cached rows = %d, want 3", cachedRows)
+	}
+}
+
 func TestE2PathFollowGrowsWithDepth(t *testing.T) {
 	tbl := RunE2([]int{16}, []int{1, 8})
 	var shallow, deep int

@@ -1,0 +1,168 @@
+package locate
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/metrics"
+)
+
+// DefaultCacheSize bounds a Cache built with size <= 0. Big enough for the
+// experiment workloads; small enough that a pathological workload churning
+// through threads cannot hold the whole cluster's thread table in memory.
+const DefaultCacheSize = 1024
+
+// Invalidator is implemented by strategies that remember thread locations
+// and need to be told when a remembered location went stale. The kernel
+// checks for it when a post bounces with thread-moved, so any wrapper that
+// caches can participate in the invalidation protocol without the kernel
+// knowing its concrete type.
+type Invalidator interface {
+	// Invalidate forgets any cached location for tid, reporting whether an
+	// entry was actually present (i.e. the caller hit a genuinely stale
+	// mapping rather than an already-evicted one).
+	Invalidate(tid ids.ThreadID) bool
+}
+
+// Cache wraps any inner Strategy with a bounded LRU map of tid → last known
+// node. A hot thread that is not migrating is located with zero messages:
+// the cached node is returned immediately and the kernel's post either
+// succeeds or comes back thread-moved, at which point the kernel calls
+// Invalidate and retries — falling through to the inner strategy on the
+// next Locate. Correctness therefore rests entirely on the kernel's
+// existing relocate-and-retry loop; the cache is purely an optimisation.
+type Cache struct {
+	inner Strategy
+	size  int
+
+	mu  sync.Mutex
+	lru *list.List // front = most recently used; values are *cacheEntry
+	idx map[ids.ThreadID]*list.Element
+}
+
+type cacheEntry struct {
+	tid  ids.ThreadID
+	node ids.NodeID
+}
+
+var _ Strategy = (*Cache)(nil)
+var _ Invalidator = (*Cache)(nil)
+
+// NewCache wraps inner in an LRU location cache holding at most size
+// entries (DefaultCacheSize if size <= 0).
+func NewCache(inner Strategy, size int) *Cache {
+	if size <= 0 {
+		size = DefaultCacheSize
+	}
+	return &Cache{
+		inner: inner,
+		size:  size,
+		lru:   list.New(),
+		idx:   make(map[ids.ThreadID]*list.Element, size),
+	}
+}
+
+// Name returns "cached+" + the inner strategy's name.
+func (c *Cache) Name() string { return "cached+" + c.inner.Name() }
+
+// Inner returns the wrapped strategy.
+func (c *Cache) Inner() Strategy { return c.inner }
+
+// Locate answers from the cache when possible (zero probes); otherwise it
+// delegates to the inner strategy and remembers the answer — but only when
+// the inner strategy reports the thread actually resident at the node. A
+// transit-host answer (a node merely holding the TCB of a thread in
+// flight, reachable by surrogate delivery) is returned without being
+// cached: it is valid for one delivery window at best, and the thread's
+// root node would otherwise be cached forever, pinning every future
+// delivery to an upstream activation.
+func (c *Cache) Locate(env Env, tid ids.ThreadID) (ids.NodeID, error) {
+	reg := env.Metrics()
+	if node, ok := c.lookup(tid); ok {
+		reg.Inc(metrics.CtrThreadLocate)
+		reg.Inc(metrics.CtrLocateCacheHit)
+		return node, nil
+	}
+	reg.Inc(metrics.CtrLocateCacheMiss)
+	if rl, ok := c.inner.(residencyLocator); ok {
+		node, resident, err := rl.locateResident(env, tid)
+		if err != nil {
+			return ids.NoNode, err
+		}
+		if resident {
+			c.store(tid, node)
+		}
+		return node, nil
+	}
+	node, err := c.inner.Locate(env, tid)
+	if err != nil {
+		return ids.NoNode, err
+	}
+	c.store(tid, node)
+	return node, nil
+}
+
+// Invalidate forgets tid's cached location. The kernel calls this when a
+// post to the cached node bounces with thread-moved; the return value tells
+// it whether the bounce was caused by a stale cache entry (so it can charge
+// the stale counter) or by genuine concurrent migration.
+func (c *Cache) Invalidate(tid ids.ThreadID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[tid]
+	if !ok {
+		return false
+	}
+	c.lru.Remove(el)
+	delete(c.idx, tid)
+	return true
+}
+
+// Len reports the number of cached locations.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+func (c *Cache) lookup(tid ids.ThreadID) (ids.NodeID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[tid]
+	if !ok {
+		return ids.NoNode, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).node, true
+}
+
+func (c *Cache) store(tid ids.ThreadID, node ids.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[tid]; ok {
+		el.Value.(*cacheEntry).node = node
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.idx[tid] = c.lru.PushFront(&cacheEntry{tid: tid, node: node})
+	for c.lru.Len() > c.size {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.idx, oldest.Value.(*cacheEntry).tid)
+	}
+}
+
+// byNameCached resolves "cached+<inner>" strategy names.
+func byNameCached(name string) (Strategy, bool, error) {
+	rest, ok := strings.CutPrefix(name, "cached+")
+	if !ok {
+		return nil, false, nil
+	}
+	inner, err := ByName(rest)
+	if err != nil {
+		return nil, true, err
+	}
+	return NewCache(inner, 0), true, nil
+}

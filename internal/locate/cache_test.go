@@ -1,0 +1,154 @@
+package locate
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/metrics"
+)
+
+func TestCacheHitSkipsInner(t *testing.T) {
+	env := newFakeEnv(1, 8)
+	tid := ids.NewThreadID(1, 1)
+	env.results[5] = ProbeResult{Known: true, Here: true}
+	c := NewCache(Broadcast{}, 0)
+
+	// Cold: delegates to broadcast (7 remote probes), remembers node5.
+	node, err := c.Locate(env, tid)
+	if err != nil || node != 5 {
+		t.Fatalf("cold Locate = %v, %v; want node5", node, err)
+	}
+	coldProbes := env.reg.Get(metrics.CtrLocateProbe)
+	if coldProbes != 7 {
+		t.Fatalf("cold probes = %d, want 7", coldProbes)
+	}
+	if env.reg.Get(metrics.CtrLocateCacheMiss) != 1 {
+		t.Error("cold lookup not counted as a miss")
+	}
+
+	// Hot: answered from the cache with zero probes.
+	node, err = c.Locate(env, tid)
+	if err != nil || node != 5 {
+		t.Fatalf("hot Locate = %v, %v; want node5", node, err)
+	}
+	if got := env.reg.Get(metrics.CtrLocateProbe); got != coldProbes {
+		t.Errorf("hot hit issued %d probes, want 0", got-coldProbes)
+	}
+	if env.reg.Get(metrics.CtrLocateCacheHit) != 1 {
+		t.Error("hot lookup not counted as a hit")
+	}
+}
+
+func TestCacheInvalidateFallsThrough(t *testing.T) {
+	env := newFakeEnv(1, 4)
+	tid := ids.NewThreadID(1, 1)
+	env.results[2] = ProbeResult{Known: true, Here: true}
+	c := NewCache(Broadcast{}, 0)
+	if _, err := c.Locate(env, tid); err != nil {
+		t.Fatal(err)
+	}
+
+	// Thread moves 2 -> 3; the cache still says 2 until invalidated.
+	delete(env.results, 2)
+	env.results[3] = ProbeResult{Known: true, Here: true}
+	if node, _ := c.Locate(env, tid); node != 2 {
+		t.Fatalf("pre-invalidate Locate = %v, want stale node2", node)
+	}
+	if !c.Invalidate(tid) {
+		t.Fatal("Invalidate found no entry, want stale entry present")
+	}
+	if c.Invalidate(tid) {
+		t.Fatal("second Invalidate claims an entry was present")
+	}
+	node, err := c.Locate(env, tid)
+	if err != nil || node != 3 {
+		t.Fatalf("post-invalidate Locate = %v, %v; want node3", node, err)
+	}
+}
+
+func TestCacheDoesNotCacheFailures(t *testing.T) {
+	env := newFakeEnv(1, 4)
+	tid := ids.NewThreadID(1, 1)
+	c := NewCache(Broadcast{}, 0)
+	if _, err := c.Locate(env, tid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if c.Len() != 0 {
+		t.Errorf("cache holds %d entries after a failed locate, want 0", c.Len())
+	}
+	// The thread appears; the next locate must find it, not replay failure.
+	env.results[3] = ProbeResult{Known: true, Here: true}
+	node, err := c.Locate(env, tid)
+	if err != nil || node != 3 {
+		t.Fatalf("Locate = %v, %v; want node3", node, err)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	env := newFakeEnv(1, 4)
+	env.results[2] = ProbeResult{Known: true, Here: true}
+	c := NewCache(Broadcast{}, 2)
+	t1 := ids.NewThreadID(1, 1)
+	t2 := ids.NewThreadID(1, 2)
+	t3 := ids.NewThreadID(1, 3)
+	for _, tid := range []ids.ThreadID{t1, t2} {
+		if _, err := c.Locate(env, tid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch t1 so t2 is the LRU victim when t3 arrives.
+	if _, err := c.Locate(env, t1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Locate(env, t3); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache size = %d, want 2", c.Len())
+	}
+	if c.Invalidate(t2) {
+		t.Error("t2 still cached, want evicted as LRU")
+	}
+	if !c.Invalidate(t1) || !c.Invalidate(t3) {
+		t.Error("t1/t3 not cached, want retained")
+	}
+}
+
+func TestCacheName(t *testing.T) {
+	c := NewCache(PathFollow{}, 0)
+	if c.Name() != "cached+path-follow" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	if c.Inner().Name() != "path-follow" {
+		t.Errorf("Inner().Name = %q", c.Inner().Name())
+	}
+}
+
+// TestCacheConcurrent hammers a cache from many goroutines mixing lookups
+// and invalidations; run under -race this proves the locking is sound.
+func TestCacheConcurrent(t *testing.T) {
+	env := newFakeEnv(1, 8)
+	env.results[2] = ProbeResult{Known: true, Here: true}
+	c := NewCache(Broadcast{}, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tid := ids.NewThreadID(1, uint64(i%32)+1)
+				if g%2 == 0 {
+					if _, err := c.Locate(env, tid); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					c.Invalidate(tid)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

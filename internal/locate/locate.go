@@ -20,6 +20,8 @@ package locate
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ids"
 	"repro/internal/metrics"
@@ -38,7 +40,10 @@ var (
 
 // ProbeResult is one node's answer about a thread.
 type ProbeResult struct {
-	// Known reports whether the node has any TCB for the thread.
+	// Known reports whether the node has any TCB for the thread. A node
+	// with a TCB holds a live activation (possibly blocked mid-invoke) and
+	// can accept event delivery by surrogate (§6.1), so strategies fall
+	// back to a Known node when no node reports the thread resident.
 	Known bool
 	// Here reports whether the thread's deepest activation is at the node.
 	Here bool
@@ -71,6 +76,18 @@ type Strategy interface {
 	Locate(env Env, tid ids.ThreadID) (ids.NodeID, error)
 }
 
+// residencyLocator is the richer locate answer the built-in strategies
+// share: resident reports whether the returned node actually hosts the
+// thread's deepest activation, as opposed to being a transit host that
+// merely holds a TCB for a thread in flight. The Cache only remembers
+// resident answers — a transit host is valid for exactly one delivery
+// window (the thread returns through it and the TCB vanishes, or worse,
+// the root's TCB never vanishes and a cached root would pin every future
+// delivery to an upstream activation).
+type residencyLocator interface {
+	locateResident(env Env, tid ids.ThreadID) (ids.NodeID, bool, error)
+}
+
 // probe wraps Env.Probe with accounting. Local table lookups are free;
 // remote probes cost one locate-probe each.
 func probe(env Env, node ids.NodeID, tid ids.ThreadID) (ProbeResult, error) {
@@ -80,9 +97,96 @@ func probe(env Env, node ids.NodeID, tid ids.ThreadID) (ProbeResult, error) {
 	return env.Probe(node, tid)
 }
 
+// scatterProbe issues probes to the candidate nodes concurrently, at most
+// maxFanout in flight at once (all at once when maxFanout <= 0). The first
+// node to answer Here wins; when the fan-out is bounded, a win cancels the
+// probes still queued behind the limiter.
+//
+// A node that answers Known but not Here still holds a TCB for the thread,
+// which means a live activation is blocked there mid-invoke; the kernel can
+// deliver to it with a surrogate thread (§6.1). Such a node is returned as
+// the host fallback: it is how events reach a thread that is in transit on
+// the wire and momentarily resident nowhere (§7.1's fast-moving thread).
+//
+// Individual probe failures are tolerated: the scatter only fails when no
+// node claims the thread at all. When some probes did answer but none knew
+// the thread, it is genuinely gone and the error wraps ErrNotFound; when
+// every probe failed, nothing answered and the first transport error is
+// surfaced instead.
+func scatterProbe(env Env, tid ids.ThreadID, nodes []ids.NodeID, maxFanout int, what string) (here, host ids.NodeID, err error) {
+	if len(nodes) == 0 {
+		return ids.NoNode, ids.NoNode, fmt.Errorf("%w: %v (%s: no candidates)", ErrNotFound, tid, what)
+	}
+	workers := maxFanout
+	if workers <= 0 || workers > len(nodes) {
+		workers = len(nodes)
+	}
+	var (
+		next     atomic.Int64
+		won      atomic.Bool
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		failed   int
+		firstErr error
+	)
+	here, host = ids.NoNode, ids.NoNode
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(nodes) {
+					return
+				}
+				if workers < len(nodes) && won.Load() {
+					// Bounded fan-out and somebody already answered Here:
+					// skip the probes still waiting on the limiter.
+					return
+				}
+				res, err := probe(env, nodes[i], tid)
+				mu.Lock()
+				switch {
+				case err != nil:
+					failed++
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s probe %v: %w", what, nodes[i], err)
+					}
+				case res.Here:
+					if !here.IsValid() {
+						here = nodes[i]
+					}
+					won.Store(true)
+				case res.Known:
+					if !host.IsValid() {
+						host = nodes[i]
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if here.IsValid() || host.IsValid() {
+		return here, host, nil
+	}
+	if failed > 0 && failed >= len(nodes) {
+		return ids.NoNode, ids.NoNode, fmt.Errorf("%s: no probe answered: %w", what, firstErr)
+	}
+	if failed > 0 {
+		return ids.NoNode, ids.NoNode, fmt.Errorf("%w: %v (%s; %d/%d probes failed, first: %v)",
+			ErrNotFound, tid, what, failed, len(nodes), firstErr)
+	}
+	return ids.NoNode, ids.NoNode, fmt.Errorf("%w: %v (%s)", ErrNotFound, tid, what)
+}
+
 // Broadcast locates by asking every node (§7.1: "A simple solution to
 // finding threads is to broadcast the event request").
-type Broadcast struct{}
+type Broadcast struct {
+	// MaxFanout bounds how many probes are in flight at once; zero or
+	// negative means probe every node concurrently (a true broadcast).
+	MaxFanout int
+}
 
 var _ Strategy = Broadcast{}
 
@@ -92,30 +196,43 @@ func (Broadcast) Name() string { return "broadcast" }
 // Locate checks the local node first (a free table lookup), then sends the
 // request to every other node at once — a true broadcast: all n-1 remote
 // nodes are probed regardless of where the thread turns out to be, which
-// is why the paper calls this "communication intensive and wasteful".
-func (Broadcast) Locate(env Env, tid ids.ThreadID) (ids.NodeID, error) {
+// is why the paper calls this "communication intensive and wasteful". The
+// probes fly concurrently, so the wall-clock cost is ~1 RTT instead of
+// n-1 sequential round trips; the message cost is unchanged.
+//
+// Preference order: a node where the thread is resident beats any host
+// holding a blocked activation, and the local node beats a remote host
+// (posting locally is free). A host can always accept delivery by
+// surrogate (§6.1), so a thread in transit remains addressable.
+func (b Broadcast) Locate(env Env, tid ids.ThreadID) (ids.NodeID, error) {
+	node, _, err := b.locateResident(env, tid)
+	return node, err
+}
+
+func (b Broadcast) locateResident(env Env, tid ids.ThreadID) (ids.NodeID, bool, error) {
 	env.Metrics().Inc(metrics.CtrThreadLocate)
 	self := env.Self()
-	if res, err := probe(env, self, tid); err == nil && res.Here {
-		return self, nil
+	selfRes, selfErr := probe(env, self, tid)
+	if selfErr == nil && selfRes.Here {
+		return self, true, nil
 	}
-	found := ids.NoNode
-	for _, node := range env.Nodes() {
-		if node == self {
-			continue
-		}
-		res, err := probe(env, node, tid)
-		if err != nil {
-			return ids.NoNode, fmt.Errorf("broadcast probe %v: %w", node, err)
-		}
-		if res.Here && !found.IsValid() {
-			found = node
+	all := env.Nodes()
+	remote := make([]ids.NodeID, 0, len(all))
+	for _, node := range all {
+		if node != self {
+			remote = append(remote, node)
 		}
 	}
-	if found.IsValid() {
-		return found, nil
+	here, host, err := scatterProbe(env, tid, remote, b.MaxFanout, "broadcast")
+	switch {
+	case here.IsValid():
+		return here, true, nil
+	case selfErr == nil && selfRes.Known:
+		return self, false, nil
+	case host.IsValid():
+		return host, false, nil
 	}
-	return ids.NoNode, fmt.Errorf("%w: %v (broadcast)", ErrNotFound, tid)
+	return ids.NoNode, false, err
 }
 
 // PathFollow locates by chasing TCB forwarding pointers from the thread's
@@ -132,39 +249,60 @@ var _ Strategy = PathFollow{}
 // Name returns "path-follow".
 func (PathFollow) Name() string { return "path-follow" }
 
-// Locate chases forwarding pointers starting at tid.Root().
+// Locate chases forwarding pointers starting at tid.Root(). When the chase
+// dead-ends — the chain breaks, cycles, or runs past the hop budget while
+// the thread is in transit — the deepest node seen holding a TCB is
+// returned as a host: its blocked activation accepts delivery by surrogate
+// (§6.1), so a fast-moving thread stays addressable (§7.1).
 func (p PathFollow) Locate(env Env, tid ids.ThreadID) (ids.NodeID, error) {
+	node, _, err := p.locateResident(env, tid)
+	return node, err
+}
+
+func (p PathFollow) locateResident(env Env, tid ids.ThreadID) (ids.NodeID, bool, error) {
 	env.Metrics().Inc(metrics.CtrThreadLocate)
 	maxHops := p.MaxHops
 	if maxHops <= 0 {
 		maxHops = len(env.Nodes())
 	}
 	node := tid.Root()
+	host := ids.NoNode
 	visited := make(map[ids.NodeID]bool, maxHops)
 	for hop := 0; hop <= maxHops; hop++ {
 		res, err := probe(env, node, tid)
 		if err != nil {
-			return ids.NoNode, fmt.Errorf("path probe %v: %w", node, err)
+			return ids.NoNode, false, fmt.Errorf("path probe %v: %w", node, err)
 		}
+		if res.Here {
+			return node, true, nil
+		}
+		if !res.Known {
+			if host.IsValid() {
+				return host, false, nil
+			}
+			return ids.NoNode, false, fmt.Errorf("%w: %v has no TCB for %v", ErrPathBroken, node, tid)
+		}
+		// The node keeps a TCB, so an activation of the thread is blocked
+		// here mid-invoke: remember the deepest such node as the fallback
+		// delivery point.
+		host = node
 		switch {
-		case res.Here:
-			return node, nil
-		case !res.Known:
-			return ids.NoNode, fmt.Errorf("%w: %v has no TCB for %v", ErrPathBroken, node, tid)
 		case !res.Next.IsValid():
-			// The TCB exists but the thread is neither here nor forwarded:
-			// it returned past this node and is being torn down, or is in
-			// transit. Treat as not found; the caller may retry.
-			return ids.NoNode, fmt.Errorf("%w: %v (path ends at %v)", ErrNotFound, tid, node)
+			// The thread is neither here nor forwarded: it returned past
+			// this node and the chain is mid-update. Deliver here.
+			return host, false, nil
 		case visited[res.Next]:
 			// Cycles can only appear if the thread re-visits a node and the
-			// chain is mid-update; bail rather than spin.
-			return ids.NoNode, fmt.Errorf("%w: %v (forwarding cycle at %v)", ErrNotFound, tid, res.Next)
+			// chain is mid-update; stop at the deepest host rather than spin.
+			return host, false, nil
 		}
 		visited[node] = true
 		node = res.Next
 	}
-	return ids.NoNode, fmt.Errorf("%w: %v (exceeded %d hops)", ErrNotFound, tid, maxHops)
+	if host.IsValid() {
+		return host, false, nil
+	}
+	return ids.NoNode, false, fmt.Errorf("%w: %v (exceeded %d hops)", ErrNotFound, tid, maxHops)
 }
 
 // Multicast locates through the thread's tracking multicast group (§7.1:
@@ -172,7 +310,12 @@ func (p PathFollow) Locate(env Env, tid ids.ThreadID) (ids.NodeID, error) {
 // possible to address each thread by sending a message to its multi-cast
 // group"). The kernel keeps the group membership current as the thread
 // moves; locating is one probe per (typically one or two) member.
-type Multicast struct{}
+type Multicast struct {
+	// MaxFanout bounds how many group members are probed at once; zero or
+	// negative probes every member concurrently. Tracking groups are tiny
+	// (usually one member), so the bound rarely matters.
+	MaxFanout int
+}
 
 var _ Strategy = Multicast{}
 
@@ -182,28 +325,80 @@ func (Multicast) Name() string { return "multicast" }
 // GroupName returns the fabric multicast group that tracks tid.
 func GroupName(tid ids.ThreadID) string { return "thr:" + tid.String() }
 
-// Locate probes the members of the thread's tracking group.
-func (Multicast) Locate(env Env, tid ids.ThreadID) (ids.NodeID, error) {
+// Locate probes the members of the thread's tracking group concurrently.
+// A member that is this node is checked first as a free table lookup. As
+// with Broadcast, a member that only holds a TCB (the thread is blocked or
+// in transit) is an acceptable delivery point when no member reports the
+// thread resident.
+func (m Multicast) Locate(env Env, tid ids.ThreadID) (ids.NodeID, error) {
+	node, _, err := m.locateResident(env, tid)
+	return node, err
+}
+
+func (m Multicast) locateResident(env Env, tid ids.ThreadID) (ids.NodeID, bool, error) {
 	env.Metrics().Inc(metrics.CtrThreadLocate)
 	members := env.GroupMembers(tid)
 	if len(members) == 0 {
-		return ids.NoNode, fmt.Errorf("%w: %v (empty tracking group)", ErrNotFound, tid)
+		return ids.NoNode, false, fmt.Errorf("%w: %v (empty tracking group)", ErrNotFound, tid)
 	}
 	env.Metrics().Inc(metrics.CtrMulticast)
+	self := env.Self()
+	selfKnown := false
+	remote := make([]ids.NodeID, 0, len(members))
 	for _, node := range members {
-		res, err := probe(env, node, tid)
-		if err != nil {
-			return ids.NoNode, fmt.Errorf("multicast probe %v: %w", node, err)
+		if node == self {
+			if res, err := probe(env, node, tid); err == nil {
+				if res.Here {
+					return node, true, nil
+				}
+				selfKnown = res.Known
+			}
+			continue
 		}
-		if res.Here {
-			return node, nil
-		}
+		remote = append(remote, node)
 	}
-	return ids.NoNode, fmt.Errorf("%w: %v (no group member hosts it)", ErrNotFound, tid)
+	if len(remote) == 0 && selfKnown {
+		return self, false, nil
+	}
+	here, host, err := scatterProbe(env, tid, remote, m.MaxFanout, "multicast")
+	switch {
+	case here.IsValid():
+		return here, true, nil
+	case selfKnown:
+		return self, false, nil
+	case host.IsValid():
+		return host, false, nil
+	}
+	if err != nil && errors.Is(err, ErrNotFound) {
+		return ids.NoNode, false, fmt.Errorf("%w: %v (no group member hosts it)", ErrNotFound, tid)
+	}
+	return ids.NoNode, false, err
 }
 
-// ByName returns the strategy with the given name.
+// UsesMulticast reports whether s — or the strategy it wraps — is the
+// Multicast strategy, which only works when the kernel maintains the
+// per-thread tracking groups (core.Config.TrackMulticast). Callers that
+// accept a strategy by name must consult this rather than type-assert, or
+// a wrapped "cached+multicast" silently probes an empty group.
+func UsesMulticast(s Strategy) bool {
+	for {
+		switch v := s.(type) {
+		case Multicast:
+			return true
+		case *Cache:
+			s = v.Inner()
+		default:
+			return false
+		}
+	}
+}
+
+// ByName returns the strategy with the given name. A "cached+" prefix
+// wraps the rest in a default-sized Cache ("cached+broadcast", ...).
 func ByName(name string) (Strategy, error) {
+	if s, ok, err := byNameCached(name); ok {
+		return s, err
+	}
 	switch name {
 	case "broadcast":
 		return Broadcast{}, nil

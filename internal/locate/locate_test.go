@@ -2,6 +2,7 @@ package locate
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -10,15 +11,18 @@ import (
 )
 
 // fakeEnv is a scripted cluster: a map from node to the probe result it
-// returns for the single thread under test.
+// returns for the single thread under test. Probe is called concurrently
+// by the scatter fan-out, so the probe log is mutex-guarded.
 type fakeEnv struct {
 	self    ids.NodeID
 	nodes   []ids.NodeID
 	results map[ids.NodeID]ProbeResult
 	members []ids.NodeID
 	reg     *metrics.Registry
-	probed  []ids.NodeID
 	failAt  ids.NodeID
+
+	mu     sync.Mutex
+	probed []ids.NodeID
 }
 
 func newFakeEnv(self ids.NodeID, n int) *fakeEnv {
@@ -37,11 +41,19 @@ func (e *fakeEnv) Self() ids.NodeID    { return e.self }
 func (e *fakeEnv) Nodes() []ids.NodeID { return e.nodes }
 
 func (e *fakeEnv) Probe(node ids.NodeID, tid ids.ThreadID) (ProbeResult, error) {
+	e.mu.Lock()
 	e.probed = append(e.probed, node)
+	e.mu.Unlock()
 	if node == e.failAt {
 		return ProbeResult{}, errors.New("probe transport failure")
 	}
 	return e.results[node], nil
+}
+
+func (e *fakeEnv) probeLog() []ids.NodeID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]ids.NodeID(nil), e.probed...)
 }
 
 func (e *fakeEnv) GroupMembers(ids.ThreadID) []ids.NodeID { return e.members }
@@ -65,8 +77,8 @@ func TestBroadcastFastPathWhenLocal(t *testing.T) {
 	if err != nil || node != 3 {
 		t.Fatalf("Locate = %v, %v", node, err)
 	}
-	if len(env.probed) != 1 {
-		t.Fatalf("probed %v, want only the local node", env.probed)
+	if probed := env.probeLog(); len(probed) != 1 {
+		t.Fatalf("probed %v, want only the local node", probed)
 	}
 	if env.reg.Get(metrics.CtrLocateProbe) != 0 {
 		t.Error("local probe charged as a remote probe")
@@ -96,12 +108,53 @@ func TestBroadcastNotFound(t *testing.T) {
 	}
 }
 
+// TestBroadcastToleratesProbeFailure: one node is unreachable but another
+// claims the thread — the locate must succeed regardless.
+func TestBroadcastToleratesProbeFailure(t *testing.T) {
+	env := newFakeEnv(1, 4)
+	env.failAt = 3
+	env.results[4] = ProbeResult{Known: true, Here: true}
+	node, err := Broadcast{}.Locate(env, ids.NewThreadID(1, 1))
+	if err != nil || node != 4 {
+		t.Fatalf("Locate = %v, %v; want node4 despite node3 failure", node, err)
+	}
+}
+
+// TestBroadcastProbeError: a probe fails and no node claims the thread.
+// Since other nodes did answer (and said "not here"), the result is
+// not-found, with the failure recorded in the message.
 func TestBroadcastProbeError(t *testing.T) {
 	env := newFakeEnv(1, 4)
 	env.failAt = 3
 	_, err := Broadcast{}.Locate(env, ids.NewThreadID(1, 1))
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound (individual probe failures are tolerated)", err)
+	}
+}
+
+// TestBroadcastAllProbesFail: when nothing answered at all, the thread may
+// well exist — the error must be the transport failure, not not-found.
+func TestBroadcastAllProbesFail(t *testing.T) {
+	env := newFakeEnv(1, 2)
+	env.failAt = 2 // the only remote node
+	_, err := Broadcast{}.Locate(env, ids.NewThreadID(1, 1))
 	if err == nil || errors.Is(err, ErrNotFound) {
-		t.Fatalf("err = %v, want transport error", err)
+		t.Fatalf("err = %v, want transport error when no probe answered", err)
+	}
+}
+
+// TestBroadcastBoundedFanout: MaxFanout limits concurrency but not
+// correctness; once a node answers Here, queued probes may be skipped.
+func TestBroadcastBoundedFanout(t *testing.T) {
+	env := newFakeEnv(1, 16)
+	tid := ids.NewThreadID(1, 1)
+	env.results[2] = ProbeResult{Known: true, Here: true}
+	node, err := Broadcast{MaxFanout: 2}.Locate(env, tid)
+	if err != nil || node != 2 {
+		t.Fatalf("Locate = %v, %v; want node2", node, err)
+	}
+	if got := env.reg.Get(metrics.CtrLocateProbe); got > 15 {
+		t.Errorf("remote probes = %d, want <= 15", got)
 	}
 }
 
@@ -116,12 +169,13 @@ func TestPathFollowChasesForwardingPointers(t *testing.T) {
 		t.Fatalf("Locate = %v, %v; want node7", node, err)
 	}
 	want := []ids.NodeID{2, 4, 7}
-	if len(env.probed) != len(want) {
-		t.Fatalf("probed %v, want %v", env.probed, want)
+	probed := env.probeLog()
+	if len(probed) != len(want) {
+		t.Fatalf("probed %v, want %v", probed, want)
 	}
 	for i := range want {
-		if env.probed[i] != want[i] {
-			t.Fatalf("probe order %v, want %v", env.probed, want)
+		if probed[i] != want[i] {
+			t.Fatalf("probe order %v, want %v", probed, want)
 		}
 	}
 }
@@ -151,11 +205,27 @@ func TestPathFollowRootIsHere(t *testing.T) {
 	}
 }
 
+// TestPathFollowBrokenPath: the chain dead-ends at a node with no TCB (the
+// thread is in transit past it). The deepest node still holding a TCB has a
+// blocked activation that accepts delivery by surrogate, so the locate
+// falls back to it instead of failing.
 func TestPathFollowBrokenPath(t *testing.T) {
 	env := newFakeEnv(1, 4)
 	tid := ids.NewThreadID(2, 1)
 	env.results[2] = ProbeResult{Known: true, Next: 3}
-	// Node 3 has no TCB at all.
+	// Node 3 has no TCB at all; node 2 is the deepest host.
+	node, err := PathFollow{}.Locate(env, tid)
+	if err != nil || node != 2 {
+		t.Fatalf("Locate = %v, %v; want host fallback node2", node, err)
+	}
+}
+
+// TestPathFollowBrokenAtRoot: not even the root knows the thread — there is
+// no host to fall back to, so the break surfaces.
+func TestPathFollowBrokenAtRoot(t *testing.T) {
+	env := newFakeEnv(1, 4)
+	tid := ids.NewThreadID(2, 1)
+	// Node 2 (the root) has no TCB.
 	_, err := PathFollow{}.Locate(env, tid)
 	if !errors.Is(err, ErrPathBroken) {
 		t.Fatalf("err = %v, want ErrPathBroken", err)
@@ -166,9 +236,9 @@ func TestPathFollowDeadEnd(t *testing.T) {
 	env := newFakeEnv(1, 4)
 	tid := ids.NewThreadID(2, 1)
 	env.results[2] = ProbeResult{Known: true} // neither here nor forwarded
-	_, err := PathFollow{}.Locate(env, tid)
-	if !errors.Is(err, ErrNotFound) {
-		t.Fatalf("err = %v, want ErrNotFound", err)
+	node, err := PathFollow{}.Locate(env, tid)
+	if err != nil || node != 2 {
+		t.Fatalf("Locate = %v, %v; want host fallback node2", node, err)
 	}
 }
 
@@ -177,23 +247,26 @@ func TestPathFollowCycleDetection(t *testing.T) {
 	tid := ids.NewThreadID(2, 1)
 	env.results[2] = ProbeResult{Known: true, Next: 3}
 	env.results[3] = ProbeResult{Known: true, Next: 2}
-	_, err := PathFollow{}.Locate(env, tid)
-	if !errors.Is(err, ErrNotFound) {
-		t.Fatalf("err = %v, want ErrNotFound on cycle", err)
+	// The chase must not spin: it stops at the deepest host on the cycle.
+	node, err := PathFollow{}.Locate(env, tid)
+	if err != nil || node != 3 {
+		t.Fatalf("Locate = %v, %v; want host fallback node3 on cycle", node, err)
 	}
 }
 
 func TestPathFollowMaxHops(t *testing.T) {
 	env := newFakeEnv(1, 8)
 	tid := ids.NewThreadID(1, 1)
-	// Chain 1 -> 2 -> 3 -> ... -> 8, thread at 8, but MaxHops 2.
+	// Chain 1 -> 2 -> 3 -> ... -> 8, thread at 8, but MaxHops 2. The chase
+	// is cut off before reaching the thread and settles on the deepest host
+	// it saw (node 3, probed at the budget's edge).
 	for i := 1; i < 8; i++ {
 		env.results[ids.NodeID(i)] = ProbeResult{Known: true, Next: ids.NodeID(i + 1)}
 	}
 	env.results[8] = ProbeResult{Known: true, Here: true}
-	_, err := PathFollow{MaxHops: 2}.Locate(env, tid)
-	if !errors.Is(err, ErrNotFound) {
-		t.Fatalf("err = %v, want ErrNotFound after hop cap", err)
+	node, err := PathFollow{MaxHops: 2}.Locate(env, tid)
+	if err != nil || node != 3 {
+		t.Fatalf("Locate = %v, %v; want deepest host node3 after hop cap", node, err)
 	}
 }
 
@@ -232,16 +305,31 @@ func TestMulticastEmptyGroup(t *testing.T) {
 	}
 }
 
-func TestMulticastNoMemberHosts(t *testing.T) {
+// TestMulticastHostFallback: the only member holds a TCB but the thread is
+// in transit (not resident); the member still accepts delivery by
+// surrogate, so the locate returns it.
+func TestMulticastHostFallback(t *testing.T) {
 	env := newFakeEnv(1, 4)
 	env.members = []ids.NodeID{2}
 	env.results[2] = ProbeResult{Known: true}
+	node, err := Multicast{}.Locate(env, ids.NewThreadID(2, 1))
+	if err != nil || node != 2 {
+		t.Fatalf("Locate = %v, %v; want host fallback node2", node, err)
+	}
+}
+
+// TestMulticastNoMemberHosts: members answer but none has even a TCB.
+func TestMulticastNoMemberHosts(t *testing.T) {
+	env := newFakeEnv(1, 4)
+	env.members = []ids.NodeID{2, 3}
 	_, err := Multicast{}.Locate(env, ids.NewThreadID(2, 1))
 	if !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v, want ErrNotFound", err)
 	}
 }
 
+// TestMulticastProbeError: the only group member is unreachable — nothing
+// answered, so the transport error surfaces (not not-found).
 func TestMulticastProbeError(t *testing.T) {
 	env := newFakeEnv(1, 4)
 	env.members = []ids.NodeID{2}
@@ -252,6 +340,19 @@ func TestMulticastProbeError(t *testing.T) {
 	}
 }
 
+// TestMulticastToleratesProbeFailure: one member unreachable, another
+// claims the thread — the locate succeeds.
+func TestMulticastToleratesProbeFailure(t *testing.T) {
+	env := newFakeEnv(1, 8)
+	env.members = []ids.NodeID{2, 3}
+	env.failAt = 2
+	env.results[3] = ProbeResult{Known: true, Here: true}
+	node, err := Multicast{}.Locate(env, ids.NewThreadID(2, 1))
+	if err != nil || node != 3 {
+		t.Fatalf("Locate = %v, %v; want node3 despite node2 failure", node, err)
+	}
+}
+
 func TestGroupName(t *testing.T) {
 	if got := GroupName(ids.NewThreadID(3, 7)); got != "thr:t3.7" {
 		t.Errorf("GroupName = %q", got)
@@ -259,7 +360,10 @@ func TestGroupName(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"broadcast", "path-follow", "multicast"} {
+	for _, name := range []string{
+		"broadcast", "path-follow", "multicast",
+		"cached+broadcast", "cached+path-follow", "cached+multicast",
+	} {
 		s, err := ByName(name)
 		if err != nil {
 			t.Fatalf("ByName(%q): %v", name, err)
@@ -268,8 +372,10 @@ func TestByName(t *testing.T) {
 			t.Errorf("ByName(%q).Name() = %q", name, s.Name())
 		}
 	}
-	if _, err := ByName("nope"); err == nil {
-		t.Error("ByName(nope) succeeded")
+	for _, name := range []string{"nope", "cached+nope"} {
+		if _, err := ByName(name); err == nil {
+			t.Errorf("ByName(%q) succeeded", name)
+		}
 	}
 }
 

@@ -41,12 +41,15 @@ const (
 	CtrChainLinksWalked = "handler.chain.links"
 
 	// Thread management.
-	CtrThreadSpawn   = "thread.spawn"
-	CtrThreadHop     = "thread.hop"
-	CtrThreadLocate  = "thread.locate"
-	CtrLocateProbe   = "thread.locate.probe"
-	CtrThreadCreated = "thread.goroutine.created"
-	CtrMasterServed  = "object.master.served"
+	CtrThreadSpawn      = "thread.spawn"
+	CtrThreadHop        = "thread.hop"
+	CtrThreadLocate     = "thread.locate"
+	CtrLocateProbe      = "thread.locate.probe"
+	CtrLocateCacheHit   = "thread.locate.cache.hit"
+	CtrLocateCacheMiss  = "thread.locate.cache.miss"
+	CtrLocateCacheStale = "thread.locate.cache.stale"
+	CtrThreadCreated    = "thread.goroutine.created"
+	CtrMasterServed     = "object.master.served"
 
 	// DSM.
 	CtrPageFault      = "dsm.fault"

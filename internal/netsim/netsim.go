@@ -93,6 +93,14 @@ type Fabric struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	// Delayed sends sit in a timer heap drained by one scheduler
+	// goroutine (see sched.go) instead of a goroutine per message.
+	schedMu   sync.Mutex
+	schedHeap delayHeap
+	schedSeq  uint64
+	schedWake chan struct{}
+	done      chan struct{} // closed by Close; stops the scheduler
+
 	wg sync.WaitGroup
 }
 
@@ -116,6 +124,8 @@ func New(cfg Config) *Fabric {
 		groups:    make(map[string]map[ids.NodeID]bool),
 		cut:       make(map[[2]ids.NodeID]bool),
 		rng:       rand.New(rand.NewSource(seed)),
+		schedWake: make(chan struct{}, 1),
+		done:      make(chan struct{}),
 	}
 }
 
@@ -168,6 +178,8 @@ func (f *Fabric) Start() {
 		f.wg.Add(1)
 		go f.dispatch(ep)
 	}
+	f.wg.Add(1)
+	go f.schedule()
 }
 
 // Close stops delivery and waits for dispatch goroutines to exit. Messages
@@ -183,6 +195,7 @@ func (f *Fabric) Close() {
 	for _, ep := range f.endpoints {
 		close(ep.done)
 	}
+	close(f.done)
 	f.mu.Unlock()
 	f.wg.Wait()
 }
@@ -217,6 +230,17 @@ func (f *Fabric) Send(m Message) error {
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrUnknownNode, m.To)
 	}
+	f.post(ep, m, severed)
+	return nil
+}
+
+// post accounts for m and delivers it: immediately when the fabric has no
+// latency, otherwise via the timer-heap scheduler. FIFO order between any
+// pair of nodes is preserved as long as latency is constant (jitter
+// deliberately relaxes ordering, as a real datagram network would). post
+// never touches f.mu or the WaitGroup, so callers holding a snapshot of
+// endpoints cannot race Close's wg.Wait.
+func (f *Fabric) post(ep *endpoint, m Message, severed bool) {
 	if m.Size == 0 {
 		m.Size = payloadSize(m.Payload)
 	}
@@ -224,29 +248,14 @@ func (f *Fabric) Send(m Message) error {
 	f.reg.Add(metrics.CtrMsgBytes, int64(m.Size))
 	if severed || f.roll() < f.cfg.DropRate {
 		f.reg.Inc(metrics.CtrMsgDropped)
-		return nil
+		return
 	}
 	delay := f.delay()
 	if delay == 0 {
 		f.deliver(ep, m)
-		return nil
+		return
 	}
-	// A delayed message is handed to the destination inbox by a timer
-	// goroutine. FIFO order between any pair of nodes is preserved as long
-	// as latency is constant (jitter deliberately relaxes ordering, as a
-	// real datagram network would).
-	f.wg.Add(1)
-	go func() {
-		defer f.wg.Done()
-		t := time.NewTimer(delay)
-		defer t.Stop()
-		select {
-		case <-t.C:
-			f.deliver(ep, m)
-		case <-ep.done:
-		}
-	}()
-	return nil
+	f.enqueueDelayed(ep, m, delay)
 }
 
 func (f *Fabric) deliver(ep *endpoint, m Message) {
@@ -279,20 +288,32 @@ func (f *Fabric) roll() float64 {
 // It costs n-1 unicast messages plus one broadcast operation in the
 // accounting, mirroring an Ethernet broadcast followed by per-host
 // processing.
+// One endpoint snapshotted for a scatter send: the destination plus
+// whether the link from the sender is currently severed.
+type scatterTarget struct {
+	ep      *endpoint
+	severed bool
+}
+
 func (f *Fabric) Broadcast(from ids.NodeID, kind string, payload any) error {
 	f.mu.RLock()
-	nodes := make([]ids.NodeID, 0, len(f.endpoints))
-	for n := range f.endpoints {
+	if f.closed {
+		f.mu.RUnlock()
+		return ErrClosed
+	}
+	targets := make([]scatterTarget, 0, len(f.endpoints))
+	for n, ep := range f.endpoints {
 		if n != from {
-			nodes = append(nodes, n)
+			targets = append(targets, scatterTarget{ep: ep, severed: f.cut[[2]ids.NodeID{from, n}]})
 		}
 	}
 	f.mu.RUnlock()
 	f.reg.Inc(metrics.CtrBroadcast)
-	for _, n := range nodes {
-		if err := f.Send(Message{From: from, To: n, Kind: kind, Payload: payload}); err != nil {
-			return err
-		}
+	// One lock acquisition for the whole scatter: each post either lands
+	// in an inbox (zero latency) or the timer heap, so the n-1 sends cost
+	// no per-message locking or goroutines.
+	for _, t := range targets {
+		f.post(t.ep, Message{From: from, To: t.ep.node, Kind: kind, Payload: payload}, t.severed)
 	}
 	return nil
 }
@@ -339,20 +360,24 @@ func (f *Fabric) GroupMembers(group string) []ids.NodeID {
 // member in the accounting.
 func (f *Fabric) Multicast(from ids.NodeID, group, kind string, payload any) error {
 	f.mu.RLock()
+	if f.closed {
+		f.mu.RUnlock()
+		return ErrClosed
+	}
 	g, ok := f.groups[group]
-	members := make([]ids.NodeID, 0, len(g))
+	targets := make([]scatterTarget, 0, len(g))
 	for n := range g {
-		members = append(members, n)
+		if ep, attached := f.endpoints[n]; attached {
+			targets = append(targets, scatterTarget{ep: ep, severed: f.cut[[2]ids.NodeID{from, n}]})
+		}
 	}
 	f.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownGroup, group)
 	}
 	f.reg.Inc(metrics.CtrMulticast)
-	for _, n := range members {
-		if err := f.Send(Message{From: from, To: n, Kind: kind, Payload: payload}); err != nil {
-			return err
-		}
+	for _, t := range targets {
+		f.post(t.ep, Message{From: from, To: t.ep.node, Kind: kind, Payload: payload}, t.severed)
 	}
 	return nil
 }

@@ -35,6 +35,9 @@ const (
 	KindTerminate
 	// KindHop is a thread moving between nodes.
 	KindHop
+	// KindLocate is a thread-location round resolving (strategy, result
+	// node and probe/cache accounting in Detail).
+	KindLocate
 )
 
 // String returns the kind name.
@@ -54,6 +57,8 @@ func (k Kind) String() string {
 		return "terminate"
 	case KindHop:
 		return "hop"
+	case KindLocate:
+		return "locate"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

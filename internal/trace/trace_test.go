@@ -90,7 +90,7 @@ func TestKindStrings(t *testing.T) {
 	kinds := map[Kind]string{
 		KindRaise: "raise", KindDeliver: "deliver", KindHandlerRun: "handler",
 		KindDefault: "default", KindSpawn: "spawn", KindTerminate: "terminate",
-		KindHop: "hop",
+		KindHop: "hop", KindLocate: "locate",
 	}
 	for k, want := range kinds {
 		if k.String() != want {
