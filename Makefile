@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench check
+.PHONY: all vet build test race bench chaos check
 
 all: check
 
@@ -23,4 +23,14 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-check: vet build test race
+# The chaos target drives the crash-fault-tolerance machinery (DESIGN.md
+# §7) under the race detector: the core chaos suite (exactly-once delivery
+# under message loss, partition-and-heal, crash recovery, bounded
+# synchronous raises), the failure-detector and reliable-transport unit
+# tests, the doct fault-injection facade, and the doctsim chaos scenario.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestRaiseAndWaitTimeout' ./internal/core/
+	$(GO) test -race ./internal/failure/ ./internal/reliable/
+	$(GO) test -race -run 'TestFacade|TestScenarioChaos' ./doct/ ./cmd/doctsim/
+
+check: vet build test race chaos

@@ -32,6 +32,7 @@ var runners = []struct {
 	{"e7", "user-level pager (§6.4)", func() experiments.Table { return experiments.RunE7(nil) }},
 	{"e8", "delivery vs UNIX/Mach baselines (§9)", func() experiments.Table { return experiments.RunE8(nil) }},
 	{"e9", "monitoring overhead (§6.2)", func() experiments.Table { return experiments.RunE9(nil) }},
+	{"e10", "crash-fault tolerance (§7.2 generalized)", func() experiments.Table { return experiments.RunE10(nil) }},
 }
 
 func main() {

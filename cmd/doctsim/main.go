@@ -7,6 +7,7 @@
 //	doctsim -scenario ping -nodes 4 -locate broadcast
 //	doctsim -scenario ctrlc -nodes 5 -latency 2ms
 //	doctsim -scenario locks -nodes 3 -mode dsm
+//	doctsim -scenario chaos -nodes 6
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/doct"
@@ -30,7 +32,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("doctsim", flag.ContinueOnError)
 	var (
-		scenario = fs.String("scenario", "ping", "ping | ctrlc | locks | monitor | persist")
+		scenario = fs.String("scenario", "ping", "ping | ctrlc | locks | monitor | persist | chaos")
 		nodes    = fs.Int("nodes", 3, "cluster size")
 		latency  = fs.Duration("latency", 0, "simulated per-message latency")
 		locStrat = fs.String("locate", "path-follow", "broadcast | path-follow | multicast")
@@ -45,12 +47,23 @@ func run(args []string) error {
 	} else if *mode != "rpc" {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
-	sys, err := doct.NewSystem(doct.Config{
+	cfg := doct.Config{
 		Nodes:   *nodes,
 		Latency: *latency,
 		Locate:  doct.LocateStrategy(*locStrat),
 		Mode:    im,
-	})
+	}
+	if *scenario == "chaos" {
+		// The chaos scenario needs the FT subsystem, a fast detector so
+		// the demo doesn't idle through suspicion windows, a bounded
+		// raise_and_wait, and a trace to show the recovery events in.
+		cfg.FaultTolerance = true
+		cfg.HeartbeatPeriod = 5 * time.Millisecond
+		cfg.SuspectAfter = 40 * time.Millisecond
+		cfg.RaiseTimeout = 500 * time.Millisecond
+		cfg.TraceCapacity = 4096
+	}
+	sys, err := doct.NewSystem(cfg)
 	if err != nil {
 		return err
 	}
@@ -68,6 +81,8 @@ func run(args []string) error {
 		serr = scenarioMonitor(sys, *nodes)
 	case "persist":
 		serr = scenarioPersist(sys, *nodes)
+	case "chaos":
+		serr = scenarioChaos(sys, *nodes)
 	default:
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
@@ -419,6 +434,264 @@ func scenarioPersist(sys *doct.System, nodes int) error {
 }
 
 // printMetrics dumps the interesting counters sorted by name.
+// scenarioChaos kills a node mid-pipeline and walks through the DESIGN.md
+// §7 recovery story: NODE_DOWN detection, a bounded raise_and_wait into
+// the crater, orphaned-lock reclaim, object recovery onto a survivor, the
+// node's return as NODE_UP — and, among the survivors, the §7.2
+// THREAD_DEATH notice the crashed node itself could never have sent.
+func scenarioChaos(sys *doct.System, nodes int) error {
+	if nodes < 3 {
+		return fmt.Errorf("chaos scenario needs at least 3 nodes, got %d", nodes)
+	}
+	doomed := doct.NodeID(nodes)
+
+	deathCh := make(chan struct{}, 1)
+	if err := sys.RegisterProc("chaos.term", func(ctx doct.Ctx, _ doct.HandlerRef, _ *doct.EventBlock) doct.Verdict {
+		fmt.Printf("TERMINATE cleanup running in %v\n", ctx.Object())
+		_ = ctx.Sleep(120 * time.Millisecond)
+		return doct.Terminate
+	}); err != nil {
+		return err
+	}
+	if err := sys.RegisterProc("chaos.death", func(_ doct.Ctx, _ doct.HandlerRef, eb *doct.EventBlock) doct.Verdict {
+		fmt.Printf("THREAD_DEATH notice: thread %v died with event %v pending\n",
+			eb.User["dead"], eb.User["event"])
+		select {
+		case deathCh <- struct{}{}:
+		default:
+		}
+		return doct.Resume
+	}); err != nil {
+		return err
+	}
+
+	// A watcher on node 1 sees membership transitions as plain events.
+	nodeDown := make(chan doct.NodeID, 4)
+	nodeUp := make(chan doct.NodeID, 4)
+	memberEv := func(ch chan doct.NodeID) doct.Handler {
+		return func(_ doct.Ctx, _ doct.HandlerRef, eb *doct.EventBlock) doct.Verdict {
+			node, _ := eb.User["node"].(doct.NodeID)
+			fmt.Printf("%s(%v) at watcher, generation %v\n", eb.Name, node, eb.User["gen"])
+			ch <- node
+			return doct.Resume
+		}
+	}
+	watcher, err := sys.CreateObject(1, doct.ObjectSpec{
+		Name: "watcher",
+		Handlers: map[doct.EventName]doct.Handler{
+			doct.EvNodeDown: memberEv(nodeDown),
+			doct.EvNodeUp:   memberEv(nodeUp),
+		},
+	})
+	if err != nil {
+		return err
+	}
+	sys.WatchMembership(watcher)
+
+	server, err := sys.CreateObject(1, doct.LockServerSpec("chaos"))
+	if err != nil {
+		return err
+	}
+
+	// The ledger lives on the doomed node: one thread parks inside it
+	// holding a lock on node 1's server, state in its KV store.
+	held := make(chan doct.ThreadID, 1)
+	napping := make(chan struct{}, 1)
+	ledger, err := sys.CreateObject(doomed, doct.ObjectSpec{
+		Name: "ledger",
+		Entries: map[string]doct.Entry{
+			"hold": func(ctx doct.Ctx, _ []any) ([]any, error) {
+				if err := doct.AcquireLock(ctx, server, "ledger"); err != nil {
+					return nil, err
+				}
+				ctx.Set("balance", 42)
+				held <- ctx.Thread()
+				return nil, ctx.Sleep(time.Hour)
+			},
+			"nap": func(ctx doct.Ctx, _ []any) ([]any, error) {
+				napping <- struct{}{}
+				return nil, ctx.Sleep(time.Hour)
+			},
+			"read": func(ctx doct.Ctx, _ []any) ([]any, error) {
+				v, _ := ctx.Get("balance")
+				return []any{v}, nil
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	pipe, err := sys.CreateObject(2, doct.ObjectSpec{
+		Name: "pipe",
+		Entries: map[string]doct.Entry{
+			"main": func(ctx doct.Ctx, _ []any) ([]any, error) {
+				_, err := ctx.Invoke(ledger, "nap")
+				fmt.Printf("pipeline on %v: invoke into crashed node failed: %v\n", ctx.Node(), err)
+				return nil, err
+			},
+			"audit": func(ctx doct.Ctx, _ []any) ([]any, error) {
+				holder, err := doct.LockHolder(ctx, server, "ledger")
+				if err != nil {
+					return nil, err
+				}
+				return []any{holder == doct.ThreadID(0)}, nil
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	if _, err := sys.Spawn(doomed, ledger, "hold"); err != nil {
+		return err
+	}
+	resident := <-held
+	hp, err := sys.Spawn(2, pipe, "main")
+	if err != nil {
+		return err
+	}
+	<-napping
+
+	fmt.Printf("crashing %v: a thread parked inside it holds a lock on node 1's server\n", doomed)
+	if err := sys.CrashNode(doomed); err != nil {
+		return err
+	}
+	<-nodeDown
+	fmt.Printf("membership: %+v\n", sys.Membership())
+
+	// A synchronous raise into the crater comes back as a typed error
+	// instead of hanging.
+	if _, err := sys.RaiseAndWait(1, doct.EvInterrupt, doct.ToThread(resident), nil); err != nil {
+		fmt.Printf("raise_and_wait at the dead thread: %v\n", err)
+	} else {
+		return fmt.Errorf("raise_and_wait into crashed node succeeded")
+	}
+	if _, err := hp.WaitTimeout(30 * time.Second); err == nil {
+		return fmt.Errorf("pipeline thread finished cleanly despite the crash")
+	}
+
+	// The NODE_DOWN reaction reclaims the dead resident's lock.
+	freeBy := time.Now().Add(10 * time.Second)
+	for {
+		ha, err := sys.Spawn(2, pipe, "audit")
+		if err != nil {
+			return err
+		}
+		res, err := ha.WaitTimeout(30 * time.Second)
+		if err != nil {
+			return err
+		}
+		if free, _ := res[0].(bool); free {
+			fmt.Println("orphaned lock reclaimed by the NODE_DOWN reaction")
+			break
+		}
+		if time.Now().After(freeBy) {
+			return fmt.Errorf("orphaned lock never reclaimed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Re-home the crashed node's objects and read the survived state.
+	rec, err := sys.RecoverObjects(doomed, 1)
+	if err != nil {
+		return err
+	}
+	ledger2, err := sys.FindObject(1, "ledger")
+	if err != nil {
+		return err
+	}
+	hr, err := sys.Spawn(1, ledger2, "read")
+	if err != nil {
+		return err
+	}
+	res, err := hr.WaitTimeout(30 * time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recovered %d object(s) onto node1; ledger balance survived: %v\n", rec, res[0])
+
+	if err := sys.RestartNode(doomed); err != nil {
+		return err
+	}
+	<-nodeUp
+	fmt.Printf("membership: %+v\n", sys.Membership())
+
+	// Among survivors §7.2 still works: an event queued at a thread that
+	// dies mid-termination bounces back as THREAD_DEATH — the notice a
+	// crashed node could never have sent, which NODE_DOWN generalizes.
+	vstarted := make(chan doct.ThreadID, 1)
+	victim, err := sys.CreateObject(2, doct.ObjectSpec{
+		Name: "victim",
+		Entries: map[string]doct.Entry{
+			"run": func(ctx doct.Ctx, _ []any) ([]any, error) {
+				ref := doct.HandlerRef{Event: doct.EvTerminate, Kind: doct.HandlerProc, Proc: "chaos.term"}
+				if err := ctx.AttachHandler(ref); err != nil {
+					return nil, err
+				}
+				vstarted <- ctx.Thread()
+				return nil, ctx.Sleep(time.Hour)
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	mourner, err := sys.CreateObject(3, doct.ObjectSpec{
+		Name: "mourner",
+		Entries: map[string]doct.Entry{
+			"mourn": func(ctx doct.Ctx, args []any) ([]any, error) {
+				target, _ := args[0].(doct.ThreadID)
+				if err := ctx.RegisterEvent("PIPE_EV"); err != nil {
+					return nil, err
+				}
+				ref := doct.HandlerRef{Event: doct.EvThreadDeath, Kind: doct.HandlerProc, Proc: "chaos.death"}
+				if err := ctx.AttachHandler(ref); err != nil {
+					return nil, err
+				}
+				// The victim is mid-TERMINATE: this queues behind the slow
+				// cleanup handler and dies with the thread.
+				if err := ctx.Raise("PIPE_EV", doct.ToThread(target), nil); err != nil {
+					return nil, err
+				}
+				return nil, ctx.Sleep(time.Second)
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	hv, err := sys.Spawn(2, victim, "run")
+	if err != nil {
+		return err
+	}
+	vt := <-vstarted
+	time.Sleep(20 * time.Millisecond)
+	if err := sys.Raise(1, doct.EvTerminate, doct.ToThread(vt), nil); err != nil {
+		return err
+	}
+	time.Sleep(30 * time.Millisecond)
+	if _, err := sys.Spawn(3, mourner, "mourn", vt); err != nil {
+		return err
+	}
+	if _, err := hv.WaitTimeout(30 * time.Second); !errors.Is(err, doct.ErrTerminated) {
+		return fmt.Errorf("victim end = %v, want ErrTerminated", err)
+	}
+	select {
+	case <-deathCh:
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("THREAD_DEATH notice never arrived")
+	}
+
+	fmt.Println("--- trace: NODE_DOWN / NODE_UP / THREAD_DEATH ---")
+	for _, line := range strings.Split(sys.Trace().Dump(), "\n") {
+		if strings.Contains(line, "NODE_DOWN") || strings.Contains(line, "NODE_UP") ||
+			strings.Contains(line, "THREAD_DEATH") {
+			fmt.Println(" ", line)
+		}
+	}
+	return nil
+}
+
 func printMetrics(sys *doct.System) {
 	m := sys.Metrics()
 	names := make([]string, 0, len(m))

@@ -52,6 +52,18 @@ func TestScenarioPingBroadcast(t *testing.T) {
 	}
 }
 
+func TestScenarioChaos(t *testing.T) {
+	if err := run([]string{"-scenario", "chaos", "-nodes", "4"}); err != nil {
+		t.Fatalf("chaos: %v", err)
+	}
+}
+
+func TestScenarioChaosTooSmall(t *testing.T) {
+	if err := run([]string{"-scenario", "chaos", "-nodes", "2"}); err == nil {
+		t.Fatal("chaos on 2 nodes succeeded, want error")
+	}
+}
+
 func TestScenarioPersist(t *testing.T) {
 	if err := run([]string{"-scenario", "persist", "-nodes", "2"}); err != nil {
 		t.Fatalf("persist: %v", err)

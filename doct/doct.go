@@ -200,6 +200,23 @@ type Config struct {
 	Locate LocateStrategy
 	// CallTimeout bounds kernel RPCs (0 = 30s).
 	CallTimeout time.Duration
+	// RaiseTimeout bounds RaiseAndWait (0 = CallTimeout): a synchronous
+	// raise across a severed link or into a crashed node returns
+	// ErrRaiseTimeout instead of hanging.
+	RaiseTimeout time.Duration
+	// FaultTolerance enables the crash-fault-tolerance subsystem: a
+	// heartbeat failure detector per node, ack/retry reliable event
+	// delivery, and automatic crash recovery (lock reclaim, cache
+	// invalidation, NODE_DOWN events). Fault injection works without it;
+	// detection and recovery need it.
+	FaultTolerance bool
+	// HeartbeatPeriod and SuspectAfter tune the failure detector (zero =
+	// 15ms period, 5 missed periods).
+	HeartbeatPeriod time.Duration
+	SuspectAfter    time.Duration
+	// DropRate is the probability in [0,1) that any message is lost in
+	// the interconnect (chaos testing; adjustable later via SetDropRate).
+	DropRate float64
 	// TraceCapacity retains the last N kernel trace records (raises,
 	// deliveries, handler runs, hops); zero disables tracing.
 	TraceCapacity int
@@ -243,11 +260,20 @@ func NewSystem(cfg Config) (*System, error) {
 		Locator:        strat,
 		TrackMulticast: trackMC,
 		CallTimeout:    cfg.CallTimeout,
-		TraceCapacity:  cfg.TraceCapacity,
-		Seed:           cfg.Seed,
+		RaiseTimeout:   cfg.RaiseTimeout,
+		FT: core.FTConfig{
+			Enabled:         cfg.FaultTolerance,
+			HeartbeatPeriod: cfg.HeartbeatPeriod,
+			SuspectAfter:    cfg.SuspectAfter,
+		},
+		TraceCapacity: cfg.TraceCapacity,
+		Seed:          cfg.Seed,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.DropRate > 0 {
+		cs.SetDropRate(cfg.DropRate)
 	}
 	s := &System{core: cs}
 	if err := locks.Register(cs); err != nil {

@@ -1,0 +1,110 @@
+package doct
+
+import (
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/failure"
+)
+
+// Crash-fault tolerance and fault injection (DESIGN.md §7).
+//
+// The fabric can lose messages, links can be severed, and whole nodes can
+// fail-stop — with Config.FaultTolerance enabled, the system detects
+// crashes by heartbeat, retransmits lost events until acknowledged,
+// converts undeliverable posts into prompt typed errors, reclaims locks
+// held by threads lost in a crash, and announces membership transitions as
+// NODE_DOWN / NODE_UP events to registered watcher objects.
+
+// Membership events, raisable at watcher objects (see WatchMembership).
+const (
+	EvNodeDown = event.NodeDown
+	EvNodeUp   = event.NodeUp
+)
+
+// EvThreadDeath notifies a synchronous raiser that its target thread died
+// before releasing it (§7.2) — in a crash, before it could even be told to.
+const EvThreadDeath = event.ThreadDeath
+
+// Fault-tolerance errors.
+var (
+	// ErrRaiseTimeout: RaiseAndWait got no release within RaiseTimeout.
+	ErrRaiseTimeout = core.ErrRaiseTimeout
+	// ErrNodeDown: the operation aimed at a node the failure detector
+	// suspects (or whose messages proved undeliverable).
+	ErrNodeDown = core.ErrNodeDown
+	// ErrNodeCrashed: the operation ran on, or was doomed by, a node that
+	// crashed mid-flight.
+	ErrNodeCrashed = core.ErrNodeCrashed
+)
+
+// Membership is a point-in-time cluster view: alive and suspected nodes
+// under a monotonically increasing generation.
+type Membership = failure.Membership
+
+// SeverLink cuts the interconnect between a and b, both directions.
+// Messages between them are dropped until the link heals.
+func (s *System) SeverLink(a, b NodeID) {
+	s.core.CutLink(a, b)
+	s.core.CutLink(b, a)
+}
+
+// HealLink restores the interconnect between a and b, both directions.
+func (s *System) HealLink(a, b NodeID) {
+	s.core.HealLink(a, b)
+	s.core.HealLink(b, a)
+}
+
+// Partition splits the cluster into two sides that cannot reach each
+// other (links within each side stay up).
+func (s *System) Partition(sideA, sideB []NodeID) { s.core.Partition(sideA, sideB) }
+
+// HealAll restores every severed link.
+func (s *System) HealAll() { s.core.HealAll() }
+
+// SetDropRate changes the probability in [0,1) that any message is lost.
+func (s *System) SetDropRate(rate float64) { s.core.SetDropRate(rate) }
+
+// CrashNode fail-stops a node: its traffic stops both directions and every
+// thread activation executing there dies. With FaultTolerance enabled the
+// survivors detect the crash within SuspectAfter and recover; without it
+// the cluster behaves like 1993 hardware — calls into the void time out.
+func (s *System) CrashNode(node NodeID) error { return s.core.CrashNode(node) }
+
+// RestartNode brings a crashed node back. Volatile state (threads,
+// pending raises) is gone; resident objects and their segments survived
+// on disk.
+func (s *System) RestartNode(node NodeID) error { return s.core.RestartNode(node) }
+
+// Crashed reports whether node is currently crashed.
+func (s *System) Crashed(node NodeID) bool { return s.core.Crashed(node) }
+
+// Membership returns the current cluster view as seen by an alive node's
+// failure detector (a static view when FaultTolerance is off).
+func (s *System) Membership() Membership { return s.core.Membership() }
+
+// WatchMembership registers an object for NODE_DOWN / NODE_UP events. The
+// object registers handlers for those names in its spec; each membership
+// transition is delivered exactly once cluster-wide, with the node ID
+// under User["node"].
+func (s *System) WatchMembership(oid ObjectID) { s.core.WatchMembership(oid) }
+
+// RecoverObjects re-homes every object resident at a crashed node onto a
+// surviving one, restoring each from its persistent image (Passivate/
+// Activate machinery). Objects receive fresh identities at the new home;
+// callers re-resolve by name. Returns the number recovered.
+func (s *System) RecoverObjects(from, to NodeID) (int, error) {
+	return s.core.RecoverObjects(from, to)
+}
+
+// FindObject resolves an object by name at a node — the stable key after
+// RecoverObjects hands the object a fresh identity at its new home.
+func (s *System) FindObject(node NodeID, name string) (ObjectID, error) {
+	return s.core.FindObject(node, name)
+}
+
+// ReclaimOrphanedLocks sweeps lock servers for locks whose holders died
+// with a crashed node and releases them via the §4.2 chained-unlock
+// machinery. The FT subsystem runs this automatically on NODE_DOWN; the
+// method serves harnesses driving recovery by hand. Returns the number of
+// locks reclaimed.
+func (s *System) ReclaimOrphanedLocks() int { return s.core.ReclaimOrphanedLocks() }

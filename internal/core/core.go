@@ -54,6 +54,17 @@ var (
 	ErrNotRegistered = errors.New("core: event name not registered")
 	// ErrShutdown is returned for operations on a closed System.
 	ErrShutdown = errors.New("core: system shut down")
+	// ErrRaiseTimeout is returned by RaiseAndWait when no release arrived
+	// within the configured raise timeout — the raiser is unblocked instead
+	// of hanging forever on a severed link or a crashed recipient.
+	ErrRaiseTimeout = errors.New("core: raise_and_wait timed out")
+	// ErrNodeDown is wrapped into errors for operations aimed at a node the
+	// failure detector suspects is crashed (or whose messages proved
+	// undeliverable).
+	ErrNodeDown = errors.New("core: node down")
+	// ErrNodeCrashed is the stop reason of activations killed by a local
+	// node crash, and the error for operations on a crashed kernel.
+	ErrNodeCrashed = errors.New("core: node crashed")
 )
 
 // InvokeMode selects how invocations cross object boundaries (§2's design
@@ -108,6 +119,16 @@ type Config struct {
 	// CallTimeout bounds every kernel RPC (0 = 30s). It exists so broken
 	// protocols fail tests instead of hanging them.
 	CallTimeout time.Duration
+	// RaiseTimeout bounds how long raise_and_wait blocks for its releases
+	// (0 = CallTimeout). When it expires the raiser gets ErrRaiseTimeout —
+	// a raise across a severed link or into a crashed node is bounded even
+	// without the failure-detector subsystem.
+	RaiseTimeout time.Duration
+	// FT configures the crash-fault-tolerance subsystem (failure detector,
+	// reliable transport, recovery reactions). The zero value disables it;
+	// fault injection (CrashNode, SeverLink) still works without it, the
+	// system just doesn't detect or recover.
+	FT FTConfig
 	// TraceCapacity retains the last N kernel trace records (raises,
 	// deliveries, handler runs, hops); zero disables tracing.
 	TraceCapacity int
@@ -129,6 +150,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.CallTimeout == 0 {
 		c.CallTimeout = 30 * time.Second
+	}
+	if c.RaiseTimeout == 0 {
+		c.RaiseTimeout = c.CallTimeout
 	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
@@ -162,6 +186,12 @@ type System struct {
 	// methods are nil-safe).
 	tr *trace.Buffer
 
+	// Crash-fault-tolerance state (fault.go): the cluster-level dedup of
+	// per-detector membership transitions and the membership watchers.
+	ftMu     sync.Mutex
+	ftDown   map[ids.NodeID]bool
+	watchers []ids.ObjectID
+
 	closed    chan struct{}
 	closeOnce sync.Once
 }
@@ -179,6 +209,7 @@ func NewSystem(cfg Config) (*System, error) {
 		procs:   make(map[string]ProcFunc),
 		io:      make(map[string][]string),
 		handles: make(map[ids.ThreadID]*Handle),
+		ftDown:  make(map[ids.NodeID]bool),
 		closed:  make(chan struct{}),
 	}
 	if cfg.TraceCapacity > 0 {
@@ -198,7 +229,17 @@ func NewSystem(cfg Config) (*System, error) {
 			return nil, fmt.Errorf("boot %v: %w", node, err)
 		}
 	}
+	if cfg.FT.Enabled {
+		for _, k := range s.kernels {
+			k.initFT()
+		}
+	}
 	s.fabric.Start()
+	for _, k := range s.kernels {
+		if k.det != nil {
+			k.det.Start()
+		}
+	}
 	return s, nil
 }
 
@@ -208,6 +249,13 @@ func NewSystem(cfg Config) (*System, error) {
 func (s *System) Close() {
 	s.closeOnce.Do(func() {
 		close(s.closed)
+		// Detectors first: their heartbeats and sweeps must stop raising
+		// membership events into a cluster that is going away.
+		for _, k := range s.kernels {
+			if k.det != nil {
+				k.det.Stop()
+			}
+		}
 		for _, k := range s.kernels {
 			k.shutdown()
 		}

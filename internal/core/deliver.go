@@ -37,22 +37,13 @@ func (k *Kernel) raiseAndWait(raiser *activation, name event.Name, target event.
 	}
 	eb.Sync = true
 
-	// Expected release count: one per recipient.
-	expect := 1
-	if target.Kind == event.TargetGroup {
-		members, err := k.groupMembers(target.Group)
-		if err != nil {
-			return 0, err
-		}
-		expect = len(members)
-		if expect == 0 {
-			return 0, fmt.Errorf("%w: group %v is empty", ErrThreadNotFound, target.Group)
-		}
-	}
-
 	id := k.syncSeq.Add(1)
 	eb.SyncID = id
-	w := &syncWaiter{ch: make(chan releaseReq, expect), expect: expect}
+	// The release buffer is sized generously rather than to the recipient
+	// count: the count is only known after routing, which now happens off
+	// the raiser's goroutine so that a severed link or dead node cannot
+	// block the raiser past its raise timeout.
+	w := &syncWaiter{ch: make(chan releaseReq, 256), expectCh: make(chan int, 1)}
 	k.syncMu.Lock()
 	k.syncWait[id] = w
 	k.syncMu.Unlock()
@@ -62,14 +53,40 @@ func (k *Kernel) raiseAndWait(raiser *activation, name event.Name, target event.
 		k.syncMu.Unlock()
 	}()
 
-	if err := k.route(eb); err != nil {
-		return 0, err
-	}
+	// Resolve the recipient set and route asynchronously. Routing blocks on
+	// kernel calls (group membership lookups, remote posts) that can stall
+	// for a full call timeout each when the fabric is damaged; the raiser
+	// waits in collectReleases, bounded by RaiseTimeout alone.
+	k.wg.Add(1)
+	go func() {
+		defer k.wg.Done()
+		expect := 1
+		if eb.Target.Kind == event.TargetGroup {
+			members, err := k.groupMembers(eb.Target.Group)
+			if err == nil && len(members) == 0 {
+				err = fmt.Errorf("%w: group %v is empty", ErrThreadNotFound, eb.Target.Group)
+			}
+			if err != nil {
+				w.expectCh <- 1
+				k.release(releaseReq{ID: id, Err: err})
+				return
+			}
+			expect = len(members)
+		}
+		w.expectCh <- expect
+		if err := k.route(eb); err != nil && eb.Target.Kind == event.TargetThread {
+			// Group and object routing already release per-recipient on
+			// failure; a failed thread post must do so here.
+			k.release(releaseReq{ID: id, Err: err})
+		}
+	}()
 	return k.collectReleases(raiser, w)
 }
 
 // collectReleases blocks the raiser until every recipient's handler chain
-// finished and released it.
+// finished and released it, or the raise timeout expires — whichever is
+// first. It never hangs indefinitely: a severed link, a crashed node, or a
+// lost release all surface as a typed error within RaiseTimeout.
 func (k *Kernel) collectReleases(raiser *activation, w *syncWaiter) (event.Verdict, error) {
 	if raiser != nil {
 		raiser.enterBlocked("raise_and_wait")
@@ -79,12 +96,17 @@ func (k *Kernel) collectReleases(raiser *activation, w *syncWaiter) (event.Verdi
 		consumed bool
 		firstErr error
 	)
-	timer := time.NewTimer(k.sys.cfg.CallTimeout)
+	d := k.sys.cfg.RaiseTimeout
+	timer := time.NewTimer(d)
 	defer timer.Stop()
+	expect := -1 // unknown until routing resolves the recipient set
 collect:
-	for got := 0; got < w.expect; got++ {
+	for got := 0; expect < 0 || got < expect; {
 		select {
+		case e := <-w.expectCh:
+			expect = e
 		case rel := <-w.ch:
+			got++
 			if rel.Err != nil && firstErr == nil {
 				firstErr = rel.Err
 			}
@@ -97,8 +119,11 @@ collect:
 		case <-k.sys.closed:
 			firstErr = ErrShutdown
 			break collect
+		case <-k.downChan():
+			firstErr = ErrNodeCrashed
+			break collect
 		case <-timer.C:
-			firstErr = fmt.Errorf("core: raise_and_wait: no release after %v", k.sys.cfg.CallTimeout)
+			firstErr = fmt.Errorf("%w: no release after %v", ErrRaiseTimeout, d)
 			break collect
 		}
 	}
@@ -174,11 +199,12 @@ func (k *Kernel) raiseToGroup(eb *event.Block, gid ids.GroupID) error {
 				// death notice instead of leaving it hanging.
 				k.releaseRaiser(m, 0, false, err)
 			}
-			if errors.Is(err, ErrThreadNotFound) {
+			if errors.Is(err, ErrThreadNotFound) || errors.Is(err, ErrNodeDown) {
 				// Garbage-collect the zombie membership (§7.2 warns that
 				// leaving trails of dead threads "creates garbage
 				// collection problems"): prune it so future group raises
-				// stop tripping over it.
+				// stop tripping over it. Members lost with a crashed node
+				// are pruned the same way once the detector flags it.
 				_ = k.groupJoin(gid, tid, true)
 			}
 			if firstErr == nil {

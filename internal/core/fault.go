@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/failure"
+	"repro/internal/ids"
+	"repro/internal/locate"
+	"repro/internal/metrics"
+	"repro/internal/reliable"
+)
+
+// kindHeartbeat is the failure detector's broadcast message kind. It
+// bypasses the reliable envelope: heartbeats are periodic and
+// self-correcting, so retransmitting a lost one is pointless.
+const kindHeartbeat = "k.fd.hb"
+
+// heartbeat is the (empty) heartbeat payload.
+type heartbeat struct{}
+
+// WireSize charges a minimal frame.
+func (heartbeat) WireSize() int { return 8 }
+
+// FTConfig parameterizes the crash-fault-tolerance subsystem: a heartbeat
+// failure detector per node (internal/failure), an ack/retry envelope
+// around all kernel RPC traffic (internal/reliable), and the kernel
+// reactions that turn a detected crash into prompt failures and recovery
+// instead of hung protocols.
+type FTConfig struct {
+	// Enabled turns the subsystem on. Off (the default), the system
+	// behaves exactly as before: reliable-fabric assumptions, no
+	// detection, no retries.
+	Enabled bool
+	// HeartbeatPeriod is the detector broadcast interval
+	// (0 = failure.DefaultPeriod).
+	HeartbeatPeriod time.Duration
+	// SuspectAfter is the detector's suspicion threshold
+	// (0 = failure.DefaultSuspectMultiple × period).
+	SuspectAfter time.Duration
+	// RetryBase, RetryMax and MaxAttempts parameterize the reliable
+	// envelope's retransmit backoff (0 = reliable defaults).
+	RetryBase   time.Duration
+	RetryMax    time.Duration
+	MaxAttempts int
+}
+
+// initFT wires this kernel's reliable endpoint and failure detector.
+// Called from NewSystem before the fabric starts.
+func (k *Kernel) initFT() {
+	ft := k.sys.cfg.FT
+	k.rel = reliable.New(reliable.Config{
+		MaxAttempts: ft.MaxAttempts,
+		RetryBase:   ft.RetryBase,
+		RetryMax:    ft.RetryMax,
+		Metrics:     k.sys.reg,
+	}, k.node, k.sys.fabric.Send, k.dispatchNet, k.deadLetter)
+
+	peers := make([]ids.NodeID, 0, k.sys.cfg.Nodes-1)
+	for _, n := range k.sys.Nodes() {
+		if n != k.node {
+			peers = append(peers, n)
+		}
+	}
+	k.det = failure.New(failure.Config{
+		Period:       ft.HeartbeatPeriod,
+		SuspectAfter: ft.SuspectAfter,
+		Metrics:      k.sys.reg,
+	}, k.node, peers, func() {
+		_ = k.sys.fabric.Broadcast(k.node, kindHeartbeat, heartbeat{})
+	})
+	k.det.Subscribe(func(ev failure.Event) { k.sys.onMembershipEvent(k, ev) })
+}
+
+// deadLetter receives payloads the reliable endpoint gave up on. An
+// undeliverable request fails its local waiter immediately — this is what
+// converts a lost event post into a prompt error (and thence a
+// THREAD_DEATH release or NODE_DOWN-wrapped failure) at the raiser,
+// instead of a raise_and_wait hung until its timeout. Undeliverable
+// replies need no handling here: the remote caller's own waiter is failed
+// by its kernel's failNode sweep or call timeout.
+func (k *Kernel) deadLetter(to ids.NodeID, kind string, payload any, _ error) {
+	if kind != msgRPCReq {
+		return
+	}
+	req, ok := payload.(rpcRequest)
+	if !ok {
+		return
+	}
+	if w, ok := k.waiters.take(req.ID); ok {
+		w.ch <- rpcResponse{ID: req.ID, Err: fmt.Errorf("core: %s to %v undeliverable: %w", req.Kind, to, ErrNodeDown)}
+	}
+}
+
+// Local crash state. The channel exists on every kernel — FT on or off —
+// so injected crashes promptly unblock anything waiting inside the crashed
+// node (its goroutines must die with it, not linger for a timeout).
+
+// crashedLocal reports whether this kernel is currently crashed.
+func (k *Kernel) crashedLocal() bool { return k.downFlag.Load() }
+
+// downChan returns the channel closed while this kernel is crashed. Taken
+// fresh at each use because a restart replaces it.
+func (k *Kernel) downChan() <-chan struct{} {
+	k.downMu.Lock()
+	ch := k.downCh
+	k.downMu.Unlock()
+	return ch
+}
+
+// markCrashed flips the kernel into the crashed state, returning false if
+// it already was.
+func (k *Kernel) markCrashed() bool {
+	k.downMu.Lock()
+	defer k.downMu.Unlock()
+	if k.downFlag.Load() {
+		return false
+	}
+	k.downFlag.Store(true)
+	close(k.downCh)
+	return true
+}
+
+// markRestarted clears the crashed state with a fresh crash channel.
+func (k *Kernel) markRestarted() {
+	k.downMu.Lock()
+	defer k.downMu.Unlock()
+	k.downCh = make(chan struct{})
+	k.downFlag.Store(false)
+}
+
+// CrashNode fail-stops a node: the fabric drops its traffic, its master
+// handler threads stop, and every resident activation dies with
+// ErrNodeCrashed. The crash is injectable with or without the FT
+// subsystem; only detection and recovery require it.
+func (s *System) CrashNode(node ids.NodeID) error {
+	k, err := s.Kernel(node)
+	if err != nil {
+		return err
+	}
+	if !k.markCrashed() {
+		return fmt.Errorf("%w: %v", ErrNodeCrashed, node)
+	}
+	_ = s.fabric.CrashNode(node)
+
+	// Master handler threads die with the node; a restart recreates them
+	// lazily on the next object event.
+	k.masterMu.Lock()
+	masters := make([]*master, 0, len(k.masters))
+	for _, m := range k.masters {
+		masters = append(masters, m)
+	}
+	k.masters = make(map[ids.ObjectID]*master)
+	k.masterMu.Unlock()
+	for _, m := range masters {
+		m.stop()
+	}
+
+	// Every activation executing at the node is lost. Stopping them
+	// unwinds their goroutines promptly (kernel waits select on the crash
+	// channel), which models the threads dying rather than the simulation
+	// leaking goroutines that compute on.
+	k.actMu.Lock()
+	acts := make([]*activation, 0, len(k.acts))
+	for _, stack := range k.acts {
+		acts = append(acts, stack...)
+	}
+	k.actMu.Unlock()
+	for _, a := range acts {
+		a.stop(ErrNodeCrashed)
+	}
+	return nil
+}
+
+// RestartNode brings a crashed node back up. Volatile kernel state —
+// thread control blocks, activation stacks, pending synchronous raises —
+// died with the node; resident objects and their DSM segments persist, as
+// DO/CT objects are "persistent by nature" (the disk survived the crash).
+func (s *System) RestartNode(node ids.NodeID) error {
+	k, err := s.Kernel(node)
+	if err != nil {
+		return err
+	}
+	if !k.crashedLocal() {
+		return fmt.Errorf("core: restart of %v: node is not crashed", node)
+	}
+	k.tcbs.Clear()
+	k.actMu.Lock()
+	k.acts = make(map[ids.ThreadID][]*activation)
+	k.actMu.Unlock()
+	k.syncMu.Lock()
+	k.syncWait = make(map[uint64]*syncWaiter)
+	k.syncMu.Unlock()
+	if k.det != nil {
+		// The restarted node's own arrival clocks are stale (every peer
+		// heartbeated into the void while it was down); reset them so it
+		// does not instantly suspect the whole cluster.
+		k.det.Reset()
+	}
+	k.markRestarted()
+	return s.fabric.RestartNode(node)
+}
+
+// Crashed reports whether node is currently crashed.
+func (s *System) Crashed(node ids.NodeID) bool {
+	k, err := s.Kernel(node)
+	return err == nil && k.crashedLocal()
+}
+
+// FTEnabled reports whether the crash-fault-tolerance subsystem is on.
+func (s *System) FTEnabled() bool { return s.cfg.FT.Enabled }
+
+// Membership returns a cluster view: the first alive detector's view when
+// FT is enabled, otherwise a static view derived from injected crashes.
+func (s *System) Membership() failure.Membership {
+	for i := 1; i <= s.cfg.Nodes; i++ {
+		k := s.kernels[ids.NodeID(i)]
+		if k.det != nil && !k.crashedLocal() {
+			return k.det.View()
+		}
+	}
+	var m failure.Membership
+	for i := 1; i <= s.cfg.Nodes; i++ {
+		n := ids.NodeID(i)
+		if s.kernels[n].crashedLocal() {
+			m.Suspected = append(m.Suspected, n)
+		} else {
+			m.Alive = append(m.Alive, n)
+		}
+	}
+	return m
+}
+
+// WatchMembership registers an object to receive NODE_DOWN / NODE_UP
+// events on cluster membership transitions (deduplicated cluster-wide, one
+// event per transition). The object needs handlers for those names.
+func (s *System) WatchMembership(oid ids.ObjectID) {
+	s.ftMu.Lock()
+	s.watchers = append(s.watchers, oid)
+	s.ftMu.Unlock()
+}
+
+// onMembershipEvent funnels every detector's transitions through a
+// cluster-level dedup: n-1 surviving detectors each discover a crash, but
+// the recovery reactions — cache invalidation, waiter sweeps, lock
+// reclaim, watcher notification — must run once per transition, not n-1
+// times. The configured Locator instance is shared by every kernel, so
+// invalidating it once is both sufficient and required.
+func (s *System) onMembershipEvent(observer *Kernel, ev failure.Event) {
+	if observer.crashedLocal() {
+		return
+	}
+	select {
+	case <-s.closed:
+		return
+	default:
+	}
+	s.ftMu.Lock()
+	if ev.Up {
+		if !s.ftDown[ev.Node] {
+			s.ftMu.Unlock()
+			return
+		}
+		delete(s.ftDown, ev.Node)
+	} else {
+		if s.ftDown[ev.Node] {
+			s.ftMu.Unlock()
+			return
+		}
+		s.ftDown[ev.Node] = true
+	}
+	watchers := append([]ids.ObjectID(nil), s.watchers...)
+	s.ftMu.Unlock()
+
+	name := event.NodeUp
+	if !ev.Up {
+		name = event.NodeDown
+		s.reactNodeDown(observer, ev.Node)
+	}
+	for _, oid := range watchers {
+		oid := oid
+		observer.wg.Add(1)
+		go func() {
+			defer observer.wg.Done()
+			_ = observer.raise(nil, name, event.ToObject(oid), map[string]any{
+				"node": ev.Node,
+				"gen":  ev.Gen,
+			})
+		}()
+	}
+}
+
+// reactNodeDown runs the kernel-side reactions to a freshly detected
+// crash, from the first surviving node to observe it.
+func (s *System) reactNodeDown(observer *Kernel, node ids.NodeID) {
+	// Every location cached at the dead node is stale at once.
+	if inv, ok := s.cfg.Locator.(locate.NodeInvalidator); ok {
+		inv.InvalidateNode(node)
+	}
+	// Calls already in flight toward the dead node would otherwise sit out
+	// the full call timeout; fail them now on every surviving kernel.
+	err := fmt.Errorf("%w: %v", ErrNodeDown, node)
+	for _, ak := range s.kernels {
+		if ak.crashedLocal() {
+			continue
+		}
+		if n := ak.waiters.failNode(node, err); n > 0 {
+			s.reg.Add(metrics.CtrWaitersFailed, int64(n))
+		}
+	}
+	// Locks held by threads lost with the node are reclaimed through the
+	// §4.2 TERMINATE-chain machinery (see recovery.go).
+	observer.wg.Add(1)
+	go func() {
+		defer observer.wg.Done()
+		s.reclaimOrphanedLocks(observer)
+	}()
+}
+
+// Fault-injection pass-throughs, so harnesses (and the doct facade) need
+// no direct fabric access.
+
+// CutLink severs the directed fabric link from → to.
+func (s *System) CutLink(from, to ids.NodeID) { s.fabric.CutLink(from, to) }
+
+// HealLink restores the directed fabric link from → to.
+func (s *System) HealLink(from, to ids.NodeID) { s.fabric.HealLink(from, to) }
+
+// Partition severs every link between the two node sets, both directions.
+func (s *System) Partition(sideA, sideB []ids.NodeID) { s.fabric.Partition(sideA, sideB) }
+
+// HealAll restores every severed link.
+func (s *System) HealAll() { s.fabric.HealAll() }
+
+// SetDropRate changes the fabric's message drop probability at runtime.
+func (s *System) SetDropRate(rate float64) { s.fabric.SetDropRate(rate) }

@@ -10,11 +10,13 @@ import (
 
 	"repro/internal/dsm"
 	"repro/internal/event"
+	"repro/internal/failure"
 	"repro/internal/ids"
 	"repro/internal/locate"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/object"
+	"repro/internal/reliable"
 	"repro/internal/thread"
 	"repro/internal/trace"
 )
@@ -112,13 +114,26 @@ type Kernel struct {
 	masterMu sync.Mutex
 	masters  map[ids.ObjectID]*master
 
+	// Crash-fault tolerance (fault.go). rel and det are nil unless
+	// Config.FT.Enabled; the crash channel exists regardless so fault
+	// injection works on a plain system too.
+	rel *reliable.Endpoint
+	det *failure.Detector
+
+	downMu   sync.Mutex
+	downCh   chan struct{} // closed while this node is crashed
+	downFlag atomic.Bool
+
 	wg sync.WaitGroup
 }
 
-// syncWaiter collects releases for one raise_and_wait.
+// syncWaiter collects releases for one raise_and_wait. The expected
+// release count arrives on expectCh once routing has resolved the
+// recipient set — asynchronously, so a raise across a severed link cannot
+// block the raiser beyond its raise timeout.
 type syncWaiter struct {
-	ch     chan releaseReq
-	expect int
+	ch       chan releaseReq
+	expectCh chan int
 }
 
 // releaseReq releases a synchronous raiser (kindEvRelease).
@@ -143,6 +158,7 @@ func newKernel(s *System, node ids.NodeID) *Kernel {
 		acts:     make(map[ids.ThreadID][]*activation),
 		syncWait: make(map[uint64]*syncWaiter),
 		masters:  make(map[ids.ObjectID]*master),
+		downCh:   make(chan struct{}),
 	}
 	k.dsm = dsm.NewManager(dsm.Config{
 		Node:      node,
@@ -177,15 +193,39 @@ func (k *Kernel) shutdown() {
 	for _, m := range masters {
 		m.stop()
 	}
+	if k.rel != nil {
+		k.rel.Close()
+	}
 	k.wg.Wait()
 }
 
 // onMessage is the fabric handler: it must not block, so request service
 // runs on its own goroutine (kernel requests may issue nested calls).
+// Heartbeats bypass the reliable layer (they are periodic and self-
+// correcting); everything else is unwrapped by it when FT is enabled.
 func (k *Kernel) onMessage(m netsim.Message) {
-	switch m.Kind {
+	if k.crashedLocal() {
+		// A message already in the inbox when the node crashed: lost with
+		// the node.
+		return
+	}
+	if m.Kind == kindHeartbeat {
+		if k.det != nil {
+			k.det.Heartbeat(m.From)
+		}
+		return
+	}
+	if k.rel != nil && k.rel.Handle(m) {
+		return
+	}
+	k.dispatchNet(m.From, m.Kind, m.Payload)
+}
+
+// dispatchNet handles one unwrapped kernel protocol message.
+func (k *Kernel) dispatchNet(from ids.NodeID, kind string, payload any) {
+	switch kind {
 	case msgRPCReq:
-		req, ok := m.Payload.(rpcRequest)
+		req, ok := payload.(rpcRequest)
 		if !ok {
 			return
 		}
@@ -195,34 +235,46 @@ func (k *Kernel) onMessage(m netsim.Message) {
 			body, err := k.serve(req.From, req.Kind, req.Body)
 			rsp := rpcResponse{ID: req.ID, Body: body, Err: err}
 			// Reply failures mean the fabric is closing; nothing to do.
-			_ = k.sys.fabric.Send(netsim.Message{
-				From: k.node, To: req.From, Kind: msgRPCRsp, Payload: rsp,
-			})
+			_ = k.netSend(req.From, msgRPCRsp, rsp)
 		}()
 	case msgRPCRsp:
-		rsp, ok := m.Payload.(rpcResponse)
+		rsp, ok := payload.(rpcResponse)
 		if !ok {
 			return
 		}
-		if ch, ok := k.waiters.take(rsp.ID); ok {
-			ch <- rsp
+		if w, ok := k.waiters.take(rsp.ID); ok {
+			w.ch <- rsp
 		}
 	}
 }
 
+// netSend transmits one kernel protocol message, through the reliable
+// endpoint when FT is enabled and bare otherwise.
+func (k *Kernel) netSend(to ids.NodeID, kind string, payload any) error {
+	if k.rel != nil {
+		return k.rel.Send(to, kind, payload)
+	}
+	return k.sys.fabric.Send(netsim.Message{From: k.node, To: to, Kind: kind, Payload: payload})
+}
+
 // call performs a synchronous kernel RPC to another node.
 func (k *Kernel) call(to ids.NodeID, kind string, body any) (any, error) {
+	if k.crashedLocal() {
+		return nil, ErrNodeCrashed
+	}
 	if to == k.node {
 		return k.serve(k.node, kind, body)
 	}
+	if k.det != nil && k.det.Suspected(to) {
+		// Fail fast instead of burning the call timeout against a node the
+		// detector already declared dead.
+		return nil, fmt.Errorf("call %s to %v: %w", kind, to, ErrNodeDown)
+	}
 	id := k.reqSeq.Add(1)
 	ch := make(chan rpcResponse, 1)
-	k.waiters.put(id, ch)
+	k.waiters.put(id, to, ch)
 
-	err := k.sys.fabric.Send(netsim.Message{
-		From: k.node, To: to, Kind: msgRPCReq,
-		Payload: rpcRequest{ID: id, Kind: kind, From: k.node, Body: body},
-	})
+	err := k.netSend(to, msgRPCReq, rpcRequest{ID: id, Kind: kind, From: k.node, Body: body})
 	if err != nil {
 		k.waiters.drop(id)
 		return nil, fmt.Errorf("call %s to %v: %w", kind, to, err)
@@ -235,6 +287,9 @@ func (k *Kernel) call(to ids.NodeID, kind string, body any) (any, error) {
 		return rsp.Body, rsp.Err
 	case <-k.sys.closed:
 		return nil, ErrShutdown
+	case <-k.downChan():
+		k.waiters.drop(id)
+		return nil, ErrNodeCrashed
 	case <-timer.C:
 		k.waiters.drop(id)
 		return nil, fmt.Errorf("call %s to %v: timeout after %v", kind, to, k.sys.cfg.CallTimeout)
@@ -443,13 +498,30 @@ func (k *Kernel) probeLocal(tid ids.ThreadID) locate.ProbeResult {
 // Self implements locate.Env.
 func (k *Kernel) Self() ids.NodeID { return k.node }
 
-// Nodes implements locate.Env.
-func (k *Kernel) Nodes() []ids.NodeID { return k.sys.Nodes() }
+// Nodes implements locate.Env. With the failure detector running,
+// suspected-dead nodes are filtered out so locate strategies stop probing
+// them (§7.1's probes would otherwise hang per dead node per locate).
+func (k *Kernel) Nodes() []ids.NodeID {
+	all := k.sys.Nodes()
+	if k.det == nil {
+		return all
+	}
+	out := all[:0:0]
+	for _, n := range all {
+		if !k.det.Suspected(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
 
 // Probe implements locate.Env.
 func (k *Kernel) Probe(node ids.NodeID, tid ids.ThreadID) (locate.ProbeResult, error) {
 	if node == k.node {
 		return k.probeLocal(tid), nil
+	}
+	if k.det != nil && k.det.Suspected(node) {
+		return locate.ProbeResult{}, fmt.Errorf("probe %v: %w", node, ErrNodeDown)
 	}
 	body, err := k.call(node, kindProbe, tid)
 	if err != nil {

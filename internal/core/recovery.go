@@ -1,0 +1,162 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/locate"
+	"repro/internal/locks"
+	"repro/internal/metrics"
+)
+
+// Crash recovery: reclaiming resources that threads lost with a crashed
+// node can no longer clean up themselves, and re-homing the crashed node's
+// objects.
+//
+// §4.2's lock discipline chains an unlock routine onto the holder's
+// TERMINATE handler, so a terminated thread releases everything it holds.
+// A thread that dies in a node crash never receives TERMINATE — its chain,
+// like the rest of its volatile state, is gone. The sweep below closes
+// that gap: it rebuilds each dead holder's chained-unlock reference from
+// the lock server's own persistent state and runs the identical routine on
+// a surrogate, so crash reclaim exercises the same machinery as ordinary
+// termination.
+
+// ReclaimOrphanedLocks runs the orphaned-lock sweep from the first alive
+// node and reports how many locks were released. The NODE_DOWN reaction
+// runs the same sweep automatically when the FT subsystem is enabled; this
+// entry point serves harnesses driving recovery by hand.
+func (s *System) ReclaimOrphanedLocks() int {
+	for i := 1; i <= s.cfg.Nodes; i++ {
+		if k := s.kernels[ids.NodeID(i)]; !k.crashedLocal() {
+			return s.reclaimOrphanedLocks(k)
+		}
+	}
+	return 0
+}
+
+// reclaimOrphanedLocks sweeps every lock server on a surviving node for
+// locks whose holders no longer exist anywhere, and releases them. Run
+// from the NODE_DOWN reaction; safe to run repeatedly (releases are
+// idempotent and liveness is re-checked each sweep).
+func (s *System) reclaimOrphanedLocks(observer *Kernel) int {
+	reclaimed := 0
+	for _, k := range s.kernels {
+		if k.crashedLocal() {
+			continue
+		}
+		for _, oid := range k.store.Objects() {
+			obj, err := k.store.Lookup(oid)
+			if err != nil || !strings.HasPrefix(obj.Name(), locks.ServerPrefix) {
+				continue
+			}
+			for lock, holder := range locks.HeldLocks(obj.SnapshotKV()) {
+				if s.threadAlive(observer, holder) {
+					continue
+				}
+				if s.runCrashUnlock(observer, oid, lock, holder) {
+					reclaimed++
+				}
+			}
+		}
+	}
+	return reclaimed
+}
+
+// threadAlive probes the cluster for the holder with an exhaustive
+// broadcast locate. The configured strategy is deliberately not used here:
+// a cached or path-following answer can misjudge a thread whose trail ran
+// through the crashed node, and a false "dead" would release a lock its
+// holder still depends on. Only a definitive not-found anywhere counts as
+// dead; any other failure keeps the lock conservatively held.
+func (s *System) threadAlive(observer *Kernel, tid ids.ThreadID) bool {
+	_, err := (locate.Broadcast{}).Locate(observer, tid)
+	if err == nil {
+		return true
+	}
+	return !errors.Is(err, locate.ErrNotFound)
+}
+
+// runCrashUnlock executes the §4.2 chained-unlock routine for a dead
+// holder, on a surrogate system activation at the observer node — exactly
+// what the holder's own TERMINATE chain would have run.
+func (s *System) runCrashUnlock(observer *Kernel, server ids.ObjectID, lock string, holder ids.ThreadID) bool {
+	f, err := s.proc(locks.UnlockProc)
+	if err != nil {
+		return false // lock package never registered; nothing to run
+	}
+	eb := &event.Block{
+		Stamp:      observer.gen.NextStamp(),
+		Name:       event.Terminate,
+		Target:     event.ToThread(holder),
+		RaiserNode: observer.node,
+		User:       map[string]any{"reason": "node crash"},
+	}
+	sa := observer.systemActivation(nil, nil)
+	f(sa.handlerCtx(), locks.CrashRef(server, lock, holder), eb)
+	sa.stopTimers()
+	s.reg.Inc(metrics.CtrLockReclaim)
+	return true
+}
+
+// FindObject resolves an object by name at a node. Recovery gives objects
+// fresh identities at their new home (object IDs encode the home node), so
+// the name is the stable key survivors re-resolve by.
+func (s *System) FindObject(node ids.NodeID, name string) (ids.ObjectID, error) {
+	k, err := s.Kernel(node)
+	if err != nil {
+		return ids.NoObject, err
+	}
+	for _, oid := range k.store.Objects() {
+		if obj, err := k.store.Lookup(oid); err == nil && obj.Name() == name {
+			return oid, nil
+		}
+	}
+	return ids.NoObject, fmt.Errorf("core: no object named %q on %v", name, node)
+}
+
+// RecoverObjects re-homes every object resident at a crashed node onto a
+// surviving one, rebuilding each from its persistent image (segment
+// contents + KV snapshot) — the disk survived the crash, per the DO/CT
+// persistence model. Objects get fresh identities at the new home (object
+// IDs encode their home node); callers re-resolve by name. Returns how
+// many objects were recovered.
+func (s *System) RecoverObjects(from, to ids.NodeID) (int, error) {
+	kf, err := s.Kernel(from)
+	if err != nil {
+		return 0, err
+	}
+	if !kf.crashedLocal() {
+		return 0, fmt.Errorf("core: recover from %v: node is not crashed", from)
+	}
+	kt, err := s.Kernel(to)
+	if err != nil {
+		return 0, err
+	}
+	if kt.crashedLocal() {
+		return 0, fmt.Errorf("core: recover to %v: %w", to, ErrNodeCrashed)
+	}
+
+	recovered := 0
+	for _, oid := range kf.store.Objects() {
+		obj, err := kf.store.Lookup(oid)
+		if err != nil {
+			continue
+		}
+		data, err := kf.dsm.Read(obj.Segment(), 0, obj.DataSize())
+		if err != nil {
+			return recovered, fmt.Errorf("recover %v: read segment: %w", oid, err)
+		}
+		img := ObjectImage{Name: obj.Name(), Data: data, KV: obj.SnapshotKV()}
+		if _, err := s.Activate(to, obj.Spec(), img); err != nil {
+			return recovered, fmt.Errorf("recover %v: %w", oid, err)
+		}
+		kf.store.Remove(oid)
+		s.reg.Inc(metrics.CtrObjRecovered)
+		recovered++
+	}
+	return recovered, nil
+}

@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/ids"
+)
 
 // The kernel's hot maps used to share one Kernel.mu, so every RPC
 // completion, every delivery, and every activation push/pop serialized on
@@ -13,6 +17,14 @@ import "sync"
 // spreads consecutive requests across distinct stripes.
 const waiterShards = 32
 
+// waiterEntry is one in-flight RPC: the reply channel plus the node the
+// request went to, so failNode can sweep every call aimed at a node the
+// failure detector just declared dead.
+type waiterEntry struct {
+	ch chan rpcResponse
+	to ids.NodeID
+}
+
 // waiterTable maps in-flight RPC request IDs to their reply channels.
 type waiterTable struct {
 	shards [waiterShards]waiterShard
@@ -20,13 +32,13 @@ type waiterTable struct {
 
 type waiterShard struct {
 	mu sync.Mutex
-	m  map[uint64]chan rpcResponse
+	m  map[uint64]waiterEntry
 }
 
 func newWaiterTable() *waiterTable {
 	t := &waiterTable{}
 	for i := range t.shards {
-		t.shards[i].m = make(map[uint64]chan rpcResponse)
+		t.shards[i].m = make(map[uint64]waiterEntry)
 	}
 	return t
 }
@@ -35,23 +47,23 @@ func (t *waiterTable) shard(id uint64) *waiterShard {
 	return &t.shards[id&(waiterShards-1)]
 }
 
-// put registers the reply channel for request id.
-func (t *waiterTable) put(id uint64, ch chan rpcResponse) {
+// put registers the reply channel for request id sent to node to.
+func (t *waiterTable) put(id uint64, to ids.NodeID, ch chan rpcResponse) {
 	s := t.shard(id)
 	s.mu.Lock()
-	s.m[id] = ch
+	s.m[id] = waiterEntry{ch: ch, to: to}
 	s.mu.Unlock()
 }
 
-// take removes and returns the reply channel for request id; ok is false
-// if the waiter already gave up (timeout) or was never registered.
-func (t *waiterTable) take(id uint64) (chan rpcResponse, bool) {
+// take removes and returns the entry for request id; ok is false if the
+// waiter already gave up (timeout) or was never registered.
+func (t *waiterTable) take(id uint64) (waiterEntry, bool) {
 	s := t.shard(id)
 	s.mu.Lock()
-	ch, ok := s.m[id]
+	w, ok := s.m[id]
 	delete(s.m, id)
 	s.mu.Unlock()
-	return ch, ok
+	return w, ok
 }
 
 // drop removes the waiter for request id, if still present.
@@ -60,4 +72,34 @@ func (t *waiterTable) drop(id uint64) {
 	s.mu.Lock()
 	delete(s.m, id)
 	s.mu.Unlock()
+}
+
+// failNode completes every in-flight call aimed at node with err. The
+// reply channels are buffered (capacity 1) and an entry is removed before
+// its send, so each channel receives at most once; callers that already
+// timed out removed their entries first and are skipped. Returns how many
+// waiters were failed.
+func (t *waiterTable) failNode(node ids.NodeID, err error) int {
+	failed := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		var reqIDs []uint64
+		var chs []chan rpcResponse
+		for id, w := range s.m {
+			if w.to == node {
+				reqIDs = append(reqIDs, id)
+				chs = append(chs, w.ch)
+			}
+		}
+		for _, id := range reqIDs {
+			delete(s.m, id)
+		}
+		s.mu.Unlock()
+		for j, ch := range chs {
+			ch <- rpcResponse{ID: reqIDs[j], Err: err}
+			failed++
+		}
+	}
+	return failed
 }

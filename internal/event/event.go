@@ -54,6 +54,13 @@ const (
 	// ThreadDeath notifies a synchronous raiser that the target thread was
 	// destroyed before delivery (§7.2 fault-tolerance note).
 	ThreadDeath Name = "THREAD_DEATH"
+	// NodeDown is raised by the failure detector when a node is declared
+	// crashed; it generalizes §7.2's death notices from "thread died" to
+	// "node died" (every thread and activation there is lost at once).
+	NodeDown Name = "NODE_DOWN"
+	// NodeUp is raised by the failure detector when a previously suspected
+	// node resumes heartbeating (it was restarted or a partition healed).
+	NodeUp Name = "NODE_UP"
 )
 
 // systemEvents is the closed predefined set.
@@ -61,6 +68,7 @@ var systemEvents = map[Name]bool{
 	Terminate: true, Abort: true, Quit: true, Delete: true,
 	Interrupt: true, Timer: true, VMFault: true, PageFault: true,
 	DivZero: true, Alarm: true, ThreadDeath: true,
+	NodeDown: true, NodeUp: true,
 }
 
 // IsSystem reports whether n is one of the predefined system events.

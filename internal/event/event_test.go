@@ -9,7 +9,7 @@ import (
 )
 
 func TestIsSystem(t *testing.T) {
-	for _, n := range []Name{Terminate, Abort, Quit, Delete, Interrupt, Timer, VMFault, PageFault, DivZero, Alarm, ThreadDeath} {
+	for _, n := range []Name{Terminate, Abort, Quit, Delete, Interrupt, Timer, VMFault, PageFault, DivZero, Alarm, ThreadDeath, NodeDown, NodeUp} {
 		if !IsSystem(n) {
 			t.Errorf("IsSystem(%s) = false, want true", n)
 		}
@@ -23,8 +23,8 @@ func TestIsSystem(t *testing.T) {
 
 func TestSystemEventsSortedAndComplete(t *testing.T) {
 	evs := SystemEvents()
-	if len(evs) != 11 {
-		t.Fatalf("SystemEvents() has %d entries, want 11", len(evs))
+	if len(evs) != 13 {
+		t.Fatalf("SystemEvents() has %d entries, want 13", len(evs))
 	}
 	for i := 1; i < len(evs); i++ {
 		if evs[i-1] >= evs[i] {

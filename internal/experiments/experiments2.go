@@ -702,5 +702,6 @@ func All() []Table {
 		RunE7(nil),
 		RunE8(nil),
 		RunE9(nil),
+		RunE10(nil),
 	}
 }

@@ -286,13 +286,38 @@ func TestTableString(t *testing.T) {
 
 // TestAllRuns exercises every experiment end to end (the cmd/benchtab
 // default path). Skipped in -short runs.
+func TestE10SubsystemLosesNothing(t *testing.T) {
+	tbl := RunE10([]float64{0.1})
+	// Rows: (0.1, off), (0.1, on), (0.1+crash, off), (0.1+crash, on).
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	for _, i := range []int{1, 3} { // subsystem on
+		if got := atoiCell(t, cell(t, tbl, i, 5)); got != 0 {
+			t.Errorf("row %d: lost %d events with the subsystem on, want 0", i, got)
+		}
+	}
+	ftCrash := tbl.Rows[3]
+	if ftCrash[6] != "0" {
+		t.Errorf("crash row with subsystem leaked %s locks, want 0", ftCrash[6])
+	}
+	if ftCrash[7] != "0" {
+		t.Errorf("crash row with subsystem left %s waiters blocked, want 0", ftCrash[7])
+	}
+	// The baseline crash row must show the failure the subsystem removes:
+	// with no reclaim sweep, every lock the dead threads held stays stuck.
+	if got := atoiCell(t, cell(t, tbl, 2, 6)); got != 3 {
+		t.Errorf("baseline crash row leaked %d locks, want all 3", got)
+	}
+}
+
 func TestAllRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep in -short mode")
 	}
 	tables := All()
-	if len(tables) != 10 {
-		t.Fatalf("All() = %d tables, want 10", len(tables))
+	if len(tables) != 11 {
+		t.Fatalf("All() = %d tables, want 11", len(tables))
 	}
 	for _, tbl := range tables {
 		if len(tbl.Rows) == 0 {

@@ -1,0 +1,261 @@
+// Package failure implements a heartbeat-based crash-failure detector, one
+// instance per node. Each detector periodically broadcasts a heartbeat and
+// sweeps the arrival times of its peers' heartbeats; a peer silent for
+// longer than the suspicion threshold is declared down, and a suspected
+// peer that heartbeats again is declared up (restarted, or a partition
+// healed). Subscribers receive membership events and the kernel turns them
+// into NODE_DOWN / NODE_UP system events — the generalization of the
+// paper's §7.2 THREAD_DEATH notices from one dead thread to a whole dead
+// node's worth of threads.
+//
+// The detector is deliberately simple (no gossip, no incarnation numbers):
+// the netsim fabric gives every pair of nodes a direct link, so a missing
+// heartbeat means the peer is crashed, partitioned away, or badly lossy —
+// and for the DO/CT protocols those all warrant the same reaction, because
+// posts and probes toward such a node would otherwise hang their callers.
+package failure
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/metrics"
+)
+
+// DefaultPeriod is the heartbeat interval when Config.Period is zero.
+// Heartbeats are cheap fabric broadcasts, so the default favors detection
+// latency over traffic.
+const DefaultPeriod = 15 * time.Millisecond
+
+// DefaultSuspectMultiple sets the suspicion threshold when
+// Config.SuspectAfter is zero: a peer is suspected after this many silent
+// heartbeat periods. Several consecutive heartbeats must be lost before a
+// node is declared down, which gives jitter tolerance — with 10% message
+// loss the false-suspicion probability per sweep is 10^-5.
+const DefaultSuspectMultiple = 5
+
+// Config parameterizes a Detector.
+type Config struct {
+	// Period is the heartbeat broadcast interval (0 = DefaultPeriod).
+	Period time.Duration
+	// SuspectAfter is how long a peer may stay silent before it is
+	// declared down (0 = DefaultSuspectMultiple × Period). It must be
+	// comfortably larger than Period plus fabric latency and jitter.
+	SuspectAfter time.Duration
+	// Metrics receives heartbeat and transition accounting (nil = none).
+	Metrics *metrics.Registry
+}
+
+func (c *Config) fillDefaults() {
+	if c.Period <= 0 {
+		c.Period = DefaultPeriod
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = DefaultSuspectMultiple * c.Period
+	}
+}
+
+// Event is one membership transition observed by a detector.
+type Event struct {
+	Node ids.NodeID
+	// Up is false for a down transition (peer fell silent), true for an up
+	// transition (a suspected peer heartbeated again).
+	Up bool
+	// Gen is the observing detector's view generation after the
+	// transition; it increases monotonically with every transition.
+	Gen uint64
+}
+
+// Membership is a point-in-time cluster view from one detector.
+type Membership struct {
+	Gen       uint64
+	Alive     []ids.NodeID // self plus unsuspected peers, ascending
+	Suspected []ids.NodeID // suspected peers, ascending
+}
+
+// Detector watches a fixed peer set for crash failures. Create with New,
+// then Start; Heartbeat is fed by the owner whenever a peer's heartbeat
+// message arrives.
+type Detector struct {
+	cfg   Config
+	self  ids.NodeID
+	peers []ids.NodeID
+	beat  func() // broadcasts this node's heartbeat; nil in unit tests
+
+	mu        sync.Mutex
+	lastSeen  map[ids.NodeID]time.Time
+	suspected map[ids.NodeID]bool
+	gen       uint64
+	subs      []func(Event)
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stopCh    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New builds a detector for self watching peers. beat is called once per
+// period to broadcast this node's own heartbeat (nil for tests that drive
+// Heartbeat directly).
+func New(cfg Config, self ids.NodeID, peers []ids.NodeID, beat func()) *Detector {
+	cfg.fillDefaults()
+	d := &Detector{
+		cfg:       cfg,
+		self:      self,
+		peers:     append([]ids.NodeID(nil), peers...),
+		beat:      beat,
+		lastSeen:  make(map[ids.NodeID]time.Time, len(peers)),
+		suspected: make(map[ids.NodeID]bool),
+		stopCh:    make(chan struct{}),
+	}
+	now := time.Now()
+	for _, p := range d.peers {
+		d.lastSeen[p] = now
+	}
+	return d
+}
+
+// Period returns the configured heartbeat interval.
+func (d *Detector) Period() time.Duration { return d.cfg.Period }
+
+// Subscribe registers a callback for membership transitions. Callbacks run
+// synchronously on the detector's sweep (or Heartbeat caller's) goroutine
+// and must not block. Subscribe before Start.
+func (d *Detector) Subscribe(f func(Event)) {
+	d.mu.Lock()
+	d.subs = append(d.subs, f)
+	d.mu.Unlock()
+}
+
+// Start launches the heartbeat/sweep loop. Peers get a full suspicion
+// window from Start before they can be suspected.
+func (d *Detector) Start() {
+	d.startOnce.Do(func() {
+		d.Reset()
+		d.wg.Add(1)
+		go d.loop()
+	})
+}
+
+// Stop terminates the loop. Safe to call more than once.
+func (d *Detector) Stop() {
+	d.stopOnce.Do(func() { close(d.stopCh) })
+	d.wg.Wait()
+}
+
+// Reset silently clears all suspicion state and restarts every peer's
+// silence clock. The kernel calls it when this node itself restarts after
+// a crash: its stale arrival times would otherwise instantly suspect every
+// peer that heartbeated normally while it was dead.
+func (d *Detector) Reset() {
+	now := time.Now()
+	d.mu.Lock()
+	for _, p := range d.peers {
+		d.lastSeen[p] = now
+	}
+	d.suspected = make(map[ids.NodeID]bool)
+	d.mu.Unlock()
+}
+
+// Heartbeat records a heartbeat arrival from a peer. A suspected peer
+// heartbeating again triggers an up transition.
+func (d *Detector) Heartbeat(from ids.NodeID) {
+	if d.cfg.Metrics != nil {
+		d.cfg.Metrics.Inc(metrics.CtrFDHeartbeat)
+	}
+	d.mu.Lock()
+	if _, known := d.lastSeen[from]; !known {
+		d.mu.Unlock()
+		return
+	}
+	d.lastSeen[from] = time.Now()
+	var evs []Event
+	if d.suspected[from] {
+		delete(d.suspected, from)
+		d.gen++
+		evs = append(evs, Event{Node: from, Up: true, Gen: d.gen})
+		if d.cfg.Metrics != nil {
+			d.cfg.Metrics.Inc(metrics.CtrFDNodeUp)
+		}
+	}
+	subs := d.subs
+	d.mu.Unlock()
+	notify(subs, evs)
+}
+
+// Suspected reports whether the detector currently believes node is down.
+// The detector never suspects its own node.
+func (d *Detector) Suspected(node ids.NodeID) bool {
+	if node == d.self {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.suspected[node]
+}
+
+// View returns the detector's current membership view.
+func (d *Detector) View() Membership {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m := Membership{Gen: d.gen, Alive: []ids.NodeID{d.self}}
+	for _, p := range d.peers {
+		if d.suspected[p] {
+			m.Suspected = append(m.Suspected, p)
+		} else {
+			m.Alive = append(m.Alive, p)
+		}
+	}
+	sort.Slice(m.Alive, func(i, j int) bool { return m.Alive[i] < m.Alive[j] })
+	sort.Slice(m.Suspected, func(i, j int) bool { return m.Suspected[i] < m.Suspected[j] })
+	return m
+}
+
+func (d *Detector) loop() {
+	defer d.wg.Done()
+	ticker := time.NewTicker(d.cfg.Period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stopCh:
+			return
+		case <-ticker.C:
+			if d.beat != nil {
+				d.beat()
+			}
+			d.sweep()
+		}
+	}
+}
+
+// sweep declares peers whose last heartbeat is older than the suspicion
+// threshold down.
+func (d *Detector) sweep() {
+	now := time.Now()
+	var evs []Event
+	d.mu.Lock()
+	for _, p := range d.peers {
+		if d.suspected[p] || now.Sub(d.lastSeen[p]) <= d.cfg.SuspectAfter {
+			continue
+		}
+		d.suspected[p] = true
+		d.gen++
+		evs = append(evs, Event{Node: p, Up: false, Gen: d.gen})
+		if d.cfg.Metrics != nil {
+			d.cfg.Metrics.Inc(metrics.CtrFDNodeDown)
+		}
+	}
+	subs := d.subs
+	d.mu.Unlock()
+	notify(subs, evs)
+}
+
+func notify(subs []func(Event), evs []Event) {
+	for _, ev := range evs {
+		for _, f := range subs {
+			f(ev)
+		}
+	}
+}

@@ -26,6 +26,17 @@ type Invalidator interface {
 	Invalidate(tid ids.ThreadID) bool
 }
 
+// NodeInvalidator is implemented by strategies that remember thread
+// locations and can drop every entry pointing at one node. The kernel uses
+// it when the failure detector declares a node down: every cached location
+// there is stale at once, and leaving the entries in place would send the
+// first post-crash delivery of each thread straight into the dead node.
+type NodeInvalidator interface {
+	// InvalidateNode forgets every cached location at node, returning how
+	// many entries were dropped.
+	InvalidateNode(node ids.NodeID) int
+}
+
 // Cache wraps any inner Strategy with a bounded LRU map of tid → last known
 // node. A hot thread that is not migrating is located with zero messages:
 // the cached node is returned immediately and the kernel's post either
@@ -49,6 +60,7 @@ type cacheEntry struct {
 
 var _ Strategy = (*Cache)(nil)
 var _ Invalidator = (*Cache)(nil)
+var _ NodeInvalidator = (*Cache)(nil)
 
 // NewCache wraps inner in an LRU location cache holding at most size
 // entries (DefaultCacheSize if size <= 0).
@@ -118,6 +130,24 @@ func (c *Cache) Invalidate(tid ids.ThreadID) bool {
 	c.lru.Remove(el)
 	delete(c.idx, tid)
 	return true
+}
+
+// InvalidateNode forgets every location cached at node, returning the
+// number of entries dropped. The kernel calls it on NODE_DOWN.
+func (c *Cache) InvalidateNode(node ids.NodeID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		if ce := el.Value.(*cacheEntry); ce.node == node {
+			c.lru.Remove(el)
+			delete(c.idx, ce.tid)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
 }
 
 // Len reports the number of cached locations.

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/event"
@@ -24,6 +25,13 @@ import (
 // UnlockProc is the handler-code registry name of the chained unlock
 // routine.
 const UnlockProc = "locks.unlock"
+
+// ServerPrefix prefixes every lock-server object name. The crash-recovery
+// sweep identifies lock servers in a node's store by it.
+const ServerPrefix = "lock-server:"
+
+// kvPrefix prefixes lock entries in the server object's KV store.
+const kvPrefix = "lock:"
 
 // Entry names of the lock-server object.
 const (
@@ -74,7 +82,7 @@ func Register(r Registrar) error {
 // per node (or per application) with System.CreateObject.
 func ServerSpec(label string) object.Spec {
 	return object.Spec{
-		Name: "lock-server:" + label,
+		Name: ServerPrefix + label,
 		Entries: map[string]object.Entry{
 			EntryAcquire: acquireEntry,
 			EntryRelease: releaseEntry,
@@ -101,7 +109,7 @@ func acquireEntry(ctx object.Ctx, args []any) ([]any, error) {
 		}
 	}
 	deadline := time.Now().Add(timeout)
-	key := "lock:" + name
+	key := kvPrefix + name
 	self := uint64(ctx.Thread())
 	for {
 		// Free locks are taken atomically; both transitions (missing key
@@ -137,7 +145,7 @@ func releaseEntry(ctx object.Ctx, args []any) ([]any, error) {
 	if !ok {
 		return nil, fmt.Errorf("locks: release holder %T", args[1])
 	}
-	if ctx.CompareAndSwap("lock:"+name, holder, uint64(0)) {
+	if ctx.CompareAndSwap(kvPrefix+name, holder, uint64(0)) {
 		return []any{true}, nil
 	}
 	return []any{false}, nil
@@ -153,7 +161,7 @@ func holderEntry(ctx object.Ctx, args []any) ([]any, error) {
 	if !ok {
 		return nil, fmt.Errorf("locks: holder name %T", args[0])
 	}
-	v, held := ctx.Get("lock:" + name)
+	v, held := ctx.Get(kvPrefix + name)
 	if !held {
 		return []any{uint64(0)}, nil
 	}
@@ -169,16 +177,51 @@ func Acquire(ctx object.Ctx, server ids.ObjectID, name string) error {
 		return fmt.Errorf("acquire %s: %w", name, err)
 	}
 	reg(metrics.CtrLockAcquire)
-	return ctx2.AttachHandler(event.HandlerRef{
+	return ctx2.AttachHandler(unlockRef(server, name, ctx.Thread()))
+}
+
+// unlockRef builds the chained-unlock handler reference of §4.2: the
+// server, lock and holder are statically bound into the handler's data so
+// the routine is runnable from any node and any thread context.
+func unlockRef(server ids.ObjectID, name string, holder ids.ThreadID) event.HandlerRef {
+	return event.HandlerRef{
 		Event: event.Terminate,
 		Kind:  event.KindProc,
 		Proc:  UnlockProc,
 		Data: map[string]string{
 			"server": strconv.FormatUint(uint64(server), 10),
 			"lock":   name,
-			"holder": strconv.FormatUint(uint64(ctx.Thread()), 10),
+			"holder": strconv.FormatUint(uint64(holder), 10),
 		},
-	})
+	}
+}
+
+// CrashRef reconstructs the chained-unlock handler reference a dead
+// holder's TERMINATE chain would have carried. A thread lost with a
+// crashed node never runs its chain, so the crash-recovery sweep rebuilds
+// the reference from the lock server's own state and runs the same unlock
+// routine on the holder's behalf — the §4.2 machinery, driven by the
+// failure detector instead of a TERMINATE delivery.
+func CrashRef(server ids.ObjectID, name string, holder ids.ThreadID) event.HandlerRef {
+	return unlockRef(server, name, holder)
+}
+
+// HeldLocks extracts the held locks from a lock server's KV snapshot:
+// lock name → holder thread. Free locks (holder 0) are omitted.
+func HeldLocks(kv map[string]any) map[string]ids.ThreadID {
+	out := make(map[string]ids.ThreadID)
+	for k, v := range kv {
+		name, ok := strings.CutPrefix(k, kvPrefix)
+		if !ok {
+			continue
+		}
+		holder, ok := v.(uint64)
+		if !ok || holder == 0 {
+			continue
+		}
+		out[name] = ids.ThreadID(holder)
+	}
+	return out
 }
 
 // Release frees the named lock. The chained TERMINATE handler stays

@@ -1,4 +1,4 @@
-package locks
+package locks_test
 
 import (
 	"errors"
@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	. "repro/internal/locks"
 	"repro/internal/event"
 	"repro/internal/ids"
 	"repro/internal/metrics"

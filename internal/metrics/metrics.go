@@ -61,6 +61,20 @@ const (
 	CtrLockAcquire = "lock.acquire"
 	CtrLockRelease = "lock.release"
 	CtrLockCleanup = "lock.cleanup"
+	CtrLockReclaim = "lock.reclaim"
+
+	// Reliable transport.
+	CtrRelSend       = "rel.send"
+	CtrRelRetry      = "rel.retry"
+	CtrRelDupDropped = "rel.dup.dropped"
+	CtrRelDeadLetter = "rel.deadletter"
+
+	// Failure detection and recovery.
+	CtrFDHeartbeat   = "failure.heartbeat"
+	CtrFDNodeDown    = "failure.node.down"
+	CtrFDNodeUp      = "failure.node.up"
+	CtrObjRecovered  = "failure.obj.recovered"
+	CtrWaitersFailed = "failure.waiters.failed"
 )
 
 // Registry is a concurrent counter set. The zero value is not usable; use

@@ -13,8 +13,10 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ids"
@@ -87,8 +89,14 @@ type Fabric struct {
 	endpoints map[ids.NodeID]*endpoint
 	groups    map[string]map[ids.NodeID]bool
 	cut       map[[2]ids.NodeID]bool // severed directed links
+	crashed   map[ids.NodeID]bool    // fail-stopped nodes (CrashNode)
 	started   bool
 	closed    bool
+
+	// dropRate is the runtime drop probability (float64 bits); it starts at
+	// cfg.DropRate and can be changed mid-run via SetDropRate, which chaos
+	// experiments use to inject loss into an already-booted cluster.
+	dropRate atomic.Uint64
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -117,16 +125,19 @@ func New(cfg Config) *Fabric {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	return &Fabric{
+	f := &Fabric{
 		cfg:       cfg,
 		reg:       reg,
 		endpoints: make(map[ids.NodeID]*endpoint),
 		groups:    make(map[string]map[ids.NodeID]bool),
 		cut:       make(map[[2]ids.NodeID]bool),
+		crashed:   make(map[ids.NodeID]bool),
 		rng:       rand.New(rand.NewSource(seed)),
 		schedWake: make(chan struct{}, 1),
 		done:      make(chan struct{}),
 	}
+	f.dropRate.Store(math.Float64bits(cfg.DropRate))
+	return f
 }
 
 // Metrics returns the registry accounting this fabric's traffic.
@@ -225,7 +236,7 @@ func (f *Fabric) Send(m Message) error {
 		return ErrClosed
 	}
 	ep, ok := f.endpoints[m.To]
-	severed := f.cut[[2]ids.NodeID{m.From, m.To}]
+	severed := f.cut[[2]ids.NodeID{m.From, m.To}] || f.crashed[m.From] || f.crashed[m.To]
 	f.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrUnknownNode, m.To)
@@ -246,7 +257,7 @@ func (f *Fabric) post(ep *endpoint, m Message, severed bool) {
 	}
 	f.reg.Inc(metrics.CtrMsgSent)
 	f.reg.Add(metrics.CtrMsgBytes, int64(m.Size))
-	if severed || f.roll() < f.cfg.DropRate {
+	if rate := f.DropRate(); severed || f.roll(rate) < rate {
 		f.reg.Inc(metrics.CtrMsgDropped)
 		return
 	}
@@ -259,6 +270,16 @@ func (f *Fabric) post(ep *endpoint, m Message, severed bool) {
 }
 
 func (f *Fabric) deliver(ep *endpoint, m Message) {
+	// A message still in flight when its destination crashes is lost with
+	// the node: re-check at delivery time so delayed sends cannot outlive a
+	// crash that happened while they sat in the timer heap.
+	f.mu.RLock()
+	down := f.crashed[m.To]
+	f.mu.RUnlock()
+	if down {
+		f.reg.Inc(metrics.CtrMsgDropped)
+		return
+	}
 	select {
 	case ep.inbox <- m:
 	case <-ep.done:
@@ -275,13 +296,26 @@ func (f *Fabric) delay() time.Duration {
 	return d
 }
 
-func (f *Fabric) roll() float64 {
-	if f.cfg.DropRate <= 0 {
+func (f *Fabric) roll(rate float64) float64 {
+	if rate <= 0 {
 		return 1
 	}
 	f.rngMu.Lock()
 	defer f.rngMu.Unlock()
 	return f.rng.Float64()
+}
+
+// DropRate returns the current drop probability.
+func (f *Fabric) DropRate() float64 {
+	return math.Float64frombits(f.dropRate.Load())
+}
+
+// SetDropRate changes the drop probability for all subsequent sends.
+func (f *Fabric) SetDropRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	f.dropRate.Store(math.Float64bits(rate))
 }
 
 // Broadcast sends payload from the sender to every other attached node.
@@ -301,10 +335,12 @@ func (f *Fabric) Broadcast(from ids.NodeID, kind string, payload any) error {
 		f.mu.RUnlock()
 		return ErrClosed
 	}
+	fromDown := f.crashed[from]
 	targets := make([]scatterTarget, 0, len(f.endpoints))
 	for n, ep := range f.endpoints {
 		if n != from {
-			targets = append(targets, scatterTarget{ep: ep, severed: f.cut[[2]ids.NodeID{from, n}]})
+			down := fromDown || f.crashed[n]
+			targets = append(targets, scatterTarget{ep: ep, severed: down || f.cut[[2]ids.NodeID{from, n}]})
 		}
 	}
 	f.mu.RUnlock()
@@ -365,10 +401,12 @@ func (f *Fabric) Multicast(from ids.NodeID, group, kind string, payload any) err
 		return ErrClosed
 	}
 	g, ok := f.groups[group]
+	fromDown := f.crashed[from]
 	targets := make([]scatterTarget, 0, len(g))
 	for n := range g {
 		if ep, attached := f.endpoints[n]; attached {
-			targets = append(targets, scatterTarget{ep: ep, severed: f.cut[[2]ids.NodeID{from, n}]})
+			down := fromDown || f.crashed[n]
+			targets = append(targets, scatterTarget{ep: ep, severed: down || f.cut[[2]ids.NodeID{from, n}]})
 		}
 	}
 	f.mu.RUnlock()
@@ -415,6 +453,47 @@ func (f *Fabric) HealAll() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.cut = make(map[[2]ids.NodeID]bool)
+}
+
+// CrashNode fail-stops node: every message to or from it, including those
+// already in flight, is dropped until RestartNode. The node's handler and
+// inbox stay attached so a restart needs no re-registration — a crashed
+// node in this simulation is one that has fallen silent, which is exactly
+// the failure model a heartbeat detector observes.
+func (f *Fabric) CrashNode(node ids.NodeID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.endpoints[node]; !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownNode, node)
+	}
+	if f.crashed[node] {
+		return fmt.Errorf("netsim: node %v is already crashed", node)
+	}
+	f.crashed[node] = true
+	return nil
+}
+
+// RestartNode brings a crashed node back: subsequent sends flow again.
+// Messages dropped while it was down stay lost (the reliable layer's
+// retries, not the fabric, are what recovers them).
+func (f *Fabric) RestartNode(node ids.NodeID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.endpoints[node]; !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownNode, node)
+	}
+	if !f.crashed[node] {
+		return fmt.Errorf("netsim: node %v is not crashed", node)
+	}
+	delete(f.crashed, node)
+	return nil
+}
+
+// Crashed reports whether node is currently fail-stopped.
+func (f *Fabric) Crashed(node ids.NodeID) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.crashed[node]
 }
 
 func payloadSize(p any) int {

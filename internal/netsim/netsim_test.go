@@ -411,3 +411,95 @@ func TestFabricMetricsAccessor(t *testing.T) {
 		t.Fatal("default Metrics() nil")
 	}
 }
+
+func TestCrashNodeDropsBothDirections(t *testing.T) {
+	f, cols := buildFabric(t, Config{}, 3)
+	if err := f.CrashNode(2); err != nil {
+		t.Fatalf("CrashNode: %v", err)
+	}
+	if !f.Crashed(2) {
+		t.Fatal("Crashed(2) = false after CrashNode")
+	}
+	// To, from, and around the crashed node.
+	_ = f.Send(Message{From: 1, To: 2, Kind: "in"})
+	_ = f.Send(Message{From: 2, To: 1, Kind: "out"})
+	_ = f.Send(Message{From: 1, To: 3, Kind: "bypass"})
+	got := cols[3].waitN(t, 1)
+	if got[0].Kind != "bypass" {
+		t.Fatalf("node 3 got %+v, want the bypass message", got[0])
+	}
+	time.Sleep(10 * time.Millisecond)
+	if n := cols[2].count(); n != 0 {
+		t.Errorf("crashed node received %d messages, want 0", n)
+	}
+	if n := cols[1].count(); n != 0 {
+		t.Errorf("node 1 received %d messages from crashed node, want 0", n)
+	}
+
+	if err := f.RestartNode(2); err != nil {
+		t.Fatalf("RestartNode: %v", err)
+	}
+	if err := f.Send(Message{From: 1, To: 2, Kind: "back"}); err != nil {
+		t.Fatalf("Send after restart: %v", err)
+	}
+	if got := cols[2].waitN(t, 1); got[0].Kind != "back" {
+		t.Fatalf("restarted node got %+v, want the back message", got[0])
+	}
+}
+
+func TestCrashDropsDelayedInFlight(t *testing.T) {
+	// A message already on the wire when its destination crashes must not
+	// be delivered after the crash (fail-stop, not fail-slow).
+	f, cols := buildFabric(t, Config{Latency: 50 * time.Millisecond}, 2)
+	if err := f.Send(Message{From: 1, To: 2, Kind: "inflight"}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := f.CrashNode(2); err != nil {
+		t.Fatalf("CrashNode: %v", err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if n := cols[2].count(); n != 0 {
+		t.Errorf("crashed node received %d in-flight messages, want 0", n)
+	}
+}
+
+func TestCrashNodeErrors(t *testing.T) {
+	f, _ := buildFabric(t, Config{}, 2)
+	if err := f.CrashNode(99); err == nil {
+		t.Error("CrashNode(99) succeeded, want error")
+	}
+	if err := f.RestartNode(1); err == nil {
+		t.Error("RestartNode of a live node succeeded, want error")
+	}
+	if err := f.CrashNode(1); err != nil {
+		t.Fatalf("CrashNode: %v", err)
+	}
+	if err := f.CrashNode(1); err == nil {
+		t.Error("double CrashNode succeeded, want error")
+	}
+}
+
+func TestSetDropRateTakesEffect(t *testing.T) {
+	f, cols := buildFabric(t, Config{Seed: 7}, 2)
+	const n = 300
+	for i := 0; i < n; i++ {
+		_ = f.Send(Message{From: 1, To: 2, Kind: "a"})
+	}
+	cols[2].waitN(t, n) // zero drop rate: everything arrives
+
+	f.SetDropRate(1.0)
+	for i := 0; i < n; i++ {
+		_ = f.Send(Message{From: 1, To: 2, Kind: "b"})
+	}
+	time.Sleep(10 * time.Millisecond)
+	if got := cols[2].count(); got != n {
+		t.Errorf("with drop rate 1.0 node 2 has %d messages, want still %d", got, n)
+	}
+
+	f.SetDropRate(0)
+	_ = f.Send(Message{From: 1, To: 2, Kind: "c"})
+	got := cols[2].waitN(t, n+1)
+	if got[n].Kind != "c" {
+		t.Errorf("after clearing drop rate got %+v, want the c message", got[n])
+	}
+}

@@ -262,6 +262,11 @@ func (o *Object) ID() ids.ObjectID { return o.id }
 // Name returns the object's label.
 func (o *Object) Name() string { return o.spec.Name }
 
+// Spec returns the object's declaration. Specs hold code and static
+// configuration shared by every instance; crash recovery uses it to
+// re-Activate an object on a surviving node.
+func (o *Object) Spec() Spec { return o.spec }
+
 // Segment returns the object's backing DSM segment.
 func (o *Object) Segment() ids.SegmentID { return o.seg }
 

@@ -1,0 +1,191 @@
+package reliable
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+)
+
+// lossyPair wires two endpoints back to back through a deterministic lossy
+// channel: drop decides, per transmission, whether the message vanishes.
+type lossyPair struct {
+	mu   sync.Mutex
+	a, b *Endpoint
+	drop func(m netsim.Message) bool
+
+	delivered []string
+	dups      atomic.Int64
+}
+
+func newLossyPair(t *testing.T, cfg Config, drop func(netsim.Message) bool) *lossyPair {
+	t.Helper()
+	p := &lossyPair{drop: drop}
+	route := func(m netsim.Message) error {
+		if p.drop(m) {
+			return nil // lost in the fabric
+		}
+		// Deliver asynchronously like a real fabric would.
+		go func() {
+			if m.To == 1 {
+				p.a.Handle(m)
+			} else {
+				p.b.Handle(m)
+			}
+		}()
+		return nil
+	}
+	deliverAt := func(from ids.NodeID, kind string, payload any) {
+		p.mu.Lock()
+		p.delivered = append(p.delivered, payload.(string))
+		p.mu.Unlock()
+	}
+	p.a = New(cfg, 1, route, deliverAt, nil)
+	p.b = New(cfg, 2, route, deliverAt, nil)
+	t.Cleanup(func() { p.a.Close(); p.b.Close() })
+	return p
+}
+
+func (p *lossyPair) deliveredCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.delivered)
+}
+
+// TestExactlyOnceUnderLoss: every other data transmission is dropped; all
+// payloads still arrive, each exactly once.
+func TestExactlyOnceUnderLoss(t *testing.T) {
+	var n atomic.Int64
+	p := newLossyPair(t, Config{RetryBase: time.Millisecond}, func(m netsim.Message) bool {
+		return m.Kind == KindData && n.Add(1)%2 == 1
+	})
+	const total = 50
+	for i := 0; i < total; i++ {
+		if err := p.a.Send(2, "test", "payload"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for p.deliveredCount() < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d of %d", p.deliveredCount(), total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Give straggler retransmits a chance to produce (forbidden) extras.
+	time.Sleep(20 * time.Millisecond)
+	if got := p.deliveredCount(); got != total {
+		t.Errorf("delivered %d payloads, want exactly %d", got, total)
+	}
+}
+
+// TestLostAckTriggersRetransmitNotRedelivery: dropping acks forces
+// retransmission, and the receiver's window eats the duplicates.
+func TestLostAckTriggersRetransmitNotRedelivery(t *testing.T) {
+	var acksDropped atomic.Int64
+	p := newLossyPair(t, Config{RetryBase: time.Millisecond}, func(m netsim.Message) bool {
+		if m.Kind == KindAck && acksDropped.Load() < 3 {
+			acksDropped.Add(1)
+			return true
+		}
+		return false
+	})
+	if err := p.a.Send(2, "test", "only"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for acksDropped.Load() < 3 || p.deliveredCount() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("acksDropped=%d delivered=%d", acksDropped.Load(), p.deliveredCount())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := p.deliveredCount(); got != 1 {
+		t.Errorf("delivered %d copies, want exactly 1", got)
+	}
+}
+
+// TestDeadLetterAfterBudget: a black-holed destination dead-letters the
+// payload with ErrUndeliverable instead of retrying forever.
+func TestDeadLetterAfterBudget(t *testing.T) {
+	dead := make(chan error, 1)
+	e := New(Config{MaxAttempts: 3, RetryBase: time.Millisecond},
+		1,
+		func(netsim.Message) error { return nil }, // black hole
+		func(ids.NodeID, string, any) {},
+		func(to ids.NodeID, kind string, payload any, err error) { dead <- err })
+	defer e.Close()
+	if err := e.Send(2, "test", "doomed"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-dead:
+		if !errors.Is(err, ErrUndeliverable) {
+			t.Errorf("dead-letter err = %v, want ErrUndeliverable", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("dead-letter callback never ran")
+	}
+}
+
+// TestStructuralSendErrorDeadLettersImmediately: a send the fabric rejects
+// outright (unknown node) skips the retry loop.
+func TestStructuralSendErrorDeadLettersImmediately(t *testing.T) {
+	structural := errors.New("no such node")
+	dead := make(chan error, 1)
+	e := New(Config{MaxAttempts: 10, RetryBase: time.Hour}, // retries would take forever
+		1,
+		func(netsim.Message) error { return structural },
+		func(ids.NodeID, string, any) {},
+		func(to ids.NodeID, kind string, payload any, err error) { dead <- err })
+	defer e.Close()
+	if err := e.Send(2, "test", "x"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-dead:
+		if !errors.Is(err, structural) {
+			t.Errorf("dead-letter err = %v, want the structural send error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("structural failure did not dead-letter promptly")
+	}
+}
+
+// TestWindowRejectsAncientDuplicates: a sequence older than the window is
+// dropped even with no explicit seen entry.
+func TestWindowRejectsAncientDuplicates(t *testing.T) {
+	e := New(Config{Window: 8}, 2,
+		func(netsim.Message) error { return nil },
+		func(ids.NodeID, string, any) {},
+		nil)
+	defer e.Close()
+	if !e.fresh(1, 100) {
+		t.Fatal("first seq 100 not fresh")
+	}
+	if e.fresh(1, 100) {
+		t.Error("repeat seq 100 fresh")
+	}
+	if e.fresh(1, 92) {
+		t.Error("seq 92 (older than window below max 100) fresh")
+	}
+	if !e.fresh(1, 93) {
+		t.Error("seq 93 (inside window) not fresh")
+	}
+}
+
+// TestNonProtocolKindsPassThrough: Handle leaves foreign messages alone.
+func TestNonProtocolKindsPassThrough(t *testing.T) {
+	e := New(Config{}, 1,
+		func(netsim.Message) error { return nil },
+		func(ids.NodeID, string, any) {}, nil)
+	defer e.Close()
+	if e.Handle(netsim.Message{Kind: "rpc.req"}) {
+		t.Error("Handle claimed a non-protocol message")
+	}
+}

@@ -301,6 +301,15 @@ func (t *Table) Threads() []ids.ThreadID {
 	return out
 }
 
+// Clear drops every TCB at once. A node restarting after a crash calls it:
+// the threads those TCBs tracked died with the node, and stale forwarding
+// pointers would send post-restart probes chasing ghosts.
+func (t *Table) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tcbs = make(map[ids.ThreadID]*TCB)
+}
+
 // Group errors.
 var (
 	ErrUnknownGroup = errors.New("thread: unknown group")
