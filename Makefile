@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench chaos check
+.PHONY: all vet build test race bench bench-smoke chaos check
 
 all: check
 
@@ -22,6 +22,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-smoke compiles and runs every benchmark exactly once — no timing
+# fidelity, just proof that the bench harnesses (and the wire-efficiency
+# counters they report) still execute.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 
 # The chaos target drives the crash-fault-tolerance machinery (DESIGN.md
 # §7) under the race detector: the core chaos suite (exactly-once delivery

@@ -19,62 +19,69 @@ import (
 )
 
 // BenchmarkAttrsTravel measures how the handler-chain length (attributes
-// travel on every hop, §3.1) affects remote invocation cost.
+// travel on every hop, §3.1) affects remote invocation cost, under the
+// delta codec (the default) and the legacy full-snapshot codec.
 func BenchmarkAttrsTravel(b *testing.B) {
-	for _, depth := range []int{0, 8, 64} {
-		b.Run("chain="+strconv.Itoa(depth), func(b *testing.B) {
-			sys := benchSystem(b, core.Config{Nodes: 2})
-			if err := sys.RegisterProc("noop", func(_ object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
-				return event.VerdictResume
-			}); err != nil {
-				b.Fatal(err)
-			}
-			target, err := sys.CreateObject(2, object.Spec{
-				Name: "t",
-				Entries: map[string]object.Entry{
-					"noop": func(_ object.Ctx, _ []any) ([]any, error) { return nil, nil },
-				},
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			driver, err := sys.CreateObject(1, object.Spec{
-				Name: "d",
-				Entries: map[string]object.Entry{
-					"run": func(ctx object.Ctx, args []any) ([]any, error) {
-						n, _ := args[0].(int)
-						if err := ctx.RegisterEvent("PAD"); err != nil {
-							return nil, err
-						}
-						for i := 0; i < depth; i++ {
-							if err := ctx.AttachHandler(event.HandlerRef{Event: "PAD", Kind: event.KindProc, Proc: "noop"}); err != nil {
-								return nil, err
-							}
-						}
-						for i := 0; i < n; i++ {
-							if _, err := ctx.Invoke(target, "noop"); err != nil {
-								return nil, err
-							}
-						}
-						return nil, nil
+	for _, codec := range []string{"delta", "full"} {
+		for _, depth := range []int{0, 8, 64} {
+			depth := depth
+			b.Run("codec="+codec+"/chain="+strconv.Itoa(depth), func(b *testing.B) {
+				sys := benchSystem(b, core.Config{
+					Nodes: 2,
+					Wire:  core.WireConfig{FullAttrs: codec == "full"},
+				})
+				if err := sys.RegisterProc("noop", func(_ object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+					return event.VerdictResume
+				}); err != nil {
+					b.Fatal(err)
+				}
+				target, err := sys.CreateObject(2, object.Spec{
+					Name: "t",
+					Entries: map[string]object.Entry{
+						"noop": func(_ object.Ctx, _ []any) ([]any, error) { return nil, nil },
 					},
-				},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				driver, err := sys.CreateObject(1, object.Spec{
+					Name: "d",
+					Entries: map[string]object.Entry{
+						"run": func(ctx object.Ctx, args []any) ([]any, error) {
+							n, _ := args[0].(int)
+							if err := ctx.RegisterEvent("PAD"); err != nil {
+								return nil, err
+							}
+							for i := 0; i < depth; i++ {
+								if err := ctx.AttachHandler(event.HandlerRef{Event: "PAD", Kind: event.KindProc, Proc: "noop"}); err != nil {
+									return nil, err
+								}
+							}
+							for i := 0; i < n; i++ {
+								if _, err := ctx.Invoke(target, "noop"); err != nil {
+									return nil, err
+								}
+							}
+							return nil, nil
+						},
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				h, err := sys.Spawn(1, driver, "run", b.N)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := h.WaitTimeout(10 * time.Minute); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				bytes := sys.Metrics().Get("net.msg.bytes")
+				b.ReportMetric(float64(bytes)/float64(b.N), "wire-B/invoke")
 			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			h, err := sys.Spawn(1, driver, "run", b.N)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if _, err := h.WaitTimeout(10 * time.Minute); err != nil {
-				b.Fatal(err)
-			}
-			b.StopTimer()
-			bytes := sys.Metrics().Get("net.msg.bytes")
-			b.ReportMetric(float64(bytes)/float64(b.N), "wire-B/invoke")
-		})
+		}
 	}
 }
 

@@ -2,12 +2,14 @@
 //
 // Usage:
 //
-//	benchtab            # run every experiment (E1..E9)
+//	benchtab            # run every experiment (E1..E11)
 //	benchtab -e e2,e5   # run a subset
+//	benchtab -json      # emit tables as a JSON array instead of text
 //	benchtab -list      # list experiment ids and titles
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +35,8 @@ var runners = []struct {
 	{"e8", "delivery vs UNIX/Mach baselines (§9)", func() experiments.Table { return experiments.RunE8(nil) }},
 	{"e9", "monitoring overhead (§6.2)", func() experiments.Table { return experiments.RunE9(nil) }},
 	{"e10", "crash-fault tolerance (§7.2 generalized)", func() experiments.Table { return experiments.RunE10(nil) }},
+	{"e11", "delta attribute propagation (DESIGN.md §8)", func() experiments.Table { return experiments.RunE11(nil) }},
+	{"e11b", "FT control traffic, legacy vs optimized wire (DESIGN.md §8)", experiments.RunE11FT},
 }
 
 func main() {
@@ -45,8 +49,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
 	var (
-		only = fs.String("e", "", "comma-separated experiment ids (default: all)")
-		list = fs.Bool("list", false, "list experiments and exit")
+		only   = fs.String("e", "", "comma-separated experiment ids (default: all)")
+		list   = fs.Bool("list", false, "list experiments and exit")
+		asJSON = fs.Bool("json", false, "emit tables as a JSON array")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,16 +68,27 @@ func run(args []string) error {
 			want[strings.ToLower(strings.TrimSpace(id))] = true
 		}
 	}
+	var tables []experiments.Table
 	ran := 0
 	for _, r := range runners {
 		if len(want) > 0 && !want[r.id] {
 			continue
 		}
-		fmt.Println(r.run().String())
+		t := r.run()
+		if *asJSON {
+			tables = append(tables, t)
+		} else {
+			fmt.Println(t.String())
+		}
 		ran++
 	}
 	if len(want) > 0 && ran != len(want) {
 		return fmt.Errorf("unknown experiment id in %q (see -list)", *only)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tables)
 	}
 	return nil
 }

@@ -33,7 +33,7 @@ func TestRunnersCoverAllExperiments(t *testing.T) {
 	want := map[string]bool{
 		"e1": true, "e2": true, "e3": true, "e4": true, "e4b": true,
 		"e5": true, "e6": true, "e7": true, "e8": true, "e9": true,
-		"e10": true,
+		"e10": true, "e11": true, "e11b": true,
 	}
 	for _, r := range runners {
 		if !want[r.id] {

@@ -1,0 +1,126 @@
+// Package attrcache holds per-node snapshots of thread attributes, keyed by
+// (thread, version). It is the receiver half of the delta attribute
+// protocol: a kernel that remembers the snapshot it last exchanged with a
+// peer can accept a Delta instead of a full Clone on the next hop. Entries
+// are immutable once stored — readers clone before mutating — and the cache
+// is a plain LRU: eviction only costs a one-time full resync round trip,
+// never correctness.
+package attrcache
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/metrics"
+	"repro/internal/thread"
+)
+
+// DefaultSize bounds the cache when the configuration leaves it zero. Each
+// entry is one thread-attribute snapshot (a few hundred bytes for typical
+// chains), so 256 comfortably covers every concurrently-travelling thread
+// in the experiment suite while staying irrelevant to memory footprint.
+const DefaultSize = 256
+
+// Key identifies one immutable snapshot of one thread's attributes.
+type Key struct {
+	Thread  ids.ThreadID
+	Version uint64
+}
+
+type entry struct {
+	key   Key
+	attrs *thread.Attributes
+}
+
+// Cache is a mutex-guarded LRU of attribute snapshots.
+type Cache struct {
+	mu    sync.Mutex
+	size  int
+	order *list.List // front = most recently used
+	byKey map[Key]*list.Element
+	reg   *metrics.Registry
+}
+
+// New builds a cache bounded to size entries (DefaultSize if size <= 0).
+func New(size int, reg *metrics.Registry) *Cache {
+	if size <= 0 {
+		size = DefaultSize
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Cache{
+		size:  size,
+		order: list.New(),
+		byKey: make(map[Key]*list.Element),
+		reg:   reg,
+	}
+}
+
+// Get returns the snapshot stored under key, or nil. The returned pointer
+// is the cached value itself: callers must treat it as immutable and Clone
+// before mutating.
+func (c *Cache) Get(key Key) *thread.Attributes {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.reg.Inc(metrics.CtrAttrCacheMiss)
+		return nil
+	}
+	c.order.MoveToFront(el)
+	c.reg.Inc(metrics.CtrAttrCacheHit)
+	return el.Value.(*entry).attrs
+}
+
+// Put stores attrs under key, evicting the least recently used entry if the
+// cache is full. The caller hands over ownership: attrs must not be mutated
+// after Put.
+func (c *Cache) Put(key Key, attrs *thread.Attributes) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*entry).attrs = attrs
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&entry{key: key, attrs: attrs})
+	for c.order.Len() > c.size {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*entry).key)
+		c.reg.Inc(metrics.CtrAttrCacheEvict)
+	}
+}
+
+// DropThread removes every snapshot belonging to tid — called when a thread
+// terminates so dead threads do not squat on cache slots.
+func (c *Cache) DropThread(tid ids.ThreadID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*entry); e.key.Thread == tid {
+			c.order.Remove(el)
+			delete(c.byKey, e.key)
+		}
+		el = next
+	}
+}
+
+// Clear empties the cache — used on node restart, where forgetting
+// snapshots is exactly right: peers will resync on first contact.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.byKey = make(map[Key]*list.Element)
+}
+
+// Len reports the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

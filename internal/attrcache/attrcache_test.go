@@ -1,0 +1,59 @@
+package attrcache
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/thread"
+)
+
+func TestHitMissAndLRUEviction(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := New(2, reg)
+	k1 := Key{Thread: 1, Version: 10}
+	k2 := Key{Thread: 2, Version: 20}
+	k3 := Key{Thread: 3, Version: 30}
+
+	c.Put(k1, thread.NewAttributes(1))
+	c.Put(k2, thread.NewAttributes(2))
+	if c.Get(k1) == nil {
+		t.Fatal("k1 missing after put")
+	}
+	// k2 is now LRU; k3 evicts it.
+	c.Put(k3, thread.NewAttributes(3))
+	if c.Get(k2) != nil {
+		t.Fatal("k2 survived eviction despite being LRU")
+	}
+	if c.Get(k1) == nil || c.Get(k3) == nil {
+		t.Fatal("recently used entries evicted")
+	}
+	if got := reg.Get(metrics.CtrAttrCacheEvict); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if got := reg.Get(metrics.CtrAttrCacheMiss); got != 1 {
+		t.Fatalf("misses = %d, want 1", got)
+	}
+}
+
+func TestDropThreadRemovesAllVersions(t *testing.T) {
+	c := New(8, nil)
+	c.Put(Key{Thread: 5, Version: 1}, thread.NewAttributes(5))
+	c.Put(Key{Thread: 5, Version: 2}, thread.NewAttributes(5))
+	c.Put(Key{Thread: 6, Version: 1}, thread.NewAttributes(6))
+	c.DropThread(5)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d after DropThread, want 1", c.Len())
+	}
+	if c.Get(Key{Thread: 6, Version: 1}) == nil {
+		t.Fatal("unrelated thread's entry dropped")
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := New(4, nil)
+	c.Put(Key{Thread: 1, Version: 1}, thread.NewAttributes(1))
+	c.Clear()
+	if c.Len() != 0 || c.Get(Key{Thread: 1, Version: 1}) != nil {
+		t.Fatal("Clear left entries behind")
+	}
+}

@@ -62,6 +62,10 @@ type activation struct {
 	childObj  ids.ObjectID
 	// timerStop stops the current generation of attribute timers.
 	timerStop chan struct{}
+	// remoteBase is, per peer node, the attribute snapshot this activation
+	// last exchanged with that peer — the diff base for delta attribute
+	// propagation. Entries are immutable once stored.
+	remoteBase map[ids.NodeID]*thread.Attributes
 
 	stopMu     sync.Mutex
 	stopReason error

@@ -129,6 +129,12 @@ type Config struct {
 	// fault injection (CrashNode, SeverLink) still works without it, the
 	// system just doesn't detect or recover.
 	FT FTConfig
+	// Wire configures the wire-efficiency fast path (delta attribute
+	// propagation, cumulative/piggybacked acks, heartbeat suppression).
+	// The zero value enables every optimization; the negative flags exist
+	// to reproduce the legacy 1993-style full-shipping protocol for
+	// measurement (E11).
+	Wire WireConfig
 	// TraceCapacity retains the last N kernel trace records (raises,
 	// deliveries, handler runs, hops); zero disables tracing.
 	TraceCapacity int

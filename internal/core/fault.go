@@ -9,10 +9,11 @@ import (
 	"repro/internal/ids"
 	"repro/internal/locate"
 	"repro/internal/metrics"
+	"repro/internal/netsim"
 	"repro/internal/reliable"
 )
 
-// kindHeartbeat is the failure detector's broadcast message kind. It
+// kindHeartbeat is the failure detector's heartbeat message kind. It
 // bypasses the reliable envelope: heartbeats are periodic and
 // self-correcting, so retransmitting a lost one is pointless.
 const kindHeartbeat = "k.fd.hb"
@@ -22,6 +23,21 @@ type heartbeat struct{}
 
 // WireSize charges a minimal frame.
 func (heartbeat) WireSize() int { return 8 }
+
+// kindFDNotice disseminates a locally observed membership transition in
+// ring monitoring mode: only the crashed node's ring watcher sees it fall
+// silent, so the watcher tells everyone else (reliably — a lost notice
+// would leave a peer routing calls at a dead node until its call timeout).
+const kindFDNotice = "k.fd.notice"
+
+// fdNotice is one membership transition, relayed by its first observer.
+type fdNotice struct {
+	Node ids.NodeID
+	Up   bool
+}
+
+// WireSize charges node id + flag.
+func (fdNotice) WireSize() int { return 10 }
 
 // FTConfig parameterizes the crash-fault-tolerance subsystem: a heartbeat
 // failure detector per node (internal/failure), an ack/retry envelope
@@ -50,27 +66,60 @@ type FTConfig struct {
 // Called from NewSystem before the fabric starts.
 func (k *Kernel) initFT() {
 	ft := k.sys.cfg.FT
-	k.rel = reliable.New(reliable.Config{
-		MaxAttempts: ft.MaxAttempts,
-		RetryBase:   ft.RetryBase,
-		RetryMax:    ft.RetryMax,
-		Metrics:     k.sys.reg,
-	}, k.node, k.sys.fabric.Send, k.dispatchNet, k.deadLetter)
-
+	wire := k.sys.cfg.Wire
 	peers := make([]ids.NodeID, 0, k.sys.cfg.Nodes-1)
 	for _, n := range k.sys.Nodes() {
 		if n != k.node {
 			peers = append(peers, n)
 		}
 	}
+
 	k.det = failure.New(failure.Config{
 		Period:       ft.HeartbeatPeriod,
 		SuspectAfter: ft.SuspectAfter,
+		Ring:         !wire.EagerHeartbeats,
 		Metrics:      k.sys.reg,
-	}, k.node, peers, func() {
-		_ = k.sys.fabric.Broadcast(k.node, kindHeartbeat, heartbeat{})
+	}, k.node, peers, func(to ids.NodeID) {
+		_ = k.sys.fabric.Send(netsim.Message{From: k.node, To: to, Kind: kindHeartbeat, Payload: heartbeat{}})
 	})
-	k.det.Subscribe(func(ev failure.Event) { k.sys.onMembershipEvent(k, ev) })
+	k.det.Subscribe(func(ev failure.Event) {
+		if !ev.Remote {
+			k.disseminateFD(ev)
+		}
+		k.sys.onMembershipEvent(k, ev)
+	})
+
+	// Every reliable transmission doubles as liveness evidence at its
+	// receiver, so tell the detector about outbound data: the next
+	// explicit heartbeat toward that peer is redundant and gets
+	// suppressed (ring mode only; legacy eager heartbeats ignore it).
+	k.rel = reliable.New(reliable.Config{
+		MaxAttempts:    ft.MaxAttempts,
+		RetryBase:      ft.RetryBase,
+		RetryMax:       ft.RetryMax,
+		StandaloneAcks: wire.StandaloneAcks,
+		AckDelay:       wire.AckDelay,
+		Metrics:        k.sys.reg,
+	}, k.node, func(m netsim.Message) error {
+		k.det.ObserveSend(m.To)
+		return k.sys.fabric.Send(m)
+	}, k.dispatchNet, k.deadLetter)
+}
+
+// disseminateFD relays a locally observed membership transition to the
+// rest of the cluster. Only needed in ring mode, where a crash is seen by
+// exactly one watcher; legacy all-pairs detectors each find out on their
+// own. The subject itself and already-suspected peers are skipped.
+func (k *Kernel) disseminateFD(ev failure.Event) {
+	if k.sys.cfg.Wire.EagerHeartbeats || k.rel == nil {
+		return
+	}
+	for _, n := range k.sys.Nodes() {
+		if n == k.node || n == ev.Node || k.det.Suspected(n) {
+			continue
+		}
+		_ = k.rel.Send(n, kindFDNotice, fdNotice{Node: ev.Node, Up: ev.Up})
+	}
 }
 
 // deadLetter receives payloads the reliable endpoint gave up on. An
@@ -143,6 +192,10 @@ func (s *System) CrashNode(node ids.NodeID) error {
 		return fmt.Errorf("%w: %v", ErrNodeCrashed, node)
 	}
 	_ = s.fabric.CrashNode(node)
+	if k.det != nil {
+		// A fail-stopped node emits no heartbeats and suspects nobody.
+		k.det.Suspend()
+	}
 
 	// Master handler threads die with the node; a restart recreates them
 	// lazily on the next object event.
@@ -192,11 +245,14 @@ func (s *System) RestartNode(node ids.NodeID) error {
 	k.syncMu.Lock()
 	k.syncWait = make(map[uint64]*syncWaiter)
 	k.syncMu.Unlock()
+	// Cached attribute snapshots are volatile kernel state: delta senders
+	// will miss, get a resync error, and fall back to one full snapshot.
+	k.attrCache.Clear()
 	if k.det != nil {
 		// The restarted node's own arrival clocks are stale (every peer
-		// heartbeated into the void while it was down); reset them so it
-		// does not instantly suspect the whole cluster.
-		k.det.Reset()
+		// heartbeated into the void while it was down); Resume resets them
+		// so it does not instantly suspect the whole cluster.
+		k.det.Resume()
 	}
 	k.markRestarted()
 	return s.fabric.RestartNode(node)

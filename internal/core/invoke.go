@@ -14,19 +14,28 @@ import (
 
 // invokeReq ships an invocation to the object's home node. The thread's
 // attributes travel with the request (§3.1: the state of the thread is
-// visible across all invocations).
+// visible across all invocations) — as a full snapshot in Attrs on first
+// contact (or legacy mode, or resync), or as a Delta against the snapshot
+// the callee already caches. Exactly one of Attrs/Delta is set.
 type invokeReq struct {
 	TID   ids.ThreadID
 	Attrs *thread.Attributes
+	Delta *thread.Delta
 	Obj   ids.ObjectID
 	Entry string
 	Args  []any
 	Depth int
 }
 
-// WireSize charges attributes plus a rough argument estimate.
+// WireSize charges the attribute encoding plus a rough argument estimate.
 func (r invokeReq) WireSize() int {
-	size := 48 + len(r.Entry) + r.Attrs.WireSize()
+	size := 48 + len(r.Entry)
+	if r.Attrs != nil {
+		size += r.Attrs.WireSize()
+	}
+	if r.Delta != nil {
+		size += r.Delta.WireSize()
+	}
 	for _, a := range r.Args {
 		size += argSize(a)
 	}
@@ -34,20 +43,26 @@ func (r invokeReq) WireSize() int {
 }
 
 // invokeReply returns results and the callee's view of the attributes so
-// handler attachments made downstream persist (§4.1).
+// handler attachments made downstream persist (§4.1). Replies always fit a
+// Delta in delta mode: the caller necessarily holds the base — it is the
+// snapshot it just sent.
 type invokeReply struct {
 	Results []any
 	Attrs   *thread.Attributes
+	Delta   *thread.Delta
 	// AppErr is the entry's own error return; kernel-level failures
 	// (termination, abort) travel as the RPC error instead.
 	AppErr error
 }
 
-// WireSize charges attributes plus a rough result estimate.
+// WireSize charges the attribute encoding plus a rough result estimate.
 func (r invokeReply) WireSize() int {
 	size := 48
 	if r.Attrs != nil {
 		size += r.Attrs.WireSize()
+	}
+	if r.Delta != nil {
+		size += r.Delta.WireSize()
 	}
 	for _, a := range r.Results {
 		size += argSize(a)
@@ -173,9 +188,20 @@ func (k *Kernel) invokeRemote(a *activation, oid ids.ObjectID, entry string, arg
 		}
 	}
 
+	full, delta := k.sendAttrs(a, home, snapshot)
 	body, callErr := k.call(home, kindInvoke, invokeReq{
-		TID: a.tid, Attrs: snapshot, Obj: oid, Entry: entry, Args: args, Depth: depth,
+		TID: a.tid, Attrs: full, Delta: delta, Obj: oid, Entry: entry, Args: args, Depth: depth,
 	})
+	if delta != nil && errors.Is(callErr, errAttrResync) {
+		// The callee evicted (or lost, on restart) our base snapshot. One
+		// full-snapshot retry is idempotent: a callee rejects an
+		// unresolvable delta before any part of the invocation executes.
+		snapshot.Version = k.stampVersion()
+		k.sys.reg.Inc(metrics.CtrAttrFullSent)
+		body, callErr = k.call(home, kindInvoke, invokeReq{
+			TID: a.tid, Attrs: snapshot, Obj: oid, Entry: entry, Args: args, Depth: depth,
+		})
+	}
 
 	if !a.system {
 		k.tcbs.Return(a.tid, a.baseDepth)
@@ -209,10 +235,20 @@ func (k *Kernel) invokeRemote(a *activation, oid ids.ObjectID, entry string, arg
 		return nil, fmt.Errorf("core: invoke reply %T", body)
 	}
 	// Fold the callee's attribute changes back into the thread (§4.1:
-	// handlers attached downstream remain active for the thread).
+	// handlers attached downstream remain active for the thread). A delta
+	// reply resolves against the snapshot we just sent.
+	final := rep.Attrs
+	if rep.Delta != nil {
+		final = rep.Delta.Apply(snapshot)
+	}
 	a.mu.Lock()
-	a.attrs.MergeFrom(rep.Attrs)
+	a.attrs.MergeFrom(final)
 	a.mu.Unlock()
+	if !k.sys.cfg.Wire.FullAttrs {
+		// final is immutable from here on (MergeFrom deep-copied it), so it
+		// can serve as the diff base for the next hop to this peer.
+		a.retainRemoteBase(home, final)
+	}
 
 	if !inHandler {
 		k.processPending(a, false)
@@ -226,7 +262,28 @@ func (k *Kernel) invokeRemote(a *activation, oid ids.ObjectID, entry string, arg
 // serveInvoke hosts the remote leg of an invocation: a new activation of
 // the travelling thread at this node.
 func (k *Kernel) serveInvoke(req invokeReq) (any, error) {
-	a := newActivation(k, req.Attrs, req.Depth)
+	// Resolve the arriving attribute encoding before anything executes: a
+	// delta whose base snapshot is not cached here is rejected up front, so
+	// the caller's single full-snapshot retry is idempotent.
+	arrived := req.Attrs
+	if req.Delta != nil {
+		base := k.attrCache.Get(attrKey(req.TID, req.Delta.Base))
+		if base == nil {
+			k.sys.reg.Inc(metrics.CtrAttrResync)
+			return nil, errAttrResync
+		}
+		arrived = req.Delta.Apply(base)
+	}
+	attrs := arrived
+	deltaMode := !k.sys.cfg.Wire.FullAttrs
+	if deltaMode {
+		// Retain the pristine arrival as an immutable snapshot — it is the
+		// diff base for the reply and for the caller's next hop here — and
+		// hand the activation a private copy to mutate.
+		k.attrCache.Put(attrKey(req.TID, arrived.Version), arrived)
+		attrs = arrived.Clone()
+	}
+	a := newActivation(k, attrs, req.Depth)
 	k.pushAct(a)
 	a.startTimers()
 
@@ -251,9 +308,11 @@ func (k *Kernel) serveInvoke(req invokeReq) (any, error) {
 		k.reroutePending(a.tid, pending)
 	} else {
 		// Terminated or aborted: the thread really is unwinding; pending
-		// events get the §7.2 death-notice treatment.
+		// events get the §7.2 death-notice treatment. Its snapshots will
+		// never be diff bases again, so stop squatting on cache slots.
 		a.finish()
 		k.popAct(a)
+		k.attrCache.DropThread(a.tid)
 	}
 
 	if stopErr != nil {
@@ -262,7 +321,22 @@ func (k *Kernel) serveInvoke(req invokeReq) (any, error) {
 	if appErr != nil && (errors.Is(appErr, ErrTerminated) || errors.Is(appErr, ErrAborted)) {
 		return nil, appErr
 	}
-	return invokeReply{Results: res, Attrs: a.attrs, AppErr: appErr}, nil
+	if !deltaMode {
+		k.sys.reg.Inc(metrics.CtrAttrFullSent)
+		return invokeReply{Results: res, Attrs: a.attrs, AppErr: appErr}, nil
+	}
+	// Reply with a delta against the arrival — the caller necessarily holds
+	// that base, so a reply never needs a resync. A changed final snapshot
+	// gets a fresh stamp and is cached for the caller's next hop here.
+	d := thread.DiffAttrs(arrived, a.attrs)
+	if !d.Unchanged() {
+		d.Version = k.stampVersion()
+		final := a.attrs.Clone()
+		final.Version = d.Version
+		k.attrCache.Put(attrKey(req.TID, d.Version), final)
+	}
+	k.sys.reg.Inc(metrics.CtrAttrDeltaSent)
+	return invokeReply{Results: res, Delta: d, AppErr: appErr}, nil
 }
 
 // invokeAsync spawns a fresh thread, rooted at this node, that invokes the

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/attrcache"
 	"repro/internal/dsm"
 	"repro/internal/event"
 	"repro/internal/failure"
@@ -71,20 +72,9 @@ type rpcResponse struct {
 // WireSize charges the body's size plus a small header.
 func (r rpcResponse) WireSize() int { return 32 + payloadSize(r.Body) }
 
-func payloadSize(p any) int {
-	switch v := p.(type) {
-	case nil:
-		return 0
-	case netsim.Sizer:
-		return v.WireSize()
-	case []byte:
-		return len(v)
-	case string:
-		return len(v)
-	default:
-		return 32
-	}
-}
+// payloadSize delegates to the fabric's canonical estimator so every layer
+// charges nested payloads identically.
+func payloadSize(p any) int { return netsim.PayloadSize(p) }
 
 // Kernel is one node's DO/CT kernel.
 type Kernel struct {
@@ -98,6 +88,12 @@ type Kernel struct {
 	dsm    *dsm.Manager
 
 	reqSeq atomic.Uint64
+
+	// attrCache holds immutable thread-attribute snapshots received or
+	// produced here, keyed (thread, version) — the receiver half of delta
+	// attribute propagation. attrVer mints this node's snapshot versions.
+	attrCache *attrcache.Cache
+	attrVer   atomic.Uint64
 
 	// Hot kernel state is sharded: each map has its own lock (waiters is
 	// further striped by request ID — see shard.go) so RPC completions,
@@ -160,6 +156,7 @@ func newKernel(s *System, node ids.NodeID) *Kernel {
 		masters:  make(map[ids.ObjectID]*master),
 		downCh:   make(chan struct{}),
 	}
+	k.attrCache = attrcache.New(s.cfg.Wire.AttrCacheSize, s.reg)
 	k.dsm = dsm.NewManager(dsm.Config{
 		Node:      node,
 		PageSize:  s.cfg.PageSize,
@@ -215,6 +212,11 @@ func (k *Kernel) onMessage(m netsim.Message) {
 		}
 		return
 	}
+	if k.det != nil {
+		// Any traffic from a peer proves it alive just as well as an
+		// explicit heartbeat — this is what lets busy links go without one.
+		k.det.Observe(m.From)
+	}
 	if k.rel != nil && k.rel.Handle(m) {
 		return
 	}
@@ -244,6 +246,14 @@ func (k *Kernel) dispatchNet(from ids.NodeID, kind string, payload any) {
 		}
 		if w, ok := k.waiters.take(rsp.ID); ok {
 			w.ch <- rsp
+		}
+	case kindFDNotice:
+		n, ok := payload.(fdNotice)
+		if !ok {
+			return
+		}
+		if k.det != nil {
+			k.det.ApplyRemote(n.Node, n.Up)
 		}
 	}
 }

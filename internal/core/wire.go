@@ -1,0 +1,95 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/attrcache"
+	"repro/internal/ids"
+	"repro/internal/metrics"
+	"repro/internal/thread"
+)
+
+// WireConfig tunes the wire-efficiency fast path. The zero value turns
+// every optimization on; each flag is phrased negatively so legacy
+// behaviour (full attribute snapshots, eager standalone acks, all-pairs
+// heartbeats) is an explicit opt-in for measurement, not the default.
+type WireConfig struct {
+	// FullAttrs ships complete attribute snapshots on every invocation hop
+	// (the paper's literal §3.1 protocol) instead of version-keyed deltas.
+	FullAttrs bool
+	// AttrCacheSize bounds the per-node snapshot cache (0 =
+	// attrcache.DefaultSize). Irrelevant under FullAttrs.
+	AttrCacheSize int
+	// StandaloneAcks makes the reliable layer ack every data message
+	// immediately with a dedicated message instead of piggybacking
+	// cumulative acks on reverse traffic.
+	StandaloneAcks bool
+	// AckDelay is the piggyback flush window: how long a cumulative ack may
+	// wait for reverse traffic to ride on before a standalone ack is sent
+	// (0 = 1ms — comfortably under the reliable layer's retry base).
+	AckDelay time.Duration
+	// EagerHeartbeats restores all-pairs heartbeating: every node beats
+	// every peer each period regardless of traffic. Off, nodes monitor one
+	// ring successor, any received message counts as liveness, and beats
+	// are suppressed on links that just carried data.
+	EagerHeartbeats bool
+}
+
+// errAttrResync is the callee's signal that it no longer holds the base
+// snapshot a delta was diffed against (cache eviction, restart). It is
+// returned before any part of the invocation executes, so the caller's
+// single full-snapshot retry is idempotent.
+var errAttrResync = errors.New("core: attribute base version unknown, resync required")
+
+// stampVersion allocates a globally unique attribute snapshot version:
+// node-salted so two kernels can never mint the same stamp, monotonic so a
+// kernel never reuses one. Versions are pure cache keys — nothing orders
+// or compares them beyond equality.
+func (k *Kernel) stampVersion() uint64 {
+	return k.attrVer.Add(1)<<8 | uint64(k.node)&0xff
+}
+
+// attrKey builds the snapshot cache key for a thread's version.
+func attrKey(tid ids.ThreadID, ver uint64) attrcache.Key {
+	return attrcache.Key{Thread: tid, Version: ver}
+}
+
+// retainRemoteBase records the snapshot this activation last exchanged with
+// a peer node, so the next hop to that peer can ship a delta against it.
+func (a *activation) retainRemoteBase(peer ids.NodeID, snap *thread.Attributes) {
+	a.mu.Lock()
+	if a.remoteBase == nil {
+		a.remoteBase = make(map[ids.NodeID]*thread.Attributes)
+	}
+	a.remoteBase[peer] = snap
+	a.mu.Unlock()
+}
+
+// sendAttrs decides the attribute encoding for one outbound invocation to
+// home: a delta against the last exchanged snapshot when one exists, a
+// freshly stamped full snapshot otherwise. It returns the request fields
+// plus the stamped snapshot the caller must retain on success.
+func (k *Kernel) sendAttrs(a *activation, home ids.NodeID, snapshot *thread.Attributes) (full *thread.Attributes, delta *thread.Delta) {
+	if k.sys.cfg.Wire.FullAttrs {
+		k.sys.reg.Inc(metrics.CtrAttrFullSent)
+		return snapshot, nil
+	}
+	a.mu.Lock()
+	base := a.remoteBase[home]
+	a.mu.Unlock()
+	if base == nil {
+		snapshot.Version = k.stampVersion()
+		k.sys.reg.Inc(metrics.CtrAttrFullSent)
+		return snapshot, nil
+	}
+	d := thread.DiffAttrs(base, snapshot)
+	if d.Unchanged() {
+		snapshot.Version = d.Base
+	} else {
+		d.Version = k.stampVersion()
+		snapshot.Version = d.Version
+	}
+	k.sys.reg.Inc(metrics.CtrAttrDeltaSent)
+	return nil, d
+}

@@ -444,6 +444,41 @@ func (c *Chain) Links() []HandlerRef {
 	return out
 }
 
+// Prefix returns an independent deep copy of the chain's oldest n links.
+// The attribute delta codec rebuilds a travelled chain as "keep the first n
+// links of the base snapshot, then push these" (pushes and pops both happen
+// at the LIFO end, so the surviving prefix plus the new tail is the whole
+// edit).
+func (c *Chain) Prefix(n int) *Chain {
+	if n > len(c.links) {
+		n = len(c.links)
+	}
+	if n < 0 {
+		n = 0
+	}
+	nc := &Chain{links: make([]HandlerRef, n)}
+	for i := 0; i < n; i++ {
+		nc.links[i] = c.links[i].CloneData()
+	}
+	return nc
+}
+
+// Equal reports whether two handler references denote the same attachment,
+// including statically bound data.
+func (h HandlerRef) Equal(o HandlerRef) bool {
+	if h.Event != o.Event || h.Kind != o.Kind || h.Object != o.Object ||
+		h.Entry != o.Entry || h.Proc != o.Proc || h.AttachedIn != o.AttachedIn ||
+		len(h.Data) != len(o.Data) {
+		return false
+	}
+	for k, v := range h.Data {
+		if ov, ok := o.Data[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
 // Registry records application-registered user event names (§3: "Naming an
 // event involves registering the name with the operating system"). System
 // event names are implicitly registered and cannot be re-registered.

@@ -71,7 +71,16 @@ func (t Table) String() string {
 // waitLong bounds experiment waits.
 const waitLong = 30 * time.Second
 
+// wireOverride, when non-nil, replaces the wire configuration of every
+// system mustSystem boots. The differential codec test uses it to rerun the
+// E1–E9 scenarios under the legacy full-snapshot configuration and assert
+// the optimized wire changes no observable protocol behavior.
+var wireOverride *core.WireConfig
+
 func mustSystem(cfg core.Config) *core.System {
+	if wireOverride != nil {
+		cfg.Wire = *wireOverride
+	}
 	if cfg.CallTimeout == 0 {
 		cfg.CallTimeout = 10 * time.Second
 	}

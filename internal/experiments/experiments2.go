@@ -703,5 +703,7 @@ func All() []Table {
 		RunE8(nil),
 		RunE9(nil),
 		RunE10(nil),
+		RunE11(nil),
+		RunE11FT(),
 	}
 }

@@ -1,12 +1,27 @@
 // Package failure implements a heartbeat-based crash-failure detector, one
-// instance per node. Each detector periodically broadcasts a heartbeat and
-// sweeps the arrival times of its peers' heartbeats; a peer silent for
-// longer than the suspicion threshold is declared down, and a suspected
-// peer that heartbeats again is declared up (restarted, or a partition
-// healed). Subscribers receive membership events and the kernel turns them
-// into NODE_DOWN / NODE_UP system events — the generalization of the
-// paper's §7.2 THREAD_DEATH notices from one dead thread to a whole dead
-// node's worth of threads.
+// instance per node. Subscribers receive membership events and the kernel
+// turns them into NODE_DOWN / NODE_UP system events — the generalization of
+// the paper's §7.2 THREAD_DEATH notices from one dead thread to a whole
+// dead node's worth of threads.
+//
+// Two monitoring topologies are supported:
+//
+//   - Legacy all-pairs (Config.Ring false, the zero value): every node
+//     heartbeats every peer each period and sweeps every peer's arrival
+//     time. Simple, and O(n²) messages per period.
+//   - Ring (Config.Ring true): the live nodes form a sorted ring; each node
+//     heartbeats only its ring predecessor and watches only its ring
+//     successor, so steady-state heartbeat traffic is O(n) per period.
+//     Detections are disseminated out-of-band by the owner (the kernel
+//     sends reliable notices and feeds them back via ApplyRemote), and
+//     suspected peers are probed once per suspicion window so partitions
+//     heal and restarts are noticed.
+//
+// Independently of topology, any received message counts as liveness
+// evidence (the owner feeds Observe), and explicit heartbeats are
+// suppressed toward peers that just received data from us (the owner feeds
+// ObserveSend) — an idle link is the only thing that still costs periodic
+// heartbeat messages.
 //
 // The detector is deliberately simple (no gossip, no incarnation numbers):
 // the netsim fabric gives every pair of nodes a direct link, so a missing
@@ -18,6 +33,7 @@ package failure
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ids"
@@ -25,7 +41,7 @@ import (
 )
 
 // DefaultPeriod is the heartbeat interval when Config.Period is zero.
-// Heartbeats are cheap fabric broadcasts, so the default favors detection
+// Heartbeats are cheap fabric messages, so the default favors detection
 // latency over traffic.
 const DefaultPeriod = 15 * time.Millisecond
 
@@ -38,12 +54,15 @@ const DefaultSuspectMultiple = 5
 
 // Config parameterizes a Detector.
 type Config struct {
-	// Period is the heartbeat broadcast interval (0 = DefaultPeriod).
+	// Period is the heartbeat interval (0 = DefaultPeriod).
 	Period time.Duration
 	// SuspectAfter is how long a peer may stay silent before it is
 	// declared down (0 = DefaultSuspectMultiple × Period). It must be
 	// comfortably larger than Period plus fabric latency and jitter.
 	SuspectAfter time.Duration
+	// Ring selects ring-successor monitoring (see the package comment).
+	// False keeps the legacy all-pairs topology.
+	Ring bool
 	// Metrics receives heartbeat and transition accounting (nil = none).
 	Metrics *metrics.Registry
 }
@@ -61,11 +80,15 @@ func (c *Config) fillDefaults() {
 type Event struct {
 	Node ids.NodeID
 	// Up is false for a down transition (peer fell silent), true for an up
-	// transition (a suspected peer heartbeated again).
+	// transition (a suspected peer showed life again).
 	Up bool
 	// Gen is the observing detector's view generation after the
 	// transition; it increases monotonically with every transition.
 	Gen uint64
+	// Remote marks transitions applied from another detector's notice
+	// (ApplyRemote) rather than observed locally. The kernel disseminates
+	// only local transitions, which is what keeps notices from echoing.
+	Remote bool
 }
 
 // Membership is a point-in-time cluster view from one detector.
@@ -75,20 +98,28 @@ type Membership struct {
 	Suspected []ids.NodeID // suspected peers, ascending
 }
 
-// Detector watches a fixed peer set for crash failures. Create with New,
-// then Start; Heartbeat is fed by the owner whenever a peer's heartbeat
-// message arrives.
+// Detector watches a peer set for crash failures. Create with New, then
+// Start; the owner feeds Heartbeat/Observe as messages arrive.
 type Detector struct {
 	cfg   Config
 	self  ids.NodeID
 	peers []ids.NodeID
-	beat  func() // broadcasts this node's heartbeat; nil in unit tests
+	ring  []ids.NodeID // self + peers, ascending (ring order)
+	beat  func(to ids.NodeID)
 
 	mu        sync.Mutex
 	lastSeen  map[ids.NodeID]time.Time
+	lastSent  map[ids.NodeID]time.Time // last outbound data per peer (suppression)
+	lastProbe map[ids.NodeID]time.Time // last probe toward a suspected peer
 	suspected map[ids.NodeID]bool
+	watch     ids.NodeID // ring mode: the peer this node currently monitors
 	gen       uint64
 	subs      []func(Event)
+
+	// paused freezes beats, sweeps and probes while this node simulates
+	// being crashed (fail-stop realism: a dead node emits nothing and
+	// suspects nobody).
+	paused atomic.Bool
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -96,10 +127,11 @@ type Detector struct {
 	wg        sync.WaitGroup
 }
 
-// New builds a detector for self watching peers. beat is called once per
-// period to broadcast this node's own heartbeat (nil for tests that drive
-// Heartbeat directly).
-func New(cfg Config, self ids.NodeID, peers []ids.NodeID, beat func()) *Detector {
+// New builds a detector for self watching peers. beat is called to send one
+// heartbeat message to one peer (nil for tests that drive Heartbeat
+// directly): every peer each period in all-pairs mode, the ring predecessor
+// in ring mode, plus probes toward suspected peers.
+func New(cfg Config, self ids.NodeID, peers []ids.NodeID, beat func(to ids.NodeID)) *Detector {
 	cfg.fillDefaults()
 	d := &Detector{
 		cfg:       cfg,
@@ -107,13 +139,18 @@ func New(cfg Config, self ids.NodeID, peers []ids.NodeID, beat func()) *Detector
 		peers:     append([]ids.NodeID(nil), peers...),
 		beat:      beat,
 		lastSeen:  make(map[ids.NodeID]time.Time, len(peers)),
+		lastSent:  make(map[ids.NodeID]time.Time, len(peers)),
+		lastProbe: make(map[ids.NodeID]time.Time),
 		suspected: make(map[ids.NodeID]bool),
 		stopCh:    make(chan struct{}),
 	}
+	d.ring = append(append([]ids.NodeID(nil), peers...), self)
+	sort.Slice(d.ring, func(i, j int) bool { return d.ring[i] < d.ring[j] })
 	now := time.Now()
 	for _, p := range d.peers {
 		d.lastSeen[p] = now
 	}
+	d.recomputeWatchLocked(now)
 	return d
 }
 
@@ -121,7 +158,7 @@ func New(cfg Config, self ids.NodeID, peers []ids.NodeID, beat func()) *Detector
 func (d *Detector) Period() time.Duration { return d.cfg.Period }
 
 // Subscribe registers a callback for membership transitions. Callbacks run
-// synchronously on the detector's sweep (or Heartbeat caller's) goroutine
+// synchronously on the detector's sweep (or observation caller's) goroutine
 // and must not block. Subscribe before Start.
 func (d *Detector) Subscribe(f func(Event)) {
 	d.mu.Lock()
@@ -146,9 +183,9 @@ func (d *Detector) Stop() {
 }
 
 // Reset silently clears all suspicion state and restarts every peer's
-// silence clock. The kernel calls it when this node itself restarts after
-// a crash: its stale arrival times would otherwise instantly suspect every
-// peer that heartbeated normally while it was dead.
+// silence clock. The kernel calls it (via Resume) when this node itself
+// restarts after a crash: its stale arrival times would otherwise instantly
+// suspect every peer that heartbeated normally while it was dead.
 func (d *Detector) Reset() {
 	now := time.Now()
 	d.mu.Lock()
@@ -156,21 +193,43 @@ func (d *Detector) Reset() {
 		d.lastSeen[p] = now
 	}
 	d.suspected = make(map[ids.NodeID]bool)
+	d.lastProbe = make(map[ids.NodeID]time.Time)
+	d.recomputeWatchLocked(now)
 	d.mu.Unlock()
 }
 
-// Heartbeat records a heartbeat arrival from a peer. A suspected peer
-// heartbeating again triggers an up transition.
+// Suspend freezes the detector while its node simulates a crash: a
+// fail-stopped node sends no heartbeats, probes nothing, and raises no
+// suspicions. State is kept; Resume clears it.
+func (d *Detector) Suspend() { d.paused.Store(true) }
+
+// Resume reverses Suspend for a restarted node: suspicion state and
+// silence clocks reset, then the loop runs again.
+func (d *Detector) Resume() {
+	d.Reset()
+	d.paused.Store(false)
+}
+
+// Heartbeat records an explicit heartbeat arrival from a peer. A suspected
+// peer heartbeating again triggers an up transition.
 func (d *Detector) Heartbeat(from ids.NodeID) {
 	if d.cfg.Metrics != nil {
 		d.cfg.Metrics.Inc(metrics.CtrFDHeartbeat)
 	}
+	d.Observe(from)
+}
+
+// Observe records liveness evidence for a peer from any received message —
+// data traffic proves the sender alive just as well as a heartbeat. A
+// suspected peer showing life triggers an up transition.
+func (d *Detector) Observe(from ids.NodeID) {
 	d.mu.Lock()
 	if _, known := d.lastSeen[from]; !known {
 		d.mu.Unlock()
 		return
 	}
-	d.lastSeen[from] = time.Now()
+	now := time.Now()
+	d.lastSeen[from] = now
 	var evs []Event
 	if d.suspected[from] {
 		delete(d.suspected, from)
@@ -179,6 +238,59 @@ func (d *Detector) Heartbeat(from ids.NodeID) {
 		if d.cfg.Metrics != nil {
 			d.cfg.Metrics.Inc(metrics.CtrFDNodeUp)
 		}
+		d.recomputeWatchLocked(now)
+	}
+	subs := d.subs
+	d.mu.Unlock()
+	notify(subs, evs)
+}
+
+// ObserveSend records that a data message just left for a peer: that
+// message is liveness evidence at the receiver, so the next explicit
+// heartbeat toward the peer is unnecessary and will be suppressed.
+// Heartbeats themselves are never recorded here — suppression must not
+// feed on its own output.
+func (d *Detector) ObserveSend(to ids.NodeID) {
+	d.mu.Lock()
+	if _, known := d.lastSeen[to]; known {
+		d.lastSent[to] = time.Now()
+	}
+	d.mu.Unlock()
+}
+
+// ApplyRemote applies a membership transition disseminated by another
+// detector. Transitions about this node itself are ignored (it is plainly
+// alive); already-known state is idempotent. Resulting events carry
+// Remote=true so the owner does not re-disseminate them.
+func (d *Detector) ApplyRemote(node ids.NodeID, up bool) {
+	if node == d.self {
+		return
+	}
+	d.mu.Lock()
+	if _, known := d.lastSeen[node]; !known {
+		d.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	var evs []Event
+	switch {
+	case !up && !d.suspected[node]:
+		d.suspected[node] = true
+		d.gen++
+		evs = append(evs, Event{Node: node, Up: false, Gen: d.gen, Remote: true})
+		if d.cfg.Metrics != nil {
+			d.cfg.Metrics.Inc(metrics.CtrFDNodeDown)
+		}
+		d.recomputeWatchLocked(now)
+	case up && d.suspected[node]:
+		delete(d.suspected, node)
+		d.lastSeen[node] = now
+		d.gen++
+		evs = append(evs, Event{Node: node, Up: true, Gen: d.gen, Remote: true})
+		if d.cfg.Metrics != nil {
+			d.cfg.Metrics.Inc(metrics.CtrFDNodeUp)
+		}
+		d.recomputeWatchLocked(now)
 	}
 	subs := d.subs
 	d.mu.Unlock()
@@ -194,6 +306,14 @@ func (d *Detector) Suspected(node ids.NodeID) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.suspected[node]
+}
+
+// Watching returns the peer this detector currently monitors in ring mode
+// (NoNode when alone or in all-pairs mode, where every peer is watched).
+func (d *Detector) Watching() ids.NodeID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.watch
 }
 
 // View returns the detector's current membership view.
@@ -213,6 +333,61 @@ func (d *Detector) View() Membership {
 	return m
 }
 
+// recomputeWatchLocked re-derives the ring watch target: the first
+// unsuspected peer after self in ring order. A watch change grants the new
+// target a fresh silence clock — it was not responsible for heartbeating us
+// until now. Caller holds d.mu.
+func (d *Detector) recomputeWatchLocked(now time.Time) {
+	if !d.cfg.Ring {
+		return
+	}
+	prev := d.watch
+	d.watch = d.succLocked()
+	if d.watch != prev && d.watch != ids.NoNode {
+		d.lastSeen[d.watch] = now
+	}
+}
+
+// succLocked finds the live ring successor of self (NoNode when alone).
+func (d *Detector) succLocked() ids.NodeID {
+	n := len(d.ring)
+	start := 0
+	for i, id := range d.ring {
+		if id == d.self {
+			start = i
+			break
+		}
+	}
+	for i := 1; i < n; i++ {
+		cand := d.ring[(start+i)%n]
+		if cand != d.self && !d.suspected[cand] {
+			return cand
+		}
+	}
+	return ids.NoNode
+}
+
+// predLocked finds the live ring predecessor of self (NoNode when alone).
+// Consistency with succLocked is what makes the ring sound: x watches
+// succ(x), and succ(x)'s beat target pred(succ(x)) is x.
+func (d *Detector) predLocked() ids.NodeID {
+	n := len(d.ring)
+	start := 0
+	for i, id := range d.ring {
+		if id == d.self {
+			start = i
+			break
+		}
+	}
+	for i := 1; i < n; i++ {
+		cand := d.ring[(start-i%n+n)%n]
+		if cand != d.self && !d.suspected[cand] {
+			return cand
+		}
+	}
+	return ids.NoNode
+}
+
 func (d *Detector) loop() {
 	defer d.wg.Done()
 	ticker := time.NewTicker(d.cfg.Period)
@@ -222,21 +397,72 @@ func (d *Detector) loop() {
 		case <-d.stopCh:
 			return
 		case <-ticker.C:
-			if d.beat != nil {
-				d.beat()
+			if d.paused.Load() {
+				continue
 			}
+			d.emitBeats()
 			d.sweep()
 		}
 	}
 }
 
-// sweep declares peers whose last heartbeat is older than the suspicion
-// threshold down.
+// emitBeats sends this period's heartbeats. Legacy all-pairs mode beats
+// every peer unconditionally — byte-for-byte what the old per-period
+// broadcast did. Ring mode beats only the live ring predecessor, skips
+// even that when outbound data just proved us alive (suppression), and
+// adds one probe per suspicion window toward each suspected peer so a
+// healed partition or restarted node is rediscovered.
+func (d *Detector) emitBeats() {
+	if d.beat == nil {
+		return
+	}
+	now := time.Now()
+	var out []ids.NodeID
+	d.mu.Lock()
+	if !d.cfg.Ring {
+		out = append(out, d.peers...)
+	} else {
+		if p := d.predLocked(); p != ids.NoNode {
+			if now.Sub(d.lastSent[p]) < d.cfg.Period {
+				if d.cfg.Metrics != nil {
+					d.cfg.Metrics.Inc(metrics.CtrFDSuppressed)
+				}
+			} else {
+				out = append(out, p)
+			}
+		}
+		// Probing: a suspected peer hears from us once per suspicion
+		// window. If it is actually alive (partition healed, node
+		// restarted), our probe is liveness evidence at its end; its
+		// detector up-transitions us and traffic starts flowing back.
+		for p := range d.suspected {
+			if now.Sub(d.lastProbe[p]) >= d.cfg.SuspectAfter {
+				d.lastProbe[p] = now
+				out = append(out, p)
+			}
+		}
+	}
+	d.mu.Unlock()
+	for _, t := range out {
+		d.beat(t)
+	}
+}
+
+// sweep declares silent peers down: every peer in all-pairs mode, only the
+// watch target in ring mode (other peers are someone else's watch; their
+// deaths arrive via ApplyRemote).
 func (d *Detector) sweep() {
 	now := time.Now()
 	var evs []Event
 	d.mu.Lock()
-	for _, p := range d.peers {
+	candidates := d.peers
+	if d.cfg.Ring {
+		candidates = candidates[:0:0]
+		if d.watch != ids.NoNode {
+			candidates = append(candidates, d.watch)
+		}
+	}
+	for _, p := range candidates {
 		if d.suspected[p] || now.Sub(d.lastSeen[p]) <= d.cfg.SuspectAfter {
 			continue
 		}
@@ -246,6 +472,9 @@ func (d *Detector) sweep() {
 		if d.cfg.Metrics != nil {
 			d.cfg.Metrics.Inc(metrics.CtrFDNodeDown)
 		}
+	}
+	if len(evs) > 0 {
+		d.recomputeWatchLocked(now)
 	}
 	subs := d.subs
 	d.mu.Unlock()

@@ -71,11 +71,41 @@ const (
 
 	// Failure detection and recovery.
 	CtrFDHeartbeat   = "failure.heartbeat"
+	CtrFDSuppressed  = "failure.heartbeat.suppressed"
 	CtrFDNodeDown    = "failure.node.down"
 	CtrFDNodeUp      = "failure.node.up"
 	CtrObjRecovered  = "failure.obj.recovered"
 	CtrWaitersFailed = "failure.waiters.failed"
+
+	// Attribute delta codec (wire-efficiency layer, DESIGN.md §8).
+	CtrAttrDeltaSent  = "attr.delta.sent"
+	CtrAttrFullSent   = "attr.full.sent"
+	CtrAttrResync     = "attr.resync"
+	CtrAttrCacheHit   = "attr.cache.hit"
+	CtrAttrCacheMiss  = "attr.cache.miss"
+	CtrAttrCacheEvict = "attr.cache.evict"
+
+	// Ack piggybacking (wire-efficiency layer, DESIGN.md §8).
+	CtrRelAckPiggyback  = "rel.ack.piggyback"
+	CtrRelAckStandalone = "rel.ack.standalone"
 )
+
+// Per-message-kind wire accounting. The fabric charges every message's
+// bytes and count to a kind-suffixed counter as well as the totals, so
+// experiments can decompose traffic (how much is heartbeats vs. acks vs.
+// invocations) without guessing.
+const (
+	// KindBytesPrefix prefixes per-kind byte counters: net.bytes.<kind>.
+	KindBytesPrefix = "net.bytes."
+	// KindMsgsPrefix prefixes per-kind message counters: net.msgs.<kind>.
+	KindMsgsPrefix = "net.msgs."
+)
+
+// KindBytes returns the per-kind wire-byte counter name for a message kind.
+func KindBytes(kind string) string { return KindBytesPrefix + kind }
+
+// KindMsgs returns the per-kind message counter name for a message kind.
+func KindMsgs(kind string) string { return KindMsgsPrefix + kind }
 
 // Registry is a concurrent counter set. The zero value is not usable; use
 // NewRegistry.

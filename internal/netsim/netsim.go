@@ -253,10 +253,14 @@ func (f *Fabric) Send(m Message) error {
 // endpoints cannot race Close's wg.Wait.
 func (f *Fabric) post(ep *endpoint, m Message, severed bool) {
 	if m.Size == 0 {
-		m.Size = payloadSize(m.Payload)
+		m.Size = PayloadSize(m.Payload)
 	}
 	f.reg.Inc(metrics.CtrMsgSent)
 	f.reg.Add(metrics.CtrMsgBytes, int64(m.Size))
+	if m.Kind != "" {
+		f.reg.Inc(metrics.KindMsgs(m.Kind))
+		f.reg.Add(metrics.KindBytes(m.Kind), int64(m.Size))
+	}
 	if rate := f.DropRate(); severed || f.roll(rate) < rate {
 		f.reg.Inc(metrics.CtrMsgDropped)
 		return
@@ -496,9 +500,25 @@ func (f *Fabric) Crashed(node ids.NodeID) bool {
 	return f.crashed[node]
 }
 
-func payloadSize(p any) int {
-	if s, ok := p.(Sizer); ok {
-		return s.WireSize()
+// PayloadSize is the canonical wire-size estimator for message payloads:
+// Sizer implementations report their own size, byte slices and strings are
+// charged their length plus a small framing overhead, scalars a machine
+// word, and anything else DefaultMessageSize. The reliable layer and the
+// kernel use it too, so byte accounting is consistent at every layer.
+func PayloadSize(p any) int {
+	switch v := p.(type) {
+	case nil:
+		return 0
+	case Sizer:
+		return v.WireSize()
+	case []byte:
+		return 8 + len(v)
+	case string:
+		return 8 + len(v)
+	case bool, int8, uint8:
+		return 1
+	case int, int64, uint64, uintptr, float64, int32, uint32, float32, int16, uint16:
+		return 8
 	}
 	return DefaultMessageSize
 }

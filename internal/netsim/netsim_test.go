@@ -293,7 +293,9 @@ func TestByteAccountingUsesSizer(t *testing.T) {
 	if err := f.Send(Message{From: 1, To: 2, Payload: sized(100)}); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.Send(Message{From: 1, To: 2, Payload: "unsized"}); err != nil {
+	// A payload type PayloadSize knows nothing about falls back to the
+	// default message size.
+	if err := f.Send(Message{From: 1, To: 2, Payload: unsized{}}); err != nil {
 		t.Fatal(err)
 	}
 	cols[2].waitN(t, 2)
@@ -305,6 +307,29 @@ func TestByteAccountingUsesSizer(t *testing.T) {
 type sized int
 
 func (s sized) WireSize() int { return int(s) }
+
+type unsized struct{}
+
+func TestPayloadSizeEstimates(t *testing.T) {
+	cases := []struct {
+		payload any
+		want    int
+	}{
+		{nil, 0},
+		{sized(100), 100},
+		{[]byte("abc"), 11},
+		{"abcd", 12},
+		{true, 1},
+		{int64(7), 8},
+		{ids.NodeID(3), DefaultMessageSize}, // named types fall back
+		{unsized{}, DefaultMessageSize},
+	}
+	for _, c := range cases {
+		if got := PayloadSize(c.payload); got != c.want {
+			t.Errorf("PayloadSize(%T %v) = %d, want %d", c.payload, c.payload, got, c.want)
+		}
+	}
+}
 
 func TestCloseIsIdempotent(t *testing.T) {
 	f := New(Config{})

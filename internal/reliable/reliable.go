@@ -1,12 +1,19 @@
 // Package reliable adds an at-least-once delivery envelope on top of the
-// netsim fabric: every payload is wrapped with a sequence number, the
-// receiver acknowledges it, and the sender retransmits with capped
-// exponential backoff until the ack arrives or the retry budget runs out.
-// The receiver keeps a per-sender dedup window so retransmitted duplicates
-// are dropped before they reach the kernel — at-least-once transport plus
-// receiver dedup is what turns the kernel's event posts into exactly-once
-// handler executions, the delivery guarantee framed by the reliable-
-// broadcast literature cited in PAPERS.md.
+// netsim fabric: every payload is wrapped with a per-destination sequence
+// number, the receiver acknowledges it, and the sender retransmits with
+// capped exponential backoff until the ack arrives or the retry budget runs
+// out. The receiver keeps a per-sender dedup window so retransmitted
+// duplicates are dropped before they reach the kernel — at-least-once
+// transport plus receiver dedup is what turns the kernel's event posts into
+// exactly-once handler executions, the delivery guarantee framed by the
+// reliable-broadcast literature cited in PAPERS.md.
+//
+// Acknowledgements are cumulative and, by default, piggybacked: every
+// outbound envelope carries the highest contiguously-received sequence from
+// its destination (retiring every pending send at or below it for free),
+// and a standalone ack message is sent only when no reverse traffic shows
+// up within the flush window. Config.StandaloneAcks restores the legacy
+// one-ack-message-per-data-message protocol for measurement.
 //
 // A send that exhausts its retry budget goes to the endpoint's dead-letter
 // callback instead of vanishing: the kernel uses it to fail the waiting
@@ -19,7 +26,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/ids"
@@ -41,12 +47,14 @@ var ErrUndeliverable = errors.New("reliable: undeliverable after retries")
 // experiment fabrics' round-trip time so the first retransmit fires as
 // soon as a drop is plausible; ten attempts with doubling backoff make the
 // loss of all copies vanishingly unlikely at any tested drop rate
-// (10^-10 at 10% loss).
+// (10^-10 at 10% loss). The ack flush window sits strictly under the retry
+// base: a delayed ack always beats the retransmit it would otherwise cause.
 const (
 	DefaultMaxAttempts = 10
 	DefaultRetryBase   = 2 * time.Millisecond
 	DefaultRetryMax    = 50 * time.Millisecond
 	DefaultWindow      = 4096
+	DefaultAckDelay    = time.Millisecond
 )
 
 // Config parameterizes an Endpoint.
@@ -64,7 +72,16 @@ type Config struct {
 	// window is also dropped: sequence numbers are monotonic, so anything
 	// at or below max-window was necessarily seen.
 	Window int
-	// Metrics receives send/retry/dedup accounting (nil = none).
+	// StandaloneAcks restores the legacy ack policy: every data message is
+	// acknowledged immediately with a dedicated ack message. Off, acks ride
+	// on reverse-direction envelopes, with a standalone flush only when the
+	// AckDelay window expires without reverse traffic.
+	StandaloneAcks bool
+	// AckDelay is the piggyback flush window (0 = DefaultAckDelay). Must
+	// stay below RetryBase or every delayed ack arrives after the
+	// retransmit it was meant to prevent.
+	AckDelay time.Duration
+	// Metrics receives send/retry/dedup/ack accounting (nil = none).
 	Metrics *metrics.Registry
 }
 
@@ -81,40 +98,40 @@ func (c *Config) fillDefaults() {
 	if c.Window <= 0 {
 		c.Window = DefaultWindow
 	}
+	if c.AckDelay <= 0 {
+		c.AckDelay = DefaultAckDelay
+	}
 }
 
-// Envelope wraps one reliable payload on the wire.
+// Envelope wraps one reliable payload on the wire. AckCum piggybacks the
+// sender's receive state for the destination: the highest sequence such
+// that everything at or below it has been received. It is refreshed on
+// every (re)transmission, so even a retransmitted envelope carries current
+// ack information.
 type Envelope struct {
 	Seq     uint64
 	Kind    string // the inner protocol kind, e.g. "rpc.req"
 	Payload any
+	AckCum  uint64
 }
 
-// WireSize charges the sequence header plus the inner payload.
-func (e Envelope) WireSize() int { return 16 + len(e.Kind) + payloadSize(e.Payload) }
+// WireSize charges the sequence header, the piggybacked ack field, and the
+// inner payload. Sizing delegates to netsim.PayloadSize so nested structs
+// that implement Sizer are charged accurately instead of a flat constant.
+func (e Envelope) WireSize() int { return 24 + len(e.Kind) + netsim.PayloadSize(e.Payload) }
 
-// Ack acknowledges receipt of one envelope.
+// Ack acknowledges receipt of envelopes: Seq is the specific envelope that
+// triggered the ack (retiring it selectively even across a gap) and Cum is
+// the highest sequence number such that every sequence at or below it has
+// been received from this peer (TCP-style cumulative ack). A sender retires
+// every pending send at or below Cum.
 type Ack struct {
 	Seq uint64
+	Cum uint64
 }
 
-// WireSize charges a minimal ack frame.
-func (Ack) WireSize() int { return 12 }
-
-func payloadSize(p any) int {
-	switch v := p.(type) {
-	case nil:
-		return 0
-	case netsim.Sizer:
-		return v.WireSize()
-	case []byte:
-		return len(v)
-	case string:
-		return len(v)
-	default:
-		return 32
-	}
-}
+// WireSize charges a minimal ack frame (two seq fields + header).
+func (Ack) WireSize() int { return 20 }
 
 // SendFunc transmits one raw fabric message (typically Fabric.Send).
 type SendFunc func(netsim.Message) error
@@ -135,23 +152,31 @@ type Endpoint struct {
 	del  DeliverFunc
 	dead DeadLetterFunc
 
-	seq atomic.Uint64
-
-	pmu     sync.Mutex
-	pending map[uint64]chan struct{} // seq → closed on ack
-
-	rmu     sync.Mutex
-	windows map[ids.NodeID]*window
+	mu    sync.Mutex
+	peers map[ids.NodeID]*peerState
 
 	closeOnce sync.Once
 	closed    chan struct{}
 	wg        sync.WaitGroup
 }
 
-// window is the per-sender dedup state.
-type window struct {
-	max  uint64          // highest sequence seen
-	seen map[uint64]bool // sequences seen within (max-window, max]
+// peerState is everything the endpoint tracks about one peer: the outbound
+// sequence space and unacked sends, the inbound dedup window with its
+// cumulative frontier, and the delayed-ack debt.
+type peerState struct {
+	// Outbound.
+	seq     uint64                   // last sequence allocated toward this peer
+	pending map[uint64]chan struct{} // seq → closed when acked
+
+	// Inbound.
+	cum      uint64          // highest contiguously-received sequence
+	max      uint64          // highest sequence seen
+	seen     map[uint64]bool // received sequences above cum
+	lastRecv uint64          // most recently received sequence (dup or not)
+
+	// Delayed-ack state (piggyback mode only).
+	ackOwed  bool
+	ackTimer *time.Timer
 }
 
 // New builds an endpoint for self. deliver receives each payload exactly
@@ -159,21 +184,43 @@ type window struct {
 func New(cfg Config, self ids.NodeID, send SendFunc, deliver DeliverFunc, dead DeadLetterFunc) *Endpoint {
 	cfg.fillDefaults()
 	return &Endpoint{
-		cfg:     cfg,
-		self:    self,
-		send:    send,
-		del:     deliver,
-		dead:    dead,
-		pending: make(map[uint64]chan struct{}),
-		windows: make(map[ids.NodeID]*window),
-		closed:  make(chan struct{}),
+		cfg:    cfg,
+		self:   self,
+		send:   send,
+		del:    deliver,
+		dead:   dead,
+		peers:  make(map[ids.NodeID]*peerState),
+		closed: make(chan struct{}),
 	}
 }
 
-// Close stops all retransmit loops and waits for them to exit. In-flight
-// sends are abandoned without dead-lettering (the system is going away).
+// peerLocked returns the peer state for n, creating it. Caller holds e.mu.
+func (e *Endpoint) peerLocked(n ids.NodeID) *peerState {
+	p := e.peers[n]
+	if p == nil {
+		p = &peerState{
+			pending: make(map[uint64]chan struct{}),
+			seen:    make(map[uint64]bool),
+		}
+		e.peers[n] = p
+	}
+	return p
+}
+
+// Close stops all retransmit loops and delayed-ack timers and waits for the
+// retransmit loops to exit. In-flight sends are abandoned without
+// dead-lettering (the system is going away).
 func (e *Endpoint) Close() {
-	e.closeOnce.Do(func() { close(e.closed) })
+	e.closeOnce.Do(func() {
+		close(e.closed)
+		e.mu.Lock()
+		for _, p := range e.peers {
+			if p.ackTimer != nil {
+				p.ackTimer.Stop()
+			}
+		}
+		e.mu.Unlock()
+	})
 	e.wg.Wait()
 }
 
@@ -189,18 +236,21 @@ func (e *Endpoint) Send(to ids.NodeID, kind string, payload any) error {
 	if e.cfg.Metrics != nil {
 		e.cfg.Metrics.Inc(metrics.CtrRelSend)
 	}
-	seq := e.seq.Add(1)
 	ackCh := make(chan struct{})
-	e.pmu.Lock()
-	e.pending[seq] = ackCh
-	e.pmu.Unlock()
+	e.mu.Lock()
+	p := e.peerLocked(to)
+	p.seq++
+	seq := p.seq
+	p.pending[seq] = ackCh
+	e.mu.Unlock()
 	e.wg.Add(1)
 	go e.transmit(to, kind, payload, seq, ackCh)
 	return nil
 }
 
 // transmit drives one send's retry loop: (re)send, wait backoff for the
-// ack, double the backoff, repeat up to the attempt budget.
+// ack, double the backoff, repeat up to the attempt budget. Every attempt
+// rebuilds the envelope so its piggybacked ack is current.
 func (e *Endpoint) transmit(to ids.NodeID, kind string, payload any, seq uint64, ackCh chan struct{}) {
 	defer e.wg.Done()
 	backoff := e.cfg.RetryBase
@@ -210,12 +260,12 @@ func (e *Endpoint) transmit(to ids.NodeID, kind string, payload any, seq uint64,
 		}
 		err := e.send(netsim.Message{
 			From: e.self, To: to, Kind: KindData,
-			Payload: Envelope{Seq: seq, Kind: kind, Payload: payload},
+			Payload: Envelope{Seq: seq, Kind: kind, Payload: payload, AckCum: e.takePiggyback(to)},
 		})
 		if err != nil {
 			// Structural failure (unknown node, fabric closed): retrying
 			// cannot help.
-			e.dropPending(seq)
+			e.dropPending(to, seq)
 			e.deadLetter(to, kind, payload, err)
 			return
 		}
@@ -226,7 +276,7 @@ func (e *Endpoint) transmit(to ids.NodeID, kind string, payload any, seq uint64,
 			return
 		case <-e.closed:
 			timer.Stop()
-			e.dropPending(seq)
+			e.dropPending(to, seq)
 			return
 		case <-timer.C:
 		}
@@ -234,9 +284,29 @@ func (e *Endpoint) transmit(to ids.NodeID, kind string, payload any, seq uint64,
 			backoff = e.cfg.RetryMax
 		}
 	}
-	e.dropPending(seq)
+	e.dropPending(to, seq)
 	e.deadLetter(to, kind, payload,
 		fmt.Errorf("%w: %s to %v after %d attempts", ErrUndeliverable, kind, to, e.cfg.MaxAttempts))
+}
+
+// takePiggyback returns the current cumulative receive frontier for peer
+// to, and — in piggyback mode — settles any ack debt to that peer: the
+// envelope about to carry this value is the ack, so the flush timer's
+// standalone message is no longer needed.
+func (e *Endpoint) takePiggyback(to ids.NodeID) uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p := e.peerLocked(to)
+	if !e.cfg.StandaloneAcks && p.ackOwed {
+		p.ackOwed = false
+		if p.ackTimer != nil {
+			p.ackTimer.Stop()
+		}
+		if e.cfg.Metrics != nil {
+			e.cfg.Metrics.Inc(metrics.CtrRelAckPiggyback)
+		}
+	}
+	return p.cum
 }
 
 func (e *Endpoint) deadLetter(to ids.NodeID, kind string, payload any, err error) {
@@ -248,17 +318,46 @@ func (e *Endpoint) deadLetter(to ids.NodeID, kind string, payload any, err error
 	}
 }
 
-func (e *Endpoint) dropPending(seq uint64) {
-	e.pmu.Lock()
-	delete(e.pending, seq)
-	e.pmu.Unlock()
+func (e *Endpoint) dropPending(to ids.NodeID, seq uint64) {
+	e.mu.Lock()
+	if p := e.peers[to]; p != nil {
+		delete(p.pending, seq)
+	}
+	e.mu.Unlock()
+}
+
+// retire releases every pending send to peer from covered by the ack:
+// everything at or below the cumulative frontier, plus the selectively
+// acknowledged sequence (which may sit above a gap).
+func (e *Endpoint) retire(from ids.NodeID, seq, cum uint64) {
+	e.mu.Lock()
+	p := e.peers[from]
+	if p == nil {
+		e.mu.Unlock()
+		return
+	}
+	var done []chan struct{}
+	if ch, ok := p.pending[seq]; ok {
+		done = append(done, ch)
+		delete(p.pending, seq)
+	}
+	for s, ch := range p.pending {
+		if s <= cum {
+			done = append(done, ch)
+			delete(p.pending, s)
+		}
+	}
+	e.mu.Unlock()
+	for _, ch := range done {
+		close(ch)
+	}
 }
 
 // Handle processes one incoming fabric message, returning false if the
 // message is not part of the reliable protocol (the caller dispatches it
-// itself). Data envelopes are always acked — even duplicates, since the
-// peer is retransmitting precisely because an earlier ack was lost — and
-// delivered only when the sequence number is fresh.
+// itself). Data envelopes are always acknowledged — even duplicates, since
+// the peer is retransmitting precisely because an earlier ack was lost —
+// and delivered only when the sequence number is fresh.
 func (e *Endpoint) Handle(m netsim.Message) bool {
 	switch m.Kind {
 	case KindAck:
@@ -266,13 +365,7 @@ func (e *Endpoint) Handle(m netsim.Message) bool {
 		if !ok {
 			return true
 		}
-		e.pmu.Lock()
-		ch, pending := e.pending[ack.Seq]
-		delete(e.pending, ack.Seq)
-		e.pmu.Unlock()
-		if pending {
-			close(ch)
-		}
+		e.retire(m.From, ack.Seq, ack.Cum)
 		return true
 
 	case KindData:
@@ -280,8 +373,21 @@ func (e *Endpoint) Handle(m netsim.Message) bool {
 		if !ok {
 			return true
 		}
-		_ = e.send(netsim.Message{From: e.self, To: m.From, Kind: KindAck, Payload: Ack{Seq: env.Seq}})
-		if e.fresh(m.From, env.Seq) {
+		// The piggybacked frontier retires our own pending sends first.
+		e.retire(m.From, 0, env.AckCum)
+		isFresh := e.fresh(m.From, env.Seq)
+		switch {
+		case e.cfg.StandaloneAcks:
+			e.sendAck(m.From, env.Seq)
+		case isFresh:
+			e.scheduleAck(m.From)
+		default:
+			// A duplicate means the peer is retransmitting because our ack
+			// was lost or late — answer immediately instead of delaying
+			// again, or a straggler can burn its whole retry budget waiting.
+			e.sendAck(m.From, env.Seq)
+		}
+		if isFresh {
 			e.del(m.From, env.Kind, env.Payload)
 		} else if e.cfg.Metrics != nil {
 			e.cfg.Metrics.Inc(metrics.CtrRelDupDropped)
@@ -291,33 +397,92 @@ func (e *Endpoint) Handle(m netsim.Message) bool {
 	return false
 }
 
-// fresh records seq in the sender's dedup window and reports whether it
+// sendAck emits a standalone ack message for seq plus the current
+// cumulative frontier.
+func (e *Endpoint) sendAck(to ids.NodeID, seq uint64) {
+	e.mu.Lock()
+	cum := e.peerLocked(to).cum
+	e.mu.Unlock()
+	if e.cfg.Metrics != nil {
+		e.cfg.Metrics.Inc(metrics.CtrRelAckStandalone)
+	}
+	_ = e.send(netsim.Message{From: e.self, To: to, Kind: KindAck, Payload: Ack{Seq: seq, Cum: cum}})
+}
+
+// scheduleAck records that peer to is owed an ack and arms the flush timer.
+// If reverse-direction traffic departs within AckDelay the debt rides on it
+// for free (takePiggyback); otherwise the timer flushes a standalone ack.
+func (e *Endpoint) scheduleAck(to ids.NodeID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p := e.peerLocked(to)
+	if p.ackOwed {
+		return // timer already armed; the flush will cover this receipt too
+	}
+	p.ackOwed = true
+	if p.ackTimer == nil {
+		p.ackTimer = time.AfterFunc(e.cfg.AckDelay, func() { e.flushAck(to) })
+	} else {
+		p.ackTimer.Reset(e.cfg.AckDelay)
+	}
+}
+
+// flushAck is the delayed-ack timer body: if the debt to peer to is still
+// outstanding (no envelope piggybacked it meanwhile), send a standalone
+// ack for the most recently received sequence.
+func (e *Endpoint) flushAck(to ids.NodeID) {
+	select {
+	case <-e.closed:
+		return
+	default:
+	}
+	e.mu.Lock()
+	p := e.peerLocked(to)
+	if !p.ackOwed {
+		e.mu.Unlock()
+		return
+	}
+	p.ackOwed = false
+	seq, cum := p.lastRecv, p.cum
+	e.mu.Unlock()
+	if e.cfg.Metrics != nil {
+		e.cfg.Metrics.Inc(metrics.CtrRelAckStandalone)
+	}
+	_ = e.send(netsim.Message{From: e.self, To: to, Kind: KindAck, Payload: Ack{Seq: seq, Cum: cum}})
+}
+
+// fresh records seq in the sender's dedup window, advances the cumulative
+// frontier through any now-contiguous sequences, and reports whether seq
 // was seen for the first time.
 func (e *Endpoint) fresh(from ids.NodeID, seq uint64) bool {
-	e.rmu.Lock()
-	defer e.rmu.Unlock()
-	w := e.windows[from]
-	if w == nil {
-		w = &window{seen: make(map[uint64]bool)}
-		e.windows[from] = w
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p := e.peerLocked(from)
+	p.lastRecv = seq
+	if seq <= p.cum {
+		return false // at or below the frontier: necessarily a duplicate
 	}
 	win := uint64(e.cfg.Window)
-	if w.max > win && seq <= w.max-win {
+	if p.max > win && seq <= p.max-win {
 		return false // older than the window: necessarily a duplicate
 	}
-	if w.seen[seq] {
+	if p.seen[seq] {
 		return false
 	}
-	w.seen[seq] = true
-	if seq > w.max {
-		w.max = seq
+	p.seen[seq] = true
+	if seq > p.max {
+		p.max = seq
+	}
+	for p.seen[p.cum+1] {
+		p.cum++
+		delete(p.seen, p.cum)
 	}
 	// Prune lazily: amortized O(1) per delivery, and the map never grows
 	// past twice the window.
-	if len(w.seen) > 2*e.cfg.Window {
-		for s := range w.seen {
-			if w.max > win && s <= w.max-win {
-				delete(w.seen, s)
+	if len(p.seen) > 2*e.cfg.Window {
+		for s := range p.seen {
+			if p.max > win && s <= p.max-win {
+				delete(p.seen, s)
 			}
 		}
 	}

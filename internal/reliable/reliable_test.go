@@ -179,6 +179,167 @@ func TestWindowRejectsAncientDuplicates(t *testing.T) {
 	}
 }
 
+// TestPiggybackSuppressesStandaloneAcks: with prompt reverse traffic, acks
+// ride on data envelopes and standalone ack messages (mostly) disappear.
+func TestPiggybackSuppressesStandaloneAcks(t *testing.T) {
+	var acks atomic.Int64
+	p := newLossyPair(t, Config{AckDelay: 20 * time.Millisecond, RetryBase: 40 * time.Millisecond},
+		func(m netsim.Message) bool {
+			if m.Kind == KindAck {
+				acks.Add(1)
+			}
+			return false
+		})
+	// Ping-pong: every receipt at b is answered by a send from b, well
+	// within the 20ms flush window, so the ack debt always finds a ride.
+	const rounds = 20
+	for i := 0; i < rounds; i++ {
+		if err := p.a.Send(2, "ping", "x"); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.b.Send(1, "pong", "y"); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.deliveredCount() < 2*rounds {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d of %d", p.deliveredCount(), 2*rounds)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The tail receipt on each side legitimately flushes standalone; what
+	// must not happen is one ack message per data message.
+	if got := acks.Load(); got > rounds {
+		t.Errorf("standalone acks = %d for %d deliveries, want piggybacking to suppress most", got, 2*rounds)
+	}
+}
+
+// TestDelayedAckFlushes: with no reverse traffic at all, the flush timer
+// emits a standalone cumulative ack and the sender's retry loop retires.
+func TestDelayedAckFlushes(t *testing.T) {
+	var acks atomic.Int64
+	p := newLossyPair(t, Config{AckDelay: 2 * time.Millisecond, RetryBase: 100 * time.Millisecond},
+		func(m netsim.Message) bool {
+			if m.Kind == KindAck {
+				acks.Add(1)
+			}
+			return false
+		})
+	for i := 0; i < 3; i++ {
+		if err := p.a.Send(2, "test", "oneway"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.deliveredCount() < 3 || acks.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered=%d acks=%d", p.deliveredCount(), acks.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The three receipts land within one 2ms flush window: one cumulative
+	// ack should cover them all (the retry base is far away at 100ms, so a
+	// single flush beats every retransmit).
+	time.Sleep(20 * time.Millisecond)
+	if got := acks.Load(); got > 2 {
+		t.Errorf("standalone acks = %d for 3 receipts, want cumulative flush to batch them", got)
+	}
+}
+
+// TestCumulativeAckRetiresBacklog: an ack's Cum field retires every pending
+// send at or below it, not just the triggering sequence.
+func TestCumulativeAckRetiresBacklog(t *testing.T) {
+	e := New(Config{RetryBase: time.Hour}, // no retransmits: retirement must come from the ack
+		1,
+		func(netsim.Message) error { return nil },
+		func(ids.NodeID, string, any) {},
+		func(to ids.NodeID, kind string, payload any, err error) {
+			t.Errorf("dead-lettered %v", err)
+		})
+	defer e.Close()
+	for i := 0; i < 5; i++ {
+		if err := e.Send(2, "test", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.mu.Lock()
+	pendingBefore := len(e.peers[2].pending)
+	e.mu.Unlock()
+	if pendingBefore != 5 {
+		t.Fatalf("pending = %d, want 5", pendingBefore)
+	}
+	e.Handle(netsim.Message{From: 2, To: 1, Kind: KindAck, Payload: Ack{Seq: 5, Cum: 5}})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		e.mu.Lock()
+		left := len(e.peers[2].pending)
+		e.mu.Unlock()
+		if left == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pending = %d after cumulative ack, want 0", left)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestEnvelopePiggybackRetires: the AckCum field on a reverse-direction
+// data envelope retires pending sends without any ack message.
+func TestEnvelopePiggybackRetires(t *testing.T) {
+	e := New(Config{RetryBase: time.Hour}, 1,
+		func(netsim.Message) error { return nil },
+		func(ids.NodeID, string, any) {}, nil)
+	defer e.Close()
+	for i := 0; i < 3; i++ {
+		if err := e.Send(2, "test", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Handle(netsim.Message{From: 2, To: 1, Kind: KindData,
+		Payload: Envelope{Seq: 1, Kind: "reverse", Payload: "x", AckCum: 3}})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		e.mu.Lock()
+		left := len(e.peers[2].pending)
+		e.mu.Unlock()
+		if left == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pending = %d after piggybacked cum, want 0", left)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStandaloneAcksLegacyMode: the legacy flag restores one immediate ack
+// message per data message.
+func TestStandaloneAcksLegacyMode(t *testing.T) {
+	var acks atomic.Int64
+	p := newLossyPair(t, Config{StandaloneAcks: true}, func(m netsim.Message) bool {
+		if m.Kind == KindAck {
+			acks.Add(1)
+		}
+		return false
+	})
+	const total = 10
+	for i := 0; i < total; i++ {
+		if err := p.a.Send(2, "test", "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.deliveredCount() < total || acks.Load() < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered=%d acks=%d, want %d each", p.deliveredCount(), acks.Load(), total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // TestNonProtocolKindsPassThrough: Handle leaves foreign messages alone.
 func TestNonProtocolKindsPassThrough(t *testing.T) {
 	e := New(Config{}, 1,

@@ -1,0 +1,115 @@
+package thread
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/ids"
+)
+
+// These tests pin the aliasing discipline the delta codec leans on: every
+// snapshot the wire layer retains (the caller's per-peer base, the callee's
+// arrival copy, the cached reply) must share no mutable state with the live
+// attributes an activation keeps editing. Run them under -race — the
+// failure mode they guard against is a data race, not a wrong value.
+
+// TestMergeFromConcurrentCalleeMutations merges a retained snapshot into
+// the caller while the callee's live attributes keep changing, the exact
+// overlap the delta protocol produces: the caller processes a reply built
+// from an earlier snapshot while the callee's thread has already moved on.
+func TestMergeFromConcurrentCalleeMutations(t *testing.T) {
+	caller := NewAttributes(ids.ThreadID(1))
+	caller.Handlers.Push(event.HandlerRef{Event: "E", Kind: event.KindProc, Proc: "p0"})
+
+	live := caller.Clone() // the callee's working copy
+	snap := live.Clone()   // the quiescent snapshot the reply carries
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			live.PerThread[fmt.Sprintf("k%d", i%7)] = []byte{byte(i)}
+			live.Handlers.Push(event.HandlerRef{Event: "E", Kind: event.KindProc, Proc: "p"})
+			live.Handlers.Remove("E")
+			live.AddTimer(TimerSpec{Event: "TICK", Period: time.Duration(i+1) * time.Millisecond})
+			live.IOChannel = fmt.Sprintf("chan-%d", i)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		caller.MergeFrom(snap)
+		if d := DiffAttrs(snap, caller); !d.Unchanged() {
+			t.Fatalf("iteration %d: merged caller drifted from the snapshot: %+v", i, d)
+		}
+	}
+	wg.Wait()
+}
+
+// TestInheritForConcurrentSpawns inherits from one parent on many
+// goroutines at once — a spawn fan-out — with each child mutated freely.
+// The parent must come through byte-identical.
+func TestInheritForConcurrentSpawns(t *testing.T) {
+	parent := NewAttributes(ids.ThreadID(1))
+	parent.App = "fanout"
+	parent.Handlers.Push(event.HandlerRef{Event: "E", Kind: event.KindProc, Proc: "p0"})
+	parent.PerThread["seed"] = []byte{1, 2, 3}
+	before := parent.Clone()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				child := parent.InheritFor(ids.ThreadID(100 + g))
+				if child.Creator != parent.Thread {
+					t.Errorf("child creator = %v, want %v", child.Creator, parent.Thread)
+					return
+				}
+				child.PerThread["seed"][0] = byte(g)
+				child.PerThread["own"] = []byte{byte(i)}
+				child.Handlers.Push(event.HandlerRef{Event: "E", Kind: event.KindProc, Proc: "pg"})
+			}
+		}()
+	}
+	wg.Wait()
+	if d := DiffAttrs(before, parent); !d.Unchanged() {
+		t.Fatalf("parent mutated by concurrent inherits: %+v", d)
+	}
+}
+
+// TestMergeFromEmptyChain: a callee that popped every handler wins the
+// merge — the caller's chain empties too (the callee's view is the
+// thread's view), and the rest of the attributes follow the callee.
+func TestMergeFromEmptyChain(t *testing.T) {
+	caller := NewAttributes(ids.ThreadID(1))
+	caller.Handlers.Push(event.HandlerRef{Event: "E", Kind: event.KindProc, Proc: "p0"})
+	caller.PerThread["k"] = []byte{1}
+
+	callee := caller.Clone()
+	if !callee.Handlers.Remove("E") {
+		t.Fatal("setup: handler not removed")
+	}
+	delete(callee.PerThread, "k")
+	callee.Version = 99
+
+	caller.MergeFrom(callee)
+	if caller.Handlers.Len() != 0 {
+		t.Errorf("caller chain length = %d after empty-chain merge, want 0", caller.Handlers.Len())
+	}
+	if _, ok := caller.PerThread["k"]; ok {
+		t.Error("per-thread slot survived a merge that deleted it")
+	}
+	if caller.Version != 99 {
+		t.Errorf("caller version = %d, want the callee's 99", caller.Version)
+	}
+	// Merging an empty callee must still leave no sharing behind.
+	callee.PerThread["later"] = []byte{7}
+	if _, ok := caller.PerThread["later"]; ok {
+		t.Error("caller sees callee writes after merge: maps are shared")
+	}
+}

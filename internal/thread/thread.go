@@ -60,6 +60,13 @@ type Attributes struct {
 	// PerThread is the thread's per-thread memory area [Dasgupta 90]:
 	// named slots visible in whatever object the thread executes.
 	PerThread map[string][]byte
+	// Version is the attribute version stamp, bumped by every kernel-level
+	// mutation and re-stamped (node-salted, globally unique) whenever a
+	// changed snapshot crosses the wire. The delta codec (delta.go) uses it
+	// purely as a cache key — correctness never depends on a mutation
+	// having bumped it, because deltas are computed by content diff and a
+	// miss forces a full resync.
+	Version uint64
 }
 
 // NewAttributes returns attributes for a fresh thread with an empty handler
@@ -124,6 +131,10 @@ func (a *Attributes) MergeFrom(callee *Attributes) {
 		copy(nv, v)
 		a.PerThread[k] = nv
 	}
+	// The callee's view wins for the version too: after the merge this copy
+	// is content-identical to the callee's final snapshot, so it must carry
+	// the same cache key.
+	a.Version = callee.Version
 }
 
 // WireSize estimates the attributes' network footprint.
