@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench bench-smoke chaos check
+.PHONY: all vet build test shuffle race bench bench-smoke chaos sim sim-soak fuzz-smoke check
 
 all: check
 
@@ -12,6 +12,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+# shuffle reruns the suite twice in randomized test order: any test that
+# leans on a sibling's leftover state fails here before it flakes in CI.
+shuffle:
+	$(GO) test -shuffle=on -count=2 ./...
 
 # The race target runs every internal package — including the migration
 # stress test (internal/core TestMigrationStressExactlyOnce), which doubles
@@ -39,4 +44,23 @@ chaos:
 	$(GO) test -race ./internal/failure/ ./internal/reliable/
 	$(GO) test -race -run 'TestFacade|TestScenarioChaos' ./doct/ ./cmd/doctsim/
 
-check: vet build test race chaos
+# sim runs the deterministic simulation suite (internal/sim): same-seed
+# determinism, the default fuzz seeds, and the injected-bug detector.
+# Replay one failing schedule with:  go test ./internal/sim -run TestSim -seed=N
+sim:
+	$(GO) test -count=1 ./internal/sim/
+
+# sim-soak sweeps many more schedules than the default suite; CI runs it
+# on a schedule rather than per push. SOAK_SEEDS picks the sweep width.
+SOAK_SEEDS ?= 25
+sim-soak:
+	SIM_SOAK_SEEDS=$(SOAK_SEEDS) $(GO) test -count=1 -timeout 60m -run TestSimFuzz -v ./internal/sim/
+
+# fuzz-smoke gives each fuzz target a short budget on top of its
+# checked-in corpus — enough to catch an obvious regression per push;
+# longer fuzzing runs happen out of band.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzDeltaRoundTrip -fuzztime 10s ./internal/thread/
+	$(GO) test -fuzz FuzzReliableReorder -fuzztime 10s ./internal/reliable/
+
+check: vet build test shuffle race chaos sim

@@ -4,6 +4,7 @@
 //
 //	benchtab            # run every experiment (E1..E11)
 //	benchtab -e e2,e5   # run a subset
+//	benchtab -seed 7    # rerun the sweep under a different fabric seed
 //	benchtab -json      # emit tables as a JSON array instead of text
 //	benchtab -list      # list experiment ids and titles
 package main
@@ -52,10 +53,12 @@ func run(args []string) error {
 		only   = fs.String("e", "", "comma-separated experiment ids (default: all)")
 		list   = fs.Bool("list", false, "list experiments and exit")
 		asJSON = fs.Bool("json", false, "emit tables as a JSON array")
+		seed   = fs.Int64("seed", 0, "fabric seed for every experiment (0: netsim default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	experiments.SetSeed(*seed)
 	if *list {
 		for _, r := range runners {
 			fmt.Printf("%-4s %s\n", r.id, r.title)

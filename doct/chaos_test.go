@@ -1,0 +1,247 @@
+package doct
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/testutil"
+)
+
+// TestFacadeSeverHealMidInvocation severs a link while a remote invocation
+// is outstanding across it, then heals within the reliable transport's
+// retry budget: the reply rides a retransmission home and the caller never
+// sees the outage. The suspicion window is kept wide so the failure
+// detector stays out of the story — this is the transport healing, not a
+// node-down recovery.
+func TestFacadeSeverHealMidInvocation(t *testing.T) {
+	sys := newSystem(t, Config{
+		Nodes:           2,
+		FaultTolerance:  true,
+		HeartbeatPeriod: 20 * time.Millisecond,
+		SuspectAfter:    2 * time.Second,
+	})
+	entered := make(chan struct{})
+	proceed := make(chan struct{})
+	obj, err := sys.CreateObject(2, ObjectSpec{
+		Name: "slowpoke",
+		Entries: map[string]Entry{
+			"slow": func(_ Ctx, _ []any) ([]any, error) {
+				close(entered)
+				<-proceed
+				return []any{"survived"}, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(1, obj, "slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	sys.SeverLink(1, 2)
+	close(proceed)
+	// The reply is now retransmitting into the cut; the retry backoff
+	// (2,4,8,...ms over ten attempts) comfortably outlives this outage.
+	time.Sleep(40 * time.Millisecond)
+	sys.HealLink(1, 2)
+
+	res, err := h.WaitTimeout(waitShort)
+	if err != nil {
+		t.Fatalf("invocation across sever+heal: %v", err)
+	}
+	if len(res) != 1 || res[0] != "survived" {
+		t.Fatalf("result = %v, want [survived]", res)
+	}
+	if sys.Metrics().Get(metrics.CtrRelRetry) == 0 {
+		t.Error("no retransmissions recorded — the sever window was never exercised")
+	}
+}
+
+// TestFacadePartitionDuringRaiseAndWait drops a partition in the middle of
+// a synchronous raise: the handler has already started on the far side
+// when the cut lands, so its verdict cannot come home. The raiser must
+// fail with a typed error bounded by the raise timeout, and after HealAll
+// the same raise must complete normally.
+func TestFacadePartitionDuringRaiseAndWait(t *testing.T) {
+	sys := ftSystem(t, 4)
+	inHandler := make(chan struct{}, 2)
+	hold := make(chan struct{})
+	if err := sys.RegisterProc("partproc", func(_ Ctx, _ HandlerRef, _ *EventBlock) Verdict {
+		inHandler <- struct{}{}
+		<-hold
+		return Resume
+	}); err != nil {
+		t.Fatal(err)
+	}
+	parked := make(chan ThreadID, 1)
+	obj, err := sys.CreateObject(3, ObjectSpec{
+		Name: "handlerhost",
+		Entries: map[string]Entry{
+			"park": func(ctx Ctx, _ []any) ([]any, error) {
+				if err := ctx.AttachHandler(HandlerRef{Event: EvInterrupt, Kind: HandlerProc, Proc: "partproc"}); err != nil {
+					return nil, err
+				}
+				parked <- ctx.Thread()
+				return nil, ctx.Sleep(time.Hour)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Spawn(3, obj, "park"); err != nil {
+		t.Fatal(err)
+	}
+	tid := <-parked
+
+	raised := make(chan error, 1)
+	go func() {
+		_, err := sys.RaiseAndWait(1, EvInterrupt, ToThread(tid), nil)
+		raised <- err
+	}()
+	<-inHandler // the handler is running on node 3: the raise is mid-flight
+	sys.Partition([]NodeID{1, 2}, []NodeID{3, 4})
+	close(hold) // the verdict is now trying to cross the cut
+
+	start := time.Now()
+	select {
+	case err := <-raised:
+		if err == nil {
+			t.Fatal("RaiseAndWait across a mid-raise partition succeeded")
+		}
+		if !errors.Is(err, ErrRaiseTimeout) && !errors.Is(err, ErrNodeDown) && !errors.Is(err, ErrThreadNotFound) {
+			t.Errorf("RaiseAndWait err = %v, want a typed raise/node failure", err)
+		}
+	case <-time.After(waitShort):
+		t.Fatal("RaiseAndWait hung across the partition")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("raiser released after %v, want bounded by the raise timeout", elapsed)
+	}
+
+	sys.HealAll()
+	testutil.WaitFor(t, "membership to reconverge after heal", func() bool {
+		m := sys.Membership()
+		return len(m.Suspected) == 0 && len(m.Alive) == 4
+	})
+	// hold is closed, so the handler now returns its verdict immediately
+	// and the round trip completes.
+	if _, err := sys.RaiseAndWait(1, EvInterrupt, ToThread(tid), nil); err != nil {
+		t.Fatalf("RaiseAndWait after heal: %v", err)
+	}
+}
+
+// TestFacadeRestartDuringRecovery restarts the crashed node while the
+// survivors are still absorbing its workload: objects are re-homed, the
+// orphaned lock is reclaimed, and the restarted node must rejoin and serve
+// fresh work without disturbing either recovery outcome.
+func TestFacadeRestartDuringRecovery(t *testing.T) {
+	sys := ftSystem(t, 3)
+
+	// A lock server on node 1 and a holder thread on node 3: the holder
+	// dies with its node, leaving the lock orphaned.
+	server, err := sys.CreateObject(1, LockServerSpec("chaoslocks"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked := make(chan struct{})
+	holder, err := sys.CreateObject(3, ObjectSpec{
+		Name: "holder",
+		Entries: map[string]Entry{
+			"grab": func(ctx Ctx, _ []any) ([]any, error) {
+				if err := AcquireLock(ctx, server, "L"); err != nil {
+					return nil, err
+				}
+				close(locked)
+				return nil, ctx.Sleep(time.Hour)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Spawn(3, holder, "grab"); err != nil {
+		t.Fatal(err)
+	}
+	<-locked
+
+	// A stateful object on node 3 to recover.
+	vault, err := sys.CreateObject(3, ObjectSpec{
+		Name: "vault",
+		Entries: map[string]Entry{
+			"put": func(ctx Ctx, _ []any) ([]any, error) { ctx.Set("gold", 9); return nil, nil },
+			"get": func(ctx Ctx, _ []any) ([]any, error) { v, _ := ctx.Get("gold"); return []any{v}, nil },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, err := sys.Spawn(3, vault, "put"); err != nil {
+		t.Fatal(err)
+	} else if _, err := h.WaitTimeout(waitShort); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sys.CrashNode(3); err != nil {
+		t.Fatal(err)
+	}
+	// Begin recovery onto node 2 and restart node 3 immediately — the
+	// restart must not resurrect the old objects or the dead lock holder.
+	n, err := sys.RecoverObjects(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 {
+		t.Fatalf("recovered %d objects, want at least holder+vault", n)
+	}
+	if err := sys.RestartNode(3); err != nil {
+		t.Fatal(err)
+	}
+
+	// The orphaned lock is reclaimed (the NODE_DOWN sweep may already have
+	// done it; the explicit call covers the restart racing the sweep).
+	testutil.WaitFor(t, "orphaned lock reclaim", func() bool {
+		sys.ReclaimOrphanedLocks()
+		return sys.Metrics().Get(metrics.CtrLockReclaim) > 0
+	})
+
+	// The recovered vault serves with its state from node 2.
+	found, err := sys.FindObject(2, "vault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(2, found, "get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := h.WaitTimeout(waitShort); err != nil || len(res) != 1 || res[0] != 9 {
+		t.Fatalf("recovered vault get = (%v, %v), want ([9], nil)", res, err)
+	}
+
+	// The restarted node rejoins the membership and serves fresh work.
+	testutil.WaitFor(t, "restarted node to rejoin", func() bool {
+		m := sys.Membership()
+		return len(m.Suspected) == 0 && len(m.Alive) == 3
+	})
+	echo, err := sys.CreateObject(3, ObjectSpec{
+		Name: "echo3",
+		Entries: map[string]Entry{
+			"hi": func(_ Ctx, args []any) ([]any, error) { return args, nil },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	he, err := sys.Spawn(3, echo, "hi", "back")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := he.WaitTimeout(waitShort); err != nil || len(res) != 1 || res[0] != "back" {
+		t.Fatalf("post-restart spawn = (%v, %v), want ([back], nil)", res, err)
+	}
+}

@@ -9,10 +9,13 @@ import (
 func ftSystem(t *testing.T, nodes int) *System {
 	t.Helper()
 	return newSystem(t, Config{
-		Nodes:           nodes,
-		FaultTolerance:  true,
-		HeartbeatPeriod: 5 * time.Millisecond,
-		SuspectAfter:    40 * time.Millisecond,
+		Nodes:          nodes,
+		FaultTolerance: true,
+		// Wide enough apart that scheduler starvation on a loaded machine
+		// (the suite runs many test binaries in parallel, on real time)
+		// cannot flap the membership view — see core's ftConfig.
+		HeartbeatPeriod: 10 * time.Millisecond,
+		SuspectAfter:    150 * time.Millisecond,
 		RaiseTimeout:    500 * time.Millisecond,
 	})
 }

@@ -224,7 +224,7 @@ func (a *activation) startTimers() {
 		a.k.wg.Add(1)
 		go func() {
 			defer a.k.wg.Done()
-			ticker := time.NewTicker(spec.Period)
+			ticker := a.k.sys.clk.NewTicker(spec.Period)
 			defer ticker.Stop()
 			for {
 				select {
@@ -336,7 +336,7 @@ func (c *Ctx) SetAlarm(d time.Duration) error {
 	k.wg.Add(1)
 	go func() {
 		defer k.wg.Done()
-		timer := time.NewTimer(d)
+		timer := k.sys.clk.NewTimer(d)
 		defer timer.Stop()
 		select {
 		case <-timer.C:
@@ -479,14 +479,14 @@ func (c *Ctx) Sleep(d time.Duration) error {
 	if c.inHandler {
 		// Handlers run with the thread suspended; they sleep plainly.
 		select {
-		case <-time.After(d):
+		case <-c.a.k.sys.clk.After(d):
 			return nil
 		case <-c.a.k.sys.closed:
 			return ErrShutdown
 		}
 	}
 	c.a.enterBlocked("sleep")
-	timer := time.NewTimer(d)
+	timer := c.a.k.sys.clk.NewTimer(d)
 	defer timer.Stop()
 	select {
 	case <-timer.C:

@@ -30,6 +30,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/object"
 	"repro/internal/trace"
+	"repro/internal/vclock"
 )
 
 // Kernel-level errors surfaced to entries and callers.
@@ -142,6 +143,12 @@ type Config struct {
 	Metrics *metrics.Registry
 	// Seed seeds fabric randomness.
 	Seed int64
+	// Clock is the time source for every kernel timer — call timeouts,
+	// raise timeouts, attribute timers, alarms, sleeps — and is handed down
+	// to the fabric, the failure detector and the reliable transport
+	// (nil = the machine clock). Passing a *vclock.Virtual runs the whole
+	// cluster in virtual time for deterministic simulation (internal/sim).
+	Clock vclock.Clock
 }
 
 func (c *Config) fillDefaults() error {
@@ -169,6 +176,7 @@ func (c *Config) fillDefaults() error {
 // System is a booted DO/CT cluster. Create with NewSystem, stop with Close.
 type System struct {
 	cfg    Config
+	clk    vclock.Clock
 	fabric *netsim.Fabric
 	reg    *metrics.Registry
 
@@ -209,6 +217,7 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	s := &System{
 		cfg:     cfg,
+		clk:     vclock.Or(cfg.Clock),
 		reg:     cfg.Metrics,
 		kernels: make(map[ids.NodeID]*Kernel, cfg.Nodes),
 		events:  event.NewRegistry(),
@@ -225,6 +234,7 @@ func NewSystem(cfg Config) (*System, error) {
 		Latency: cfg.Latency,
 		Jitter:  cfg.Jitter,
 		Seed:    cfg.Seed,
+		Clock:   cfg.Clock,
 		Metrics: s.reg,
 	})
 	for i := 1; i <= cfg.Nodes; i++ {
@@ -444,6 +454,23 @@ func (s *System) HandleOf(tid ids.ThreadID) *Handle {
 	s.handleMu.Lock()
 	defer s.handleMu.Unlock()
 	return s.handles[tid]
+}
+
+// ThreadState returns node's snapshot of tid's deepest local activation:
+// which object/entry it is in and which kernel operation, if any, it is
+// blocked in (Blocked == "" means running). ok is false when the node
+// hosts no live activation for the thread. Tests poll it to wait for a
+// thread to reach a known state instead of sleeping a guessed duration.
+func (s *System) ThreadState(node ids.NodeID, tid ids.ThreadID) (*event.ThreadState, bool) {
+	k, err := s.Kernel(node)
+	if err != nil {
+		return nil, false
+	}
+	a, ok := k.topAct(tid)
+	if !ok {
+		return nil, false
+	}
+	return a.snapshotState(), true
 }
 
 // Handles returns every spawned thread's handle.

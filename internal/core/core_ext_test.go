@@ -75,7 +75,7 @@ func TestThreadDeathNoticeToAsyncRaiser(t *testing.T) {
 		t.Fatal(err)
 	}
 	victim := <-victimStarted
-	time.Sleep(20 * time.Millisecond)
+	waitAsleep(t, sys, victim)
 
 	// Start the slow termination, then post the doomed event behind it.
 	if err := sys.Raise(1, event.Terminate, event.ToThread(victim), nil); err != nil {
@@ -321,7 +321,7 @@ func TestThreadRevisitsNode(t *testing.T) {
 		t.Fatal(err)
 	}
 	tid := <-started
-	time.Sleep(30 * time.Millisecond)
+	waitAsleep(t, sys, tid)
 
 	// The deepest activation is back at node1; path-follow must chase
 	// 1 -> 2 -> 1 and deliver there.
@@ -355,7 +355,7 @@ func TestPartitionSurfacesTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	tid := <-started
-	time.Sleep(20 * time.Millisecond)
+	waitAsleep(t, sys, tid)
 
 	k1, _ := sys.Kernel(1)
 	sys.fabric.CutLink(1, 2)
@@ -425,7 +425,7 @@ func TestRaiseFromHandler(t *testing.T) {
 		t.Fatal(err)
 	}
 	tid := <-started
-	time.Sleep(20 * time.Millisecond)
+	waitAsleep(t, sys, tid)
 	if _, err := sys.RaiseAndWait(1, "PRIMARY", event.ToThread(tid), map[string]any{"obj": sink}); err != nil {
 		t.Fatal(err)
 	}

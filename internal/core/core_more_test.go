@@ -65,7 +65,7 @@ func TestScenarioUnderLatencyAndJitter(t *testing.T) {
 		t.Fatal(err)
 	}
 	tid := <-started
-	time.Sleep(20 * time.Millisecond)
+	waitAsleep(t, sys, tid)
 	if _, err := sys.RaiseAndWait(1, "SLOWNET", event.ToThread(tid), nil); err != nil {
 		t.Fatalf("sync raise over slow net: %v", err)
 	}
@@ -511,7 +511,7 @@ func TestLocalEntryHandlerMethod(t *testing.T) {
 		t.Fatal(err)
 	}
 	tid := <-started
-	time.Sleep(20 * time.Millisecond)
+	waitAsleep(t, sys, tid)
 	if _, err := sys.RaiseAndWait(1, event.Interrupt, event.ToThread(tid), nil); err != nil {
 		t.Fatal(err)
 	}
@@ -616,7 +616,7 @@ func TestObjectFirstChanceHandler(t *testing.T) {
 		t.Fatal(err)
 	}
 	tid1 := <-started
-	time.Sleep(20 * time.Millisecond)
+	waitAsleep(t, sys, tid1)
 	if _, err := sys.RaiseAndWait(1, event.Interrupt, event.ToThread(tid1), nil); err != nil {
 		t.Fatal(err)
 	}
@@ -630,7 +630,7 @@ func TestObjectFirstChanceHandler(t *testing.T) {
 		t.Fatal(err)
 	}
 	tid2 := <-started
-	time.Sleep(20 * time.Millisecond)
+	waitAsleep(t, sys, tid2)
 	if _, err := sys.RaiseAndWait(1, event.Interrupt, event.ToThread(tid2), nil); err != nil {
 		t.Fatal(err)
 	}
@@ -680,7 +680,7 @@ func TestSelfSyncRaiseFromHandlerRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	tid := <-started
-	time.Sleep(20 * time.Millisecond)
+	waitAsleep(t, sys, tid)
 	if _, err := sys.RaiseAndWait(1, "SR", event.ToThread(tid), nil); err != nil {
 		t.Fatal(err)
 	}

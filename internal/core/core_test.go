@@ -12,9 +12,26 @@ import (
 	"repro/internal/locate"
 	"repro/internal/metrics"
 	"repro/internal/object"
+	"repro/internal/testutil"
 )
 
 const waitShort = 5 * time.Second
+
+// waitAsleep waits until some node hosts tid's deepest activation parked in
+// a kernel sleep — the state a test must reach before raising at a sleeper.
+// (Racing the raise against the spawn would deliver to a still-running
+// thread and exercise the checkpoint path instead of the blocked one.)
+func waitAsleep(t *testing.T, sys *System, tid ids.ThreadID) {
+	t.Helper()
+	testutil.WaitFor(t, fmt.Sprintf("thread %v to block in sleep", tid), func() bool {
+		for _, n := range sys.Nodes() {
+			if st, ok := sys.ThreadState(n, tid); ok && st.Blocked == "sleep" {
+				return true
+			}
+		}
+		return false
+	})
+}
 
 func newSystem(t *testing.T, cfg Config) *System {
 	t.Helper()
@@ -277,7 +294,7 @@ func TestSurrogateDeliveryToBlockedThread(t *testing.T) {
 		t.Fatal(err)
 	}
 	tid := <-started
-	time.Sleep(20 * time.Millisecond) // let it block in Sleep
+	waitAsleep(t, sys, tid)
 	if err := sys.Raise(1, "POKE", event.ToThread(tid), nil); err != nil {
 		t.Fatalf("Raise: %v", err)
 	}
@@ -339,7 +356,7 @@ func TestChainLIFOAndPropagate(t *testing.T) {
 		t.Fatal(err)
 	}
 	tid := <-started
-	time.Sleep(20 * time.Millisecond)
+	waitAsleep(t, sys, tid)
 	if err := sys.Raise(1, "CHAIN", event.ToThread(tid), nil); err != nil {
 		t.Fatal(err)
 	}
@@ -376,7 +393,7 @@ func TestDefaultActionTerminates(t *testing.T) {
 		t.Fatal(err)
 	}
 	tid := <-started
-	time.Sleep(20 * time.Millisecond)
+	waitAsleep(t, sys, tid)
 	if err := sys.Raise(1, event.Terminate, event.ToThread(tid), nil); err != nil {
 		t.Fatal(err)
 	}
@@ -418,7 +435,7 @@ func TestTerminateUnwindsRemoteChain(t *testing.T) {
 		t.Fatal(err)
 	}
 	tid := <-started
-	time.Sleep(30 * time.Millisecond)
+	waitAsleep(t, sys, tid)
 	if err := sys.Raise(1, event.Terminate, event.ToThread(tid), nil); err != nil {
 		t.Fatal(err)
 	}
@@ -427,23 +444,15 @@ func TestTerminateUnwindsRemoteChain(t *testing.T) {
 		t.Fatalf("Wait err = %v, want ErrTerminated through the whole chain", err)
 	}
 	// All TCBs eventually cleaned up.
-	deadline := time.Now().Add(waitShort)
-	for {
-		left := 0
+	testutil.WaitForTimeout(t, waitShort, "termination to clean up every TCB", func() bool {
 		for _, n := range sys.Nodes() {
 			k, _ := sys.Kernel(n)
 			if _, ok := k.TCBs().Lookup(tid); ok {
-				left++
+				return false
 			}
 		}
-		if left == 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("%d TCBs still present after termination", left)
-		}
-		time.Sleep(time.Millisecond)
-	}
+		return true
+	})
 }
 
 func TestRaiseAndWaitSelfExceptionResume(t *testing.T) {
@@ -559,7 +568,7 @@ func TestBuddyHandlerRunsOnRemoteNode(t *testing.T) {
 		t.Fatal(err)
 	}
 	tid := <-started
-	time.Sleep(20 * time.Millisecond)
+	waitAsleep(t, sys, tid)
 	if err := sys.Raise(1, "WATCH", event.ToThread(tid), nil); err != nil {
 		t.Fatal(err)
 	}
@@ -733,9 +742,8 @@ func TestGroupRaiseReachesAllMembers(t *testing.T) {
 	}
 	gid := <-gidCh
 	for i := 0; i < 3; i++ {
-		<-workers
+		waitAsleep(t, sys, <-workers)
 	}
-	time.Sleep(30 * time.Millisecond)
 	if _, err := sys.RaiseAndWait(1, "GPING", event.ToGroup(gid), nil); err != nil {
 		t.Fatalf("group RaiseAndWait: %v", err)
 	}
@@ -748,7 +756,7 @@ func TestGroupRaiseReachesAllMembers(t *testing.T) {
 func TestQuitTerminatesGroup(t *testing.T) {
 	sys := newSystem(t, Config{Nodes: 1})
 	gidCh := make(chan ids.GroupID, 1)
-	ready := make(chan struct{}, 8)
+	ready := make(chan ids.ThreadID, 8)
 	var obj ids.ObjectID
 	spec := object.Spec{
 		Name: "quitters",
@@ -764,11 +772,11 @@ func TestQuitTerminatesGroup(t *testing.T) {
 						return nil, err
 					}
 				}
-				ready <- struct{}{}
+				ready <- ctx.Thread()
 				return nil, ctx.Sleep(10 * time.Second)
 			},
 			"wait": func(ctx object.Ctx, _ []any) ([]any, error) {
-				ready <- struct{}{}
+				ready <- ctx.Thread()
 				return nil, ctx.Sleep(10 * time.Second)
 			},
 		},
@@ -784,9 +792,8 @@ func TestQuitTerminatesGroup(t *testing.T) {
 	}
 	gid := <-gidCh
 	for i := 0; i < 4; i++ {
-		<-ready
+		waitAsleep(t, sys, <-ready)
 	}
-	time.Sleep(20 * time.Millisecond)
 	if err := sys.Raise(1, event.Quit, event.ToGroup(gid), nil); err != nil {
 		t.Fatal(err)
 	}
@@ -908,7 +915,7 @@ func TestAbortInvocationChain(t *testing.T) {
 		t.Fatal(err)
 	}
 	tid := <-started
-	time.Sleep(30 * time.Millisecond)
+	waitAsleep(t, sys, tid)
 
 	k1, _ := sys.Kernel(1)
 	if err := k1.AbortInvocation(tid, rootObj); err != nil {
@@ -1007,7 +1014,7 @@ func TestLocateStrategiesEndToEnd(t *testing.T) {
 				t.Fatal(err)
 			}
 			tid := <-started
-			time.Sleep(30 * time.Millisecond)
+			waitAsleep(t, sys, tid)
 			// Raise from node 2, which has never seen the thread.
 			if err := sys.Raise(2, event.Terminate, event.ToThread(tid), nil); err != nil {
 				t.Fatalf("[%s] Raise: %v", tc.name, err)
@@ -1194,7 +1201,7 @@ func TestSystemCloseReleasesBlockedThreads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(20 * time.Millisecond)
+	waitAsleep(t, sys, h.TID())
 	go sys.Close()
 	if _, err := h.WaitTimeout(waitShort); !errors.Is(err, ErrShutdown) {
 		t.Fatalf("Wait after Close err = %v, want ErrShutdown", err)

@@ -97,7 +97,7 @@ func (k *Kernel) collectReleases(raiser *activation, w *syncWaiter) (event.Verdi
 		firstErr error
 	)
 	d := k.sys.cfg.RaiseTimeout
-	timer := time.NewTimer(d)
+	timer := k.sys.clk.NewTimer(d)
 	defer timer.Stop()
 	expect := -1 // unknown until routing resolves the recipient set
 collect:
@@ -231,7 +231,7 @@ func (k *Kernel) raiseToThread(eb *event.Block, tid ids.ThreadID) error {
 			k.invalidateLocation(tid)
 			lastErr = err
 			if attempt < locateRetries-1 {
-				time.Sleep(time.Duration(attempt+1) * time.Millisecond)
+				k.sys.clk.Sleep(time.Duration(attempt+1) * time.Millisecond)
 				continue
 			}
 			return fmt.Errorf("%w: %v (%v)", ErrThreadNotFound, tid, err)
@@ -261,7 +261,7 @@ func (k *Kernel) raiseToThread(eb *event.Block, tid ids.ThreadID) error {
 		// is what keeps the cache sound).
 		k.invalidateLocation(tid)
 		lastErr = postErr
-		time.Sleep(time.Millisecond)
+		k.sys.clk.Sleep(time.Millisecond)
 	}
 	return fmt.Errorf("%w: %v (%v)", ErrThreadNotFound, tid, lastErr)
 }
@@ -404,7 +404,7 @@ func (k *Kernel) reroutePending(tid ids.ThreadID, pending []*event.Block) {
 				select {
 				case <-k.sys.closed:
 					return
-				case <-time.After(2 * time.Millisecond):
+				case <-k.sys.clk.After(2 * time.Millisecond):
 				}
 			}
 			if eb.Sync {

@@ -79,6 +79,7 @@ func (k *Kernel) initFT() {
 		SuspectAfter: ft.SuspectAfter,
 		Ring:         !wire.EagerHeartbeats,
 		Metrics:      k.sys.reg,
+		Clock:        k.sys.cfg.Clock,
 	}, k.node, peers, func(to ids.NodeID) {
 		_ = k.sys.fabric.Send(netsim.Message{From: k.node, To: to, Kind: kindHeartbeat, Payload: heartbeat{}})
 	})
@@ -100,6 +101,7 @@ func (k *Kernel) initFT() {
 		StandaloneAcks: wire.StandaloneAcks,
 		AckDelay:       wire.AckDelay,
 		Metrics:        k.sys.reg,
+		Clock:          k.sys.cfg.Clock,
 	}, k.node, func(m netsim.Message) error {
 		k.det.ObserveSend(m.To)
 		return k.sys.fabric.Send(m)
@@ -286,6 +288,21 @@ func (s *System) Membership() failure.Membership {
 		}
 	}
 	return m
+}
+
+// MembershipAt returns the named node's own failure-detector view — its
+// local opinion of the cluster. Unlike Membership it does not search for
+// an alive node: per-node convergence checks (internal/sim) pick the
+// nodes themselves, including ones that may be crashed or partitioned.
+func (s *System) MembershipAt(node ids.NodeID) (failure.Membership, error) {
+	k, err := s.Kernel(node)
+	if err != nil {
+		return failure.Membership{}, err
+	}
+	if k.det == nil {
+		return failure.Membership{}, fmt.Errorf("core: node %v has no failure detector (FT disabled)", node)
+	}
+	return k.det.View(), nil
 }
 
 // WatchMembership registers an object to receive NODE_DOWN / NODE_UP

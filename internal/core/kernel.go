@@ -6,7 +6,6 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/attrcache"
 	"repro/internal/dsm"
@@ -120,6 +119,13 @@ type Kernel struct {
 	downCh   chan struct{} // closed while this node is crashed
 	downFlag atomic.Bool
 
+	// closingMu/closing gate wg.Add calls made from the fabric dispatch
+	// goroutine (which the kernel's wg does not track): once shutdown has
+	// started waiting, a late inbound request must be dropped rather than
+	// reuse the WaitGroup.
+	closingMu sync.RWMutex
+	closing   bool
+
 	wg sync.WaitGroup
 }
 
@@ -193,6 +199,9 @@ func (k *Kernel) shutdown() {
 	if k.rel != nil {
 		k.rel.Close()
 	}
+	k.closingMu.Lock()
+	k.closing = true
+	k.closingMu.Unlock()
 	k.wg.Wait()
 }
 
@@ -231,7 +240,16 @@ func (k *Kernel) dispatchNet(from ids.NodeID, kind string, payload any) {
 		if !ok {
 			return
 		}
+		// The fabric dispatch goroutine is not tracked by k.wg, so this Add
+		// must not race shutdown's Wait; once closing, the request is
+		// discarded like any other message to a dying cluster.
+		k.closingMu.RLock()
+		if k.closing {
+			k.closingMu.RUnlock()
+			return
+		}
 		k.wg.Add(1)
+		k.closingMu.RUnlock()
 		go func() {
 			defer k.wg.Done()
 			body, err := k.serve(req.From, req.Kind, req.Body)
@@ -290,7 +308,7 @@ func (k *Kernel) call(to ids.NodeID, kind string, body any) (any, error) {
 		return nil, fmt.Errorf("call %s to %v: %w", kind, to, err)
 	}
 
-	timer := time.NewTimer(k.sys.cfg.CallTimeout)
+	timer := k.sys.clk.NewTimer(k.sys.cfg.CallTimeout)
 	defer timer.Stop()
 	select {
 	case rsp := <-ch:

@@ -77,9 +77,21 @@ const waitLong = 30 * time.Second
 // the optimized wire changes no observable protocol behavior.
 var wireOverride *core.WireConfig
 
+// seedOverride, when non-zero, seeds the fabric of every system mustSystem
+// boots. benchtab's -seed flag sets it so a whole experiment sweep can be
+// rerun under a different (but still reproducible) jitter/drop schedule.
+var seedOverride int64
+
+// SetSeed overrides the fabric seed for subsequently booted experiment
+// systems; zero restores the netsim default.
+func SetSeed(seed int64) { seedOverride = seed }
+
 func mustSystem(cfg core.Config) *core.System {
 	if wireOverride != nil {
 		cfg.Wire = *wireOverride
+	}
+	if seedOverride != 0 && cfg.Seed == 0 {
+		cfg.Seed = seedOverride
 	}
 	if cfg.CallTimeout == 0 {
 		cfg.CallTimeout = 10 * time.Second

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/metrics"
+	"repro/internal/vclock"
 )
 
 // DefaultPeriod is the heartbeat interval when Config.Period is zero.
@@ -65,6 +66,10 @@ type Config struct {
 	Ring bool
 	// Metrics receives heartbeat and transition accounting (nil = none).
 	Metrics *metrics.Registry
+	// Clock drives heartbeat periods, silence clocks and suspicion
+	// windows (nil = the machine clock). A *vclock.Virtual runs detection
+	// in virtual time.
+	Clock vclock.Clock
 }
 
 func (c *Config) fillDefaults() {
@@ -102,6 +107,7 @@ type Membership struct {
 // Start; the owner feeds Heartbeat/Observe as messages arrive.
 type Detector struct {
 	cfg   Config
+	clk   vclock.Clock
 	self  ids.NodeID
 	peers []ids.NodeID
 	ring  []ids.NodeID // self + peers, ascending (ring order)
@@ -115,6 +121,12 @@ type Detector struct {
 	watch     ids.NodeID // ring mode: the peer this node currently monitors
 	gen       uint64
 	subs      []func(Event)
+	// rejoin asks the next beat round to heartbeat every peer once. Set on
+	// Resume: a restarted node must announce itself to the whole cluster,
+	// because its ring predecessor may itself have restarted — a fresh
+	// detector that never suspected us never emits the NODE_UP transition
+	// the rest of the cluster is waiting to have disseminated.
+	rejoin bool
 
 	// paused freezes beats, sweeps and probes while this node simulates
 	// being crashed (fail-stop realism: a dead node emits nothing and
@@ -135,6 +147,7 @@ func New(cfg Config, self ids.NodeID, peers []ids.NodeID, beat func(to ids.NodeI
 	cfg.fillDefaults()
 	d := &Detector{
 		cfg:       cfg,
+		clk:       vclock.Or(cfg.Clock),
 		self:      self,
 		peers:     append([]ids.NodeID(nil), peers...),
 		beat:      beat,
@@ -146,7 +159,7 @@ func New(cfg Config, self ids.NodeID, peers []ids.NodeID, beat func(to ids.NodeI
 	}
 	d.ring = append(append([]ids.NodeID(nil), peers...), self)
 	sort.Slice(d.ring, func(i, j int) bool { return d.ring[i] < d.ring[j] })
-	now := time.Now()
+	now := d.clk.Now()
 	for _, p := range d.peers {
 		d.lastSeen[p] = now
 	}
@@ -187,7 +200,7 @@ func (d *Detector) Stop() {
 // restarts after a crash: its stale arrival times would otherwise instantly
 // suspect every peer that heartbeated normally while it was dead.
 func (d *Detector) Reset() {
-	now := time.Now()
+	now := d.clk.Now()
 	d.mu.Lock()
 	for _, p := range d.peers {
 		d.lastSeen[p] = now
@@ -207,6 +220,9 @@ func (d *Detector) Suspend() { d.paused.Store(true) }
 // silence clocks reset, then the loop runs again.
 func (d *Detector) Resume() {
 	d.Reset()
+	d.mu.Lock()
+	d.rejoin = true
+	d.mu.Unlock()
 	d.paused.Store(false)
 }
 
@@ -228,7 +244,7 @@ func (d *Detector) Observe(from ids.NodeID) {
 		d.mu.Unlock()
 		return
 	}
-	now := time.Now()
+	now := d.clk.Now()
 	d.lastSeen[from] = now
 	var evs []Event
 	if d.suspected[from] {
@@ -253,7 +269,7 @@ func (d *Detector) Observe(from ids.NodeID) {
 func (d *Detector) ObserveSend(to ids.NodeID) {
 	d.mu.Lock()
 	if _, known := d.lastSeen[to]; known {
-		d.lastSent[to] = time.Now()
+		d.lastSent[to] = d.clk.Now()
 	}
 	d.mu.Unlock()
 }
@@ -271,7 +287,7 @@ func (d *Detector) ApplyRemote(node ids.NodeID, up bool) {
 		d.mu.Unlock()
 		return
 	}
-	now := time.Now()
+	now := d.clk.Now()
 	var evs []Event
 	switch {
 	case !up && !d.suspected[node]:
@@ -390,7 +406,7 @@ func (d *Detector) predLocked() ids.NodeID {
 
 func (d *Detector) loop() {
 	defer d.wg.Done()
-	ticker := time.NewTicker(d.cfg.Period)
+	ticker := d.clk.NewTicker(d.cfg.Period)
 	defer ticker.Stop()
 	for {
 		select {
@@ -416,10 +432,16 @@ func (d *Detector) emitBeats() {
 	if d.beat == nil {
 		return
 	}
-	now := time.Now()
+	now := d.clk.Now()
 	var out []ids.NodeID
 	d.mu.Lock()
 	if !d.cfg.Ring {
+		out = append(out, d.peers...)
+	} else if d.rejoin {
+		// Rejoin announcement: one full round so every peer that still
+		// suspects this node observes it alive and disseminates the up
+		// transition (see the rejoin field).
+		d.rejoin = false
 		out = append(out, d.peers...)
 	} else {
 		if p := d.predLocked(); p != ids.NoNode {
@@ -452,7 +474,7 @@ func (d *Detector) emitBeats() {
 // watch target in ring mode (other peers are someone else's watch; their
 // deaths arrive via ApplyRemote).
 func (d *Detector) sweep() {
-	now := time.Now()
+	now := d.clk.Now()
 	var evs []Event
 	d.mu.Lock()
 	candidates := d.peers

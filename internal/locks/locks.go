@@ -108,10 +108,15 @@ func acquireEntry(ctx object.Ctx, args []any) ([]any, error) {
 			timeout = d
 		}
 	}
-	deadline := time.Now().Add(timeout)
+	// The deadline is a poll budget, not a wall-clock instant: each retry
+	// sleeps acquirePoll through the kernel (ctx.Sleep), so the budget
+	// expires after ~timeout of *kernel* time. Under a virtual clock the
+	// machine clock stands still while the kernel simulates hours; counting
+	// polls keeps the timeout meaningful on both.
+	maxPolls := int(timeout / acquirePoll)
 	key := kvPrefix + name
 	self := uint64(ctx.Thread())
-	for {
+	for polls := 0; ; polls++ {
 		// Free locks are taken atomically; both transitions (missing key
 		// and explicit 0) are tried so release can store 0.
 		if ctx.CompareAndSwap(key, nil, self) || ctx.CompareAndSwap(key, uint64(0), self) {
@@ -120,7 +125,7 @@ func acquireEntry(ctx object.Ctx, args []any) ([]any, error) {
 		if cur, _ := ctx.Get(key); cur == self {
 			return []any{true}, nil // re-entrant
 		}
-		if time.Now().After(deadline) {
+		if polls >= maxPolls {
 			cur, _ := ctx.Get(key)
 			return nil, fmt.Errorf("%w: %s (held by %v)", ErrTimeout, name, cur)
 		}

@@ -7,9 +7,9 @@ import (
 	"time"
 
 	"repro/internal/core"
-	. "repro/internal/locks"
 	"repro/internal/event"
 	"repro/internal/ids"
+	. "repro/internal/locks"
 	"repro/internal/metrics"
 	"repro/internal/object"
 )

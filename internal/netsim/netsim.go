@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/metrics"
+	"repro/internal/vclock"
 )
 
 // Common fabric errors.
@@ -63,8 +64,14 @@ type Config struct {
 	// silently dropped. Used by failure-injection tests only; the DO/CT
 	// protocols assume a reliable transport, as Clouds did.
 	DropRate float64
-	// Seed seeds the jitter/drop random source; zero picks 1.
+	// Seed seeds the jitter/drop random source; zero picks DefaultSeed.
 	Seed int64
+	// Clock is the fabric's time source for latency simulation (nil =
+	// the machine clock). Passing a *vclock.Virtual runs all simulated
+	// latency in virtual time: delayed messages become virtual timers and
+	// in-flight messages are tracked as work so the virtual clock only
+	// advances across a quiescent fabric.
+	Clock vclock.Clock
 	// QueueDepth is each node's inbox capacity. Zero picks 1024.
 	QueueDepth int
 	// Metrics receives message accounting. Nil creates a private registry.
@@ -84,6 +91,7 @@ type endpoint struct {
 type Fabric struct {
 	cfg Config
 	reg *metrics.Registry
+	clk vclock.Clock
 
 	mu        sync.RWMutex
 	endpoints map[ids.NodeID]*endpoint
@@ -112,6 +120,13 @@ type Fabric struct {
 	wg sync.WaitGroup
 }
 
+// DefaultSeed seeds the jitter/drop random source when Config.Seed is
+// zero. A fixed, documented default (rather than time- or PID-derived
+// entropy) means a bench or test run that never set a seed is still
+// reproducible: rerunning it replays the same jitter and drop schedule.
+// Pass any non-zero Seed to explore a different schedule.
+const DefaultSeed = 1
+
 // New returns a Fabric with the given configuration and no nodes attached.
 func New(cfg Config) *Fabric {
 	if cfg.QueueDepth <= 0 {
@@ -119,7 +134,7 @@ func New(cfg Config) *Fabric {
 	}
 	seed := cfg.Seed
 	if seed == 0 {
-		seed = 1
+		seed = DefaultSeed
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -128,6 +143,7 @@ func New(cfg Config) *Fabric {
 	f := &Fabric{
 		cfg:       cfg,
 		reg:       reg,
+		clk:       vclock.Or(cfg.Clock),
 		endpoints: make(map[ids.NodeID]*endpoint),
 		groups:    make(map[string]map[ids.NodeID]bool),
 		cut:       make(map[[2]ids.NodeID]bool),
@@ -222,6 +238,10 @@ func (f *Fabric) dispatch(ep *endpoint) {
 			if ep.handler != nil {
 				ep.handler(m)
 			}
+			// The work token taken when the message entered the inbox is
+			// retired only after the handler returns: a virtual clock must
+			// not advance across a message that is queued or being handled.
+			vclock.EndWork(f.clk)
 		}
 	}
 }
@@ -284,9 +304,12 @@ func (f *Fabric) deliver(ep *endpoint, m Message) {
 		f.reg.Inc(metrics.CtrMsgDropped)
 		return
 	}
+	vclock.BeginWork(f.clk)
 	select {
 	case ep.inbox <- m:
+		// Token retired by dispatch after the handler runs.
 	case <-ep.done:
+		vclock.EndWork(f.clk)
 	}
 }
 

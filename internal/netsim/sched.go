@@ -3,6 +3,8 @@ package netsim
 import (
 	"container/heap"
 	"time"
+
+	"repro/internal/vclock"
 )
 
 // The fabric used to spawn one timer goroutine per delayed message, which
@@ -45,11 +47,21 @@ func (h *delayHeap) Pop() any {
 	return it
 }
 
-// enqueueDelayed adds m to the timer heap and nudges the scheduler.
+// enqueueDelayed adds m to the timer heap and nudges the scheduler. Under
+// a virtual clock the fabric's own heap is bypassed: each delayed message
+// becomes one virtual timer, which unifies the two schedulers — the
+// virtual clock's (deadline, seq) heap plays exactly the role this file's
+// delayHeap plays for the machine clock, so delivery order is identical
+// and the simulation driver sees every in-flight message as a pending
+// timer it can advance over.
 func (f *Fabric) enqueueDelayed(ep *endpoint, m Message, delay time.Duration) {
+	if _, ok := f.clk.(*vclock.Virtual); ok {
+		f.clk.AfterFunc(delay, func() { f.deliver(ep, m) })
+		return
+	}
 	f.schedMu.Lock()
 	f.schedSeq++
-	heap.Push(&f.schedHeap, &delayedMsg{at: time.Now().Add(delay), seq: f.schedSeq, ep: ep, m: m})
+	heap.Push(&f.schedHeap, &delayedMsg{at: f.clk.Now().Add(delay), seq: f.schedSeq, ep: ep, m: m})
 	f.schedMu.Unlock()
 	select {
 	case f.schedWake <- struct{}{}:
@@ -62,7 +74,7 @@ func (f *Fabric) enqueueDelayed(ep *endpoint, m Message, delay time.Duration) {
 // an earlier deadline), delivers everything due, and repeats until Close.
 func (f *Fabric) schedule() {
 	defer f.wg.Done()
-	timer := time.NewTimer(time.Hour)
+	timer := f.clk.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C
 	}
@@ -105,7 +117,7 @@ func (f *Fabric) deliverDue() time.Duration {
 			return -1
 		}
 		head := f.schedHeap[0]
-		now := time.Now()
+		now := f.clk.Now()
 		if wait := head.at.Sub(now); wait > 0 {
 			f.schedMu.Unlock()
 			return wait

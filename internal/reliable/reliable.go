@@ -31,6 +31,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/vclock"
 )
 
 // Wire message kinds used by the envelope protocol.
@@ -83,6 +84,10 @@ type Config struct {
 	AckDelay time.Duration
 	// Metrics receives send/retry/dedup/ack accounting (nil = none).
 	Metrics *metrics.Registry
+	// Clock drives retransmit backoff and delayed-ack flushes (nil = the
+	// machine clock). A *vclock.Virtual runs the whole retry protocol in
+	// virtual time.
+	Clock vclock.Clock
 }
 
 func (c *Config) fillDefaults() {
@@ -113,12 +118,23 @@ type Envelope struct {
 	Kind    string // the inner protocol kind, e.g. "rpc.req"
 	Payload any
 	AckCum  uint64
+	// Size is the wire footprint, computed once at Send time while the
+	// sender still solely owns the payload. Retransmission must reuse it:
+	// after the first delivery the receiver may be mutating the (shared,
+	// in-process) payload, so re-walking it from the retry goroutine would
+	// race.
+	Size int
 }
 
 // WireSize charges the sequence header, the piggybacked ack field, and the
 // inner payload. Sizing delegates to netsim.PayloadSize so nested structs
 // that implement Sizer are charged accurately instead of a flat constant.
-func (e Envelope) WireSize() int { return 24 + len(e.Kind) + netsim.PayloadSize(e.Payload) }
+func (e Envelope) WireSize() int {
+	if e.Size > 0 {
+		return e.Size
+	}
+	return 24 + len(e.Kind) + netsim.PayloadSize(e.Payload)
+}
 
 // Ack acknowledges receipt of envelopes: Seq is the specific envelope that
 // triggered the ack (retiring it selectively even across a gap) and Cum is
@@ -147,6 +163,7 @@ type DeadLetterFunc func(to ids.NodeID, kind string, payload any, err error)
 // sends and unwraps (acks, dedups) incoming envelopes.
 type Endpoint struct {
 	cfg  Config
+	clk  vclock.Clock
 	self ids.NodeID
 	send SendFunc
 	del  DeliverFunc
@@ -176,7 +193,7 @@ type peerState struct {
 
 	// Delayed-ack state (piggyback mode only).
 	ackOwed  bool
-	ackTimer *time.Timer
+	ackTimer *vclock.Timer
 }
 
 // New builds an endpoint for self. deliver receives each payload exactly
@@ -185,6 +202,7 @@ func New(cfg Config, self ids.NodeID, send SendFunc, deliver DeliverFunc, dead D
 	cfg.fillDefaults()
 	return &Endpoint{
 		cfg:    cfg,
+		clk:    vclock.Or(cfg.Clock),
 		self:   self,
 		send:   send,
 		del:    deliver,
@@ -243,15 +261,19 @@ func (e *Endpoint) Send(to ids.NodeID, kind string, payload any) error {
 	seq := p.seq
 	p.pending[seq] = ackCh
 	e.mu.Unlock()
+	// Size the payload here, before the first copy can reach the receiver:
+	// retransmission attempts reuse this figure instead of re-walking a
+	// payload the receiver may by then be mutating.
+	size := 24 + len(kind) + netsim.PayloadSize(payload)
 	e.wg.Add(1)
-	go e.transmit(to, kind, payload, seq, ackCh)
+	go e.transmit(to, kind, payload, size, seq, ackCh)
 	return nil
 }
 
 // transmit drives one send's retry loop: (re)send, wait backoff for the
 // ack, double the backoff, repeat up to the attempt budget. Every attempt
 // rebuilds the envelope so its piggybacked ack is current.
-func (e *Endpoint) transmit(to ids.NodeID, kind string, payload any, seq uint64, ackCh chan struct{}) {
+func (e *Endpoint) transmit(to ids.NodeID, kind string, payload any, size int, seq uint64, ackCh chan struct{}) {
 	defer e.wg.Done()
 	backoff := e.cfg.RetryBase
 	for attempt := 0; attempt < e.cfg.MaxAttempts; attempt++ {
@@ -260,7 +282,7 @@ func (e *Endpoint) transmit(to ids.NodeID, kind string, payload any, seq uint64,
 		}
 		err := e.send(netsim.Message{
 			From: e.self, To: to, Kind: KindData,
-			Payload: Envelope{Seq: seq, Kind: kind, Payload: payload, AckCum: e.takePiggyback(to)},
+			Payload: Envelope{Seq: seq, Kind: kind, Payload: payload, AckCum: e.takePiggyback(to), Size: size},
 		})
 		if err != nil {
 			// Structural failure (unknown node, fabric closed): retrying
@@ -269,7 +291,7 @@ func (e *Endpoint) transmit(to ids.NodeID, kind string, payload any, seq uint64,
 			e.deadLetter(to, kind, payload, err)
 			return
 		}
-		timer := time.NewTimer(backoff)
+		timer := e.clk.NewTimer(backoff)
 		select {
 		case <-ackCh:
 			timer.Stop()
@@ -421,7 +443,7 @@ func (e *Endpoint) scheduleAck(to ids.NodeID) {
 	}
 	p.ackOwed = true
 	if p.ackTimer == nil {
-		p.ackTimer = time.AfterFunc(e.cfg.AckDelay, func() { e.flushAck(to) })
+		p.ackTimer = e.clk.AfterFunc(e.cfg.AckDelay, func() { e.flushAck(to) })
 	} else {
 		p.ackTimer.Reset(e.cfg.AckDelay)
 	}

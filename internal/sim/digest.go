@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ids"
+	"repro/internal/locks"
+)
+
+// digest folds the run's semantic outcome log into a hex SHA-256. The
+// log is built from script-stable names only — operation descriptions,
+// worker labels, handler link indexes, lock names, membership set sizes
+// — never raw thread IDs, event stamps or timestamps, which can differ
+// between runs without any protocol-visible difference.
+func (h *harness) digest() string {
+	h.mu.Lock()
+	lines := make([]string, 0, len(h.outcomes)+len(h.runs)+8)
+	lines = append(lines, fmt.Sprintf("scenario %s nodes=%d workers=%d depth=%d seed=%d",
+		h.sc.Name, h.sc.Nodes, h.sc.Workers, h.sc.ChainDepth, h.seed))
+	lines = append(lines, h.outcomes...)
+	runKeys := make([]string, 0, len(h.runs))
+	for k := range h.runs {
+		runKeys = append(runKeys, k)
+	}
+	sort.Strings(runKeys)
+	for _, k := range runKeys {
+		lines = append(lines, fmt.Sprintf("run %s: %v", k, h.runs[k]))
+	}
+	deadLabels := make([]string, 0, len(h.dead))
+	for w := range h.dead {
+		deadLabels = append(deadLabels, workerLabel(w))
+	}
+	sort.Strings(deadLabels)
+	lines = append(lines, "dead "+strings.Join(deadLabels, ","))
+	h.mu.Unlock()
+
+	// Terminal lock table, by lock name with holders as script labels.
+	if obj, err := h.sys.LookupObject(h.lockSrv); err == nil {
+		held := locks.HeldLocks(obj.SnapshotKV())
+		names := make([]string, 0, len(held))
+		for name := range held {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h.mu.Lock()
+			label := h.tidLabel[held[name]]
+			h.mu.Unlock()
+			lines = append(lines, fmt.Sprintf("lock %s=%s", name, label))
+		}
+	}
+
+	// Terminal membership views: set sizes per node (suspects listed).
+	for n := 1; n <= h.sc.Nodes; n++ {
+		if m, err := h.sys.MembershipAt(ids.NodeID(n)); err == nil {
+			sus := make([]string, 0, len(m.Suspected))
+			for _, s := range m.Suspected {
+				sus = append(sus, s.String())
+			}
+			lines = append(lines, fmt.Sprintf("view n%d: alive=%d suspected=[%s]",
+				n, len(m.Alive), strings.Join(sus, ",")))
+		}
+	}
+
+	sum := sha256.Sum256([]byte(strings.Join(lines, "\n")))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// opKind enumerates the schedule step types.
+type opKind int
+
+const (
+	opAsync     opKind = iota // asynchronous raise at one worker
+	opSync                    // raise_and_wait at one worker
+	opGroup                   // asynchronous raise at the worker group
+	opLockClean               // acquire → release → exit
+	opLockTerm                // acquire → TERMINATE while holding
+	opLockCrash               // acquire → crash the holder's node
+	opCrash                   // crash a member node
+	opRestart                 // restart a crashed node
+	opSever                   // sever a link both ways
+	opHeal                    // heal all links
+)
+
+var opNames = map[opKind]string{
+	opAsync: "async", opSync: "sync", opGroup: "group",
+	opLockClean: "lock-clean", opLockTerm: "lock-term", opLockCrash: "lock-crash",
+	opCrash: "crash", opRestart: "restart", opSever: "sever", opHeal: "heal",
+}
+
+// op is one generated schedule step. All operands are chosen by the
+// seeded generator; exec never consults randomness.
+type op struct {
+	kind   opKind
+	worker int           // target worker index (opAsync, opSync)
+	node   int           // acting/victim node (raiser, locker home, crash victim)
+	node2  int           // second node (opSever)
+	lock   string        // lock name (lock ops)
+	settle time.Duration // virtual time advanced after launching the step
+	// quiet records that the step was generated in a fault-free window:
+	// no node crashed, no link severed. Quiet deliveries are held to the
+	// completeness invariant at the end of their own step.
+	quiet bool
+}
+
+func (o op) describe() string {
+	switch o.kind {
+	case opAsync, opSync:
+		return fmt.Sprintf("%s w%d from n%d", opNames[o.kind], o.worker, o.node)
+	case opGroup:
+		return "group from n1"
+	case opLockClean, opLockTerm, opLockCrash:
+		return fmt.Sprintf("%s %s@n%d", opNames[o.kind], o.lock, o.node)
+	case opCrash, opRestart:
+		return fmt.Sprintf("%s n%d", opNames[o.kind], o.node)
+	case opSever:
+		return fmt.Sprintf("sever n%d-n%d", o.node, o.node2)
+	case opHeal:
+		return "heal"
+	default:
+		return fmt.Sprintf("op(%d)", int(o.kind))
+	}
+}
+
+// genState is the generator's model of the cluster while it lays out
+// the schedule. Because execution is deterministic, the model matches
+// reality at each step: the generator only picks operands that are
+// legal at that point (no raising from a crashed node, no locking
+// across a severed link), which is the "semantic limits" part of the
+// schedule perturbation.
+type genState struct {
+	nodes   int
+	crashed map[int]bool
+	severed bool
+	sevA    int
+	sevB    int
+	dead    map[int]bool // worker indexes lost with a crashed node
+	workers int
+}
+
+func (g *genState) quiet() bool { return len(g.crashed) == 0 && !g.severed }
+
+// aliveNodes lists non-crashed nodes, 1-based.
+func (g *genState) aliveNodes() []int {
+	var out []int
+	for n := 1; n <= g.nodes; n++ {
+		if !g.crashed[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// memberNodes lists non-crashed nodes excluding the coordinator node 1.
+func (g *genState) memberNodes() []int {
+	var out []int
+	for n := 2; n <= g.nodes; n++ {
+		if !g.crashed[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (g *genState) aliveWorkers() []int {
+	var out []int
+	for w := 0; w < g.workers; w++ {
+		if !g.dead[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// workerNode maps worker index → home node (round-robin placement,
+// mirrored by harness.setup).
+func workerNode(w, nodes int) int { return w%nodes + 1 }
+
+var lockNames = []string{"L0", "L1", "L2", "L3"}
+
+// genOps lays out the whole schedule as a pure function of the rng.
+func genOps(rng *rand.Rand, sc Scenario) []op {
+	g := &genState{nodes: sc.Nodes, workers: sc.Workers,
+		crashed: map[int]bool{}, dead: map[int]bool{}}
+	ops := make([]op, 0, sc.Ops)
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	sawLockTerm := false
+
+	for i := 0; i < sc.Ops; i++ {
+		// Weighted candidate list, rebuilt each step from the legal moves.
+		var cands []opKind
+		cands = append(cands, opAsync, opAsync, opAsync, opSync, opSync)
+		if g.quiet() {
+			cands = append(cands, opGroup)
+		}
+		if sc.Locks && g.quiet() {
+			cands = append(cands, opLockClean, opLockTerm)
+			if sc.Faults && len(g.memberNodes()) > 1 {
+				cands = append(cands, opLockCrash)
+			}
+		}
+		if sc.Faults {
+			if len(g.crashed) < 2 && len(g.memberNodes()) > 1 {
+				cands = append(cands, opCrash)
+			}
+			if len(g.crashed) > 0 {
+				cands = append(cands, opRestart, opRestart)
+			}
+			if !g.severed && len(g.memberNodes()) >= 2 {
+				cands = append(cands, opSever)
+			}
+			if g.severed {
+				cands = append(cands, opHeal, opHeal)
+			}
+		}
+
+		o := op{kind: cands[rng.Intn(len(cands))], quiet: g.quiet()}
+		switch o.kind {
+		case opAsync, opSync:
+			// Mostly poke alive workers; async occasionally targets a dead
+			// one in a quiet window to exercise the locate-failure path.
+			alive := g.aliveWorkers()
+			if o.kind == opAsync && g.quiet() && len(g.dead) > 0 && rng.Intn(4) == 0 {
+				var deads []int
+				for w := range g.dead {
+					deads = append(deads, w)
+				}
+				// Map iteration order is random: derive the pick from the
+				// index range instead so the schedule stays seed-pure.
+				o.worker = pickSorted(rng, deads)
+				o.quiet = false // no delivery expected at a dead worker
+			} else if len(alive) > 0 {
+				o.worker = alive[rng.Intn(len(alive))]
+			} else {
+				o.worker = 0
+			}
+			an := g.aliveNodes()
+			o.node = an[rng.Intn(len(an))]
+			if o.kind == opSync && !g.quiet() {
+				// A sync raise into a faulted cluster may ride the raise
+				// timeout (1s virtual); give the step room for it.
+				o.settle = ms(1400)
+			} else {
+				o.settle = ms(30 + rng.Intn(30))
+			}
+			// Cross-cut raises cannot complete; they resolve via timeout.
+			if g.severed && o.kind == opAsync {
+				o.settle = ms(1400)
+				o.quiet = false
+			}
+		case opGroup:
+			o.node = 1
+			o.settle = ms(60 + rng.Intn(30))
+		case opLockClean:
+			o.node = g.aliveNodes()[rng.Intn(len(g.aliveNodes()))]
+			o.lock = lockNames[rng.Intn(len(lockNames))]
+			o.settle = ms(100)
+		case opLockTerm:
+			o.node = g.aliveNodes()[rng.Intn(len(g.aliveNodes()))]
+			o.lock = lockNames[rng.Intn(len(lockNames))]
+			o.settle = ms(150)
+			sawLockTerm = true
+		case opLockCrash:
+			mem := g.memberNodes()
+			o.node = mem[rng.Intn(len(mem))]
+			o.lock = lockNames[rng.Intn(len(lockNames))]
+			o.settle = ms(500)
+			g.crashed[o.node] = true
+			for w := 0; w < g.workers; w++ {
+				if workerNode(w, g.nodes) == o.node {
+					g.dead[w] = true
+				}
+			}
+		case opCrash:
+			mem := g.memberNodes()
+			o.node = mem[rng.Intn(len(mem))]
+			o.settle = ms(400)
+			g.crashed[o.node] = true
+			for w := 0; w < g.workers; w++ {
+				if workerNode(w, g.nodes) == o.node {
+					g.dead[w] = true
+				}
+			}
+		case opRestart:
+			var cr []int
+			for n := range g.crashed {
+				cr = append(cr, n)
+			}
+			o.node = pickSorted(rng, cr)
+			o.settle = ms(400)
+			delete(g.crashed, o.node)
+		case opSever:
+			mem := g.memberNodes()
+			a := mem[rng.Intn(len(mem))]
+			b := mem[rng.Intn(len(mem))]
+			for b == a {
+				b = mem[rng.Intn(len(mem))]
+			}
+			o.node, o.node2 = a, b
+			o.settle = ms(50)
+			g.severed, g.sevA, g.sevB = true, a, b
+		case opHeal:
+			o.settle = ms(200)
+			g.severed = false
+		}
+		ops = append(ops, o)
+	}
+
+	// The injected-bug scenarios hinge on a terminate-while-holding step;
+	// guarantee at least one when locks are in play.
+	if sc.Locks && !sawLockTerm {
+		for i := range ops {
+			if ops[i].quiet && (ops[i].kind == opAsync || ops[i].kind == opSync) {
+				ops[i] = op{kind: opLockTerm, node: 1, lock: lockNames[0],
+					settle: ms(150), quiet: true}
+				break
+			}
+		}
+	}
+	return ops
+}
+
+// pickSorted picks deterministically from an unordered int set.
+func pickSorted(rng *rand.Rand, xs []int) int {
+	// Insertion sort: the slices here have at most a handful of entries.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return xs[rng.Intn(len(xs))]
+}

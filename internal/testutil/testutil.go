@@ -1,0 +1,61 @@
+// Package testutil holds the synchronization helpers tests use to wait
+// for asynchronous kernel activity. The pattern they replace — sleep a
+// guessed duration, then assert — is both slow (the guess must cover the
+// slowest machine) and flaky (a loaded machine outruns any guess). These
+// helpers poll a condition instead: they return the moment it holds, and
+// their generous failure budget costs time only when the condition never
+// comes true, which is a genuine failure anyway.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Budget is the default WaitFor failure budget. It is deliberately far
+// larger than any condition should take: a passing test never waits it
+// out, and a failing test is allowed to be slow about saying so. The
+// size absorbs CI machines running the whole suite in parallel.
+const Budget = 30 * time.Second
+
+// Interval is the default polling period. Conditions are expected to be
+// cheap reads (an atomic load, a map lookup under a mutex), so polling
+// tightly trades negligible CPU for tighter test latency.
+const Interval = time.Millisecond
+
+// Eventually polls cond every interval until it returns true or timeout
+// elapses, and reports whether the condition became true. The first poll
+// is immediate, so an already-true condition returns without sleeping.
+func Eventually(timeout, interval time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		// A scheduler yield before the sleep lets a goroutine that was
+		// just handed the last piece of work finish it, often making the
+		// very next poll succeed.
+		runtime.Gosched()
+		time.Sleep(interval)
+	}
+}
+
+// WaitFor polls cond until it holds, failing t with "timed out waiting
+// for <what>" if the default Budget expires first.
+func WaitFor(t testing.TB, what string, cond func() bool) {
+	t.Helper()
+	WaitForTimeout(t, Budget, what, cond)
+}
+
+// WaitForTimeout is WaitFor with an explicit failure budget, for tests
+// that assert a condition must hold quickly (or use a custom clock).
+func WaitForTimeout(t testing.TB, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	if !Eventually(timeout, Interval, cond) {
+		t.Fatalf("timed out waiting for %s", what)
+	}
+}

@@ -1,0 +1,128 @@
+// Package vclock abstracts time behind a Clock interface so the whole
+// DO/CT stack — fabric latency, retransmit backoff, heartbeat periods,
+// raise timeouts, attribute timers — can run either on the machine clock
+// (Real) or on a simulated clock (Virtual) that advances only when the
+// cluster is quiescent.
+//
+// Under a Virtual clock an 8-node cluster executes hours of protocol time
+// in milliseconds of wall time, and every timer fires in a deterministic
+// order: the virtual timer heap is ordered by (deadline, registration
+// sequence), so two runs of the same seeded scenario pop timers
+// identically. This is the substrate for internal/sim's FoundationDB-style
+// deterministic simulation tests.
+package vclock
+
+import "time"
+
+// Clock is the time source the kernel and its substrates use. The method
+// set mirrors the time package; code written against Clock behaves
+// identically under Real and Virtual clocks.
+type Clock interface {
+	// Now returns the current (possibly virtual) time.
+	Now() time.Time
+	// Since returns the elapsed time since t.
+	Since(t time.Time) time.Duration
+	// Sleep blocks the caller for d. Under a Virtual clock the goroutine
+	// parks on a virtual timer and consumes no wall time.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the clock's time after d.
+	After(d time.Duration) <-chan time.Time
+	// NewTimer returns a timer that fires once after d.
+	NewTimer(d time.Duration) *Timer
+	// AfterFunc runs f after d. Under a Virtual clock f runs on the
+	// advancing goroutine and must not block on virtual time itself.
+	AfterFunc(d time.Duration, f func()) *Timer
+	// NewTicker returns a ticker firing every d (d must be > 0).
+	NewTicker(d time.Duration) *Ticker
+}
+
+// Timer is a one-shot timer from either clock. Semantics follow
+// time.Timer: C is buffered, Stop reports whether the timer was still
+// pending, Reset re-arms.
+type Timer struct {
+	C     <-chan time.Time
+	stop  func() bool
+	reset func(time.Duration) bool
+}
+
+// Stop cancels the timer, reporting whether it was still pending.
+func (t *Timer) Stop() bool { return t.stop() }
+
+// Reset re-arms the timer for d, reporting whether it was still pending.
+func (t *Timer) Reset(d time.Duration) bool { return t.reset(d) }
+
+// Ticker is a repeating timer from either clock.
+type Ticker struct {
+	C    <-chan time.Time
+	stop func()
+}
+
+// Stop cancels the ticker.
+func (t *Ticker) Stop() { t.stop() }
+
+// Real is the machine clock: every method delegates to the time package.
+// It is the zero-cost default everywhere a Config.Clock is nil.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// NewTimer implements Clock.
+func (Real) NewTimer(d time.Duration) *Timer {
+	rt := time.NewTimer(d)
+	return &Timer{C: rt.C, stop: rt.Stop, reset: rt.Reset}
+}
+
+// AfterFunc implements Clock.
+func (Real) AfterFunc(d time.Duration, f func()) *Timer {
+	rt := time.AfterFunc(d, f)
+	return &Timer{C: rt.C, stop: rt.Stop, reset: rt.Reset}
+}
+
+// NewTicker implements Clock.
+func (Real) NewTicker(d time.Duration) *Ticker {
+	rt := time.NewTicker(d)
+	return &Ticker{C: rt.C, stop: rt.Stop}
+}
+
+// Or returns c, or Real when c is nil — the idiom every Config uses to
+// default its Clock field.
+func Or(c Clock) Clock {
+	if c == nil {
+		return Real{}
+	}
+	return c
+}
+
+// workTracker is implemented by clocks that track outstanding work to
+// decide when time may advance (Virtual). Real time advances regardless,
+// so Real does not implement it.
+type workTracker interface {
+	BeginWork()
+	EndWork()
+}
+
+// BeginWork marks one unit of in-flight work (a message sitting in an
+// inbox, a handler running) on clocks that track quiescence; on Real it is
+// a no-op. Every BeginWork must be paired with EndWork.
+func BeginWork(c Clock) {
+	if w, ok := c.(workTracker); ok {
+		w.BeginWork()
+	}
+}
+
+// EndWork retires one unit of in-flight work. No-op on Real.
+func EndWork(c Clock) {
+	if w, ok := c.(workTracker); ok {
+		w.EndWork()
+	}
+}

@@ -1,0 +1,339 @@
+package vclock
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Epoch is the Virtual clock's start time. A fixed epoch (rather than the
+// boot wall time) is part of what makes two runs of the same scenario
+// byte-identical: every virtual timestamp in traces and digests is a pure
+// function of the schedule.
+var Epoch = time.Date(2000, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// Quiescence tuning: busy must read zero for quiesceStable consecutive
+// polls, with a real-time yield between polls, before the clock concludes
+// the cluster is idle. The yields give goroutines that were just handed
+// work (a channel send not yet picked up) time to run to their next
+// blocking point and register any follow-on work.
+const (
+	quiesceStable = 3
+	quiescePoll   = 50 * time.Microsecond
+)
+
+// Virtual is a simulated clock. Goroutines under test call the Clock
+// methods; a single driving goroutine (the simulation harness) calls
+// Advance/Step/RunUntilIdle to move time forward. Time only moves while
+// the tracked work count is zero, so "sleep 10ms then act" and "react to
+// every in-flight message" interleave exactly as their deadlines dictate,
+// not as the machine's scheduler happens to run them.
+type Virtual struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    uint64
+	timers vtimerHeap
+	busy   int
+}
+
+// NewVirtual returns a Virtual clock reading Epoch.
+func NewVirtual() *Virtual {
+	return &Virtual{now: Epoch}
+}
+
+// vtimer is one pending virtual timer.
+type vtimer struct {
+	at     time.Time
+	seq    uint64
+	idx    int // heap index; -1 once popped or stopped
+	fire   func(now time.Time)
+	period time.Duration // > 0 re-arms after each fire (ticker)
+}
+
+// vtimerHeap orders timers by (deadline, registration sequence) so equal
+// deadlines fire in registration order — the property that keeps replays
+// deterministic.
+type vtimerHeap []*vtimer
+
+func (h vtimerHeap) Len() int { return len(h) }
+func (h vtimerHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h vtimerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *vtimerHeap) Push(x any) {
+	t := x.(*vtimer)
+	t.idx = len(*h)
+	*h = append(*h, t)
+}
+func (h *vtimerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.idx = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Since implements Clock.
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// Sleep implements Clock: the caller parks on a virtual timer until the
+// driving goroutine advances past the deadline.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		runtime.Gosched()
+		return
+	}
+	<-v.After(d)
+}
+
+// After implements Clock.
+func (v *Virtual) After(d time.Duration) <-chan time.Time { return v.NewTimer(d).C }
+
+// addLocked registers a timer. Caller holds v.mu.
+func (v *Virtual) addLocked(t *vtimer) {
+	v.seq++
+	t.seq = v.seq
+	heap.Push(&v.timers, t)
+}
+
+// removeLocked deletes a pending timer, reporting whether it was still
+// pending. Caller holds v.mu.
+func (v *Virtual) removeLocked(t *vtimer) bool {
+	if t.idx < 0 {
+		return false
+	}
+	heap.Remove(&v.timers, t.idx)
+	return true
+}
+
+// chanTimer builds a timer delivering into a buffered channel with
+// time.Timer's non-blocking send semantics.
+func (v *Virtual) chanTimer(d time.Duration, period time.Duration) (*Timer, *vtimer) {
+	ch := make(chan time.Time, 1)
+	vt := &vtimer{period: period}
+	vt.fire = func(now time.Time) {
+		select {
+		case ch <- now:
+		default:
+		}
+	}
+	v.mu.Lock()
+	vt.at = v.now.Add(d)
+	v.addLocked(vt)
+	v.mu.Unlock()
+	t := &Timer{C: ch}
+	t.stop = func() bool {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		return v.removeLocked(vt)
+	}
+	t.reset = func(nd time.Duration) bool {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		was := v.removeLocked(vt)
+		vt.at = v.now.Add(nd)
+		v.addLocked(vt)
+		return was
+	}
+	return t, vt
+}
+
+// NewTimer implements Clock.
+func (v *Virtual) NewTimer(d time.Duration) *Timer {
+	t, _ := v.chanTimer(d, 0)
+	return t
+}
+
+// NewTicker implements Clock.
+func (v *Virtual) NewTicker(d time.Duration) *Ticker {
+	if d <= 0 {
+		panic("vclock: non-positive ticker period")
+	}
+	t, _ := v.chanTimer(d, d)
+	return &Ticker{C: t.C, stop: func() { t.stop() }}
+}
+
+// AfterFunc implements Clock. f runs synchronously on the advancing
+// goroutine when the deadline is reached; it must not block on virtual
+// time (the same constraint time.AfterFunc places on its runtime timer
+// goroutine, tightened from "should not" to "must not").
+func (v *Virtual) AfterFunc(d time.Duration, f func()) *Timer {
+	vt := &vtimer{fire: func(time.Time) { f() }}
+	v.mu.Lock()
+	vt.at = v.now.Add(d)
+	v.addLocked(vt)
+	v.mu.Unlock()
+	t := &Timer{C: nil}
+	t.stop = func() bool {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		return v.removeLocked(vt)
+	}
+	t.reset = func(nd time.Duration) bool {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		was := v.removeLocked(vt)
+		vt.at = v.now.Add(nd)
+		v.addLocked(vt)
+		return was
+	}
+	return t
+}
+
+// BeginWork marks one unit of in-flight work; time will not advance until
+// it is retired with EndWork. A token must never be held across a virtual
+// wait (Sleep, After, a timer-channel receive) on the same clock: the
+// advancer would wait for the token while the holder waits for the
+// advancer. Mark only non-blocking stretches — a message sitting in an
+// inbox, a handler body between waits.
+func (v *Virtual) BeginWork() {
+	v.mu.Lock()
+	v.busy++
+	v.mu.Unlock()
+}
+
+// EndWork retires one unit of in-flight work.
+func (v *Virtual) EndWork() {
+	v.mu.Lock()
+	if v.busy <= 0 {
+		v.mu.Unlock()
+		panic("vclock: EndWork without BeginWork")
+	}
+	v.busy--
+	v.mu.Unlock()
+}
+
+// PendingTimers returns the number of armed virtual timers.
+func (v *Virtual) PendingTimers() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.timers)
+}
+
+// Quiesce blocks until the tracked work count reads zero stably (several
+// consecutive polls with scheduler yields between them). It bounds itself
+// with a generous real-time budget so a stuck handler turns into a clear
+// test failure rather than a silent hang.
+func (v *Virtual) Quiesce() {
+	deadline := time.Now().Add(30 * time.Second)
+	stable := 0
+	sawBusy := false
+	for stable < quiesceStable {
+		v.mu.Lock()
+		b := v.busy
+		v.mu.Unlock()
+		if b == 0 {
+			stable++
+		} else {
+			stable = 0
+			sawBusy = true
+			if time.Now().After(deadline) {
+				panic("vclock: cluster failed to quiesce within 30s of wall time")
+			}
+		}
+		if stable < quiesceStable {
+			// Fast path: while no work has been observed this call, a
+			// scheduler yield between polls is enough — the common Step
+			// fires a timer nobody reacts to (a suppressed ticker, an
+			// expired timeout) and sleeping 50µs per poll would dominate
+			// the whole simulation's wall clock. Once work IS seen, fall
+			// back to real sleeps so the handed-off goroutines get genuine
+			// time to run to their next blocking point.
+			runtime.Gosched()
+			if sawBusy {
+				time.Sleep(quiescePoll)
+			}
+		}
+	}
+}
+
+// fireDueLocked pops and returns every timer due at or before limit whose
+// deadline equals the earliest pending deadline, advancing now to it.
+// Caller holds v.mu. Returns nil when nothing is due by limit.
+func (v *Virtual) takeNextBatchLocked(limit time.Time) []*vtimer {
+	if len(v.timers) == 0 {
+		return nil
+	}
+	head := v.timers[0].at
+	if head.After(limit) {
+		return nil
+	}
+	if head.After(v.now) {
+		v.now = head
+	}
+	var batch []*vtimer
+	for len(v.timers) > 0 && !v.timers[0].at.After(v.now) {
+		batch = append(batch, heap.Pop(&v.timers).(*vtimer))
+	}
+	return batch
+}
+
+// Step waits for quiescence, then advances to the next pending deadline at
+// or before limit and fires everything due there (tickers re-arm). It
+// reports whether any timer fired. Only the driving goroutine may call it.
+func (v *Virtual) Step(limit time.Time) bool {
+	v.Quiesce()
+	v.mu.Lock()
+	batch := v.takeNextBatchLocked(limit)
+	now := v.now
+	// Tickers re-arm before any fire runs, so a fire that inspects the
+	// pending set sees a consistent picture.
+	for _, t := range batch {
+		if t.period > 0 {
+			t.at = now.Add(t.period)
+			v.addLocked(t)
+		}
+	}
+	v.mu.Unlock()
+	for _, t := range batch {
+		t.fire(now)
+	}
+	return len(batch) > 0
+}
+
+// Advance moves virtual time forward by d, firing every timer that falls
+// due on the way (waiting for quiescence before each firing), and leaves
+// now at exactly start+d.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	limit := v.now.Add(d)
+	v.mu.Unlock()
+	for v.Step(limit) {
+	}
+	v.Quiesce()
+	v.mu.Lock()
+	if limit.After(v.now) {
+		v.now = limit
+	}
+	v.mu.Unlock()
+}
+
+// RunUntilIdle keeps stepping until no timers remain pending or virtual
+// time has advanced by budget, whichever is first, and reports whether the
+// pending set drained. It is the harness's "let the protocol finish" call.
+func (v *Virtual) RunUntilIdle(budget time.Duration) bool {
+	v.mu.Lock()
+	limit := v.now.Add(budget)
+	v.mu.Unlock()
+	for v.Step(limit) {
+	}
+	v.Quiesce()
+	return v.PendingTimers() == 0
+}
