@@ -30,9 +30,15 @@ bench:
 
 # bench-smoke compiles and runs every benchmark exactly once — no timing
 # fidelity, just proof that the bench harnesses (and the wire-efficiency
-# counters they report) still execute.
+# counters they report) still execute — then replays the E12 sustained-load
+# sweep and gates it against the checked-in baseline: delivered events/sec
+# may not drop more than 30% below BENCH_e12.json (-gate-tol 0.30). The
+# tolerance absorbs shared-runner noise; a real regression — losing the
+# dispatch pool and serializing the pipeline again — costs far more than
+# 30% (the baseline spread between 1 and 8 workers is ~6x).
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+	$(GO) run ./cmd/benchtab -e e12 -json -gate BENCH_e12.json > /dev/null
 
 # The chaos target drives the crash-fault-tolerance machinery (DESIGN.md
 # §7) under the race detector: the core chaos suite (exactly-once delivery

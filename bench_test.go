@@ -18,6 +18,7 @@ import (
 	"repro/internal/locate"
 	"repro/internal/metrics"
 	"repro/internal/object"
+	"repro/internal/workload"
 )
 
 // benchSystem boots a small cluster for micro-benchmarks.
@@ -664,5 +665,32 @@ func BenchmarkDSMRead(b *testing.B) {
 	}
 	if _, err := h.WaitTimeout(10 * time.Minute); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkE12Sustained runs the sustained-load pipeline sweep (E12) at
+// reduced duration: serial baseline vs the full dispatch pool, reporting
+// delivered events/sec and the p99 completion latency as custom metrics.
+// The full-scale table lives in EXPERIMENTS.md; benchtab -e e12 reruns it.
+func BenchmarkE12Sustained(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := workload.RunSustained(workload.SustainedConfig{
+					Nodes:          8,
+					Workers:        workers,
+					Duration:       200 * time.Millisecond,
+					OfferedPerNode: 8000,
+					InvokeFrac:     0.25,
+					SlowFrac:       0.5,
+					SlowDelay:      time.Millisecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.EventsPerSec, "ev/s")
+				b.ReportMetric(float64(res.P99.Microseconds())/1000, "p99-ms")
+			}
+		})
 	}
 }

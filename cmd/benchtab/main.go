@@ -2,11 +2,21 @@
 //
 // Usage:
 //
-//	benchtab            # run every experiment (E1..E11)
+//	benchtab            # run every experiment (E1..E12)
 //	benchtab -e e2,e5   # run a subset
 //	benchtab -seed 7    # rerun the sweep under a different fabric seed
 //	benchtab -json      # emit tables as a JSON array instead of text
 //	benchtab -list      # list experiment ids and titles
+//
+// Profiling (any run):
+//
+//	benchtab -e e12 -cpuprofile cpu.out   # CPU profile of the run
+//	benchtab -e e12 -memprofile mem.out   # heap profile at exit
+//
+// Perf gate (CI): compare a fresh E12 run against a checked-in baseline
+// and fail if delivered events/sec regressed beyond the tolerance:
+//
+//	benchtab -e e12 -json -gate BENCH_e12.json -gate-tol 0.30
 package main
 
 import (
@@ -14,6 +24,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
@@ -38,6 +51,7 @@ var runners = []struct {
 	{"e10", "crash-fault tolerance (§7.2 generalized)", func() experiments.Table { return experiments.RunE10(nil) }},
 	{"e11", "delta attribute propagation (DESIGN.md §8)", func() experiments.Table { return experiments.RunE11(nil) }},
 	{"e11b", "FT control traffic, legacy vs optimized wire (DESIGN.md §8)", experiments.RunE11FT},
+	{"e12", "sustained-throughput event pipeline (DESIGN.md §10)", func() experiments.Table { return experiments.RunE12(0) }},
 }
 
 func main() {
@@ -50,10 +64,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
 	var (
-		only   = fs.String("e", "", "comma-separated experiment ids (default: all)")
-		list   = fs.Bool("list", false, "list experiments and exit")
-		asJSON = fs.Bool("json", false, "emit tables as a JSON array")
-		seed   = fs.Int64("seed", 0, "fabric seed for every experiment (0: netsim default)")
+		only       = fs.String("e", "", "comma-separated experiment ids (default: all)")
+		list       = fs.Bool("list", false, "list experiments and exit")
+		asJSON     = fs.Bool("json", false, "emit tables as a JSON array")
+		seed       = fs.Int64("seed", 0, "fabric seed for every experiment (0: netsim default)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile at exit to this file")
+		gate       = fs.String("gate", "", "baseline JSON file: fail if E12 events/s regressed beyond -gate-tol")
+		gateTol    = fs.Float64("gate-tol", 0.30, "allowed fractional events/s regression vs the -gate baseline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +82,17 @@ func run(args []string) error {
 			fmt.Printf("%-4s %s\n", r.id, r.title)
 		}
 		return nil
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -78,9 +107,8 @@ func run(args []string) error {
 			continue
 		}
 		t := r.run()
-		if *asJSON {
-			tables = append(tables, t)
-		} else {
+		tables = append(tables, t)
+		if !*asJSON {
 			fmt.Println(t.String())
 		}
 		ran++
@@ -91,7 +119,93 @@ func run(args []string) error {
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(tables)
+		if err := enc.Encode(tables); err != nil {
+			return err
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	if *gate != "" {
+		if err := checkGate(*gate, *gateTol, tables); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// checkGate compares the fresh E12 run against the checked-in baseline:
+// the best delivered events/s must not fall more than tol below the
+// baseline's. The tolerance absorbs shared-runner noise (CI machines are
+// slower and noisier than the one that produced the baseline); a real
+// serialization regression — losing the dispatch pool — costs far more
+// than 30%.
+func checkGate(path string, tol float64, tables []experiments.Table) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("gate: %w", err)
+	}
+	var baseline []experiments.Table
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("gate: parse %s: %w", path, err)
+	}
+	base, err := bestEventsPerSec(baseline)
+	if err != nil {
+		return fmt.Errorf("gate: baseline %s: %w", path, err)
+	}
+	cur, err := bestEventsPerSec(tables)
+	if err != nil {
+		return fmt.Errorf("gate: current run: %w", err)
+	}
+	floor := base * (1 - tol)
+	if cur < floor {
+		return fmt.Errorf("gate: E12 best events/s = %.0f, below %.0f (baseline %.0f - %.0f%% tolerance)",
+			cur, floor, base, tol*100)
+	}
+	fmt.Fprintf(os.Stderr, "gate: ok — E12 best events/s = %.0f vs baseline %.0f (floor %.0f)\n", cur, base, floor)
+	return nil
+}
+
+// bestEventsPerSec extracts the maximum "events/s" cell of the E12 table.
+func bestEventsPerSec(tables []experiments.Table) (float64, error) {
+	for _, t := range tables {
+		if t.ID != "E12" {
+			continue
+		}
+		col := -1
+		for i, h := range t.Headers {
+			if h == "events/s" {
+				col = i
+			}
+		}
+		if col < 0 {
+			return 0, fmt.Errorf("E12 table has no events/s column")
+		}
+		best := 0.0
+		for _, row := range t.Rows {
+			if col >= len(row) {
+				continue
+			}
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				return 0, fmt.Errorf("E12 events/s cell %q: %w", row[col], err)
+			}
+			if v > best {
+				best = v
+			}
+		}
+		if best == 0 {
+			return 0, fmt.Errorf("E12 table has no events/s rows")
+		}
+		return best, nil
+	}
+	return 0, fmt.Errorf("no E12 table")
 }

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
 
 func TestList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -33,7 +37,7 @@ func TestRunnersCoverAllExperiments(t *testing.T) {
 	want := map[string]bool{
 		"e1": true, "e2": true, "e3": true, "e4": true, "e4b": true,
 		"e5": true, "e6": true, "e7": true, "e8": true, "e9": true,
-		"e10": true, "e11": true, "e11b": true,
+		"e10": true, "e11": true, "e11b": true, "e12": true,
 	}
 	for _, r := range runners {
 		if !want[r.id] {
@@ -43,5 +47,36 @@ func TestRunnersCoverAllExperiments(t *testing.T) {
 	}
 	for id := range want {
 		t.Errorf("missing runner %q", id)
+	}
+}
+
+func TestGateBestEventsPerSec(t *testing.T) {
+	tables := []experiments.Table{{
+		ID:      "E12",
+		Headers: []string{"workers", "events/s", "p99"},
+		Rows: [][]string{
+			{"1", "12000", "900ms"},
+			{"8", "72000", "23ms"},
+		},
+	}}
+	got, err := bestEventsPerSec(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 72000 {
+		t.Fatalf("best = %v, want 72000", got)
+	}
+	if _, err := bestEventsPerSec(nil); err == nil {
+		t.Fatal("no E12 table accepted")
+	}
+	if _, err := bestEventsPerSec([]experiments.Table{{ID: "E12", Headers: []string{"x"}}}); err == nil {
+		t.Fatal("missing events/s column accepted")
+	}
+}
+
+func TestGateMissingBaselineFails(t *testing.T) {
+	err := checkGate(t.TempDir()+"/absent.json", 0.3, nil)
+	if err == nil {
+		t.Fatal("missing baseline accepted")
 	}
 }

@@ -349,7 +349,7 @@ func (c *Ctx) SetAlarm(d time.Duration) error {
 			Target:     event.ToThread(tid),
 			RaiserNode: k.node,
 		}
-		k.sys.reg.Inc(metrics.CtrEventRaised)
+		k.sys.ctrs.eventRaised.Add(1)
 		// Best effort: a thread that finished before its alarm simply
 		// misses it.
 		_ = k.raiseToThread(eb, tid)

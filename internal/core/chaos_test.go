@@ -96,6 +96,65 @@ func TestChaosExactlyOnce(t *testing.T) {
 	}
 }
 
+// TestChaosParallelDispatchExactlyOnce is TestChaosExactlyOnce with the
+// sender-sharded dispatch pool enabled: four dispatch workers per endpoint,
+// 10% loss, retransmits and duplicate suppression all racing across shards.
+// Run under -race (make chaos does) it proves the parallel path keeps the
+// exactly-once guarantee and is crash-consistent with concurrent delivery.
+func TestChaosParallelDispatchExactlyOnce(t *testing.T) {
+	cfg := ftConfig(8)
+	cfg.DispatchWorkers = 4
+	sys := newSystem(t, cfg)
+	if got := sys.fabric.DispatchWorkers(); got != 4 {
+		t.Fatalf("fabric running %d dispatch workers, want 4", got)
+	}
+	var handled atomic.Int64
+	sink, err := sys.CreateObject(1, object.Spec{
+		Name: "sink",
+		Handlers: map[event.Name]object.Handler{
+			event.Interrupt: func(_ object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+				handled.Add(1)
+				return event.VerdictResume
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetDropRate(0.1)
+
+	const raisers, perRaiser = 6, 10
+	var wg sync.WaitGroup
+	var raiseErrs atomic.Int64
+	for r := 0; r < raisers; r++ {
+		node := ids.NodeID(2 + r) // all remote to the sink's node
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perRaiser; i++ {
+				if err := sys.Raise(node, event.Interrupt, event.ToObject(sink), nil); err != nil {
+					raiseErrs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	sys.SetDropRate(0)
+	if n := raiseErrs.Load(); n != 0 {
+		t.Fatalf("%d of %d raises failed", n, raisers*perRaiser)
+	}
+
+	const want = raisers * perRaiser
+	testutil.WaitFor(t, "all handlers to run", func() bool { return handled.Load() >= want })
+	// Straggler retransmits must not double-run any handler — duplicate
+	// windows are per-sender, and with sharded dispatch a retransmit can
+	// race the original on a different worker only if sharding is broken.
+	time.Sleep(100 * time.Millisecond)
+	if got := handled.Load(); got != want {
+		t.Errorf("handler ran %d times for %d raises, want exactly once each", got, want)
+	}
+}
+
 // TestChaosPartitionHeal partitions a cluster using multicast tracking
 // groups, checks a synchronous raise across the cut fails promptly with a
 // typed error, then heals and checks the tracking-group machinery

@@ -18,8 +18,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dsm"
@@ -143,6 +145,14 @@ type Config struct {
 	Metrics *metrics.Registry
 	// Seed seeds fabric randomness.
 	Seed int64
+	// DispatchWorkers is the per-node dispatch parallelism handed to the
+	// fabric (netsim.Config.DispatchWorkers): messages from different
+	// senders are handled concurrently while per-sender FIFO order is kept.
+	// Zero picks GOMAXPROCS for real-clock runs; under a *vclock.Virtual
+	// clock the fabric always runs one dispatcher per node so deterministic
+	// simulation digests are unaffected. Negative forces a single
+	// dispatcher.
+	DispatchWorkers int
 	// Clock is the time source for every kernel timer — call timeouts,
 	// raise timeouts, attribute timers, alarms, sleeps — and is handed down
 	// to the fabric, the failure detector and the reliable transport
@@ -170,6 +180,11 @@ func (c *Config) fillDefaults() error {
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
 	}
+	if c.DispatchWorkers == 0 {
+		c.DispatchWorkers = runtime.GOMAXPROCS(0)
+	} else if c.DispatchWorkers < 0 {
+		c.DispatchWorkers = 1
+	}
 	return nil
 }
 
@@ -179,6 +194,7 @@ type System struct {
 	clk    vclock.Clock
 	fabric *netsim.Fabric
 	reg    *metrics.Registry
+	ctrs   hotCounters
 
 	kernels map[ids.NodeID]*Kernel
 
@@ -210,6 +226,41 @@ type System struct {
 	closeOnce sync.Once
 }
 
+// hotCounters are pre-resolved handles for the counters the event engine
+// charges on every raise, delivery, and handler run — the per-event cost is
+// an atomic add instead of a name→counter map lookup under a read lock.
+type hotCounters struct {
+	eventRaised    *atomic.Int64
+	eventDelivered *atomic.Int64
+	eventDefault   *atomic.Int64
+	handlerThread  *atomic.Int64
+	handlerObject  *atomic.Int64
+	handlerBuddy   *atomic.Int64
+	handlerOwnCtx  *atomic.Int64
+	surrogateRuns  *atomic.Int64
+	chainLinks     *atomic.Int64
+	threadSpawn    *atomic.Int64
+	threadCreated  *atomic.Int64
+	masterServed   *atomic.Int64
+}
+
+func newHotCounters(r *metrics.Registry) hotCounters {
+	return hotCounters{
+		eventRaised:    r.Counter(metrics.CtrEventRaised),
+		eventDelivered: r.Counter(metrics.CtrEventDelivered),
+		eventDefault:   r.Counter(metrics.CtrEventDefault),
+		handlerThread:  r.Counter(metrics.CtrHandlerRunThread),
+		handlerObject:  r.Counter(metrics.CtrHandlerRunObject),
+		handlerBuddy:   r.Counter(metrics.CtrHandlerRunBuddy),
+		handlerOwnCtx:  r.Counter(metrics.CtrHandlerRunOwnCtx),
+		surrogateRuns:  r.Counter(metrics.CtrSurrogateRuns),
+		chainLinks:     r.Counter(metrics.CtrChainLinksWalked),
+		threadSpawn:    r.Counter(metrics.CtrThreadSpawn),
+		threadCreated:  r.Counter(metrics.CtrThreadCreated),
+		masterServed:   r.Counter(metrics.CtrMasterServed),
+	}
+}
+
 // NewSystem boots a cluster.
 func NewSystem(cfg Config) (*System, error) {
 	if err := cfg.fillDefaults(); err != nil {
@@ -230,12 +281,14 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.TraceCapacity > 0 {
 		s.tr = trace.New(cfg.TraceCapacity)
 	}
+	s.ctrs = newHotCounters(s.reg)
 	s.fabric = netsim.New(netsim.Config{
-		Latency: cfg.Latency,
-		Jitter:  cfg.Jitter,
-		Seed:    cfg.Seed,
-		Clock:   cfg.Clock,
-		Metrics: s.reg,
+		Latency:         cfg.Latency,
+		Jitter:          cfg.Jitter,
+		Seed:            cfg.Seed,
+		Clock:           cfg.Clock,
+		Metrics:         s.reg,
+		DispatchWorkers: cfg.DispatchWorkers,
 	})
 	for i := 1; i <= cfg.Nodes; i++ {
 		node := ids.NodeID(i)

@@ -39,24 +39,20 @@ func (k *Kernel) raiseAndWait(raiser *activation, name event.Name, target event.
 
 	id := k.syncSeq.Add(1)
 	eb.SyncID = id
-	// The release buffer is sized generously rather than to the recipient
-	// count: the count is only known after routing, which now happens off
-	// the raiser's goroutine so that a severed link or dead node cannot
-	// block the raiser past its raise timeout.
-	w := &syncWaiter{ch: make(chan releaseReq, 256), expectCh: make(chan int, 1)}
-	k.syncMu.Lock()
-	k.syncWait[id] = w
-	k.syncMu.Unlock()
+	w := newSyncWaiter(id)
+	k.syncWait.put(id, w)
 	defer func() {
-		k.syncMu.Lock()
-		delete(k.syncWait, id)
-		k.syncMu.Unlock()
+		k.syncWait.drop(id)
+		w.recycle()
 	}()
 
 	// Resolve the recipient set and route asynchronously. Routing blocks on
 	// kernel calls (group membership lookups, remote posts) that can stall
 	// for a full call timeout each when the fabric is damaged; the raiser
-	// waits in collectReleases, bounded by RaiseTimeout alone.
+	// waits in collectReleases, bounded by RaiseTimeout alone. The goroutine
+	// captures the channel, never w itself: it can outlive the raiser, and
+	// by then the recycled waiter may belong to a different raise.
+	expectCh := w.expectCh
 	k.wg.Add(1)
 	go func() {
 		defer k.wg.Done()
@@ -67,13 +63,13 @@ func (k *Kernel) raiseAndWait(raiser *activation, name event.Name, target event.
 				err = fmt.Errorf("%w: group %v is empty", ErrThreadNotFound, eb.Target.Group)
 			}
 			if err != nil {
-				w.expectCh <- 1
+				expectCh <- 1
 				k.release(releaseReq{ID: id, Err: err})
 				return
 			}
 			expect = len(members)
 		}
-		w.expectCh <- expect
+		expectCh <- expect
 		if err := k.route(eb); err != nil && eb.Target.Kind == event.TargetThread {
 			// Group and object routing already release per-recipient on
 			// failure; a failed thread post must do so here.
@@ -106,6 +102,11 @@ collect:
 		case e := <-w.expectCh:
 			expect = e
 		case rel := <-w.ch:
+			if rel.ID != w.id {
+				// A release from the waiter's previous life that slipped into
+				// the recycled buffer after the drain.
+				continue
+			}
 			got++
 			if rel.Err != nil && firstErr == nil {
 				firstErr = rel.Err
@@ -149,7 +150,7 @@ func (k *Kernel) newBlock(raiser *activation, name event.Name, target event.Targ
 	if err := target.Validate(); err != nil {
 		return nil, err
 	}
-	k.sys.reg.Inc(metrics.CtrEventRaised)
+	k.sys.ctrs.eventRaised.Add(1)
 	eb := &event.Block{
 		Stamp:      k.gen.NextStamp(),
 		Name:       name,
@@ -314,7 +315,7 @@ func (k *Kernel) postTimerLocal(a *activation, name event.Name) {
 		Target:     event.ToThread(a.tid),
 		RaiserNode: k.node,
 	}
-	k.sys.reg.Inc(metrics.CtrEventRaised)
+	k.sys.ctrs.eventRaised.Add(1)
 	if a.stopped() == nil {
 		// A departed activation drops node-local timer events: the timers
 		// are recreated wherever the thread now runs (§6.2).
@@ -346,7 +347,7 @@ func (k *Kernel) enqueue(a *activation, eb *event.Block) bool {
 // activation (§6.1: "The object handler can be run using a surrogate
 // thread").
 func (k *Kernel) spawnSurrogate(a *activation) {
-	k.sys.reg.Inc(metrics.CtrSurrogateRuns)
+	k.sys.ctrs.surrogateRuns.Add(1)
 	k.wg.Add(1)
 	go func() {
 		defer k.wg.Done()
@@ -434,7 +435,7 @@ func (k *Kernel) notifyThreadDeath(dead ids.ThreadID, eb *event.Block) {
 			"stamp": eb.Stamp,
 		},
 	}
-	k.sys.reg.Inc(metrics.CtrEventRaised)
+	k.sys.ctrs.eventRaised.Add(1)
 	// Best effort: if the raiser is gone too, the notice is dropped
 	// rather than chained (no zombie trails).
 	k.wg.Add(1)
@@ -485,7 +486,7 @@ func (k *Kernel) processPending(a *activation, surrogate bool) {
 		a.mu.Unlock()
 
 		verdict, consumed := k.runChain(a, eb)
-		k.sys.reg.Inc(metrics.CtrEventDelivered)
+		k.sys.ctrs.eventDelivered.Add(1)
 		k.sys.tr.Add(trace.Record{
 			Kind: trace.KindDeliver, Node: k.node, Thread: a.tid,
 			Event: eb.Name, Target: eb.Target.String(),
@@ -517,7 +518,7 @@ func (k *Kernel) runChain(a *activation, eb *event.Block) (event.Verdict, bool) 
 
 	if f, ok := a.topFrame(); ok {
 		if h, registered := f.obj.Handler(eb.Name); registered {
-			k.sys.reg.Inc(metrics.CtrHandlerRunObject)
+			k.sys.ctrs.handlerObject.Add(1)
 			k.sys.tr.Add(trace.Record{
 				Kind: trace.KindHandlerRun, Node: k.node, Thread: a.tid,
 				Event: eb.Name, Detail: "object:" + f.obj.ID().String(),
@@ -540,7 +541,7 @@ func (k *Kernel) runChain(a *activation, eb *event.Block) (event.Verdict, bool) 
 	a.mu.Unlock()
 
 	for _, h := range handlers {
-		k.sys.reg.Inc(metrics.CtrChainLinksWalked)
+		k.sys.ctrs.chainLinks.Add(1)
 		k.sys.tr.Add(trace.Record{
 			Kind: trace.KindHandlerRun, Node: k.node, Thread: a.tid,
 			Event: eb.Name, Detail: h.String(),
@@ -564,7 +565,7 @@ func (k *Kernel) runChain(a *activation, eb *event.Block) (event.Verdict, bool) 
 
 	// Chain exhausted: the operating system's default behaviour applies
 	// (§5.1).
-	k.sys.reg.Inc(metrics.CtrEventDefault)
+	k.sys.ctrs.eventDefault.Add(1)
 	k.sys.tr.Add(trace.Record{
 		Kind: trace.KindDefault, Node: k.node, Thread: a.tid,
 		Event: eb.Name, Detail: event.DefaultFor(eb.Name).String(),
@@ -592,14 +593,14 @@ func (k *Kernel) runThreadHandler(a *activation, h event.HandlerRef, eb *event.B
 		if err != nil {
 			return 0, err
 		}
-		k.sys.reg.Inc(metrics.CtrHandlerRunOwnCtx)
+		k.sys.ctrs.handlerOwnCtx.Add(1)
 		return f(a.handlerCtx(), h, eb), nil
 
 	case event.KindEntry, event.KindBuddy:
 		if h.Kind == event.KindEntry {
-			k.sys.reg.Inc(metrics.CtrHandlerRunThread)
+			k.sys.ctrs.handlerThread.Add(1)
 		} else {
-			k.sys.reg.Inc(metrics.CtrHandlerRunBuddy)
+			k.sys.ctrs.handlerBuddy.Add(1)
 		}
 		home := h.Object.Home()
 		a.mu.Lock()
@@ -724,9 +725,7 @@ func (k *Kernel) releaseRaiser(eb *event.Block, verdict event.Verdict, consumed 
 
 // release hands a release to the local waiter.
 func (k *Kernel) release(rel releaseReq) {
-	k.syncMu.Lock()
-	w := k.syncWait[rel.ID]
-	k.syncMu.Unlock()
+	w := k.syncWait.get(rel.ID)
 	if w != nil {
 		select {
 		case w.ch <- rel:
@@ -793,19 +792,19 @@ func (k *Kernel) serveObjectEvent(req objectEventReq) (any, error) {
 	h, ok := obj.Handler(eb.Name)
 	if !ok {
 		// Default behaviour for unhandled object events.
-		k.sys.reg.Inc(metrics.CtrEventDefault)
+		k.sys.ctrs.eventDefault.Add(1)
 		if eb.Name == event.Delete {
 			if derr := k.deleteObjectLocal(obj.ID()); derr != nil {
 				return nil, derr
 			}
 		}
-		k.sys.reg.Inc(metrics.CtrEventDelivered)
+		k.sys.ctrs.eventDelivered.Add(1)
 		return objectEventReply{Verdict: event.VerdictResume, Consumed: false}, nil
 	}
 
 	run := func() event.Verdict {
 		v := k.dispatchObjectHandler(obj, h, eb)
-		k.sys.reg.Inc(metrics.CtrEventDelivered)
+		k.sys.ctrs.eventDelivered.Add(1)
 		if eb.Name == event.Delete {
 			// The handler had its chance to clean up; the object goes away
 			// regardless (§5.1's my_delete_handler template).
@@ -833,7 +832,7 @@ func (k *Kernel) dispatchObjectHandler(obj *object.Object, h object.Handler, eb 
 	case object.SpawnPerEvent:
 		// A fresh system thread per event: the costly option §4.3 argues
 		// against; kept for experiment E3.
-		k.sys.reg.Inc(metrics.CtrThreadCreated)
+		k.sys.ctrs.threadCreated.Add(1)
 		done := make(chan event.Verdict, 1)
 		k.wg.Add(1)
 		go func() {
@@ -909,7 +908,7 @@ func (k *Kernel) masterFor(obj *object.Object) *master {
 	if !ok {
 		m = &master{k: k, obj: obj, ch: make(chan masterReq, 256), stopCh: make(chan struct{})}
 		k.masters[obj.ID()] = m
-		k.sys.reg.Inc(metrics.CtrThreadCreated)
+		k.sys.ctrs.threadCreated.Add(1)
 		k.wg.Add(1)
 		go m.loop()
 	}
@@ -922,7 +921,7 @@ func (m *master) loop() {
 	for {
 		select {
 		case req := <-m.ch:
-			m.k.sys.reg.Inc(metrics.CtrMasterServed)
+			m.k.sys.ctrs.masterServed.Add(1)
 			req.reply <- m.k.runObjectHandler(m.obj, req.h, req.eb)
 		case <-m.stopCh:
 			return
@@ -996,9 +995,9 @@ func (k *Kernel) serveAbort(req abortReq) error {
 			RaiserNode: k.node,
 			User:       map[string]any{"thread": req.TID},
 		}
-		k.sys.reg.Inc(metrics.CtrEventRaised)
+		k.sys.ctrs.eventRaised.Add(1)
 		k.dispatchObjectHandler(obj, h, eb)
-		k.sys.reg.Inc(metrics.CtrEventDelivered)
+		k.sys.ctrs.eventDelivered.Add(1)
 	}
 
 	// Find the thread's activation that entered this object and chase the
@@ -1058,7 +1057,7 @@ func (k *Kernel) raiseVMFault(a *activation, fe *dsm.FaultError) error {
 			"node":  k.node,
 		},
 	}
-	k.sys.reg.Inc(metrics.CtrEventRaised)
+	k.sys.ctrs.eventRaised.Add(1)
 	a.mu.Lock()
 	prev := a.status
 	a.status = thread.StatusSuspended
@@ -1066,7 +1065,7 @@ func (k *Kernel) raiseVMFault(a *activation, fe *dsm.FaultError) error {
 	a.mu.Unlock()
 
 	verdict, consumed := k.runChain(a, eb)
-	k.sys.reg.Inc(metrics.CtrEventDelivered)
+	k.sys.ctrs.eventDelivered.Add(1)
 
 	a.mu.Lock()
 	if a.status == thread.StatusSuspended {

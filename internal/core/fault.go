@@ -244,9 +244,7 @@ func (s *System) RestartNode(node ids.NodeID) error {
 	k.actMu.Lock()
 	k.acts = make(map[ids.ThreadID][]*activation)
 	k.actMu.Unlock()
-	k.syncMu.Lock()
-	k.syncWait = make(map[uint64]*syncWaiter)
-	k.syncMu.Unlock()
+	k.syncWait.clear()
 	// Cached attribute snapshots are volatile kernel state: delta senders
 	// will miss, get a resync error, and fall back to one full snapshot.
 	k.attrCache.Clear()

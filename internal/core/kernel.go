@@ -102,8 +102,7 @@ type Kernel struct {
 	actMu sync.Mutex
 	acts  map[ids.ThreadID][]*activation // activation stack per thread
 
-	syncMu   sync.Mutex
-	syncWait map[uint64]*syncWaiter
+	syncWait *syncTable
 	syncSeq  atomic.Uint64
 
 	masterMu sync.Mutex
@@ -134,9 +133,42 @@ type Kernel struct {
 // recipient set — asynchronously, so a raise across a severed link cannot
 // block the raiser beyond its raise timeout.
 type syncWaiter struct {
+	id       uint64
 	ch       chan releaseReq
 	expectCh chan int
 }
+
+// syncReleaseBuf sizes the release buffer generously rather than to the
+// recipient count, which is only known after routing resolves.
+const syncReleaseBuf = 256
+
+// syncWaiterPool recycles waiters between raises: the release buffer is the
+// dominant per-raise allocation (256 slots), and raise_and_wait is the hot
+// path of every synchronous workload. Stale traffic from a waiter's
+// previous life is harmless: leftover releases are drained at Get and
+// filtered by ID in collectReleases, and expectCh is allocated fresh per
+// raise because a stalled routing goroutine can outlive its raiser.
+var syncWaiterPool = sync.Pool{
+	New: func() any { return &syncWaiter{ch: make(chan releaseReq, syncReleaseBuf)} },
+}
+
+// newSyncWaiter checks a recycled (or fresh) waiter out of the pool.
+func newSyncWaiter(id uint64) *syncWaiter {
+	w := syncWaiterPool.Get().(*syncWaiter)
+	for {
+		select {
+		case <-w.ch: // a release that raced the previous raiser's teardown
+		default:
+			w.id = id
+			w.expectCh = make(chan int, 1)
+			return w
+		}
+	}
+}
+
+// recycle returns the waiter to the pool. The caller must already have
+// removed it from the sync table.
+func (w *syncWaiter) recycle() { syncWaiterPool.Put(w) }
 
 // releaseReq releases a synchronous raiser (kindEvRelease).
 type releaseReq struct {
@@ -158,7 +190,7 @@ func newKernel(s *System, node ids.NodeID) *Kernel {
 		groups:   thread.NewGroups(),
 		waiters:  newWaiterTable(),
 		acts:     make(map[ids.ThreadID][]*activation),
-		syncWait: make(map[uint64]*syncWaiter),
+		syncWait: newSyncTable(),
 		masters:  make(map[ids.ObjectID]*master),
 		downCh:   make(chan struct{}),
 	}
@@ -694,7 +726,7 @@ func (k *Kernel) startThread(attrs *thread.Attributes, oid ids.ObjectID, entry s
 		return nil, ErrShutdown
 	default:
 	}
-	k.sys.reg.Inc(metrics.CtrThreadSpawn)
+	k.sys.ctrs.threadSpawn.Add(1)
 	k.sys.tr.Add(trace.Record{
 		Kind: trace.KindSpawn, Node: k.node, Thread: attrs.Thread,
 		Target: oid.String() + "." + entry,

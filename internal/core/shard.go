@@ -74,6 +74,70 @@ func (t *waiterTable) drop(id uint64) {
 	s.mu.Unlock()
 }
 
+// syncShards stripes the raise_and_wait waiter table, for the same reason
+// waiterShards stripes the RPC table: releases arrive on fabric dispatch
+// goroutines while raisers register and deregister concurrently, and IDs
+// are sequential, so masking them spreads neighbors across stripes.
+const syncShards = 32
+
+// syncTable maps in-flight synchronous raise IDs to their waiters. Unlike
+// waiterTable it has get (not take): a group raise receives one release per
+// member through the same entry.
+type syncTable struct {
+	shards [syncShards]syncShard
+}
+
+type syncShard struct {
+	mu sync.Mutex
+	m  map[uint64]*syncWaiter
+}
+
+func newSyncTable() *syncTable {
+	t := &syncTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint64]*syncWaiter)
+	}
+	return t
+}
+
+func (t *syncTable) shard(id uint64) *syncShard {
+	return &t.shards[id&(syncShards-1)]
+}
+
+func (t *syncTable) put(id uint64, w *syncWaiter) {
+	s := t.shard(id)
+	s.mu.Lock()
+	s.m[id] = w
+	s.mu.Unlock()
+}
+
+func (t *syncTable) get(id uint64) *syncWaiter {
+	s := t.shard(id)
+	s.mu.Lock()
+	w := s.m[id]
+	s.mu.Unlock()
+	return w
+}
+
+func (t *syncTable) drop(id uint64) {
+	s := t.shard(id)
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+}
+
+// clear empties the table (node restart: pending synchronous raises died
+// with the node). The waiters are not recycled here — their raisers'
+// deferred cleanup still runs and recycles them.
+func (t *syncTable) clear() {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		s.m = make(map[uint64]*syncWaiter)
+		s.mu.Unlock()
+	}
+}
+
 // failNode completes every in-flight call aimed at node with err. The
 // reply channels are buffered (capacity 1) and an entry is removed before
 // its send, so each channel receives at most once; callers that already

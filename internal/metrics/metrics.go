@@ -137,6 +137,15 @@ func (r *Registry) counter(name string) *atomic.Int64 {
 	return c
 }
 
+// Counter returns the live *atomic.Int64 behind counter name, creating it
+// if needed. Hot paths resolve a counter once and then Add on the handle
+// directly, skipping the per-call map lookup (and, for fmt-built names like
+// the per-kind wire counters, the string construction). Handles stay valid
+// across Reset: Reset stores zero into the same atomics it hands out.
+func (r *Registry) Counter(name string) *atomic.Int64 {
+	return r.counter(name)
+}
+
 // Add increments counter name by delta.
 func (r *Registry) Add(name string, delta int64) {
 	r.counter(name).Add(delta)

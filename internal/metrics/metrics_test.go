@@ -19,6 +19,30 @@ func TestAddAndGet(t *testing.T) {
 	}
 }
 
+func TestCounterHandle(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Add(3)
+	if got := r.Get("x"); got != 3 {
+		t.Fatalf("Get after handle Add = %d, want 3", got)
+	}
+	r.Inc("x")
+	if got := c.Load(); got != 4 {
+		t.Fatalf("handle Load after Inc = %d, want 4", got)
+	}
+	if again := r.Counter("x"); again != c {
+		t.Fatalf("Counter returned a different handle for the same name")
+	}
+	r.Reset()
+	if got := c.Load(); got != 0 {
+		t.Fatalf("handle survives Reset with stale value %d, want 0", got)
+	}
+	c.Add(2)
+	if got := r.Get("x"); got != 2 {
+		t.Fatalf("handle detached after Reset: Get = %d, want 2", got)
+	}
+}
+
 func TestSnapshotIsACopy(t *testing.T) {
 	r := NewRegistry()
 	r.Add("a", 1)

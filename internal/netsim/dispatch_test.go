@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/vclock"
+)
+
+// With DispatchWorkers > 1 and no jitter, delivery order per (sender,
+// receiver) pair must be preserved — the shard map sends each sender's
+// traffic through one worker — while messages from different senders are
+// handled concurrently.
+func TestDispatchWorkersPreserveSenderFIFO(t *testing.T) {
+	const (
+		workers   = 4
+		senders   = 4
+		perSender = 50
+		receiver  = ids.NodeID(9)
+	)
+	var (
+		mu       sync.Mutex
+		bySender = make(map[ids.NodeID][]int)
+
+		inflight    atomic.Int64
+		maxInflight atomic.Int64
+	)
+	f := New(Config{DispatchWorkers: workers})
+	h := func(m Message) {
+		cur := inflight.Add(1)
+		for {
+			max := maxInflight.Load()
+			if cur <= max || maxInflight.CompareAndSwap(max, cur) {
+				break
+			}
+		}
+		// Long enough that, with four senders blasting concurrently, the
+		// shards' handlers must overlap in wall time.
+		time.Sleep(time.Millisecond)
+		mu.Lock()
+		bySender[m.From] = append(bySender[m.From], m.Payload.(int))
+		mu.Unlock()
+		inflight.Add(-1)
+	}
+	if err := f.Attach(receiver, h); err != nil {
+		t.Fatalf("Attach receiver: %v", err)
+	}
+	for s := 1; s <= senders; s++ {
+		if err := f.Attach(ids.NodeID(s), nil); err != nil {
+			t.Fatalf("Attach sender %d: %v", s, err)
+		}
+	}
+	f.Start()
+	defer f.Close()
+
+	var wg sync.WaitGroup
+	for s := 1; s <= senders; s++ {
+		wg.Add(1)
+		go func(from ids.NodeID) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if err := f.Send(Message{From: from, To: receiver, Kind: "seq", Payload: i}); err != nil {
+					t.Errorf("Send: %v", err)
+					return
+				}
+			}
+		}(ids.NodeID(s))
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		total := 0
+		for _, seq := range bySender {
+			total += len(seq)
+		}
+		mu.Unlock()
+		if total == senders*perSender {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: delivered %d of %d", total, senders*perSender)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for from, seq := range bySender {
+		for i, v := range seq {
+			if v != i {
+				t.Fatalf("sender %v: delivery %d carried payload %d — per-pair FIFO violated (%v...)", from, i, v, seq[:i+1])
+			}
+		}
+	}
+	if got := maxInflight.Load(); got < 2 {
+		t.Fatalf("max in-flight handlers = %d, want >= 2 (cross-sender concurrency never observed)", got)
+	}
+}
+
+// The deterministic simulation digest depends on serial per-node delivery,
+// so a virtual clock must force the worker pool down to 1 no matter what
+// the config asks for.
+func TestDispatchWorkersForcedSerialUnderVirtualClock(t *testing.T) {
+	v := vclock.NewVirtual()
+	f := New(Config{DispatchWorkers: 8, Clock: v})
+	defer f.Close()
+	if got := f.DispatchWorkers(); got != 1 {
+		t.Fatalf("DispatchWorkers under Virtual clock = %d, want 1", got)
+	}
+	f2 := New(Config{DispatchWorkers: 8})
+	defer f2.Close()
+	if got := f2.DispatchWorkers(); got != 8 {
+		t.Fatalf("DispatchWorkers under real clock = %d, want 8", got)
+	}
+}
+
+// The zero-latency send path must not allocate once a message kind's
+// counters are warm: the per-kind names used to be rebuilt with fmt-style
+// concatenation on every message, two allocations per send.
+func TestPostHotPathZeroAllocs(t *testing.T) {
+	f := New(Config{})
+	if err := f.Attach(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Attach(2, func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	defer f.Close()
+	payload := []byte("hot-path")
+	m := Message{From: 1, To: 2, Kind: "invoke.req", Payload: payload, Size: len(payload)}
+	if err := f.Send(m); err != nil { // warm the kind counter cache
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := f.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Send allocates %.1f objects/op on the warm zero-latency path, want 0", allocs)
+	}
+}
+
+// BenchmarkPostHotPath guards the allocation count and cost of the
+// zero-latency send path (run via make bench-smoke).
+func BenchmarkPostHotPath(b *testing.B) {
+	f := New(Config{})
+	if err := f.Attach(1, nil); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Attach(2, func(Message) {}); err != nil {
+		b.Fatal(err)
+	}
+	f.Start()
+	defer f.Close()
+	payload := []byte("hot-path")
+	m := Message{From: 1, To: 2, Kind: "invoke.req", Payload: payload, Size: len(payload)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Send(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -49,8 +49,12 @@ type Sizer interface {
 // DefaultMessageSize is the byte charge for payloads without a Sizer.
 const DefaultMessageSize = 64
 
-// Handler consumes messages delivered to a node. Handlers run on the node's
-// dispatch goroutine; they must not block indefinitely.
+// Handler consumes messages delivered to a node. Handlers run on one of the
+// node's dispatch goroutines (see Config.DispatchWorkers); they must not
+// block indefinitely. With DispatchWorkers > 1, messages from different
+// senders may be handled concurrently, so handlers must be safe for
+// concurrent calls; messages from the same sender are always handled by the
+// same worker, in order.
 type Handler func(Message)
 
 // Config parameterizes a Fabric.
@@ -72,26 +76,70 @@ type Config struct {
 	// in-flight messages are tracked as work so the virtual clock only
 	// advances across a quiescent fabric.
 	Clock vclock.Clock
-	// QueueDepth is each node's inbox capacity. Zero picks 1024.
+	// QueueDepth is each node's inbox capacity (per dispatch shard). Zero
+	// picks 1024.
 	QueueDepth int
 	// Metrics receives message accounting. Nil creates a private registry.
 	Metrics *metrics.Registry
+	// DispatchWorkers is the number of dispatch goroutines per node. Zero
+	// or one keeps the classic single-dispatcher pipeline. With N > 1 each
+	// node's inbox is sharded by sender (m.From mod N): messages from the
+	// same sender always land on the same worker, preserving per-pair FIFO
+	// order, while messages from different senders are handled concurrently
+	// — so one slow handler no longer head-of-line-blocks the whole node.
+	// Forced to 1 when Clock is a *vclock.Virtual: the deterministic
+	// simulation digest (internal/sim) depends on serial per-node delivery,
+	// and the virtual clock's quiescence tracking assumes it.
+	DispatchWorkers int
 }
 
 type endpoint struct {
 	node    ids.NodeID
-	inbox   chan Message
+	inboxes []chan Message // sharded by sender; len == Fabric.workers
 	handler Handler
 	done    chan struct{}
+
+	// Jitter/drop randomness is per-endpoint (seeded from the fabric seed
+	// and the destination node ID) so concurrent senders contend on one
+	// destination's lock at worst, never on a fabric-global one.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// shard returns the inbox shard for messages from the given sender.
+func (ep *endpoint) shard(from ids.NodeID) chan Message {
+	if len(ep.inboxes) == 1 {
+		return ep.inboxes[0]
+	}
+	return ep.inboxes[uint64(from)%uint64(len(ep.inboxes))]
+}
+
+// kindCounters is the pair of interned per-kind wire counters; cached per
+// fabric so post never rebuilds the fmt-style counter names per message.
+type kindCounters struct {
+	msgs  *atomic.Int64
+	bytes *atomic.Int64
 }
 
 // Fabric connects a fixed set of nodes. Create with New, attach node
 // handlers with Attach, then Start. All methods are safe for concurrent
 // use.
 type Fabric struct {
-	cfg Config
-	reg *metrics.Registry
-	clk vclock.Clock
+	cfg     Config
+	reg     *metrics.Registry
+	clk     vclock.Clock
+	seed    int64
+	workers int // resolved DispatchWorkers (>= 1)
+
+	// Pre-resolved handles for the counters charged on every message, so
+	// the post/deliver hot path is pure atomic adds — no map lookups.
+	ctrSent      *atomic.Int64
+	ctrDelivered *atomic.Int64
+	ctrDropped   *atomic.Int64
+	ctrBytes     *atomic.Int64
+	ctrBroadcast *atomic.Int64
+	ctrMulticast *atomic.Int64
+	kindCtrs     sync.Map // message kind -> *kindCounters
 
 	mu        sync.RWMutex
 	endpoints map[ids.NodeID]*endpoint
@@ -105,9 +153,6 @@ type Fabric struct {
 	// cfg.DropRate and can be changed mid-run via SetDropRate, which chaos
 	// experiments use to inject loss into an already-booted cluster.
 	dropRate atomic.Uint64
-
-	rngMu sync.Mutex
-	rng   *rand.Rand
 
 	// Delayed sends sit in a timer heap drained by one scheduler
 	// goroutine (see sched.go) instead of a goroutine per message.
@@ -140,20 +185,53 @@ func New(cfg Config) *Fabric {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	workers := cfg.DispatchWorkers
+	if workers <= 0 {
+		workers = 1
+	}
+	if _, virtual := cfg.Clock.(*vclock.Virtual); virtual {
+		// Deterministic simulation requires serial per-node delivery.
+		workers = 1
+	}
 	f := &Fabric{
-		cfg:       cfg,
-		reg:       reg,
-		clk:       vclock.Or(cfg.Clock),
-		endpoints: make(map[ids.NodeID]*endpoint),
-		groups:    make(map[string]map[ids.NodeID]bool),
-		cut:       make(map[[2]ids.NodeID]bool),
-		crashed:   make(map[ids.NodeID]bool),
-		rng:       rand.New(rand.NewSource(seed)),
-		schedWake: make(chan struct{}, 1),
-		done:      make(chan struct{}),
+		cfg:          cfg,
+		reg:          reg,
+		clk:          vclock.Or(cfg.Clock),
+		seed:         seed,
+		workers:      workers,
+		ctrSent:      reg.Counter(metrics.CtrMsgSent),
+		ctrDelivered: reg.Counter(metrics.CtrMsgDelivered),
+		ctrDropped:   reg.Counter(metrics.CtrMsgDropped),
+		ctrBytes:     reg.Counter(metrics.CtrMsgBytes),
+		ctrBroadcast: reg.Counter(metrics.CtrBroadcast),
+		ctrMulticast: reg.Counter(metrics.CtrMulticast),
+		endpoints:    make(map[ids.NodeID]*endpoint),
+		groups:       make(map[string]map[ids.NodeID]bool),
+		cut:          make(map[[2]ids.NodeID]bool),
+		crashed:      make(map[ids.NodeID]bool),
+		schedWake:    make(chan struct{}, 1),
+		done:         make(chan struct{}),
 	}
 	f.dropRate.Store(math.Float64bits(cfg.DropRate))
 	return f
+}
+
+// DispatchWorkers returns the resolved per-node dispatch parallelism (1
+// unless Config.DispatchWorkers asked for more on a non-virtual clock).
+func (f *Fabric) DispatchWorkers() int { return f.workers }
+
+// kindCounters returns the interned counter pair for a message kind,
+// building the counter names at most once per kind per fabric.
+func (f *Fabric) kindCounters(kind string) *kindCounters {
+	if kc, ok := f.kindCtrs.Load(kind); ok {
+		return kc.(*kindCounters)
+	}
+	kc := &kindCounters{
+		msgs:  f.reg.Counter(metrics.KindMsgs(kind)),
+		bytes: f.reg.Counter(metrics.KindBytes(kind)),
+	}
+	actual, _ := f.kindCtrs.LoadOrStore(kind, kc)
+	return actual.(*kindCounters)
 }
 
 // Metrics returns the registry accounting this fabric's traffic.
@@ -173,11 +251,20 @@ func (f *Fabric) Attach(node ids.NodeID, h Handler) error {
 	if _, dup := f.endpoints[node]; dup {
 		return fmt.Errorf("netsim: node %v already attached", node)
 	}
+	inboxes := make([]chan Message, f.workers)
+	for i := range inboxes {
+		inboxes[i] = make(chan Message, f.cfg.QueueDepth)
+	}
 	f.endpoints[node] = &endpoint{
 		node:    node,
-		inbox:   make(chan Message, f.cfg.QueueDepth),
+		inboxes: inboxes,
 		handler: h,
 		done:    make(chan struct{}),
+		// Derived deterministically from the fabric seed so a seeded run
+		// replays the same jitter/drop schedule. Digest-affecting relative
+		// to the old fabric-global RNG only when jitter or drops are on —
+		// the deterministic sim (internal/sim) uses neither.
+		rng: rand.New(rand.NewSource(f.seed ^ int64(uint64(node)*0x9E3779B97F4A7C15))),
 	}
 	return nil
 }
@@ -193,7 +280,8 @@ func (f *Fabric) Nodes() []ids.NodeID {
 	return out
 }
 
-// Start launches one dispatch goroutine per attached node.
+// Start launches the dispatch goroutines (DispatchWorkers per attached
+// node) and the delayed-delivery scheduler.
 func (f *Fabric) Start() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -202,8 +290,10 @@ func (f *Fabric) Start() {
 	}
 	f.started = true
 	for _, ep := range f.endpoints {
-		f.wg.Add(1)
-		go f.dispatch(ep)
+		for i := range ep.inboxes {
+			f.wg.Add(1)
+			go f.dispatch(ep, ep.inboxes[i])
+		}
 	}
 	f.wg.Add(1)
 	go f.schedule()
@@ -227,14 +317,14 @@ func (f *Fabric) Close() {
 	f.wg.Wait()
 }
 
-func (f *Fabric) dispatch(ep *endpoint) {
+func (f *Fabric) dispatch(ep *endpoint, inbox chan Message) {
 	defer f.wg.Done()
 	for {
 		select {
 		case <-ep.done:
 			return
-		case m := <-ep.inbox:
-			f.reg.Inc(metrics.CtrMsgDelivered)
+		case m := <-inbox:
+			f.ctrDelivered.Add(1)
 			if ep.handler != nil {
 				ep.handler(m)
 			}
@@ -275,17 +365,18 @@ func (f *Fabric) post(ep *endpoint, m Message, severed bool) {
 	if m.Size == 0 {
 		m.Size = PayloadSize(m.Payload)
 	}
-	f.reg.Inc(metrics.CtrMsgSent)
-	f.reg.Add(metrics.CtrMsgBytes, int64(m.Size))
+	f.ctrSent.Add(1)
+	f.ctrBytes.Add(int64(m.Size))
 	if m.Kind != "" {
-		f.reg.Inc(metrics.KindMsgs(m.Kind))
-		f.reg.Add(metrics.KindBytes(m.Kind), int64(m.Size))
+		kc := f.kindCounters(m.Kind)
+		kc.msgs.Add(1)
+		kc.bytes.Add(int64(m.Size))
 	}
-	if rate := f.DropRate(); severed || f.roll(rate) < rate {
-		f.reg.Inc(metrics.CtrMsgDropped)
+	if rate := f.DropRate(); severed || f.roll(ep, rate) < rate {
+		f.ctrDropped.Add(1)
 		return
 	}
-	delay := f.delay()
+	delay := f.delay(ep)
 	if delay == 0 {
 		f.deliver(ep, m)
 		return
@@ -301,35 +392,35 @@ func (f *Fabric) deliver(ep *endpoint, m Message) {
 	down := f.crashed[m.To]
 	f.mu.RUnlock()
 	if down {
-		f.reg.Inc(metrics.CtrMsgDropped)
+		f.ctrDropped.Add(1)
 		return
 	}
 	vclock.BeginWork(f.clk)
 	select {
-	case ep.inbox <- m:
+	case ep.shard(m.From) <- m:
 		// Token retired by dispatch after the handler runs.
 	case <-ep.done:
 		vclock.EndWork(f.clk)
 	}
 }
 
-func (f *Fabric) delay() time.Duration {
+func (f *Fabric) delay(ep *endpoint) time.Duration {
 	d := f.cfg.Latency
 	if f.cfg.Jitter > 0 {
-		f.rngMu.Lock()
-		d += time.Duration(f.rng.Int63n(int64(f.cfg.Jitter)))
-		f.rngMu.Unlock()
+		ep.rngMu.Lock()
+		d += time.Duration(ep.rng.Int63n(int64(f.cfg.Jitter)))
+		ep.rngMu.Unlock()
 	}
 	return d
 }
 
-func (f *Fabric) roll(rate float64) float64 {
+func (f *Fabric) roll(ep *endpoint, rate float64) float64 {
 	if rate <= 0 {
 		return 1
 	}
-	f.rngMu.Lock()
-	defer f.rngMu.Unlock()
-	return f.rng.Float64()
+	ep.rngMu.Lock()
+	defer ep.rngMu.Unlock()
+	return ep.rng.Float64()
 }
 
 // DropRate returns the current drop probability.
@@ -371,7 +462,7 @@ func (f *Fabric) Broadcast(from ids.NodeID, kind string, payload any) error {
 		}
 	}
 	f.mu.RUnlock()
-	f.reg.Inc(metrics.CtrBroadcast)
+	f.ctrBroadcast.Add(1)
 	// One lock acquisition for the whole scatter: each post either lands
 	// in an inbox (zero latency) or the timer heap, so the n-1 sends cost
 	// no per-message locking or goroutines.
@@ -440,7 +531,7 @@ func (f *Fabric) Multicast(from ids.NodeID, group, kind string, payload any) err
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownGroup, group)
 	}
-	f.reg.Inc(metrics.CtrMulticast)
+	f.ctrMulticast.Add(1)
 	for _, t := range targets {
 		f.post(t.ep, Message{From: from, To: t.ep.node, Kind: kind, Payload: payload}, t.severed)
 	}

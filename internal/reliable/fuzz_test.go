@@ -144,12 +144,12 @@ func runReorderSchedule(t *testing.T, script []byte, window int) {
 // the frontier, and lazy pruning keeps it within its documented bound.
 func checkPeerInvariants(t *testing.T, e *Endpoint, from ids.NodeID, maxAllocated uint64, lastCum *uint64) {
 	t.Helper()
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	p := e.peers[from]
+	p := e.lookup(from)
 	if p == nil {
 		return
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.cum < *lastCum {
 		t.Fatalf("frontier moved backward: %d after %d", p.cum, *lastCum)
 	}

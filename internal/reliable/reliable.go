@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ids"
@@ -169,8 +170,23 @@ type Endpoint struct {
 	del  DeliverFunc
 	dead DeadLetterFunc
 
-	mu    sync.Mutex
-	peers map[ids.NodeID]*peerState
+	// Pre-resolved counter handles: the send/ack hot path does atomic adds
+	// instead of name→counter map lookups per message. When Config.Metrics
+	// is nil they point into a private throwaway registry, keeping the hot
+	// path branch-free.
+	ctrSend          *atomic.Int64
+	ctrRetry         *atomic.Int64
+	ctrDupDropped    *atomic.Int64
+	ctrDeadLetter    *atomic.Int64
+	ctrAckPiggyback  *atomic.Int64
+	ctrAckStandalone *atomic.Int64
+
+	// peersMu guards only the peer map; each peerState carries its own
+	// lock, so traffic to different peers never contends — previously one
+	// endpoint-global mutex serialized every send, ack, and dedup check
+	// across all peers.
+	peersMu sync.RWMutex
+	peers   map[ids.NodeID]*peerState
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -179,8 +195,11 @@ type Endpoint struct {
 
 // peerState is everything the endpoint tracks about one peer: the outbound
 // sequence space and unacked sends, the inbound dedup window with its
-// cumulative frontier, and the delayed-ack debt.
+// cumulative frontier, and the delayed-ack debt. Its mutex guards all of
+// it; the endpoint never holds two peers' locks at once.
 type peerState struct {
+	mu sync.Mutex
+
 	// Outbound.
 	seq     uint64                   // last sequence allocated toward this peer
 	pending map[uint64]chan struct{} // seq → closed when acked
@@ -200,29 +219,54 @@ type peerState struct {
 // once; dead (optional) receives payloads whose retry budget ran out.
 func New(cfg Config, self ids.NodeID, send SendFunc, deliver DeliverFunc, dead DeadLetterFunc) *Endpoint {
 	cfg.fillDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	return &Endpoint{
-		cfg:    cfg,
-		clk:    vclock.Or(cfg.Clock),
-		self:   self,
-		send:   send,
-		del:    deliver,
-		dead:   dead,
-		peers:  make(map[ids.NodeID]*peerState),
-		closed: make(chan struct{}),
+		cfg:              cfg,
+		clk:              vclock.Or(cfg.Clock),
+		self:             self,
+		send:             send,
+		del:              deliver,
+		dead:             dead,
+		ctrSend:          reg.Counter(metrics.CtrRelSend),
+		ctrRetry:         reg.Counter(metrics.CtrRelRetry),
+		ctrDupDropped:    reg.Counter(metrics.CtrRelDupDropped),
+		ctrDeadLetter:    reg.Counter(metrics.CtrRelDeadLetter),
+		ctrAckPiggyback:  reg.Counter(metrics.CtrRelAckPiggyback),
+		ctrAckStandalone: reg.Counter(metrics.CtrRelAckStandalone),
+		peers:            make(map[ids.NodeID]*peerState),
+		closed:           make(chan struct{}),
 	}
 }
 
-// peerLocked returns the peer state for n, creating it. Caller holds e.mu.
-func (e *Endpoint) peerLocked(n ids.NodeID) *peerState {
+// peer returns the peer state for n, creating it on first contact.
+func (e *Endpoint) peer(n ids.NodeID) *peerState {
+	e.peersMu.RLock()
 	p := e.peers[n]
-	if p == nil {
-		p = &peerState{
-			pending: make(map[uint64]chan struct{}),
-			seen:    make(map[uint64]bool),
-		}
-		e.peers[n] = p
+	e.peersMu.RUnlock()
+	if p != nil {
+		return p
 	}
+	e.peersMu.Lock()
+	defer e.peersMu.Unlock()
+	if p = e.peers[n]; p != nil {
+		return p
+	}
+	p = &peerState{
+		pending: make(map[uint64]chan struct{}),
+		seen:    make(map[uint64]bool),
+	}
+	e.peers[n] = p
 	return p
+}
+
+// lookup returns the peer state for n without creating it.
+func (e *Endpoint) lookup(n ids.NodeID) *peerState {
+	e.peersMu.RLock()
+	defer e.peersMu.RUnlock()
+	return e.peers[n]
 }
 
 // Close stops all retransmit loops and delayed-ack timers and waits for the
@@ -231,13 +275,19 @@ func (e *Endpoint) peerLocked(n ids.NodeID) *peerState {
 func (e *Endpoint) Close() {
 	e.closeOnce.Do(func() {
 		close(e.closed)
-		e.mu.Lock()
+		e.peersMu.RLock()
+		peers := make([]*peerState, 0, len(e.peers))
 		for _, p := range e.peers {
+			peers = append(peers, p)
+		}
+		e.peersMu.RUnlock()
+		for _, p := range peers {
+			p.mu.Lock()
 			if p.ackTimer != nil {
 				p.ackTimer.Stop()
 			}
+			p.mu.Unlock()
 		}
-		e.mu.Unlock()
 	})
 	e.wg.Wait()
 }
@@ -251,16 +301,14 @@ func (e *Endpoint) Send(to ids.NodeID, kind string, payload any) error {
 		return netsim.ErrClosed
 	default:
 	}
-	if e.cfg.Metrics != nil {
-		e.cfg.Metrics.Inc(metrics.CtrRelSend)
-	}
+	e.ctrSend.Add(1)
 	ackCh := make(chan struct{})
-	e.mu.Lock()
-	p := e.peerLocked(to)
+	p := e.peer(to)
+	p.mu.Lock()
 	p.seq++
 	seq := p.seq
 	p.pending[seq] = ackCh
-	e.mu.Unlock()
+	p.mu.Unlock()
 	// Size the payload here, before the first copy can reach the receiver:
 	// retransmission attempts reuse this figure instead of re-walking a
 	// payload the receiver may by then be mutating.
@@ -277,8 +325,8 @@ func (e *Endpoint) transmit(to ids.NodeID, kind string, payload any, size int, s
 	defer e.wg.Done()
 	backoff := e.cfg.RetryBase
 	for attempt := 0; attempt < e.cfg.MaxAttempts; attempt++ {
-		if attempt > 0 && e.cfg.Metrics != nil {
-			e.cfg.Metrics.Inc(metrics.CtrRelRetry)
+		if attempt > 0 {
+			e.ctrRetry.Add(1)
 		}
 		err := e.send(netsim.Message{
 			From: e.self, To: to, Kind: KindData,
@@ -316,49 +364,44 @@ func (e *Endpoint) transmit(to ids.NodeID, kind string, payload any, size int, s
 // envelope about to carry this value is the ack, so the flush timer's
 // standalone message is no longer needed.
 func (e *Endpoint) takePiggyback(to ids.NodeID) uint64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	p := e.peerLocked(to)
+	p := e.peer(to)
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if !e.cfg.StandaloneAcks && p.ackOwed {
 		p.ackOwed = false
 		if p.ackTimer != nil {
 			p.ackTimer.Stop()
 		}
-		if e.cfg.Metrics != nil {
-			e.cfg.Metrics.Inc(metrics.CtrRelAckPiggyback)
-		}
+		e.ctrAckPiggyback.Add(1)
 	}
 	return p.cum
 }
 
 func (e *Endpoint) deadLetter(to ids.NodeID, kind string, payload any, err error) {
-	if e.cfg.Metrics != nil {
-		e.cfg.Metrics.Inc(metrics.CtrRelDeadLetter)
-	}
+	e.ctrDeadLetter.Add(1)
 	if e.dead != nil {
 		e.dead(to, kind, payload, err)
 	}
 }
 
 func (e *Endpoint) dropPending(to ids.NodeID, seq uint64) {
-	e.mu.Lock()
-	if p := e.peers[to]; p != nil {
+	if p := e.lookup(to); p != nil {
+		p.mu.Lock()
 		delete(p.pending, seq)
+		p.mu.Unlock()
 	}
-	e.mu.Unlock()
 }
 
 // retire releases every pending send to peer from covered by the ack:
 // everything at or below the cumulative frontier, plus the selectively
 // acknowledged sequence (which may sit above a gap).
 func (e *Endpoint) retire(from ids.NodeID, seq, cum uint64) {
-	e.mu.Lock()
-	p := e.peers[from]
+	p := e.lookup(from)
 	if p == nil {
-		e.mu.Unlock()
 		return
 	}
 	var done []chan struct{}
+	p.mu.Lock()
 	if ch, ok := p.pending[seq]; ok {
 		done = append(done, ch)
 		delete(p.pending, seq)
@@ -369,7 +412,7 @@ func (e *Endpoint) retire(from ids.NodeID, seq, cum uint64) {
 			delete(p.pending, s)
 		}
 	}
-	e.mu.Unlock()
+	p.mu.Unlock()
 	for _, ch := range done {
 		close(ch)
 	}
@@ -411,8 +454,8 @@ func (e *Endpoint) Handle(m netsim.Message) bool {
 		}
 		if isFresh {
 			e.del(m.From, env.Kind, env.Payload)
-		} else if e.cfg.Metrics != nil {
-			e.cfg.Metrics.Inc(metrics.CtrRelDupDropped)
+		} else {
+			e.ctrDupDropped.Add(1)
 		}
 		return true
 	}
@@ -422,12 +465,11 @@ func (e *Endpoint) Handle(m netsim.Message) bool {
 // sendAck emits a standalone ack message for seq plus the current
 // cumulative frontier.
 func (e *Endpoint) sendAck(to ids.NodeID, seq uint64) {
-	e.mu.Lock()
-	cum := e.peerLocked(to).cum
-	e.mu.Unlock()
-	if e.cfg.Metrics != nil {
-		e.cfg.Metrics.Inc(metrics.CtrRelAckStandalone)
-	}
+	p := e.peer(to)
+	p.mu.Lock()
+	cum := p.cum
+	p.mu.Unlock()
+	e.ctrAckStandalone.Add(1)
 	_ = e.send(netsim.Message{From: e.self, To: to, Kind: KindAck, Payload: Ack{Seq: seq, Cum: cum}})
 }
 
@@ -435,9 +477,9 @@ func (e *Endpoint) sendAck(to ids.NodeID, seq uint64) {
 // If reverse-direction traffic departs within AckDelay the debt rides on it
 // for free (takePiggyback); otherwise the timer flushes a standalone ack.
 func (e *Endpoint) scheduleAck(to ids.NodeID) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	p := e.peerLocked(to)
+	p := e.peer(to)
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.ackOwed {
 		return // timer already armed; the flush will cover this receipt too
 	}
@@ -458,18 +500,16 @@ func (e *Endpoint) flushAck(to ids.NodeID) {
 		return
 	default:
 	}
-	e.mu.Lock()
-	p := e.peerLocked(to)
+	p := e.peer(to)
+	p.mu.Lock()
 	if !p.ackOwed {
-		e.mu.Unlock()
+		p.mu.Unlock()
 		return
 	}
 	p.ackOwed = false
 	seq, cum := p.lastRecv, p.cum
-	e.mu.Unlock()
-	if e.cfg.Metrics != nil {
-		e.cfg.Metrics.Inc(metrics.CtrRelAckStandalone)
-	}
+	p.mu.Unlock()
+	e.ctrAckStandalone.Add(1)
 	_ = e.send(netsim.Message{From: e.self, To: to, Kind: KindAck, Payload: Ack{Seq: seq, Cum: cum}})
 }
 
@@ -477,9 +517,9 @@ func (e *Endpoint) flushAck(to ids.NodeID) {
 // frontier through any now-contiguous sequences, and reports whether seq
 // was seen for the first time.
 func (e *Endpoint) fresh(from ids.NodeID, seq uint64) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	p := e.peerLocked(from)
+	p := e.peer(from)
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.lastRecv = seq
 	if seq <= p.cum {
 		return false // at or below the frontier: necessarily a duplicate

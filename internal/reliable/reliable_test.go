@@ -11,6 +11,17 @@ import (
 	"repro/internal/netsim"
 )
 
+// pendingCount reads how many sends to peer n are still awaiting an ack.
+func pendingCount(e *Endpoint, n ids.NodeID) int {
+	p := e.lookup(n)
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending)
+}
+
 // lossyPair wires two endpoints back to back through a deterministic lossy
 // channel: drop decides, per transmission, whether the message vanishes.
 type lossyPair struct {
@@ -264,18 +275,14 @@ func TestCumulativeAckRetiresBacklog(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	e.mu.Lock()
-	pendingBefore := len(e.peers[2].pending)
-	e.mu.Unlock()
+	pendingBefore := pendingCount(e, 2)
 	if pendingBefore != 5 {
 		t.Fatalf("pending = %d, want 5", pendingBefore)
 	}
 	e.Handle(netsim.Message{From: 2, To: 1, Kind: KindAck, Payload: Ack{Seq: 5, Cum: 5}})
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		e.mu.Lock()
-		left := len(e.peers[2].pending)
-		e.mu.Unlock()
+		left := pendingCount(e, 2)
 		if left == 0 {
 			break
 		}
@@ -302,9 +309,7 @@ func TestEnvelopePiggybackRetires(t *testing.T) {
 		Payload: Envelope{Seq: 1, Kind: "reverse", Payload: "x", AckCum: 3}})
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		e.mu.Lock()
-		left := len(e.peers[2].pending)
-		e.mu.Unlock()
+		left := pendingCount(e, 2)
 		if left == 0 {
 			break
 		}

@@ -1,0 +1,287 @@
+package workload
+
+// Sustained-load driver behind experiment E12: offers an open-loop mix of
+// one-way raises and request/response invokes to a netsim fabric and
+// reports delivered events/sec plus handler-completion latency percentiles.
+//
+// The driver deliberately measures the fabric's dispatch pipeline itself
+// rather than the full kernel stack: netsim handlers run inline on the
+// dispatch goroutines (the kernel's RPC layer hands requests off to fresh
+// goroutines, which hides head-of-line blocking), so a handler class that
+// sleeps — standing in for user-written handlers that touch objects or wait
+// on I/O — directly stalls its node's dispatcher. That is exactly the
+// contention netsim's DispatchWorkers exists to relieve, and exactly what
+// E12 quantifies.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+)
+
+// SustainedConfig parameterizes one sustained-load run.
+type SustainedConfig struct {
+	// Nodes is the cluster size; every node both generates and handles
+	// events. Zero picks 8.
+	Nodes int
+	// Workers is netsim.Config.DispatchWorkers: dispatch goroutines per
+	// node, inbox sharded by sender. Zero picks 1 (the classic serial
+	// pipeline — the baseline).
+	Workers int
+	// Duration is the generation window. Zero picks 1s.
+	Duration time.Duration
+	// OfferedPerNode is the open-loop target each generator offers, in
+	// events/sec, spread uniformly over the other nodes. Zero picks 12000.
+	// When a destination's inbox shard fills, the generator blocks (the
+	// fabric applies backpressure), so the offered rate is a ceiling.
+	OfferedPerNode int
+	// InvokeFrac is the fraction of events that are request/response
+	// invokes (completion = response received back at the caller); the rest
+	// are one-way raises (completion = handler returned). Negative picks
+	// 0.25.
+	InvokeFrac float64
+	// SlowFrac is the fraction of events handled by the slow handler
+	// class, which sleeps SlowDelay inline on the dispatch goroutine.
+	// Negative picks 0.5.
+	SlowFrac float64
+	// SlowDelay is the slow class's inline handler delay. Zero picks 1ms.
+	SlowDelay time.Duration
+	// Latency is the fabric's simulated one-way latency (default 0:
+	// immediate handoff, so the dispatch pipeline is what's measured).
+	Latency time.Duration
+	// QueueDepth is the per-shard inbox capacity. Zero picks netsim's
+	// default.
+	QueueDepth int
+	// Seed seeds the per-generator randomness (destination, class and kind
+	// draws). Zero picks 1.
+	Seed int64
+}
+
+func (c *SustainedConfig) fillDefaults() {
+	if c.Nodes <= 1 {
+		c.Nodes = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.OfferedPerNode <= 0 {
+		c.OfferedPerNode = 12000
+	}
+	if c.InvokeFrac < 0 {
+		c.InvokeFrac = 0.25
+	}
+	if c.SlowFrac < 0 {
+		c.SlowFrac = 0.5
+	}
+	if c.SlowDelay <= 0 {
+		c.SlowDelay = time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// SustainedResult is one run's measurement.
+type SustainedResult struct {
+	Config    SustainedConfig
+	Completed int64         // events completed (raises handled + invoke responses received)
+	Offered   int64         // events the generators actually sent
+	Shed      int64         // invoke responses dropped on a full responder outbox
+	Elapsed   time.Duration // generation window plus drain, wall clock
+	// EventsPerSec is Completed over Elapsed: the pipeline's delivered
+	// throughput under the offered load.
+	EventsPerSec float64
+	// Handler-completion latency percentiles: send-to-handler-return for
+	// raises, full round trip for invokes. Queueing on every hop included.
+	P50, P95, P99 time.Duration
+}
+
+// Wire kinds of the sustained workload.
+const (
+	kindRaise = "wl.raise"
+	kindReq   = "wl.invoke.req"
+	kindResp  = "wl.invoke.resp"
+)
+
+// sustainedPayload is one workload event. T0 is the sender's send timestamp
+// (UnixNano) and rides through request and response unchanged, so the
+// completion latency includes queueing on every hop.
+type sustainedPayload struct {
+	T0   int64
+	Slow bool
+}
+
+// WireSize charges the envelope like a small kernel message.
+func (*sustainedPayload) WireSize() int { return 32 }
+
+// latRecorder accumulates completion latencies for one node, so concurrent
+// dispatch workers on different nodes never contend on one lock.
+type latRecorder struct {
+	mu  sync.Mutex
+	lat []int64 // nanoseconds
+}
+
+func (r *latRecorder) record(ns int64) {
+	r.mu.Lock()
+	r.lat = append(r.lat, ns)
+	r.mu.Unlock()
+}
+
+// RunSustained drives one sustained-load measurement and reports the
+// result.
+func RunSustained(cfg SustainedConfig) (SustainedResult, error) {
+	cfg.fillDefaults()
+	fab := netsim.New(netsim.Config{
+		Latency:         cfg.Latency,
+		QueueDepth:      cfg.QueueDepth,
+		Seed:            cfg.Seed,
+		DispatchWorkers: cfg.Workers,
+	})
+	recs := make([]*latRecorder, cfg.Nodes+1) // 1-based by node ID
+	var completed, respShed atomic.Int64
+	var respWg sync.WaitGroup
+	outboxes := make([]chan netsim.Message, cfg.Nodes+1)
+	for i := 1; i <= cfg.Nodes; i++ {
+		node := ids.NodeID(i)
+		rec := &latRecorder{}
+		recs[i] = rec
+		// Invoke responses leave through a per-node responder goroutine,
+		// never inline from the handler: a handler that blocks on a full
+		// destination shard would hold its own dispatcher while the peer's
+		// dispatcher blocks symmetrically — distributed deadlock. The
+		// outbox sheds on overflow instead (a full transmit queue drops).
+		outbox := make(chan netsim.Message, 4096)
+		outboxes[i] = outbox
+		respWg.Add(1)
+		go func() {
+			defer respWg.Done()
+			for m := range outbox {
+				if err := fab.Send(m); err != nil {
+					return // fabric closed: teardown
+				}
+			}
+		}()
+		handler := func(m netsim.Message) {
+			p := m.Payload.(*sustainedPayload)
+			switch m.Kind {
+			case kindRaise:
+				if p.Slow {
+					time.Sleep(cfg.SlowDelay)
+				}
+				rec.record(time.Now().UnixNano() - p.T0)
+				completed.Add(1)
+			case kindReq:
+				if p.Slow {
+					time.Sleep(cfg.SlowDelay)
+				}
+				select {
+				case outbox <- netsim.Message{From: node, To: m.From, Kind: kindResp, Payload: p}:
+				default:
+					respShed.Add(1)
+				}
+			case kindResp:
+				// Round trip complete, back at the original caller.
+				rec.record(time.Now().UnixNano() - p.T0)
+				completed.Add(1)
+			}
+		}
+		if err := fab.Attach(node, handler); err != nil {
+			return SustainedResult{}, err
+		}
+	}
+	fab.Start()
+
+	// Open-loop generators: one per node, pacing sends in ~2ms batches so
+	// the pacing timer is off the per-event path.
+	const batchEvery = 2 * time.Millisecond
+	perBatch := int(float64(cfg.OfferedPerNode) * batchEvery.Seconds())
+	if perBatch < 1 {
+		perBatch = 1
+	}
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var offered atomic.Int64
+	var wg sync.WaitGroup
+	for i := 1; i <= cfg.Nodes; i++ {
+		node := ids.NodeID(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Lock-free deterministic splitmix64 stream per generator.
+			rng := uint64(cfg.Seed)*0x9E3779B97F4A7C15 + uint64(node)
+			next := func() uint64 {
+				rng += 0x9E3779B97F4A7C15
+				z := rng
+				z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+				z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+				return z ^ (z >> 31)
+			}
+			frac := func(u uint64) float64 { return float64(u>>11) / (1 << 53) }
+			for time.Now().Before(deadline) {
+				for b := 0; b < perBatch; b++ {
+					// Uniform over the other nodes: draw from the n-1
+					// non-self slots and shift past self.
+					dest := ids.NodeID(1 + next()%uint64(cfg.Nodes-1))
+					if dest >= node {
+						dest++
+					}
+					p := &sustainedPayload{T0: time.Now().UnixNano(), Slow: frac(next()) < cfg.SlowFrac}
+					kind := kindRaise
+					if frac(next()) < cfg.InvokeFrac {
+						kind = kindReq
+					}
+					if err := fab.Send(netsim.Message{From: node, To: dest, Kind: kind, Payload: p}); err != nil {
+						return
+					}
+					offered.Add(1)
+				}
+				time.Sleep(batchEvery)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Drain grace: let in-flight events and invoke responses complete, but
+	// never wait out a saturated baseline's whole backlog — the baseline
+	// row's point is that the backlog exists. The grace is charged to
+	// Elapsed, so it cannot inflate EventsPerSec.
+	time.Sleep(cfg.SlowDelay*4 + 50*time.Millisecond)
+	elapsed := time.Since(start)
+	// Stop dispatch before closing the outboxes: handlers cannot run after
+	// Close returns, so nothing sends on a closed outbox.
+	fab.Close()
+	for _, ob := range outboxes[1:] {
+		close(ob)
+	}
+	respWg.Wait()
+
+	var all []int64
+	for _, r := range recs[1:] {
+		r.mu.Lock()
+		all = append(all, r.lat...)
+		r.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res := SustainedResult{
+		Config:    cfg,
+		Completed: completed.Load(),
+		Offered:   offered.Load(),
+		Shed:      respShed.Load(),
+		Elapsed:   elapsed,
+	}
+	res.EventsPerSec = float64(res.Completed) / elapsed.Seconds()
+	if len(all) > 0 {
+		pct := func(p float64) time.Duration {
+			return time.Duration(all[int(p*float64(len(all)-1))])
+		}
+		res.P50, res.P95, res.P99 = pct(0.50), pct(0.95), pct(0.99)
+	}
+	return res, nil
+}
