@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test shuffle race bench bench-smoke chaos sim sim-soak fuzz-smoke check
+.PHONY: all vet build test shuffle race bench bench-smoke bench-batch chaos chaos-soak sim sim-soak fuzz-smoke check
 
 all: check
 
@@ -30,15 +30,20 @@ bench:
 
 # bench-smoke compiles and runs every benchmark exactly once — no timing
 # fidelity, just proof that the bench harnesses (and the wire-efficiency
-# counters they report) still execute — then replays the E12 sustained-load
-# sweep and gates it against the checked-in baseline: delivered events/sec
-# may not drop more than 30% below BENCH_e12.json (-gate-tol 0.30). The
-# tolerance absorbs shared-runner noise; a real regression — losing the
-# dispatch pool and serializing the pipeline again — costs far more than
-# 30% (the baseline spread between 1 and 8 workers is ~6x).
+# counters they report) still execute — then replays the gated experiments
+# against their checked-in baselines: E12/E13 delivered events/sec and the
+# E13 message reduction may not fall more than 30% below baseline, and E11
+# wire bytes per invoke may not rise more than 30% above it. The tolerance
+# absorbs shared-runner noise; the regressions the gate exists for — losing
+# the dispatch pool, losing send coalescing — cost far more than 30%.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
-	$(GO) run ./cmd/benchtab -e e12 -json -gate BENCH_e12.json > /dev/null
+	$(GO) run ./cmd/benchtab -e e11,e12,e13 -json -gate BENCH_e11.json,BENCH_e12.json,BENCH_e13.json > /dev/null
+
+# bench-batch reruns just the E13 batching sweep and prints the table —
+# the quick loop for tuning the coalescing knobs.
+bench-batch:
+	$(GO) run ./cmd/benchtab -e e13
 
 # The chaos target drives the crash-fault-tolerance machinery (DESIGN.md
 # §7) under the race detector: the core chaos suite (exactly-once delivery
@@ -49,6 +54,13 @@ chaos:
 	$(GO) test -race -run 'TestChaos|TestRaiseAndWaitTimeout' ./internal/core/
 	$(GO) test -race ./internal/failure/ ./internal/reliable/
 	$(GO) test -race -run 'TestFacade|TestScenarioChaos' ./doct/ ./cmd/doctsim/
+
+# chaos-soak repeats the chaos suite under the race detector on the real
+# clock — the only clock batching runs under, so this is where coalesced
+# frames, frame-wide drops and re-batched retransmits actually soak.
+# CI runs it nightly next to sim-soak.
+chaos-soak:
+	$(GO) test -race -count=5 -timeout 30m -run 'TestChaos' ./internal/core/
 
 # sim runs the deterministic simulation suite (internal/sim): same-seed
 # determinism, the default fuzz seeds, and the injected-bug detector.
@@ -68,5 +80,6 @@ sim-soak:
 fuzz-smoke:
 	$(GO) test -fuzz FuzzDeltaRoundTrip -fuzztime 10s ./internal/thread/
 	$(GO) test -fuzz FuzzReliableReorder -fuzztime 10s ./internal/reliable/
+	$(GO) test -fuzz FuzzBatchRoundTrip -fuzztime 10s ./internal/batch/
 
 check: vet build test shuffle race chaos sim

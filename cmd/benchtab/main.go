@@ -13,10 +13,13 @@
 //	benchtab -e e12 -cpuprofile cpu.out   # CPU profile of the run
 //	benchtab -e e12 -memprofile mem.out   # heap profile at exit
 //
-// Perf gate (CI): compare a fresh E12 run against a checked-in baseline
-// and fail if delivered events/sec regressed beyond the tolerance:
+// Perf gate (CI): compare fresh runs against checked-in baselines and fail
+// on regression beyond the tolerance. Each baseline file names its table,
+// and gateRules says which columns are gated and in which direction (E12/E13
+// events/s and E13 msg reduction must not fall; E11 wire bytes per invoke
+// must not rise):
 //
-//	benchtab -e e12 -json -gate BENCH_e12.json -gate-tol 0.30
+//	benchtab -e e11,e12,e13 -json -gate BENCH_e11.json,BENCH_e12.json,BENCH_e13.json
 package main
 
 import (
@@ -52,6 +55,7 @@ var runners = []struct {
 	{"e11", "delta attribute propagation (DESIGN.md §8)", func() experiments.Table { return experiments.RunE11(nil) }},
 	{"e11b", "FT control traffic, legacy vs optimized wire (DESIGN.md §8)", experiments.RunE11FT},
 	{"e12", "sustained-throughput event pipeline (DESIGN.md §10)", func() experiments.Table { return experiments.RunE12(0) }},
+	{"e13", "per-link batch coalescing sweep (DESIGN.md §11)", func() experiments.Table { return experiments.RunE13(0) }},
 }
 
 func main() {
@@ -70,8 +74,8 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 0, "fabric seed for every experiment (0: netsim default)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile at exit to this file")
-		gate       = fs.String("gate", "", "baseline JSON file: fail if E12 events/s regressed beyond -gate-tol")
-		gateTol    = fs.Float64("gate-tol", 0.30, "allowed fractional events/s regression vs the -gate baseline")
+		gate       = fs.String("gate", "", "comma-separated baseline JSON files: fail if a gated column regressed beyond -gate-tol")
+		gateTol    = fs.Float64("gate-tol", 0.30, "allowed fractional regression vs each -gate baseline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -142,70 +146,130 @@ func run(args []string) error {
 	return nil
 }
 
-// checkGate compares the fresh E12 run against the checked-in baseline:
-// the best delivered events/s must not fall more than tol below the
-// baseline's. The tolerance absorbs shared-runner noise (CI machines are
-// slower and noisier than the one that produced the baseline); a real
-// serialization regression — losing the dispatch pool — costs far more
-// than 30%.
-func checkGate(path string, tol float64, tables []experiments.Table) error {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return fmt.Errorf("gate: %w", err)
+// gateRule gates one column of one experiment table. The default direction
+// is higher-is-better: the best (max) current cell must not fall more than
+// tol below the baseline's best. min flips it for cost columns: the best
+// (min) current cell must not rise more than tol above the baseline's.
+type gateRule struct {
+	column string
+	min    bool
+}
+
+// gateRules maps gated table IDs to their checked columns. Only tables that
+// appear in a -gate baseline file are checked; a baseline whose tables have
+// no rules here is an error (a silent no-op gate is worse than none).
+var gateRules = map[string][]gateRule{
+	"E11": {{column: "wire B/invoke", min: true}},
+	"E12": {{column: "events/s"}},
+	"E13": {{column: "events/s"}, {column: "msg reduction"}},
+}
+
+// checkGate compares the fresh run against each checked-in baseline file.
+// The tolerance absorbs shared-runner noise (CI machines are slower and
+// noisier than the one that produced a baseline); real regressions — losing
+// the dispatch pool, losing coalescing — cost far more than 30%.
+func checkGate(paths string, tol float64, tables []experiments.Table) error {
+	checked := 0
+	for _, path := range strings.Split(paths, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("gate: %w", err)
+		}
+		var baseline []experiments.Table
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			return fmt.Errorf("gate: parse %s: %w", path, err)
+		}
+		fileChecked := 0
+		for _, bt := range baseline {
+			rules := gateRules[bt.ID]
+			if len(rules) == 0 {
+				continue
+			}
+			cur := findTable(tables, bt.ID)
+			if cur == nil {
+				return fmt.Errorf("gate: baseline %s has table %s but the current run did not produce it (add it to -e)", path, bt.ID)
+			}
+			for _, rule := range rules {
+				base, err := bestCell(bt, rule.column, rule.min)
+				if err != nil {
+					return fmt.Errorf("gate: baseline %s: %w", path, err)
+				}
+				got, err := bestCell(*cur, rule.column, rule.min)
+				if err != nil {
+					return fmt.Errorf("gate: current run: %w", err)
+				}
+				if rule.min {
+					ceiling := base * (1 + tol)
+					if got > ceiling {
+						return fmt.Errorf("gate: %s best %s = %.2f, above %.2f (baseline %.2f + %.0f%% tolerance)",
+							bt.ID, rule.column, got, ceiling, base, tol*100)
+					}
+					fmt.Fprintf(os.Stderr, "gate: ok — %s best %s = %.2f vs baseline %.2f (ceiling %.2f)\n",
+						bt.ID, rule.column, got, base, ceiling)
+				} else {
+					floor := base * (1 - tol)
+					if got < floor {
+						return fmt.Errorf("gate: %s best %s = %.2f, below %.2f (baseline %.2f - %.0f%% tolerance)",
+							bt.ID, rule.column, got, floor, base, tol*100)
+					}
+					fmt.Fprintf(os.Stderr, "gate: ok — %s best %s = %.2f vs baseline %.2f (floor %.2f)\n",
+						bt.ID, rule.column, got, base, floor)
+				}
+				fileChecked++
+			}
+		}
+		if fileChecked == 0 {
+			return fmt.Errorf("gate: no gated tables in %s (known: E11, E12, E13)", path)
+		}
+		checked += fileChecked
 	}
-	var baseline []experiments.Table
-	if err := json.Unmarshal(raw, &baseline); err != nil {
-		return fmt.Errorf("gate: parse %s: %w", path, err)
+	if checked == 0 {
+		return fmt.Errorf("gate: no baseline files in %q", paths)
 	}
-	base, err := bestEventsPerSec(baseline)
-	if err != nil {
-		return fmt.Errorf("gate: baseline %s: %w", path, err)
-	}
-	cur, err := bestEventsPerSec(tables)
-	if err != nil {
-		return fmt.Errorf("gate: current run: %w", err)
-	}
-	floor := base * (1 - tol)
-	if cur < floor {
-		return fmt.Errorf("gate: E12 best events/s = %.0f, below %.0f (baseline %.0f - %.0f%% tolerance)",
-			cur, floor, base, tol*100)
-	}
-	fmt.Fprintf(os.Stderr, "gate: ok — E12 best events/s = %.0f vs baseline %.0f (floor %.0f)\n", cur, base, floor)
 	return nil
 }
 
-// bestEventsPerSec extracts the maximum "events/s" cell of the E12 table.
-func bestEventsPerSec(tables []experiments.Table) (float64, error) {
-	for _, t := range tables {
-		if t.ID != "E12" {
+// findTable returns the table with the given ID, nil if absent.
+func findTable(tables []experiments.Table, id string) *experiments.Table {
+	for i := range tables {
+		if tables[i].ID == id {
+			return &tables[i]
+		}
+	}
+	return nil
+}
+
+// bestCell extracts the best value of the named column: the maximum when
+// higher is better, the minimum when min is set (cost columns).
+func bestCell(t experiments.Table, column string, min bool) (float64, error) {
+	col := -1
+	for i, h := range t.Headers {
+		if h == column {
+			col = i
+		}
+	}
+	if col < 0 {
+		return 0, fmt.Errorf("%s table has no %q column", t.ID, column)
+	}
+	best, found := 0.0, false
+	for _, row := range t.Rows {
+		if col >= len(row) {
 			continue
 		}
-		col := -1
-		for i, h := range t.Headers {
-			if h == "events/s" {
-				col = i
-			}
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s %s cell %q: %w", t.ID, column, row[col], err)
 		}
-		if col < 0 {
-			return 0, fmt.Errorf("E12 table has no events/s column")
+		if !found || (min && v < best) || (!min && v > best) {
+			best, found = v, true
 		}
-		best := 0.0
-		for _, row := range t.Rows {
-			if col >= len(row) {
-				continue
-			}
-			v, err := strconv.ParseFloat(row[col], 64)
-			if err != nil {
-				return 0, fmt.Errorf("E12 events/s cell %q: %w", row[col], err)
-			}
-			if v > best {
-				best = v
-			}
-		}
-		if best == 0 {
-			return 0, fmt.Errorf("E12 table has no events/s rows")
-		}
-		return best, nil
 	}
-	return 0, fmt.Errorf("no E12 table")
+	if !found {
+		return 0, fmt.Errorf("%s table has no %s rows", t.ID, column)
+	}
+	return best, nil
 }

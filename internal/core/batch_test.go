@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/metrics"
+	"repro/internal/object"
+	"repro/internal/testutil"
+	"repro/internal/vclock"
+)
+
+// TestChaosBatchedExactlyOnce is the batched twin of
+// TestChaosParallelDispatchExactlyOnce: send coalescing on (the default),
+// sharded dispatch, 10% loss. A dropped datagram now loses a whole frame of
+// envelopes at once, and a retransmitted envelope re-batches into whatever
+// frame is pending at retry time — the exactly-once guarantee must survive
+// both. Run under -race by make chaos.
+func TestChaosBatchedExactlyOnce(t *testing.T) {
+	cfg := ftConfig(8)
+	cfg.DispatchWorkers = 4
+	sys := newSystem(t, cfg)
+	if !sys.fabric.Batching() {
+		t.Fatal("batching off under the default wire config")
+	}
+	var handled atomic.Int64
+	sink, err := sys.CreateObject(1, object.Spec{
+		Name: "sink",
+		Handlers: map[event.Name]object.Handler{
+			event.Interrupt: func(_ object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+				handled.Add(1)
+				return event.VerdictResume
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetDropRate(0.1)
+
+	const raisers, perRaiser = 6, 10
+	var wg sync.WaitGroup
+	var raiseErrs atomic.Int64
+	for r := 0; r < raisers; r++ {
+		node := ids.NodeID(2 + r) // all remote to the sink's node
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perRaiser; i++ {
+				if err := sys.Raise(node, event.Interrupt, event.ToObject(sink), nil); err != nil {
+					raiseErrs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	sys.SetDropRate(0)
+	if n := raiseErrs.Load(); n != 0 {
+		t.Fatalf("%d of %d raises failed", n, raisers*perRaiser)
+	}
+
+	const want = raisers * perRaiser
+	testutil.WaitFor(t, "all handlers to run", func() bool { return handled.Load() >= want })
+	// Retransmits of frame-dropped envelopes must not double-run handlers.
+	time.Sleep(100 * time.Millisecond)
+	if got := handled.Load(); got != want {
+		t.Errorf("handler ran %d times for %d raises, want exactly once each", got, want)
+	}
+	if frames := sys.Metrics().Snapshot().Get(metrics.CtrBatchFrames); frames == 0 {
+		t.Error("no batch frames shipped: the chaos run never exercised coalescing")
+	}
+}
+
+// A kernel on a virtual clock must come up with batching off regardless of
+// the wire config: the deterministic-simulation digests assume per-message
+// delivery, and flush timers would interleave with protocol timers in the
+// virtual heap.
+func TestBatchingForcedOffUnderVirtualClock(t *testing.T) {
+	cfg := ftConfig(2)
+	cfg.Clock = vclock.NewVirtual()
+	sys := newSystem(t, cfg)
+	if sys.fabric.Batching() {
+		t.Fatal("batching on under a virtual clock")
+	}
+}

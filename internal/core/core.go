@@ -289,6 +289,12 @@ func NewSystem(cfg Config) (*System, error) {
 		Clock:           cfg.Clock,
 		Metrics:         s.reg,
 		DispatchWorkers: cfg.DispatchWorkers,
+		Batch: netsim.BatchConfig{
+			Enabled:       !cfg.Wire.NoBatching,
+			MaxMsgs:       cfg.Wire.BatchMaxMsgs,
+			MaxBytes:      cfg.Wire.BatchMaxBytes,
+			FlushInterval: cfg.Wire.FlushInterval,
+		},
 	})
 	for i := 1; i <= cfg.Nodes; i++ {
 		node := ids.NodeID(i)

@@ -94,9 +94,21 @@ func (k *Kernel) initFT() {
 	// receiver, so tell the detector about outbound data: the next
 	// explicit heartbeat toward that peer is redundant and gets
 	// suppressed (ring mode only; legacy eager heartbeats ignore it).
+	// With batching on, the ack round trip can absorb up to two flush
+	// windows (envelope out, ack back) on top of the delayed-ack window, so
+	// the default retransmit base must sit above all three or every
+	// coalesced envelope reads as a loss. An explicit RetryBase is honored.
+	retryBase := ft.RetryBase
+	if retryBase == 0 && k.sys.fabric.Batching() {
+		fi := wire.FlushInterval
+		if fi <= 0 {
+			fi = netsim.DefaultFlushInterval
+		}
+		retryBase = reliable.DefaultRetryBase + 2*fi
+	}
 	k.rel = reliable.New(reliable.Config{
 		MaxAttempts:    ft.MaxAttempts,
-		RetryBase:      ft.RetryBase,
+		RetryBase:      retryBase,
 		RetryMax:       ft.RetryMax,
 		StandaloneAcks: wire.StandaloneAcks,
 		AckDelay:       wire.AckDelay,

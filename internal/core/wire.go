@@ -34,6 +34,24 @@ type WireConfig struct {
 	// ring successor, any received message counts as liveness, and beats
 	// are suppressed on links that just carried data.
 	EagerHeartbeats bool
+	// NoBatching disables per-link send coalescing (DESIGN.md §11),
+	// restoring one fabric message per envelope/delta/ack. On (batching
+	// enabled, the default), messages to the same peer coalesce into batch
+	// frames flushed on a size threshold or the flush window; an idle
+	// link's first message still ships immediately. Batching is always off
+	// under a *vclock.Virtual clock so simulation digests are unchanged.
+	NoBatching bool
+	// BatchMaxMsgs flushes a pending frame at this record count
+	// (0 = netsim.DefaultBatchMaxMsgs).
+	BatchMaxMsgs int
+	// BatchMaxBytes flushes a pending frame at this encoded size
+	// (0 = netsim.DefaultBatchMaxBytes).
+	BatchMaxBytes int
+	// FlushInterval bounds how long a message may wait in a pending frame
+	// (0 = netsim.DefaultFlushInterval). It is the worst-case latency
+	// batching adds to any hop; keep it under the reliable layer's retry
+	// base or every coalesced envelope will look like a loss.
+	FlushInterval time.Duration
 }
 
 // errAttrResync is the callee's signal that it no longer holds the base

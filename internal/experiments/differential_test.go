@@ -40,12 +40,16 @@ func TestCodecDifferential(t *testing.T) {
 		return scenarios()
 	}
 
+	// NoBatching on both sides: batching coalesces messages on a timer, so
+	// message-count columns would depend on scheduling, not on the codec
+	// under test.
 	legacy := runUnder(core.WireConfig{
 		FullAttrs:       true,
 		StandaloneAcks:  true,
 		EagerHeartbeats: true,
+		NoBatching:      true,
 	})
-	optimized := runUnder(core.WireConfig{})
+	optimized := runUnder(core.WireConfig{NoBatching: true})
 
 	if len(legacy) != len(optimized) {
 		t.Fatalf("table counts differ: %d vs %d", len(legacy), len(optimized))

@@ -258,7 +258,10 @@ func RunE6(stateSizes []int) Table {
 }
 
 func invokeModeCost(mode core.InvokeMode, stateSize int) (msgs, bytes int64, eventsOK bool) {
-	sys := mustSystem(core.Config{Nodes: 2, Mode: mode, PageSize: 1024})
+	// Batching off: this experiment compares exact per-protocol byte counts,
+	// and frame overhead varies with how sends happen to coalesce.
+	sys := mustSystem(core.Config{Nodes: 2, Mode: mode, PageSize: 1024,
+		Wire: core.WireConfig{NoBatching: true}})
 	defer sys.Close()
 	var handled atomic.Int64
 	if err := sys.RegisterProc("e6.h", func(_ object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {

@@ -88,6 +88,17 @@ const (
 	// Ack piggybacking (wire-efficiency layer, DESIGN.md §8).
 	CtrRelAckPiggyback  = "rel.ack.piggyback"
 	CtrRelAckStandalone = "rel.ack.standalone"
+
+	// Per-link batch coalescing (hot send path, DESIGN.md §11). frames and
+	// recs decompose coalesced traffic (recs/frames = mean batch size);
+	// solo counts idle-link sends that shipped bare; the flush.* trio
+	// attributes each frame to the threshold or window that shipped it.
+	CtrBatchFrames     = "batch.frames"
+	CtrBatchRecs       = "batch.recs"
+	CtrBatchSolo       = "batch.solo"
+	CtrBatchFlushSize  = "batch.flush.size"
+	CtrBatchFlushBytes = "batch.flush.bytes"
+	CtrBatchFlushTimer = "batch.flush.timer"
 )
 
 // Per-message-kind wire accounting. The fabric charges every message's

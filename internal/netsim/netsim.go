@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/ids"
 	"repro/internal/metrics"
 	"repro/internal/vclock"
@@ -91,6 +92,10 @@ type Config struct {
 	// simulation digest (internal/sim) depends on serial per-node delivery,
 	// and the virtual clock's quiescence tracking assumes it.
 	DispatchWorkers int
+	// Batch configures per-link send coalescing (batch.go). Disabled by
+	// the zero value, and forced off under a *vclock.Virtual clock for the
+	// same reason DispatchWorkers is forced to 1.
+	Batch BatchConfig
 }
 
 type endpoint struct {
@@ -141,6 +146,11 @@ type Fabric struct {
 	ctrMulticast *atomic.Int64
 	kindCtrs     sync.Map // message kind -> *kindCounters
 
+	// bat is the per-link send coalescing state; nil means every Send
+	// posts its own message (batching off, or forced off under a virtual
+	// clock).
+	bat *batcher
+
 	mu        sync.RWMutex
 	endpoints map[ids.NodeID]*endpoint
 	groups    map[string]map[ids.NodeID]bool
@@ -189,9 +199,13 @@ func New(cfg Config) *Fabric {
 	if workers <= 0 {
 		workers = 1
 	}
+	batching := cfg.Batch.Enabled
 	if _, virtual := cfg.Clock.(*vclock.Virtual); virtual {
-		// Deterministic simulation requires serial per-node delivery.
+		// Deterministic simulation requires serial per-node delivery, and
+		// per-message posts: a flush-window timer in the virtual heap would
+		// reorder against protocol timers and change every digest.
 		workers = 1
+		batching = false
 	}
 	f := &Fabric{
 		cfg:          cfg,
@@ -213,6 +227,9 @@ func New(cfg Config) *Fabric {
 		done:         make(chan struct{}),
 	}
 	f.dropRate.Store(math.Float64bits(cfg.DropRate))
+	if batching {
+		f.bat = newBatcher(cfg.Batch, reg)
+	}
 	return f
 }
 
@@ -314,6 +331,10 @@ func (f *Fabric) Close() {
 	}
 	close(f.done)
 	f.mu.Unlock()
+	// Outside f.mu: an in-flight flush holds its link lock while taking
+	// f.mu.RLock, so disarming the timers under the write lock would
+	// deadlock against it.
+	f.stopBatchTimers()
 	f.wg.Wait()
 }
 
@@ -325,7 +346,19 @@ func (f *Fabric) dispatch(ep *endpoint, inbox chan Message) {
 			return
 		case m := <-inbox:
 			f.ctrDelivered.Add(1)
-			if ep.handler != nil {
+			if fr, ok := m.Payload.(*batch.Frame); ok {
+				// Unbundle a coalesced frame: the handler sees the inner
+				// messages, in append order, on the same goroutine — the
+				// per-(sender,receiver) FIFO a bare stream would have. The
+				// frame returns to the pool; handlers own the payloads but
+				// must not retain the Message beyond their return anyway.
+				if ep.handler != nil {
+					for _, r := range fr.Recs() {
+						ep.handler(Message{From: m.From, To: m.To, Kind: r.Kind, Payload: r.Payload, Size: r.Size})
+					}
+				}
+				batch.Put(fr)
+			} else if ep.handler != nil {
 				ep.handler(m)
 			}
 			// The work token taken when the message entered the inbox is
@@ -351,6 +384,10 @@ func (f *Fabric) Send(m Message) error {
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrUnknownNode, m.To)
 	}
+	if f.bat != nil {
+		f.batchSend(ep, m, severed)
+		return nil
+	}
 	f.post(ep, m, severed)
 	return nil
 }
@@ -364,6 +401,12 @@ func (f *Fabric) Send(m Message) error {
 func (f *Fabric) post(ep *endpoint, m Message, severed bool) {
 	if m.Size == 0 {
 		m.Size = PayloadSize(m.Payload)
+	}
+	// A bare message departs here; give departure-time payloads (the
+	// reliable layer's pending envelopes) their final form. Frame records
+	// were finalized at flush.
+	if fin, ok := m.Payload.(batch.Finalizer); ok {
+		m.Payload = fin.FinalizeFlush()
 	}
 	f.ctrSent.Add(1)
 	f.ctrBytes.Add(int64(m.Size))

@@ -190,7 +190,13 @@ type Endpoint struct {
 
 	closeOnce sync.Once
 	closed    chan struct{}
-	wg        sync.WaitGroup
+	// closeMu orders Send's retry-goroutine registration (wg.Add) against
+	// Close: Close flips closed under the write lock, so a Send either
+	// registers before the flip (and Close's Wait covers it) or observes
+	// closed and bails. Without it a Send racing Close can Add while Wait
+	// runs — the textbook WaitGroup misuse.
+	closeMu sync.RWMutex
+	wg      sync.WaitGroup
 }
 
 // peerState is everything the endpoint tracks about one peer: the outbound
@@ -274,7 +280,9 @@ func (e *Endpoint) lookup(n ids.NodeID) *peerState {
 // dead-lettering (the system is going away).
 func (e *Endpoint) Close() {
 	e.closeOnce.Do(func() {
+		e.closeMu.Lock()
 		close(e.closed)
+		e.closeMu.Unlock()
 		e.peersMu.RLock()
 		peers := make([]*peerState, 0, len(e.peers))
 		for _, p := range e.peers {
@@ -296,11 +304,15 @@ func (e *Endpoint) Close() {
 // semantics. It returns immediately; retransmission runs in the
 // background and failures surface through the dead-letter callback.
 func (e *Endpoint) Send(to ids.NodeID, kind string, payload any) error {
+	e.closeMu.RLock()
 	select {
 	case <-e.closed:
+		e.closeMu.RUnlock()
 		return netsim.ErrClosed
 	default:
 	}
+	e.wg.Add(1)
+	e.closeMu.RUnlock()
 	e.ctrSend.Add(1)
 	ackCh := make(chan struct{})
 	p := e.peer(to)
@@ -313,14 +325,15 @@ func (e *Endpoint) Send(to ids.NodeID, kind string, payload any) error {
 	// retransmission attempts reuse this figure instead of re-walking a
 	// payload the receiver may by then be mutating.
 	size := 24 + len(kind) + netsim.PayloadSize(payload)
-	e.wg.Add(1)
 	go e.transmit(to, kind, payload, size, seq, ackCh)
 	return nil
 }
 
 // transmit drives one send's retry loop: (re)send, wait backoff for the
 // ack, double the backoff, repeat up to the attempt budget. Every attempt
-// rebuilds the envelope so its piggybacked ack is current.
+// rebuilds the envelope, and every copy reads its piggybacked ack at
+// departure (pendingEnv), so even a retransmitted or batch-delayed
+// envelope carries the receive frontier current when it hits the wire.
 func (e *Endpoint) transmit(to ids.NodeID, kind string, payload any, size int, seq uint64, ackCh chan struct{}) {
 	defer e.wg.Done()
 	backoff := e.cfg.RetryBase
@@ -330,7 +343,7 @@ func (e *Endpoint) transmit(to ids.NodeID, kind string, payload any, size int, s
 		}
 		err := e.send(netsim.Message{
 			From: e.self, To: to, Kind: KindData,
-			Payload: Envelope{Seq: seq, Kind: kind, Payload: payload, AckCum: e.takePiggyback(to), Size: size},
+			Payload: pendingEnv{e: e, to: to, env: Envelope{Seq: seq, Kind: kind, Payload: payload, Size: size}},
 		})
 		if err != nil {
 			// Structural failure (unknown node, fabric closed): retrying
@@ -357,6 +370,30 @@ func (e *Endpoint) transmit(to ids.NodeID, kind string, payload any, size int, s
 	e.dropPending(to, seq)
 	e.deadLetter(to, kind, payload,
 		fmt.Errorf("%w: %s to %v after %d attempts", ErrUndeliverable, kind, to, e.cfg.MaxAttempts))
+}
+
+// pendingEnv is an envelope on its way to the wire. It defers the
+// piggybacked-ack read to the moment the message actually departs — the
+// fabric finalizes it when a batch frame flushes (or immediately for a
+// bare send) — so receipts that arrive while the envelope waits in a
+// pending frame still ride out on it, and the settled ack debt disarms the
+// standalone flushAck timer exactly when the frame that carries the
+// cumulative ack ships.
+type pendingEnv struct {
+	e   *Endpoint
+	to  ids.NodeID
+	env Envelope
+}
+
+// WireSize charges the finalized envelope's footprint (the ack field is
+// part of Envelope's fixed header either way).
+func (p pendingEnv) WireSize() int { return p.env.WireSize() }
+
+// FinalizeFlush implements batch.Finalizer: stamp the departure-time
+// cumulative ack and hand the bare Envelope to the wire.
+func (p pendingEnv) FinalizeFlush() any {
+	p.env.AckCum = p.e.takePiggyback(p.to)
+	return p.env
 }
 
 // takePiggyback returns the current cumulative receive frontier for peer
@@ -434,8 +471,15 @@ func (e *Endpoint) Handle(m netsim.Message) bool {
 		return true
 
 	case KindData:
-		env, ok := m.Payload.(Envelope)
-		if !ok {
+		var env Envelope
+		switch p := m.Payload.(type) {
+		case Envelope:
+			env = p
+		case pendingEnv:
+			// Endpoints wired back to back (tests) skip the fabric's
+			// departure-time finalization; departure is delivery here.
+			env = p.FinalizeFlush().(Envelope)
+		default:
 			return true
 		}
 		// The piggybacked frontier retires our own pending sends first.

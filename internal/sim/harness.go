@@ -85,6 +85,7 @@ func newHarness(seed int64, sc Scenario) (*harness, error) {
 		TraceCapacity: 8192,
 		Seed:          seed,
 		Clock:         v,
+		Wire:          sc.Wire,
 	})
 	if err != nil {
 		return nil, err

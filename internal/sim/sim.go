@@ -43,6 +43,8 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+
+	"repro/internal/core"
 )
 
 // Bug selects a deliberately reintroduced defect, used to prove the
@@ -85,6 +87,11 @@ type Scenario struct {
 	Locks bool
 	// Bug injects a known defect (see Bug).
 	Bug Bug
+	// Wire overrides the kernel's wire configuration. Send batching is
+	// forced off under the simulator's virtual clock whatever this says
+	// (TestSimDigestIgnoresBatchingConfig pins that), so the zero value
+	// and an aggressive batching config produce identical digests.
+	Wire core.WireConfig
 }
 
 func (sc *Scenario) fillDefaults() {

@@ -6,6 +6,9 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/core"
 )
 
 // seedFlag replays one specific schedule:
@@ -60,6 +63,41 @@ func TestSimDeterminism(t *testing.T) {
 	if first.Digest != second.Digest {
 		t.Errorf("same seed, different digests:\n run 1: %s\n run 2: %s\nreplay: %s",
 			first.Digest, second.Digest, first.ReplayCommand())
+	}
+}
+
+// TestSimDigestIgnoresBatchingConfig pins the forced-off rule: under the
+// simulator's virtual clock, send batching must be disabled no matter what
+// the wire config asks for, so the default config, an explicit opt-out and
+// an aggressively tuned batching config all produce byte-identical digests.
+// If batching ever leaked into virtual time, its flush timers would
+// interleave with protocol timers and the digests would diverge.
+func TestSimDigestIgnoresBatchingConfig(t *testing.T) {
+	seed := int64(1)
+	if *seedFlag != 0 {
+		seed = *seedFlag
+	}
+	wires := map[string]core.WireConfig{
+		"default":    {},
+		"no-batch":   {NoBatching: true},
+		"aggressive": {BatchMaxMsgs: 2, FlushInterval: 50 * time.Microsecond},
+	}
+	digests := map[string]string{}
+	for label, wire := range wires {
+		sc := fullScenario()
+		sc.Wire = wire
+		res, err := Run(seed, sc)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if res.Failed() {
+			report(t, res)
+		}
+		digests[label] = res.Digest
+	}
+	if digests["default"] != digests["no-batch"] || digests["default"] != digests["aggressive"] {
+		t.Errorf("digests differ across batching configs:\n default:    %s\n no-batch:   %s\n aggressive: %s",
+			digests["default"], digests["no-batch"], digests["aggressive"])
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 )
 
@@ -59,6 +60,10 @@ type SustainedConfig struct {
 	// Seed seeds the per-generator randomness (destination, class and kind
 	// draws). Zero picks 1.
 	Seed int64
+	// Batch is passed through to netsim.Config.Batch: per-link send
+	// coalescing (DESIGN.md §11). Zero value = batching off, so existing
+	// measurements (E12) are unchanged.
+	Batch netsim.BatchConfig
 }
 
 func (c *SustainedConfig) fillDefaults() {
@@ -101,6 +106,10 @@ type SustainedResult struct {
 	// Handler-completion latency percentiles: send-to-handler-return for
 	// raises, full round trip for invokes. Queueing on every hop included.
 	P50, P95, P99 time.Duration
+	// Metrics is the fabric's final counter snapshot (net.msg.sent,
+	// batch.frames, ...), taken after Close so all pending flushes have
+	// landed.
+	Metrics metrics.Snapshot
 }
 
 // Wire kinds of the sustained workload.
@@ -143,6 +152,7 @@ func RunSustained(cfg SustainedConfig) (SustainedResult, error) {
 		QueueDepth:      cfg.QueueDepth,
 		Seed:            cfg.Seed,
 		DispatchWorkers: cfg.Workers,
+		Batch:           cfg.Batch,
 	})
 	recs := make([]*latRecorder, cfg.Nodes+1) // 1-based by node ID
 	var completed, respShed atomic.Int64
@@ -257,6 +267,7 @@ func RunSustained(cfg SustainedConfig) (SustainedResult, error) {
 	// Stop dispatch before closing the outboxes: handlers cannot run after
 	// Close returns, so nothing sends on a closed outbox.
 	fab.Close()
+	snap := fab.Metrics().Snapshot()
 	for _, ob := range outboxes[1:] {
 		close(ob)
 	}
@@ -275,6 +286,7 @@ func RunSustained(cfg SustainedConfig) (SustainedResult, error) {
 		Offered:   offered.Load(),
 		Shed:      respShed.Load(),
 		Elapsed:   elapsed,
+		Metrics:   snap,
 	}
 	res.EventsPerSec = float64(res.Completed) / elapsed.Seconds()
 	if len(all) > 0 {
