@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test shuffle race bench bench-smoke bench-batch chaos chaos-soak sim sim-soak fuzz-smoke check
+.PHONY: all vet build test shuffle race bench bench-smoke bench-batch chaos chaos-soak sim sim-soak fuzz-smoke tcp-smoke check
 
 all: check
 
@@ -38,7 +38,7 @@ bench:
 # the dispatch pool, losing send coalescing — cost far more than 30%.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
-	$(GO) run ./cmd/benchtab -e e11,e12,e13 -json -gate BENCH_e11.json,BENCH_e12.json,BENCH_e13.json > /dev/null
+	$(GO) run ./cmd/benchtab -e e11,e12,e13,e14 -json -gate BENCH_e11.json,BENCH_e12.json,BENCH_e13.json,BENCH_e14.json > /dev/null
 
 # bench-batch reruns just the E13 batching sweep and prints the table —
 # the quick loop for tuning the coalescing knobs.
@@ -73,6 +73,14 @@ sim:
 SOAK_SEEDS ?= 25
 sim-soak:
 	SIM_SOAK_SEEDS=$(SOAK_SEEDS) $(GO) test -count=1 -timeout 60m -run TestSimFuzz -v ./internal/sim/
+
+# tcp-smoke boots a real multi-process cluster over loopback TCP — the
+# doctnode binary, one OS process per node — and proves events cross the
+# wire end to end: the 3-process quickstart plus the 8-process kill -9
+# chaos schedule with a mid-workload restart. This is the check that the
+# transport subsystem works outside the simulator.
+tcp-smoke:
+	$(GO) test -count=1 -run 'TestSmokeThreeProcess|TestChaosKill9EightProcess' ./cmd/doctnode/
 
 # fuzz-smoke gives each fuzz target a short budget on top of its
 # checked-in corpus — enough to catch an obvious regression per push;

@@ -56,6 +56,7 @@ var runners = []struct {
 	{"e11b", "FT control traffic, legacy vs optimized wire (DESIGN.md §8)", experiments.RunE11FT},
 	{"e12", "sustained-throughput event pipeline (DESIGN.md §10)", func() experiments.Table { return experiments.RunE12(0) }},
 	{"e13", "per-link batch coalescing sweep (DESIGN.md §11)", func() experiments.Table { return experiments.RunE13(0) }},
+	{"e14", "real TCP wire bytes vs simulated estimate (DESIGN.md §12)", func() experiments.Table { return experiments.RunE14(0) }},
 }
 
 func main() {
@@ -162,6 +163,7 @@ var gateRules = map[string][]gateRule{
 	"E11": {{column: "wire B/invoke", min: true}},
 	"E12": {{column: "events/s"}},
 	"E13": {{column: "events/s"}, {column: "msg reduction"}},
+	"E14": {{column: "wire B/op", min: true}},
 }
 
 // checkGate compares the fresh run against each checked-in baseline file.
@@ -223,7 +225,7 @@ func checkGate(paths string, tol float64, tables []experiments.Table) error {
 			}
 		}
 		if fileChecked == 0 {
-			return fmt.Errorf("gate: no gated tables in %s (known: E11, E12, E13)", path)
+			return fmt.Errorf("gate: no gated tables in %s (known: E11, E12, E13, E14)", path)
 		}
 		checked += fileChecked
 	}

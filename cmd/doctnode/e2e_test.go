@@ -1,0 +1,321 @@
+package main
+
+// Multi-process end-to-end tests: every node of the cluster is a real OS
+// process running the doctnode binary, talking over loopback TCP. The
+// test process is a pure supervisor — it spawns, kills, restarts, and
+// reads the progress/sink/report files the nodes write.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+var doctnodeBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "doctnode-e2e")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	doctnodeBin = filepath.Join(dir, "doctnode")
+	if out, err := exec.Command("go", "build", "-o", doctnodeBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building doctnode: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// reserveAddrs picks n free loopback ports by binding and releasing
+// them; the node processes re-bind moments later.
+func reserveAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+	return addrs
+}
+
+func peersFlag(addrs []string) string {
+	parts := make([]string, len(addrs))
+	for i, a := range addrs {
+		parts[i] = fmt.Sprintf("%d=%s", i+1, a)
+	}
+	return strings.Join(parts, ",")
+}
+
+// nodeProc supervises one doctnode OS process.
+type nodeProc struct {
+	t      *testing.T
+	cmd    *exec.Cmd
+	logp   string
+	waited chan struct{} // closed once Wait has returned
+	err    error
+}
+
+func spawnNode(t *testing.T, dir, name string, args ...string) *nodeProc {
+	t.Helper()
+	p := &nodeProc{t: t, logp: filepath.Join(dir, name+".log"), waited: make(chan struct{})}
+	logf, err := os.Create(p.logp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.cmd = exec.Command(doctnodeBin, args...)
+	p.cmd.Stdout = logf
+	p.cmd.Stderr = logf
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		p.err = p.cmd.Wait()
+		logf.Close()
+		close(p.waited)
+	}()
+	t.Cleanup(func() {
+		p.kill9()
+		if t.Failed() {
+			if b, err := os.ReadFile(p.logp); err == nil && len(b) > 0 {
+				t.Logf("---- %s ----\n%s", name, b)
+			}
+		}
+	})
+	return p
+}
+
+// kill9 SIGKILLs the process (no-op if already gone) and reaps it.
+func (p *nodeProc) kill9() {
+	select {
+	case <-p.waited:
+		return
+	default:
+	}
+	p.cmd.Process.Kill()
+	<-p.waited
+}
+
+func (p *nodeProc) sigterm() { p.cmd.Process.Signal(syscall.SIGTERM) }
+
+// waitExit blocks until the process exits and returns its Wait error.
+func (p *nodeProc) waitExit(timeout time.Duration) error {
+	p.t.Helper()
+	select {
+	case <-p.waited:
+		return p.err
+	case <-time.After(timeout):
+		p.t.Fatalf("process did not exit within %v", timeout)
+		return nil
+	}
+}
+
+// progressInts parses a progress file into the set of recorded
+// iteration indices (missing file = nothing recorded yet).
+func progressInts(t *testing.T, path string) map[int]bool {
+	t.Helper()
+	out := map[int]bool{}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return out
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(b)), "\n") {
+		if line == "" {
+			continue
+		}
+		n, err := strconv.Atoi(line)
+		if err != nil {
+			t.Fatalf("progress %s: bad line %q", path, line)
+		}
+		out[n] = true
+	}
+	return out
+}
+
+func waitForFiles(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", timeout, what)
+}
+
+// TestSmokeThreeProcess is the quickstart from the doctnode package doc
+// run for real: three OS processes over loopback, two firing events at
+// the sink hosted by the first, which exits 0 on its own once all 20
+// have been handled. `make tcp-smoke` runs exactly this test.
+func TestSmokeThreeProcess(t *testing.T) {
+	dir := t.TempDir()
+	addrs := reserveAddrs(t, 3)
+	peers := peersFlag(addrs)
+
+	n1 := spawnNode(t, dir, "node1",
+		"-node", "1", "-nodes", "3", "-listen", addrs[0], "-peers", peers,
+		"-expect", "20", "-v")
+	for i := 2; i <= 3; i++ {
+		spawnNode(t, dir, fmt.Sprintf("node%d", i),
+			"-node", strconv.Itoa(i), "-nodes", "3", "-listen", addrs[i-1], "-peers", peers,
+			"-workload", "raise", "-count", "10")
+	}
+	if err := n1.waitExit(60 * time.Second); err != nil {
+		t.Fatalf("node 1 exited with %v, want success after 20 sink events", err)
+	}
+}
+
+// TestChaosKill9EightProcess is the acceptance scenario: an 8-node
+// cluster as 8 OS processes over loopback TCP, four raising events at
+// the sink and three running lock/bump/release cycles against the
+// shared tally, with one lock worker kill -9ed mid-workload and
+// restarted as a new incarnation. The cluster must finish with zero
+// lost events (every recorded raise reached the sink), zero lost locks
+// (no orphaned hold, no lost tally update), and every survivor — plus
+// the restarted process — completing its workload.
+func TestChaosKill9EightProcess(t *testing.T) {
+	const (
+		nodes      = 8
+		raiseCount = 20 // nodes 2..5
+		lockCount  = 12 // nodes 6..8
+		suspect    = 500 * time.Millisecond
+	)
+	dir := t.TempDir()
+	addrs := reserveAddrs(t, nodes)
+	peers := peersFlag(addrs)
+	sinkLog := filepath.Join(dir, "sink.txt")
+	reportFile := filepath.Join(dir, "report.txt")
+	progFile := func(n int) string { return filepath.Join(dir, fmt.Sprintf("prog%d.txt", n)) }
+
+	baseArgs := func(n int) []string {
+		return []string{
+			"-node", strconv.Itoa(n), "-nodes", strconv.Itoa(nodes),
+			"-listen", addrs[n-1], "-peers", peers,
+			"-hb", "25ms", "-suspect", suspect.String(),
+		}
+	}
+	n1 := spawnNode(t, dir, "node1", append(baseArgs(1),
+		"-sinklog", sinkLog, "-report", reportFile, "-v")...)
+	// Paced so both workloads are still mid-flight when the kill lands:
+	// raisers spread ~800ms of traffic across the crash and restart;
+	// lockers dwell inside the critical section so the kill can orphan a
+	// held lock.
+	raisers := map[int]*nodeProc{}
+	for n := 2; n <= 5; n++ {
+		raisers[n] = spawnNode(t, dir, fmt.Sprintf("node%d", n), append(baseArgs(n),
+			"-workload", "raise", "-count", strconv.Itoa(raiseCount),
+			"-pace", "40ms", "-progress", progFile(n))...)
+	}
+	lockers := map[int]*nodeProc{}
+	for n := 6; n <= 8; n++ {
+		lockers[n] = spawnNode(t, dir, fmt.Sprintf("node%d", n), append(baseArgs(n),
+			"-workload", "lock", "-count", strconv.Itoa(lockCount),
+			"-hold", "25ms", "-progress", progFile(n))...)
+	}
+
+	// Let the cluster make real progress, then kill -9 a lock worker —
+	// possibly mid-hold of the cluster lock.
+	waitForFiles(t, "first lock cycles", 30*time.Second, func() bool {
+		return len(progressInts(t, progFile(7))) >= 2
+	})
+	lockers[7].kill9()
+
+	// A real restart takes longer than the suspect window; waiting it out
+	// also guarantees node 1 fires NODE_DOWN and reclaims any lock the
+	// dead incarnation held before its successor shows up.
+	time.Sleep(suspect + 300*time.Millisecond)
+	done := progressInts(t, progFile(7))
+	restartFrom := 0
+	for i := range done {
+		if i >= restartFrom {
+			restartFrom = i + 1
+		}
+	}
+	t.Logf("node 7 killed after %d cycles; restarting from %d", len(done), restartFrom)
+	lockers[7] = spawnNode(t, dir, "node7b", append(baseArgs(7),
+		"-workload", "lock", "-count", strconv.Itoa(lockCount),
+		"-progress", progFile(7), "-start", strconv.Itoa(restartFrom))...)
+
+	// Everyone — including the restarted incarnation — must finish.
+	waitForFiles(t, "all workloads to complete", 120*time.Second, func() bool {
+		for n := 2; n <= 5; n++ {
+			if len(progressInts(t, progFile(n))) < raiseCount {
+				return false
+			}
+		}
+		for n := 6; n <= 8; n++ {
+			if len(progressInts(t, progFile(n))) < lockCount {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Graceful shutdown of node 1 dumps the tally and held-lock counts.
+	n1.sigterm()
+	if err := n1.waitExit(60 * time.Second); err != nil {
+		t.Fatalf("node 1 shutdown: %v", err)
+	}
+
+	// Zero lost events: every raise recorded as complete by nodes 2..5
+	// must appear in the sink's log.
+	sink := map[string]bool{}
+	b, err := os.ReadFile(sinkLog)
+	if err != nil {
+		t.Fatalf("sink log: %v", err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(b)), "\n") {
+		if line != "" {
+			sink[line] = true
+		}
+	}
+	for n := 2; n <= 5; n++ {
+		for i := range progressInts(t, progFile(n)) {
+			if key := fmt.Sprintf("%d %d", n, i); !sink[key] {
+				t.Errorf("event (src=%d i=%d) recorded as raised but never reached the sink", n, i)
+			}
+		}
+	}
+
+	// Zero lost locks: the report must show no lock still held (the dead
+	// incarnation's hold was reclaimed, everyone else released), and the
+	// tally — a read-modify-write only safe under the lock — must have
+	// absorbed at least one bump per completed cycle. A lost update
+	// would leave it short.
+	rb, err := os.ReadFile(reportFile)
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	report := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(rb)), "\n") {
+		if k, v, ok := strings.Cut(line, "="); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				t.Fatalf("report line %q: %v", line, err)
+			}
+			report[k] = n
+		}
+	}
+	if report["held"] != 0 {
+		t.Errorf("%d cluster locks still held at shutdown, want 0 (orphan reclaim failed?)", report["held"])
+	}
+	const wantTally = 3 * lockCount
+	if report["tally"] < wantTally {
+		t.Errorf("tally=%d after %d completed lock cycles — updates were lost", report["tally"], wantTally)
+	}
+	t.Logf("sink events=%d tally=%d (min %d)", len(sink), report["tally"], wantTally)
+}

@@ -1,0 +1,438 @@
+// Command doctnode runs one node of a distributed-object cluster as a
+// standalone OS process: a TCP transport bound to -listen, a static peer
+// map from -peers, and a core.System hosting exactly the node named by
+// -node. The process owning node 1 additionally creates the well-known
+// cluster services (event sink, lock server, shared tally).
+//
+// A doctnode can also drive a workload against the cluster while it
+// serves: -workload raise fires RaiseAndWait interrupts at the sink,
+// -workload lock runs acquire→bump→release cycles against the shared
+// tally under the cluster lock. Each completed iteration appends a line
+// to -progress, so a supervisor can tell after kill -9 exactly how far
+// the process got and restart it with -start (and a fresh -gen).
+//
+// Example 3-process cluster on loopback:
+//
+//	doctnode -node 1 -nodes 3 -listen 127.0.0.1:7101 \
+//	    -peers 1=127.0.0.1:7101,2=127.0.0.1:7102,3=127.0.0.1:7103 -expect 20
+//	doctnode -node 2 -nodes 3 -listen 127.0.0.1:7102 -peers ... -workload raise -count 10
+//	doctnode -node 3 -nodes 3 -listen 127.0.0.1:7103 -peers ... -workload raise -count 10
+//
+// The first process exits 0 once the sink has handled 20 events.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/locks"
+	"repro/internal/object"
+	"repro/internal/transport/tcptransport"
+)
+
+func main() {
+	var (
+		nodeFlag = flag.Int("node", 0, "node ID hosted by this process (1..nodes, required)")
+		nodes    = flag.Int("nodes", 0, "total cluster size (required)")
+		listen   = flag.String("listen", "", "TCP listen address, e.g. 127.0.0.1:7101 (required)")
+		peers    = flag.String("peers", "", "comma-separated node=host:port map covering every node (required)")
+		gen      = flag.Uint64("gen", 0, "incarnation generation; 0 derives one from the wall clock so a restart always exceeds its predecessor")
+		hb       = flag.Duration("hb", 25*time.Millisecond, "failure-detector heartbeat period")
+		suspect  = flag.Duration("suspect", 500*time.Millisecond, "silence before a peer is suspected down")
+		workload = flag.String("workload", "", "optional driver: raise (events at the sink) or lock (acquire/bump/release cycles)")
+		count    = flag.Int("count", 20, "workload iterations to complete")
+		start    = flag.Int("start", 0, "first workload iteration — pass the recorded progress after a restart")
+		pace     = flag.Duration("pace", 0, "delay between workload iterations")
+		hold     = flag.Duration("hold", 0, "lock workload: dwell this long inside the critical section")
+		progress = flag.String("progress", "", "file receiving one line per completed workload iteration")
+		sinklog  = flag.String("sinklog", "", "node 1 only: file receiving one 'src i' line per event the sink handles")
+		report   = flag.String("report", "", "node 1 only: file receiving tally/held-locks totals on graceful shutdown")
+		expect   = flag.Int("expect", 0, "node 1 only: exit 0 once the sink has handled this many events (smoke mode)")
+		reclaim  = flag.Duration("reclaim", time.Second, "node 1 only: orphaned-lock sweep interval (0 disables)")
+		verbose  = flag.Bool("v", false, "log per-iteration progress and transport events")
+	)
+	flag.Parse()
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	log.SetPrefix(fmt.Sprintf("doctnode[%d] ", *nodeFlag))
+	if err := run(config{
+		node: ids.NodeID(*nodeFlag), nodes: *nodes, listen: *listen, peers: *peers,
+		gen: *gen, hb: *hb, suspect: *suspect,
+		workload: *workload, count: *count, start: *start, pace: *pace, hold: *hold,
+		progress: *progress, sinklog: *sinklog, report: *report, expect: *expect,
+		reclaim: *reclaim, verbose: *verbose,
+	}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type config struct {
+	node            ids.NodeID
+	nodes           int
+	listen, peers   string
+	gen             uint64
+	hb, suspect     time.Duration
+	workload        string
+	count, start    int
+	pace, hold      time.Duration
+	progress        string
+	sinklog, report string
+	expect          int
+	reclaim         time.Duration
+	verbose         bool
+}
+
+func run(cfg config) error {
+	if cfg.node == 0 || cfg.nodes == 0 || int(cfg.node) > cfg.nodes {
+		return fmt.Errorf("-node must be in 1..%d (-nodes)", cfg.nodes)
+	}
+	if cfg.listen == "" {
+		return fmt.Errorf("-listen is required")
+	}
+	peerMap, err := parsePeers(cfg.peers, cfg.nodes)
+	if err != nil {
+		return err
+	}
+	if cfg.gen == 0 {
+		// Wall-clock generations are strictly increasing across restarts
+		// of the same node, which is all the reliable layer needs to
+		// reset peers' dedup windows for the new incarnation.
+		cfg.gen = uint64(time.Now().UnixNano())
+	}
+
+	tr, err := tcptransport.New(tcptransport.Config{
+		Listen:     cfg.listen,
+		Peers:      peerMap,
+		Generation: cfg.gen,
+		Logf: func(format string, args ...any) {
+			if cfg.verbose {
+				log.Printf("transport: "+format, args...)
+			}
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("transport: %w", err)
+	}
+	sys, err := core.NewSystem(core.Config{
+		Nodes:       cfg.nodes,
+		LocalNodes:  []ids.NodeID{cfg.node},
+		Transport:   tr,
+		CallTimeout: 10 * time.Second,
+		FT: core.FTConfig{
+			Enabled:         true,
+			HeartbeatPeriod: cfg.hb,
+			SuspectAfter:    cfg.suspect,
+			Generation:      cfg.gen,
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("system: %w", err)
+	}
+	if err := locks.Register(sys); err != nil {
+		return fmt.Errorf("locks: %w", err)
+	}
+
+	var handled *atomic.Int64
+	if cfg.node == wellKnownNode {
+		var sinkW *lineWriter
+		if cfg.sinklog != "" {
+			if sinkW, err = newLineWriter(cfg.sinklog); err != nil {
+				return err
+			}
+		}
+		handled, err = createServices(sys, func(ev sinkEvent) {
+			if cfg.verbose {
+				log.Printf("sink: event src=%d i=%d", ev.Src, ev.I)
+			}
+			if sinkW != nil {
+				sinkW.writef("%d %d", ev.Src, ev.I)
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("services: %w", err)
+		}
+	}
+	// Log membership transitions this process's detector view goes
+	// through — the first thing to read when a cluster misbehaves.
+	watcher, err := sys.CreateObject(cfg.node, object.Spec{
+		Name: "fd-watch",
+		Handlers: map[event.Name]object.Handler{
+			event.NodeDown: func(_ object.Ctx, _ event.HandlerRef, eb *event.Block) event.Verdict {
+				log.Printf("membership: NODE_DOWN %v", eb.User["node"])
+				return event.VerdictResume
+			},
+			event.NodeUp: func(_ object.Ctx, _ event.HandlerRef, eb *event.Block) event.Verdict {
+				log.Printf("membership: NODE_UP %v", eb.User["node"])
+				return event.VerdictResume
+			},
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("fd watcher: %w", err)
+	}
+	sys.WatchMembership(watcher)
+	log.Printf("up: node %d/%d on %s gen=%d", cfg.node, cfg.nodes, tr.Addr(), cfg.gen)
+
+	workloadDone := make(chan error, 1)
+	if cfg.workload != "" {
+		go func() { workloadDone <- runWorkload(sys, cfg) }()
+	} else {
+		workloadDone = nil
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+
+	// Smoke mode: node 1 polls its sink counter and exits on its own once
+	// the cluster has delivered everything, so a driver script can simply
+	// wait for this process.
+	var expectTick <-chan time.Time
+	if cfg.expect > 0 && handled != nil {
+		t := time.NewTicker(10 * time.Millisecond)
+		defer t.Stop()
+		expectTick = t.C
+	}
+
+	// The lock-server host periodically re-runs the orphaned-lock sweep.
+	// Transition-triggered reclaim (NODE_DOWN/NODE_UP) catches the common
+	// cases, but a grant leaked by the last transition's races has no
+	// further transition to heal it; a background sweep makes reclamation
+	// converge regardless of when the leak happened. Cheap when healthy:
+	// it only probes holders of currently-held locks.
+	var reclaimTick <-chan time.Time
+	var reclaiming atomic.Bool
+	if cfg.node == wellKnownNode && cfg.reclaim > 0 {
+		t := time.NewTicker(cfg.reclaim)
+		defer t.Stop()
+		reclaimTick = t.C
+	}
+
+	for {
+		select {
+		case sig := <-sigs:
+			log.Printf("signal %v: shutting down", sig)
+			if err := shutdown(sys, cfg); err != nil {
+				return err
+			}
+			return nil
+		case err := <-workloadDone:
+			workloadDone = nil // keep serving until signalled
+			if err != nil {
+				return fmt.Errorf("workload: %w", err)
+			}
+			log.Printf("workload done (%d iterations)", cfg.count-cfg.start)
+		case <-expectTick:
+			if n := handled.Load(); n >= int64(cfg.expect) {
+				log.Printf("smoke complete: sink handled %d events (expected %d)", n, cfg.expect)
+				return shutdown(sys, cfg)
+			}
+		case <-reclaimTick:
+			// Liveness probes can block on an unresponsive peer, so the
+			// sweep runs off the loop; overlapping ticks are skipped.
+			if reclaiming.CompareAndSwap(false, true) {
+				go func() {
+					defer reclaiming.Store(false)
+					if n := sys.ReclaimOrphanedLocks(); n > 0 {
+						log.Printf("reclaimed %d orphaned lock(s)", n)
+					}
+				}()
+			}
+		}
+	}
+}
+
+// shutdown writes the report (node 1) and drains the system.
+func shutdown(sys *core.System, cfg config) error {
+	if cfg.node == wellKnownNode && cfg.report != "" {
+		// Releases are asynchronous — a client's last cycle can complete
+		// before its release lands at the server. Give in-flight releases
+		// (and any pending orphan reclaim) a bounded window to drain so
+		// the report reflects the settled state, not a race.
+		var held int
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			var err error
+			if held, err = heldLockCount(sys); err != nil {
+				return fmt.Errorf("report locks: %w", err)
+			}
+			if held == 0 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		tally, err := tallyValue(sys)
+		if err != nil {
+			return fmt.Errorf("report tally: %w", err)
+		}
+		body := fmt.Sprintf("tally=%d\nheld=%d\n", tally, held)
+		if err := os.WriteFile(cfg.report, []byte(body), 0o644); err != nil {
+			return err
+		}
+		log.Printf("report: %s -> %q", cfg.report, strings.ReplaceAll(body, "\n", " "))
+	}
+	sys.Close()
+	return nil
+}
+
+// runWorkload drives the configured client loop. Iterations retry until
+// they succeed — a dead peer or an in-progress lock reclaim shows up as
+// an error or timeout here, never as silent loss — and each success is
+// recorded durably before the next begins.
+func runWorkload(sys *core.System, cfg config) error {
+	var prog *lineWriter
+	if cfg.progress != "" {
+		w, err := newLineWriter(cfg.progress)
+		if err != nil {
+			return err
+		}
+		prog = w
+	}
+	record := func(i int) {
+		if prog != nil {
+			prog.writef("%d", i)
+		}
+		if cfg.verbose {
+			log.Printf("workload %s: iteration %d done", cfg.workload, i)
+		}
+		if cfg.pace > 0 {
+			time.Sleep(cfg.pace)
+		}
+	}
+
+	switch cfg.workload {
+	case "raise":
+		for i := cfg.start; i < cfg.count; i++ {
+			user := map[string]any{"src": int(cfg.node), "i": i}
+			retryUntil(func() error {
+				_, err := sys.RaiseAndWait(cfg.node, event.Interrupt, event.ToObject(sinkID()), user)
+				return err
+			}, cfg, fmt.Sprintf("raise %d", i))
+			record(i)
+		}
+		return nil
+	case "lock":
+		// The worker object's job entry is the critical section: acquire
+		// the cluster lock, bump the shared tally (a remote read-modify-
+		// write), release. If this process dies mid-hold, node 1's lock
+		// server must reclaim "L" when the failure detector fires.
+		worker, err := sys.CreateObject(cfg.node, object.Spec{
+			Name: "locker",
+			Entries: map[string]object.Entry{
+				"job": func(ctx object.Ctx, _ []any) ([]any, error) {
+					if err := locks.Acquire(ctx, lockServerID(), "L"); err != nil {
+						return nil, err
+					}
+					res, err := ctx.Invoke(tallyID(), "bump")
+					// Dwelling inside the critical section widens the window
+					// in which a kill -9 leaves an orphaned hold for the lock
+					// server to reclaim.
+					if err == nil && cfg.hold > 0 {
+						err = ctx.Sleep(cfg.hold)
+					}
+					if relErr := locks.Release(ctx, lockServerID(), "L"); err == nil {
+						err = relErr
+					}
+					return res, err
+				},
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("create worker: %w", err)
+		}
+		for i := cfg.start; i < cfg.count; i++ {
+			retryUntil(func() error {
+				h, err := sys.Spawn(cfg.node, worker, "job")
+				if err != nil {
+					return err
+				}
+				_, err = h.Wait()
+				return err
+			}, cfg, fmt.Sprintf("lock cycle %d", i))
+			record(i)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown -workload %q (want raise or lock)", cfg.workload)
+	}
+}
+
+// retryUntil runs op until it succeeds, backing off briefly between
+// attempts. Cluster faults (a peer restarting, a lock awaiting reclaim)
+// are transient by design, so the loop is unbounded; the supervisor owns
+// the overall deadline.
+func retryUntil(op func() error, cfg config, what string) {
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil {
+			return
+		}
+		if cfg.verbose || attempt%20 == 0 {
+			log.Printf("%s: attempt %d: %v", what, attempt, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// parsePeers turns "1=127.0.0.1:7101,2=..." into a full address map.
+func parsePeers(s string, nodes int) (map[ids.NodeID]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-peers is required")
+	}
+	m := make(map[ids.NodeID]string, nodes)
+	for _, part := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("peer entry %q: want node=host:port", part)
+		}
+		n, err := strconv.Atoi(id)
+		if err != nil || n < 1 || n > nodes {
+			return nil, fmt.Errorf("peer entry %q: node must be 1..%d", part, nodes)
+		}
+		m[ids.NodeID(n)] = addr
+	}
+	if len(m) != nodes {
+		missing := make([]string, 0, nodes)
+		for i := 1; i <= nodes; i++ {
+			if _, ok := m[ids.NodeID(i)]; !ok {
+				missing = append(missing, strconv.Itoa(i))
+			}
+		}
+		sort.Strings(missing)
+		return nil, fmt.Errorf("-peers must cover every node; missing %s", strings.Join(missing, ","))
+	}
+	return m, nil
+}
+
+// lineWriter appends newline-terminated records to a file, one write(2)
+// per line so a kill -9 can lose at most the line being written, never
+// corrupt earlier ones.
+type lineWriter struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func newLineWriter(path string) (*lineWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &lineWriter{f: f}, nil
+}
+
+func (w *lineWriter) writef(format string, args ...any) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fmt.Fprintf(w.f, format+"\n", args...)
+}

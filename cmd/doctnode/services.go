@@ -1,0 +1,122 @@
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/locks"
+	"repro/internal/object"
+)
+
+// Well-known cluster services, all homed on node 1. Every doctnode binary
+// runs the same boot sequence, and kernel object IDs are allocated
+// deterministically (first object on node n is ids.NewObjectID(n, 1)), so
+// every process — including ones that never talk to node 1 before using
+// them — can compute these identities without a naming service. The
+// process hosting node 1 actually creates them; the rest just invoke.
+const wellKnownNode = ids.NodeID(1)
+
+// sinkID is the cluster event sink: an object whose INTERRUPT handler
+// records every arriving event (the raise workload's target).
+func sinkID() ids.ObjectID { return ids.NewObjectID(wellKnownNode, 1) }
+
+// lockServerID is the cluster lock service (locks.ServerSpec).
+func lockServerID() ids.ObjectID { return ids.NewObjectID(wellKnownNode, 2) }
+
+// tallyID is a shared counter object; its "bump" entry does a read-
+// modify-write of volatile state and is only safe under the cluster
+// lock, which is exactly what the lock workload exercises.
+func tallyID() ids.ObjectID { return ids.NewObjectID(wellKnownNode, 3) }
+
+// sinkEvent is one recorded arrival at the sink.
+type sinkEvent struct{ Src, I int }
+
+// createServices boots the well-known services on node 1. onEvent (may
+// be nil) observes each sink arrival; the returned counter tracks the
+// total count.
+func createServices(sys *core.System, onEvent func(sinkEvent)) (*atomic.Int64, error) {
+	var handled atomic.Int64
+	sink, err := sys.CreateObject(wellKnownNode, object.Spec{
+		Name: "sink",
+		Handlers: map[event.Name]object.Handler{
+			event.Interrupt: func(_ object.Ctx, _ event.HandlerRef, eb *event.Block) event.Verdict {
+				handled.Add(1)
+				if onEvent != nil {
+					onEvent(sinkEvent{Src: userInt(eb, "src"), I: userInt(eb, "i")})
+				}
+				return event.VerdictResume
+			},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sink != sinkID() {
+		return nil, fmt.Errorf("sink created as %v, want well-known %v", sink, sinkID())
+	}
+	server, err := sys.CreateObject(wellKnownNode, locks.ServerSpec("cluster"))
+	if err != nil {
+		return nil, err
+	}
+	if server != lockServerID() {
+		return nil, fmt.Errorf("lock server created as %v, want well-known %v", server, lockServerID())
+	}
+	tally, err := sys.CreateObject(wellKnownNode, object.Spec{
+		Name: "tally",
+		Entries: map[string]object.Entry{
+			// bump is deliberately a non-atomic read-modify-write: callers
+			// must hold the cluster lock "L", and a lost update here would
+			// expose a broken lock service.
+			"bump": func(ctx object.Ctx, _ []any) ([]any, error) {
+				n := 0
+				if v, ok := ctx.Get("n"); ok {
+					n, _ = v.(int)
+				}
+				n++
+				ctx.Set("n", n)
+				return []any{n}, nil
+			},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if tally != tallyID() {
+		return nil, fmt.Errorf("tally created as %v, want well-known %v", tally, tallyID())
+	}
+	return &handled, nil
+}
+
+func userInt(eb *event.Block, key string) int {
+	if eb == nil || eb.User == nil {
+		return -1
+	}
+	if v, ok := eb.User[key].(int); ok {
+		return v
+	}
+	return -1
+}
+
+// tallyValue reads the tally counter from node 1's object store (only
+// valid in the process hosting node 1).
+func tallyValue(sys *core.System) (int, error) {
+	obj, err := sys.LookupObject(tallyID())
+	if err != nil {
+		return 0, err
+	}
+	n, _ := obj.SnapshotKV()["n"].(int)
+	return n, nil
+}
+
+// heldLockCount reports how many cluster locks are currently held (only
+// valid in the process hosting node 1).
+func heldLockCount(sys *core.System) (int, error) {
+	obj, err := sys.LookupObject(lockServerID())
+	if err != nil {
+		return 0, err
+	}
+	return len(locks.HeldLocks(obj.SnapshotKV())), nil
+}

@@ -24,7 +24,7 @@ func TestChaosBatchedExactlyOnce(t *testing.T) {
 	cfg := ftConfig(8)
 	cfg.DispatchWorkers = 4
 	sys := newSystem(t, cfg)
-	if !sys.fabric.Batching() {
+	if !sys.batching() {
 		t.Fatal("batching off under the default wire config")
 	}
 	var handled atomic.Int64
@@ -83,7 +83,7 @@ func TestBatchingForcedOffUnderVirtualClock(t *testing.T) {
 	cfg := ftConfig(2)
 	cfg.Clock = vclock.NewVirtual()
 	sys := newSystem(t, cfg)
-	if sys.fabric.Batching() {
+	if sys.batching() {
 		t.Fatal("batching on under a virtual clock")
 	}
 }

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/object"
 	"repro/internal/trace"
+	"repro/internal/transport"
 	"repro/internal/vclock"
 )
 
@@ -159,6 +161,21 @@ type Config struct {
 	// (nil = the machine clock). Passing a *vclock.Virtual runs the whole
 	// cluster in virtual time for deterministic simulation (internal/sim).
 	Clock vclock.Clock
+	// Transport supplies the cluster interconnect. Nil (the default) boots
+	// an in-process netsim fabric from the latency/jitter/batching fields
+	// above — the classic single-process simulation. A non-nil Transport
+	// (e.g. tcptransport for a multi-process cluster) is used as-is: the
+	// System attaches its local kernels, starts it, and closes it on
+	// Close; the latency/seed/batch knobs above do not apply.
+	Transport transport.Transport
+	// LocalNodes restricts which of the cluster's Nodes this System hosts
+	// kernels for. Empty (the default) hosts all of them — the
+	// single-process case. A multi-process cluster runs one System per
+	// process, each hosting a disjoint subset (usually one node), all over
+	// a shared Transport; operations addressed to non-local nodes return
+	// errors, and cross-node protocol traffic flows through the transport
+	// as always.
+	LocalNodes []ids.NodeID
 }
 
 func (c *Config) fillDefaults() error {
@@ -185,6 +202,17 @@ func (c *Config) fillDefaults() error {
 	} else if c.DispatchWorkers < 0 {
 		c.DispatchWorkers = 1
 	}
+	if len(c.LocalNodes) == 0 {
+		c.LocalNodes = make([]ids.NodeID, c.Nodes)
+		for i := range c.LocalNodes {
+			c.LocalNodes[i] = ids.NodeID(i + 1)
+		}
+	}
+	for _, n := range c.LocalNodes {
+		if int(n) < 1 || int(n) > c.Nodes {
+			return fmt.Errorf("core: local node %v outside cluster 1..%d", n, c.Nodes)
+		}
+	}
 	return nil
 }
 
@@ -192,7 +220,7 @@ func (c *Config) fillDefaults() error {
 type System struct {
 	cfg    Config
 	clk    vclock.Clock
-	fabric *netsim.Fabric
+	fabric transport.Transport
 	reg    *metrics.Registry
 	ctrs   hotCounters
 
@@ -282,22 +310,25 @@ func NewSystem(cfg Config) (*System, error) {
 		s.tr = trace.New(cfg.TraceCapacity)
 	}
 	s.ctrs = newHotCounters(s.reg)
-	s.fabric = netsim.New(netsim.Config{
-		Latency:         cfg.Latency,
-		Jitter:          cfg.Jitter,
-		Seed:            cfg.Seed,
-		Clock:           cfg.Clock,
-		Metrics:         s.reg,
-		DispatchWorkers: cfg.DispatchWorkers,
-		Batch: netsim.BatchConfig{
-			Enabled:       !cfg.Wire.NoBatching,
-			MaxMsgs:       cfg.Wire.BatchMaxMsgs,
-			MaxBytes:      cfg.Wire.BatchMaxBytes,
-			FlushInterval: cfg.Wire.FlushInterval,
-		},
-	})
-	for i := 1; i <= cfg.Nodes; i++ {
-		node := ids.NodeID(i)
+	if cfg.Transport != nil {
+		s.fabric = cfg.Transport
+	} else {
+		s.fabric = netsim.New(netsim.Config{
+			Latency:         cfg.Latency,
+			Jitter:          cfg.Jitter,
+			Seed:            cfg.Seed,
+			Clock:           cfg.Clock,
+			Metrics:         s.reg,
+			DispatchWorkers: cfg.DispatchWorkers,
+			Batch: netsim.BatchConfig{
+				Enabled:       !cfg.Wire.NoBatching,
+				MaxMsgs:       cfg.Wire.BatchMaxMsgs,
+				MaxBytes:      cfg.Wire.BatchMaxBytes,
+				FlushInterval: cfg.Wire.FlushInterval,
+			},
+		})
+	}
+	for _, node := range cfg.LocalNodes {
 		k := newKernel(s, node)
 		s.kernels[node] = k
 		if err := s.fabric.Attach(node, k.onMessage); err != nil {
@@ -334,9 +365,17 @@ func (s *System) Close() {
 		for _, k := range s.kernels {
 			k.shutdown()
 		}
-		s.fabric.Close()
+		// Drain the transport: when Close returns, no kernel handler is
+		// mid-flight and none will run again. The deadline bounds a wedged
+		// remote transport; netsim always drains promptly.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.fabric.Close(ctx)
 	})
 }
+
+// Transport returns the interconnect this cluster runs on.
+func (s *System) Transport() transport.Transport { return s.fabric }
 
 // Kernel returns the kernel of node n.
 func (s *System) Kernel(n ids.NodeID) (*Kernel, error) {

@@ -358,12 +358,12 @@ func TestPartitionSurfacesTimeout(t *testing.T) {
 	waitAsleep(t, sys, tid)
 
 	k1, _ := sys.Kernel(1)
-	sys.fabric.CutLink(1, 2)
+	sys.CutLink(1, 2)
 	err = k1.raise(nil, event.Terminate, event.ToThread(tid), nil)
 	if err == nil {
 		t.Fatal("raise across a cut link succeeded")
 	}
-	sys.fabric.HealLink(1, 2)
+	sys.HealLink(1, 2)
 	// After healing, delivery works again.
 	if err := sys.Raise(1, event.Terminate, event.ToThread(tid), nil); err != nil {
 		t.Fatalf("raise after heal: %v", err)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/reliable"
+	"repro/internal/transport"
 )
 
 // kindHeartbeat is the failure detector's heartbeat message kind. It
@@ -60,6 +61,13 @@ type FTConfig struct {
 	RetryBase   time.Duration
 	RetryMax    time.Duration
 	MaxAttempts int
+	// Generation is this process's incarnation epoch, stamped into every
+	// reliable envelope (reliable.Config.Generation). A restarted node
+	// server (cmd/doctnode) passes a strictly higher value — time.Now() —
+	// so peers reset their dedup windows instead of swallowing the fresh
+	// incarnation's restarted sequence space. Zero (the default) is
+	// correct for single-incarnation in-process clusters.
+	Generation uint64
 }
 
 // initFT wires this kernel's reliable endpoint and failure detector.
@@ -99,7 +107,7 @@ func (k *Kernel) initFT() {
 	// the default retransmit base must sit above all three or every
 	// coalesced envelope reads as a loss. An explicit RetryBase is honored.
 	retryBase := ft.RetryBase
-	if retryBase == 0 && k.sys.fabric.Batching() {
+	if retryBase == 0 && k.sys.batching() {
 		fi := wire.FlushInterval
 		if fi <= 0 {
 			fi = netsim.DefaultFlushInterval
@@ -110,6 +118,7 @@ func (k *Kernel) initFT() {
 		MaxAttempts:    ft.MaxAttempts,
 		RetryBase:      retryBase,
 		RetryMax:       ft.RetryMax,
+		Generation:     ft.Generation,
 		StandaloneAcks: wire.StandaloneAcks,
 		AckDelay:       wire.AckDelay,
 		Metrics:        k.sys.reg,
@@ -205,7 +214,9 @@ func (s *System) CrashNode(node ids.NodeID) error {
 	if !k.markCrashed() {
 		return fmt.Errorf("%w: %v", ErrNodeCrashed, node)
 	}
-	_ = s.fabric.CrashNode(node)
+	if fi := s.injector(); fi != nil {
+		_ = fi.CrashNode(node)
+	}
 	if k.det != nil {
 		// A fail-stopped node emits no heartbeats and suspects nobody.
 		k.det.Suspend()
@@ -267,7 +278,10 @@ func (s *System) RestartNode(node ids.NodeID) error {
 		k.det.Resume()
 	}
 	k.markRestarted()
-	return s.fabric.RestartNode(node)
+	if fi := s.injector(); fi != nil {
+		return fi.RestartNode(node)
+	}
+	return nil
 }
 
 // Crashed reports whether node is currently crashed.
@@ -284,14 +298,14 @@ func (s *System) FTEnabled() bool { return s.cfg.FT.Enabled }
 func (s *System) Membership() failure.Membership {
 	for i := 1; i <= s.cfg.Nodes; i++ {
 		k := s.kernels[ids.NodeID(i)]
-		if k.det != nil && !k.crashedLocal() {
+		if k != nil && k.det != nil && !k.crashedLocal() {
 			return k.det.View()
 		}
 	}
 	var m failure.Membership
 	for i := 1; i <= s.cfg.Nodes; i++ {
 		n := ids.NodeID(i)
-		if s.kernels[n].crashedLocal() {
+		if k := s.kernels[n]; k != nil && k.crashedLocal() {
 			m.Suspected = append(m.Suspected, n)
 		} else {
 			m.Alive = append(m.Alive, n)
@@ -357,7 +371,9 @@ func (s *System) onMembershipEvent(observer *Kernel, ev failure.Event) {
 	s.ftMu.Unlock()
 
 	name := event.NodeUp
-	if !ev.Up {
+	if ev.Up {
+		s.reactNodeUp(observer)
+	} else {
 		name = event.NodeDown
 		s.reactNodeDown(observer, ev.Node)
 	}
@@ -401,20 +417,73 @@ func (s *System) reactNodeDown(observer *Kernel, node ids.NodeID) {
 	}()
 }
 
+// reactNodeUp re-runs the orphaned-lock sweep when a node rejoins the
+// cluster. The down-transition sweep races grants in flight at the moment
+// of the crash: a lock can be granted to a dying thread after the sweep
+// probed it, or during the unsettled view a holder's grant reply can be
+// lost so nobody learns the lock is taken. Once the node is back, locate
+// probes against its fresh incarnation answer definitively, so a rejoin
+// is exactly when a leaked hold becomes provably orphaned. The sweep is
+// documented safe to repeat — releases are idempotent and liveness is
+// re-checked each pass — so running it on both transitions only costs a
+// few probes.
+func (s *System) reactNodeUp(observer *Kernel) {
+	observer.wg.Add(1)
+	go func() {
+		defer observer.wg.Done()
+		s.reclaimOrphanedLocks(observer)
+	}()
+}
+
+// batching reports whether the transport coalesces sends into frames
+// (transport.Batcher is optional; transports without it never batch).
+func (s *System) batching() bool {
+	b, ok := s.fabric.(transport.Batcher)
+	return ok && b.Batching()
+}
+
+// injector returns the transport's fault-injection surface, nil when the
+// transport has none. Simulated fabrics always have it; pass-throughs
+// degrade to no-ops on transports that cannot inject faults.
+func (s *System) injector() transport.FaultInjector {
+	fi, _ := s.fabric.(transport.FaultInjector)
+	return fi
+}
+
 // Fault-injection pass-throughs, so harnesses (and the doct facade) need
 // no direct fabric access.
 
 // CutLink severs the directed fabric link from → to.
-func (s *System) CutLink(from, to ids.NodeID) { s.fabric.CutLink(from, to) }
+func (s *System) CutLink(from, to ids.NodeID) {
+	if fi := s.injector(); fi != nil {
+		fi.CutLink(from, to)
+	}
+}
 
 // HealLink restores the directed fabric link from → to.
-func (s *System) HealLink(from, to ids.NodeID) { s.fabric.HealLink(from, to) }
+func (s *System) HealLink(from, to ids.NodeID) {
+	if fi := s.injector(); fi != nil {
+		fi.HealLink(from, to)
+	}
+}
 
 // Partition severs every link between the two node sets, both directions.
-func (s *System) Partition(sideA, sideB []ids.NodeID) { s.fabric.Partition(sideA, sideB) }
+func (s *System) Partition(sideA, sideB []ids.NodeID) {
+	if fi := s.injector(); fi != nil {
+		fi.Partition(sideA, sideB)
+	}
+}
 
 // HealAll restores every severed link.
-func (s *System) HealAll() { s.fabric.HealAll() }
+func (s *System) HealAll() {
+	if fi := s.injector(); fi != nil {
+		fi.HealAll()
+	}
+}
 
 // SetDropRate changes the fabric's message drop probability at runtime.
-func (s *System) SetDropRate(rate float64) { s.fabric.SetDropRate(rate) }
+func (s *System) SetDropRate(rate float64) {
+	if fi := s.injector(); fi != nil {
+		fi.SetDropRate(rate)
+	}
+}

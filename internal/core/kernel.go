@@ -745,9 +745,40 @@ func (k *Kernel) startThread(attrs *thread.Attributes, oid ids.ObjectID, entry s
 	go func() {
 		defer k.wg.Done()
 		res, err := a.ctx().Invoke(oid, entry, args...)
+		k.finishChain(a)
 		a.finish()
 		k.popAct(a)
 		h.finish(res, err)
 	}()
 	return h, nil
+}
+
+// finishChain runs the thread's TERMINATE handler chain when its root
+// entry returns. §4.2's contract is that a terminated thread releases
+// everything chained onto it, however it terminates: event-driven
+// termination runs the chain through delivery, but a plain root return —
+// success or error — otherwise would not. The error case is the dangerous
+// one: a thread whose acquire reply was lost terminates convinced it holds
+// nothing while the server records it as holder, and no event will ever
+// run its chained unlock. Threads with an empty TERMINATE chain (the vast
+// majority) skip this outright, and a thread stopped by event delivery
+// already ran its chain there — rerunning it would double every handler.
+func (k *Kernel) finishChain(a *activation) {
+	if a.stopped() != nil {
+		return
+	}
+	a.mu.Lock()
+	n := len(a.attrs.Handlers.For(event.Terminate))
+	a.mu.Unlock()
+	if n == 0 {
+		return
+	}
+	eb := &event.Block{
+		Stamp:      k.gen.NextStamp(),
+		Name:       event.Terminate,
+		Target:     event.ToThread(a.tid),
+		RaiserNode: k.node,
+		User:       map[string]any{"reason": "root return"},
+	}
+	k.runChain(a, eb)
 }

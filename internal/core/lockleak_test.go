@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/locks"
+	"repro/internal/object"
+)
+
+// TestAcquireGrantReplyLostReleasedOnTerminate injects the nastiest lock
+// failure short of a crash: the server records the grant, but the reply
+// never reaches the caller. The caller sees Acquire fail and its thread
+// terminates believing it holds nothing — yet the lock is taken in its
+// name, and no future membership transition will ever probe it. The §4.2
+// chained unlock must cover this window: Acquire attaches the handler
+// before asking the server, so the terminating thread releases the
+// invisible grant.
+func TestAcquireGrantReplyLostReleasedOnTerminate(t *testing.T) {
+	sys := newSystem(t, Config{Nodes: 2, CallTimeout: 400 * time.Millisecond})
+	if err := locks.Register(sys); err != nil {
+		t.Fatal(err)
+	}
+	server, err := sys.CreateObject(1, locks.ServerSpec("leak"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Requests flow 2 → 1; every reply 1 → 2 is lost.
+	sys.CutLink(1, 2)
+
+	grabber, err := sys.CreateObject(2, object.Spec{
+		Name: "grabber",
+		Entries: map[string]object.Entry{
+			"grab": func(ctx object.Ctx, _ []any) ([]any, error) {
+				return nil, locks.Acquire(ctx, server, "L")
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Spawn(2, grabber, "grab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WaitTimeout(3 * time.Second); err == nil {
+		t.Fatal("acquire succeeded despite the severed reply link")
+	}
+
+	// The grant was applied server-side before the reply was dropped; the
+	// failed caller's TERMINATE chain must have released it (the release
+	// request still flows 2 → 1). Probe the server from node 1, where
+	// replies work.
+	sys.HealLink(1, 2)
+	prober, err := sys.CreateObject(1, object.Spec{
+		Name: "prober",
+		Entries: map[string]object.Entry{
+			"holder": func(ctx object.Ctx, _ []any) ([]any, error) {
+				return ctx.Invoke(server, locks.EntryHolder, "L")
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h, err := sys.Spawn(1, prober, "holder")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := h.WaitTimeout(time.Second)
+		if err == nil && len(res) == 1 {
+			if holder, ok := res[0].(uint64); ok && holder == 0 {
+				return // released — no orphaned grant
+			}
+			if tid, ok := res[0].(ids.ThreadID); ok && tid == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("lock still held by %v: grant leaked by the lost reply", res[0])
+			}
+		} else if time.Now().After(deadline) {
+			t.Fatalf("probing holder: res=%v err=%v", res, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -31,7 +31,7 @@ import (
 // entry point serves harnesses driving recovery by hand.
 func (s *System) ReclaimOrphanedLocks() int {
 	for i := 1; i <= s.cfg.Nodes; i++ {
-		if k := s.kernels[ids.NodeID(i)]; !k.crashedLocal() {
+		if k := s.kernels[ids.NodeID(i)]; k != nil && !k.crashedLocal() {
 			return s.reclaimOrphanedLocks(k)
 		}
 	}

@@ -1,0 +1,425 @@
+package core
+
+// Wire codecs for the kernel's RPC payload types, registered into
+// internal/transport/wire at package init so any binary linking core can
+// speak the TCP transport. Type IDs 40+ and sentinel codes 1–12 are part
+// of the wire format: append only, never renumber (shared vocabulary IDs
+// 1–29 and codes 30+ live in the wire package itself).
+
+import (
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/thread"
+	"repro/internal/transport/wire"
+)
+
+const (
+	widRPCRequest     = 40
+	widRPCResponse    = 41
+	widHeartbeat      = 42
+	widFDNotice       = 43
+	widReleaseReq     = 44
+	widInvokeReq      = 45
+	widInvokeReply    = 46
+	widObjectEventReq = 47
+	widObjectEventRep = 48
+	widHandlerRunReq  = 49
+	widHandlerRunRep  = 50
+	widAbortReq       = 51
+	widGroupJoinReq   = 52
+	widKVReq          = 53
+	widKVReply        = 54
+	widPageOpReq      = 55
+	widPageFetchReply = 56
+)
+
+const (
+	wcodeTerminated     = 1
+	wcodeAborted        = 2
+	wcodeThreadNotFound = 3
+	wcodeUnhandledSync  = 4
+	wcodeUnknownProc    = 5
+	wcodeNotRegistered  = 6
+	wcodeShutdown       = 7
+	wcodeRaiseTimeout   = 8
+	wcodeNodeDown       = 9
+	wcodeNodeCrashed    = 10
+	wcodeThreadMoved    = 11
+	wcodeAttrResync     = 12
+)
+
+func init() {
+	wire.Register(widRPCRequest, "core.rpcRequest",
+		func(r rpcRequest) int {
+			return wire.SizeUvarint(r.ID) + wire.SizeString(r.Kind) +
+				wire.SizeUvarint(uint64(r.From)) + wire.SizeValue(r.Body)
+		},
+		func(e *wire.Enc, r rpcRequest) {
+			e.Uvarint(r.ID)
+			e.String(r.Kind)
+			e.Uvarint(uint64(r.From))
+			e.Value(r.Body)
+		},
+		func(d *wire.Dec) rpcRequest {
+			return rpcRequest{
+				ID:   d.Uvarint(),
+				Kind: d.String(),
+				From: ids.NodeID(d.Uvarint()),
+				Body: d.Value(),
+			}
+		})
+	wire.Register(widRPCResponse, "core.rpcResponse",
+		func(r rpcResponse) int {
+			return wire.SizeUvarint(r.ID) + wire.SizeValue(r.Body) + wsizeErr(r.Err)
+		},
+		func(e *wire.Enc, r rpcResponse) {
+			e.Uvarint(r.ID)
+			e.Value(r.Body)
+			e.Value(wencErr(r.Err))
+		},
+		func(d *wire.Dec) rpcResponse {
+			return rpcResponse{ID: d.Uvarint(), Body: d.Value(), Err: wdecErr(d)}
+		})
+	wire.Register(widHeartbeat, "core.heartbeat",
+		func(heartbeat) int { return 0 },
+		func(*wire.Enc, heartbeat) {},
+		func(*wire.Dec) heartbeat { return heartbeat{} })
+	wire.Register(widFDNotice, "core.fdNotice",
+		func(n fdNotice) int { return wire.SizeUvarint(uint64(n.Node)) + 1 },
+		func(e *wire.Enc, n fdNotice) { e.Uvarint(uint64(n.Node)); e.Bool(n.Up) },
+		func(d *wire.Dec) fdNotice {
+			return fdNotice{Node: ids.NodeID(d.Uvarint()), Up: d.Bool()}
+		})
+	wire.Register(widReleaseReq, "core.releaseReq",
+		func(r releaseReq) int {
+			return wire.SizeUvarint(r.ID) + wire.SizeUvarint(uint64(r.Verdict)) +
+				1 + wsizeErr(r.Err)
+		},
+		func(e *wire.Enc, r releaseReq) {
+			e.Uvarint(r.ID)
+			e.Uvarint(uint64(r.Verdict))
+			e.Bool(r.Consumed)
+			e.Value(wencErr(r.Err))
+		},
+		func(d *wire.Dec) releaseReq {
+			return releaseReq{
+				ID:       d.Uvarint(),
+				Verdict:  event.Verdict(d.Uvarint()),
+				Consumed: d.Bool(),
+				Err:      wdecErr(d),
+			}
+		})
+	wire.Register(widInvokeReq, "core.invokeReq",
+		func(r invokeReq) int {
+			return wire.SizeUvarint(uint64(r.TID)) + wire.SizeValue(r.Attrs) +
+				wire.SizeValue(r.Delta) + wire.SizeUvarint(uint64(r.Obj)) +
+				wire.SizeString(r.Entry) + wsizeAnys(r.Args) + wire.SizeVarint(int64(r.Depth))
+		},
+		func(e *wire.Enc, r invokeReq) {
+			e.Uvarint(uint64(r.TID))
+			e.Value(r.Attrs)
+			e.Value(r.Delta)
+			e.Uvarint(uint64(r.Obj))
+			e.String(r.Entry)
+			wencAnys(e, r.Args)
+			e.Varint(int64(r.Depth))
+		},
+		func(d *wire.Dec) invokeReq {
+			return invokeReq{
+				TID:   ids.ThreadID(d.Uvarint()),
+				Attrs: wdecAttrs(d),
+				Delta: wdecDelta(d),
+				Obj:   ids.ObjectID(d.Uvarint()),
+				Entry: d.String(),
+				Args:  wdecAnys(d),
+				Depth: int(d.Varint()),
+			}
+		})
+	wire.Register(widInvokeReply, "core.invokeReply",
+		func(r invokeReply) int {
+			return wsizeAnys(r.Results) + wire.SizeValue(r.Attrs) +
+				wire.SizeValue(r.Delta) + wsizeErr(r.AppErr)
+		},
+		func(e *wire.Enc, r invokeReply) {
+			wencAnys(e, r.Results)
+			e.Value(r.Attrs)
+			e.Value(r.Delta)
+			e.Value(wencErr(r.AppErr))
+		},
+		func(d *wire.Dec) invokeReply {
+			return invokeReply{
+				Results: wdecAnys(d),
+				Attrs:   wdecAttrs(d),
+				Delta:   wdecDelta(d),
+				AppErr:  wdecErr(d),
+			}
+		})
+	wire.Register(widObjectEventReq, "core.objectEventReq",
+		func(r objectEventReq) int { return wire.SizeValue(r.EB) },
+		func(e *wire.Enc, r objectEventReq) { e.Value(r.EB) },
+		func(d *wire.Dec) objectEventReq { return objectEventReq{EB: wdecBlock(d)} })
+	wire.Register(widObjectEventRep, "core.objectEventReply",
+		func(r objectEventReply) int { return wire.SizeUvarint(uint64(r.Verdict)) + 1 },
+		func(e *wire.Enc, r objectEventReply) {
+			e.Uvarint(uint64(r.Verdict))
+			e.Bool(r.Consumed)
+		},
+		func(d *wire.Dec) objectEventReply {
+			return objectEventReply{Verdict: event.Verdict(d.Uvarint()), Consumed: d.Bool()}
+		})
+	wire.Register(widHandlerRunReq, "core.handlerRunReq",
+		func(r handlerRunReq) int {
+			return wire.SizeValue(r.Ref) + wire.SizeValue(r.EB) + wire.SizeValue(r.Attrs)
+		},
+		func(e *wire.Enc, r handlerRunReq) {
+			e.Value(r.Ref)
+			e.Value(r.EB)
+			e.Value(r.Attrs)
+		},
+		func(d *wire.Dec) handlerRunReq {
+			return handlerRunReq{Ref: wdecRef(d), EB: wdecBlock(d), Attrs: wdecAttrs(d)}
+		})
+	wire.Register(widHandlerRunRep, "core.handlerRunReply",
+		func(r handlerRunReply) int {
+			return wire.SizeUvarint(uint64(r.Verdict)) + wire.SizeValue(r.Attrs)
+		},
+		func(e *wire.Enc, r handlerRunReply) {
+			e.Uvarint(uint64(r.Verdict))
+			e.Value(r.Attrs)
+		},
+		func(d *wire.Dec) handlerRunReply {
+			return handlerRunReply{Verdict: event.Verdict(d.Uvarint()), Attrs: wdecAttrs(d)}
+		})
+	wire.Register(widAbortReq, "core.abortReq",
+		func(r abortReq) int {
+			return wire.SizeUvarint(uint64(r.TID)) + wire.SizeUvarint(uint64(r.Obj))
+		},
+		func(e *wire.Enc, r abortReq) {
+			e.Uvarint(uint64(r.TID))
+			e.Uvarint(uint64(r.Obj))
+		},
+		func(d *wire.Dec) abortReq {
+			return abortReq{TID: ids.ThreadID(d.Uvarint()), Obj: ids.ObjectID(d.Uvarint())}
+		})
+	wire.Register(widGroupJoinReq, "core.groupJoinReq",
+		func(r groupJoinReq) int {
+			return wire.SizeUvarint(uint64(r.Group)) + wire.SizeUvarint(uint64(r.Thread)) + 1
+		},
+		func(e *wire.Enc, r groupJoinReq) {
+			e.Uvarint(uint64(r.Group))
+			e.Uvarint(uint64(r.Thread))
+			e.Bool(r.Leave)
+		},
+		func(d *wire.Dec) groupJoinReq {
+			return groupJoinReq{
+				Group:  ids.GroupID(d.Uvarint()),
+				Thread: ids.ThreadID(d.Uvarint()),
+				Leave:  d.Bool(),
+			}
+		})
+	wire.Register(widKVReq, "core.kvReq",
+		func(r kvReq) int {
+			return wire.SizeUvarint(uint64(r.Object)) + wire.SizeString(r.Key) +
+				wire.SizeValue(r.Val) + wire.SizeValue(r.Old)
+		},
+		func(e *wire.Enc, r kvReq) {
+			e.Uvarint(uint64(r.Object))
+			e.String(r.Key)
+			e.Value(r.Val)
+			e.Value(r.Old)
+		},
+		func(d *wire.Dec) kvReq {
+			return kvReq{
+				Object: ids.ObjectID(d.Uvarint()),
+				Key:    d.String(),
+				Val:    d.Value(),
+				Old:    d.Value(),
+			}
+		})
+	wire.Register(widKVReply, "core.kvReply",
+		func(r kvReply) int { return wire.SizeValue(r.Val) + 1 },
+		func(e *wire.Enc, r kvReply) {
+			e.Value(r.Val)
+			e.Bool(r.Found)
+		},
+		func(d *wire.Dec) kvReply { return kvReply{Val: d.Value(), Found: d.Bool()} })
+	wire.Register(widPageOpReq, "core.pageOpReq",
+		func(r pageOpReq) int {
+			return wire.SizeUvarint(uint64(r.Seg)) + wire.SizeVarint(int64(r.Page)) +
+				wsizeBytesNil(r.Data)
+		},
+		func(e *wire.Enc, r pageOpReq) {
+			e.Uvarint(uint64(r.Seg))
+			e.Varint(int64(r.Page))
+			wencBytesNil(e, r.Data)
+		},
+		func(d *wire.Dec) pageOpReq {
+			return pageOpReq{
+				Seg:  ids.SegmentID(d.Uvarint()),
+				Page: int(d.Varint()),
+				Data: wdecBytesNil(d),
+			}
+		})
+	wire.Register(widPageFetchReply, "core.pageFetchReply",
+		func(r pageFetchReply) int { return wsizeBytesNil(r.Data) + 1 },
+		func(e *wire.Enc, r pageFetchReply) {
+			wencBytesNil(e, r.Data)
+			e.Bool(r.Found)
+		},
+		func(d *wire.Dec) pageFetchReply {
+			return pageFetchReply{Data: wdecBytesNil(d), Found: d.Bool()}
+		})
+
+	wire.RegisterErr(wcodeTerminated, ErrTerminated)
+	wire.RegisterErr(wcodeAborted, ErrAborted)
+	wire.RegisterErr(wcodeThreadNotFound, ErrThreadNotFound)
+	wire.RegisterErr(wcodeUnhandledSync, ErrUnhandledSync)
+	wire.RegisterErr(wcodeUnknownProc, ErrUnknownProc)
+	wire.RegisterErr(wcodeNotRegistered, ErrNotRegistered)
+	wire.RegisterErr(wcodeShutdown, ErrShutdown)
+	wire.RegisterErr(wcodeRaiseTimeout, ErrRaiseTimeout)
+	wire.RegisterErr(wcodeNodeDown, ErrNodeDown)
+	wire.RegisterErr(wcodeNodeCrashed, ErrNodeCrashed)
+	wire.RegisterErr(wcodeThreadMoved, errThreadMoved)
+	wire.RegisterErr(wcodeAttrResync, errAttrResync)
+}
+
+// wencErr boxes an error for Enc.Value: a nil error must encode as nil,
+// not as a typed-nil interface surprise.
+func wencErr(err error) any {
+	if err == nil {
+		return nil
+	}
+	return err
+}
+
+func wsizeErr(err error) int {
+	if err == nil {
+		return 1
+	}
+	return wire.SizeValue(err)
+}
+
+// wdecErr reads an error-or-nil value slot.
+func wdecErr(d *wire.Dec) error {
+	v := d.Value()
+	if v == nil {
+		return nil
+	}
+	err, ok := v.(error)
+	if !ok {
+		d.Corrupt("error slot holds a non-error")
+		return nil
+	}
+	return err
+}
+
+// The wdec* helpers read a registered-type value slot and reject a
+// mismatched type instead of panicking on crafted input.
+
+func wdecAttrs(d *wire.Dec) *thread.Attributes {
+	v := d.Value()
+	if v == nil {
+		return nil
+	}
+	a, ok := v.(*thread.Attributes)
+	if !ok {
+		d.Corrupt("attributes slot holds wrong type")
+		return nil
+	}
+	return a
+}
+
+func wdecDelta(d *wire.Dec) *thread.Delta {
+	v := d.Value()
+	if v == nil {
+		return nil
+	}
+	dl, ok := v.(*thread.Delta)
+	if !ok {
+		d.Corrupt("delta slot holds wrong type")
+		return nil
+	}
+	return dl
+}
+
+func wdecBlock(d *wire.Dec) *event.Block {
+	v := d.Value()
+	if v == nil {
+		return nil
+	}
+	b, ok := v.(*event.Block)
+	if !ok {
+		d.Corrupt("event block slot holds wrong type")
+		return nil
+	}
+	return b
+}
+
+func wdecRef(d *wire.Dec) event.HandlerRef {
+	v := d.Value()
+	r, ok := v.(event.HandlerRef)
+	if !ok {
+		d.Corrupt("handler ref slot holds wrong type")
+		return event.HandlerRef{}
+	}
+	return r
+}
+
+func wsizeAnys(vs []any) int {
+	if vs == nil {
+		return 1
+	}
+	n := 1 + wire.SizeUvarint(uint64(len(vs)))
+	for _, v := range vs {
+		n += wire.SizeValue(v)
+	}
+	return n
+}
+
+func wencAnys(e *wire.Enc, vs []any) {
+	e.Bool(vs != nil)
+	if vs == nil {
+		return
+	}
+	e.Uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		e.Value(v)
+	}
+}
+
+func wdecAnys(d *wire.Dec) []any {
+	if !d.Bool() {
+		return nil
+	}
+	n := d.Count(1)
+	out := make([]any, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.Value())
+		if d.Err() != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+func wsizeBytesNil(b []byte) int {
+	if b == nil {
+		return 1
+	}
+	return 1 + wire.SizeBytes(b)
+}
+
+func wencBytesNil(e *wire.Enc, b []byte) {
+	e.Bool(b != nil)
+	if b != nil {
+		e.Bytes(b)
+	}
+}
+
+func wdecBytesNil(d *wire.Dec) []byte {
+	if !d.Bool() {
+		return nil
+	}
+	return d.Bytes()
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/thread"
+	"repro/internal/transport/wire"
+)
+
+func codecSampleAttrs() *thread.Attributes {
+	a := thread.NewAttributes(ids.NewThreadID(2, 9))
+	a.App = "shell"
+	a.Handlers.Push(event.HandlerRef{
+		Event: event.Terminate, Kind: event.KindProc, Proc: "unlock",
+		Data: map[string]string{"lock": "m"},
+	})
+	a.Timers = []thread.TimerSpec{{Event: event.Timer, Period: time.Second}}
+	a.PerThread["cwd"] = []byte("/tmp")
+	a.Version = 7
+	return a
+}
+
+// codecSamples returns one populated value per core RPC payload type.
+func codecSamples() map[string]any {
+	eb := &event.Block{
+		Stamp:      ids.EventStamp{Node: 1, Seq: 3},
+		Name:       event.Interrupt,
+		Target:     event.ToThread(ids.NewThreadID(1, 4)),
+		Raiser:     ids.NewThreadID(2, 2),
+		RaiserNode: 2,
+	}
+	return map[string]any{
+		"rpcRequest": rpcRequest{
+			ID: 9, Kind: kindInvoke, From: 2,
+			Body: invokeReq{TID: ids.NewThreadID(2, 2), Obj: ids.NewObjectID(1, 1), Entry: "get"},
+		},
+		"rpcResponse": rpcResponse{
+			ID: 9, Body: kvReply{Val: "x", Found: true},
+			Err: fmt.Errorf("get: %w", ErrNodeDown),
+		},
+		"heartbeat": heartbeat{},
+		"fdNotice":  fdNotice{Node: 3, Up: false},
+		"releaseReq": releaseReq{
+			ID: 4, Verdict: event.VerdictResume, Consumed: true, Err: ErrUnhandledSync,
+		},
+		"invokeReq": invokeReq{
+			TID:   ids.NewThreadID(1, 7),
+			Attrs: codecSampleAttrs(),
+			Obj:   ids.NewObjectID(3, 3),
+			Entry: "put",
+			Args:  []any{"k", 42, []byte{1, 2}},
+			Depth: 2,
+		},
+		"invokeReply": invokeReply{
+			Results: []any{"ok", int64(7)},
+			Delta:   &thread.Delta{Thread: ids.NewThreadID(1, 7), Base: 7, Version: 8},
+			AppErr:  errors.New("app failed"),
+		},
+		"objectEventReq":   objectEventReq{EB: eb},
+		"objectEventReply": objectEventReply{Verdict: event.VerdictPropagate, Consumed: true},
+		"handlerRunReq": handlerRunReq{
+			Ref:   event.HandlerRef{Event: event.Quit, Kind: event.KindEntry, Object: ids.NewObjectID(1, 2), Entry: "h"},
+			EB:    eb,
+			Attrs: codecSampleAttrs(),
+		},
+		"handlerRunReply": handlerRunReply{Verdict: event.VerdictTerminate, Attrs: codecSampleAttrs()},
+		"abortReq":        abortReq{TID: ids.NewThreadID(4, 1), Obj: ids.NewObjectID(2, 5)},
+		"groupJoinReq":    groupJoinReq{Group: 11, Thread: ids.NewThreadID(1, 1), Leave: true},
+		"kvReq":           kvReq{Object: ids.NewObjectID(1, 6), Key: "count", Val: 5, Old: 4},
+		"kvReply":         kvReply{Val: map[string]any{"a": 1}, Found: true},
+		"pageOpReq":       pageOpReq{Seg: 8, Page: 3, Data: []byte("page image")},
+		"pageFetchReply":  pageFetchReply{Data: []byte{9, 9}, Found: true},
+	}
+}
+
+// TestCoreWireCodecRoundTrip pins, for every kernel RPC payload type, that
+// EncodedSize matches the encoding exactly and that decode reproduces the
+// value (errors compared by errors.Is identity and message, since decoding
+// rebuilds them as sentinel or RemoteError).
+func TestCoreWireCodecRoundTrip(t *testing.T) {
+	for name, v := range codecSamples() {
+		enc, err := wire.EncodeValue(v)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		size, err := wire.EncodedSize(v)
+		if err != nil {
+			t.Fatalf("%s: size: %v", name, err)
+		}
+		if size != len(enc) {
+			t.Errorf("%s: EncodedSize=%d, len(Encode())=%d", name, size, len(enc))
+		}
+		got, err := wire.DecodeValue(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		assertPayloadEqual(t, name, got, v)
+		re, err := wire.EncodeValue(got)
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", name, err)
+		}
+		if string(re) != string(enc) {
+			t.Errorf("%s: re-encode not byte-identical", name)
+		}
+	}
+}
+
+// assertPayloadEqual compares a decoded payload against the original,
+// tolerating the one legitimate difference: non-sentinel error values come
+// back as *wire.RemoteError with the same message and sentinel identity.
+func assertPayloadEqual(t *testing.T, name string, got, want any) {
+	t.Helper()
+	switch w := want.(type) {
+	case rpcResponse:
+		g, ok := got.(rpcResponse)
+		if !ok {
+			t.Errorf("%s: decoded as %T", name, got)
+			return
+		}
+		assertErrEqual(t, name, g.Err, w.Err)
+		g.Err, w.Err = nil, nil
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("%s: mismatch:\n got %#v\nwant %#v", name, g, w)
+		}
+	case releaseReq:
+		g := got.(releaseReq)
+		assertErrEqual(t, name, g.Err, w.Err)
+		g.Err, w.Err = nil, nil
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("%s: mismatch:\n got %#v\nwant %#v", name, g, w)
+		}
+	case invokeReply:
+		g := got.(invokeReply)
+		assertErrEqual(t, name, g.AppErr, w.AppErr)
+		g.AppErr, w.AppErr = nil, nil
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("%s: mismatch:\n got %#v\nwant %#v", name, g, w)
+		}
+	default:
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: mismatch:\n got %#v\nwant %#v", name, got, want)
+		}
+	}
+}
+
+func assertErrEqual(t *testing.T, name string, got, want error) {
+	t.Helper()
+	if (got == nil) != (want == nil) {
+		t.Errorf("%s: error nil-ness mismatch: got %v want %v", name, got, want)
+		return
+	}
+	if want == nil {
+		return
+	}
+	if got.Error() != want.Error() {
+		t.Errorf("%s: error message: got %q want %q", name, got.Error(), want.Error())
+	}
+	for _, sentinel := range []error{ErrNodeDown, ErrUnhandledSync, ErrTerminated} {
+		if errors.Is(want, sentinel) && !errors.Is(got, sentinel) {
+			t.Errorf("%s: decoded error lost errors.Is(%v)", name, sentinel)
+		}
+	}
+}
+
+// TestCoreSentinelsCrossWire pins that every core sentinel survives a
+// wire crossing with identity intact — the property exactly-once retries
+// and FT reactions depend on when kernels run in separate processes.
+func TestCoreSentinelsCrossWire(t *testing.T) {
+	for _, sentinel := range []error{
+		ErrTerminated, ErrAborted, ErrThreadNotFound, ErrUnhandledSync,
+		ErrUnknownProc, ErrNotRegistered, ErrShutdown, ErrRaiseTimeout,
+		ErrNodeDown, ErrNodeCrashed, errThreadMoved, errAttrResync,
+	} {
+		enc, err := wire.EncodeValue(error(sentinel))
+		if err != nil {
+			t.Fatalf("%v: encode: %v", sentinel, err)
+		}
+		got, err := wire.DecodeValue(enc)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", sentinel, err)
+		}
+		if got != error(sentinel) {
+			t.Errorf("sentinel %v did not survive as identity: %#v", sentinel, got)
+		}
+	}
+}

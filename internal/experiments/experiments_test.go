@@ -328,3 +328,30 @@ func TestAllRuns(t *testing.T) {
 		}
 	}
 }
+
+// TestE14RealWithinEstimate is the PR 7 acceptance bound: bytes actually
+// written to loopback TCP sockets must stay within 2× of netsim's
+// PayloadSize estimate for the same workload — the simulator's numbers
+// (E11 and everything priced with them) are only trustworthy if the real
+// wire agrees to that factor.
+func TestE14RealWithinEstimate(t *testing.T) {
+	const ops = 60
+	for _, w := range []string{"invoke", "raise"} {
+		realB, msgs, err := E14Cell(w, ops, true)
+		if err != nil {
+			t.Fatalf("%s over tcp: %v", w, err)
+		}
+		simB, _, err := E14Cell(w, ops, false)
+		if err != nil {
+			t.Fatalf("%s over netsim: %v", w, err)
+		}
+		if realB <= 0 || simB <= 0 || msgs < int64(ops) {
+			t.Fatalf("%s: degenerate measurement real=%d sim=%d msgs=%d", w, realB, simB, msgs)
+		}
+		ratio := float64(realB) / float64(simB)
+		t.Logf("%s: real %d B, sim %d B, ratio %.2f (%d msgs)", w, realB, simB, ratio, msgs)
+		if ratio > 2 {
+			t.Errorf("%s: real wire bytes are %.2f× the simulated estimate, want ≤ 2×", w, ratio)
+		}
+	}
+}

@@ -175,14 +175,25 @@ func holderEntry(ctx object.Ctx, args []any) ([]any, error) {
 
 // Acquire takes the named lock on the given server for the calling thread
 // and chains the unlock routine onto the thread's TERMINATE handler.
+//
+// The unlock is chained BEFORE the server is asked: the server may record
+// the grant and then the reply may be lost (a crash, or a transient false
+// suspicion, between grant and reply), leaving the caller with an error
+// for a lock that is held in its name. With the handler already on the
+// chain, the thread's eventual TERMINATE releases such an invisible grant;
+// when no grant was recorded the chained release is an idempotent no-op.
+// Attaching only on success would make the orphaned grant permanent — no
+// live thread holds it, and no TERMINATE will ever run an unlock for it.
 func Acquire(ctx object.Ctx, server ids.ObjectID, name string) error {
-	ctx2 := ctx // the attach must happen on the caller's own chain
 	reg := ctxMetricsInc(ctx)
+	if err := ctx.AttachHandler(unlockRef(server, name, ctx.Thread())); err != nil {
+		return fmt.Errorf("acquire %s: %w", name, err)
+	}
 	if _, err := ctx.Invoke(server, EntryAcquire, name); err != nil {
 		return fmt.Errorf("acquire %s: %w", name, err)
 	}
 	reg(metrics.CtrLockAcquire)
-	return ctx2.AttachHandler(unlockRef(server, name, ctx.Thread()))
+	return nil
 }
 
 // unlockRef builds the chained-unlock handler reference of §4.2: the

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -44,7 +45,7 @@ func TestBatchFIFOAcrossFrames(t *testing.T) {
 		}
 	}
 	f.Start()
-	defer f.Close()
+	defer f.Close(context.Background())
 
 	var wg sync.WaitGroup
 	for s := 1; s <= senders; s++ {
@@ -99,7 +100,7 @@ func TestBatchFIFOAcrossFrames(t *testing.T) {
 func TestBatchForcedOffUnderVirtualClock(t *testing.T) {
 	v := vclock.NewVirtual()
 	f := New(Config{Batch: BatchConfig{Enabled: true}, Clock: v})
-	defer f.Close()
+	defer f.Close(context.Background())
 	if f.Batching() {
 		t.Fatal("batching stayed on under a virtual clock")
 	}
@@ -125,7 +126,7 @@ func TestBatchForcedOffUnderVirtualClock(t *testing.T) {
 	}
 
 	real := New(Config{Batch: BatchConfig{Enabled: true}})
-	defer real.Close()
+	defer real.Close(context.Background())
 	if !real.Batching() {
 		t.Fatal("batching off under a real clock despite Enabled")
 	}
@@ -145,7 +146,7 @@ func TestBatchCoalescesUnderLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Start()
-	defer f.Close()
+	defer f.Close(context.Background())
 	for i := 0; i < n; i++ {
 		if err := f.Send(Message{From: 1, To: 2, Kind: "burst", Payload: i}); err != nil {
 			t.Fatal(err)
@@ -186,7 +187,7 @@ func TestBatchSendZeroAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Start()
-	defer f.Close()
+	defer f.Close(context.Background())
 	payload := []byte("hot-path")
 	m := Message{From: 1, To: 2, Kind: "invoke.req", Payload: payload, Size: len(payload)}
 	// Warm: the first send ships bare, the second creates the link's frame

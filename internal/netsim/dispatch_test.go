@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -54,7 +55,7 @@ func TestDispatchWorkersPreserveSenderFIFO(t *testing.T) {
 		}
 	}
 	f.Start()
-	defer f.Close()
+	defer f.Close(context.Background())
 
 	var wg sync.WaitGroup
 	for s := 1; s <= senders; s++ {
@@ -108,12 +109,12 @@ func TestDispatchWorkersPreserveSenderFIFO(t *testing.T) {
 func TestDispatchWorkersForcedSerialUnderVirtualClock(t *testing.T) {
 	v := vclock.NewVirtual()
 	f := New(Config{DispatchWorkers: 8, Clock: v})
-	defer f.Close()
+	defer f.Close(context.Background())
 	if got := f.DispatchWorkers(); got != 1 {
 		t.Fatalf("DispatchWorkers under Virtual clock = %d, want 1", got)
 	}
 	f2 := New(Config{DispatchWorkers: 8})
-	defer f2.Close()
+	defer f2.Close(context.Background())
 	if got := f2.DispatchWorkers(); got != 8 {
 		t.Fatalf("DispatchWorkers under real clock = %d, want 8", got)
 	}
@@ -131,7 +132,7 @@ func TestPostHotPathZeroAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Start()
-	defer f.Close()
+	defer f.Close(context.Background())
 	payload := []byte("hot-path")
 	m := Message{From: 1, To: 2, Kind: "invoke.req", Payload: payload, Size: len(payload)}
 	if err := f.Send(m); err != nil { // warm the kind counter cache
@@ -158,7 +159,7 @@ func BenchmarkPostHotPath(b *testing.B) {
 		b.Fatal(err)
 	}
 	f.Start()
-	defer f.Close()
+	defer f.Close(context.Background())
 	payload := []byte("hot-path")
 	m := Message{From: 1, To: 2, Kind: "invoke.req", Payload: payload, Size: len(payload)}
 	b.ReportAllocs()

@@ -11,6 +11,7 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/ids"
 	"repro/internal/metrics"
+	"repro/internal/transport"
 	"repro/internal/vclock"
 )
 
@@ -32,31 +34,26 @@ var (
 	ErrUnknownGroup = errors.New("netsim: unknown multicast group")
 )
 
-// Message is one envelope on the wire.
-type Message struct {
-	From    ids.NodeID
-	To      ids.NodeID
-	Kind    string // protocol message kind, e.g. "invoke.req"
-	Payload any
-	Size    int // wire size estimate in bytes
-}
-
-// Sizer lets payloads report their wire size; payloads that do not
-// implement it are charged DefaultMessageSize bytes.
-type Sizer interface {
-	WireSize() int
-}
+// The message/size vocabulary lives in internal/transport (the interface
+// this fabric is the deterministic-sim implementation of); the aliases keep
+// every existing netsim.Message call site compiling unchanged.
+type (
+	// Message is one envelope on the wire.
+	Message = transport.Message
+	// Sizer lets payloads report their wire size; payloads that do not
+	// implement it are charged DefaultMessageSize bytes.
+	Sizer = transport.Sizer
+	// Handler consumes messages delivered to a node. Handlers run on one
+	// of the node's dispatch goroutines (see Config.DispatchWorkers); they
+	// must not block indefinitely. With DispatchWorkers > 1, messages from
+	// different senders may be handled concurrently, so handlers must be
+	// safe for concurrent calls; messages from the same sender are always
+	// handled by the same worker, in order.
+	Handler = transport.Handler
+)
 
 // DefaultMessageSize is the byte charge for payloads without a Sizer.
-const DefaultMessageSize = 64
-
-// Handler consumes messages delivered to a node. Handlers run on one of the
-// node's dispatch goroutines (see Config.DispatchWorkers); they must not
-// block indefinitely. With DispatchWorkers > 1, messages from different
-// senders may be handled concurrently, so handlers must be safe for
-// concurrent calls; messages from the same sender are always handled by the
-// same worker, in order.
-type Handler func(Message)
+const DefaultMessageSize = transport.DefaultMessageSize
 
 // Config parameterizes a Fabric.
 type Config struct {
@@ -316,26 +313,37 @@ func (f *Fabric) Start() {
 	go f.schedule()
 }
 
-// Close stops delivery and waits for dispatch goroutines to exit. Messages
-// still queued are discarded.
-func (f *Fabric) Close() {
+// Close stops delivery and drains: it blocks until every dispatch
+// goroutine has exited (so no handler is mid-flight and none will run
+// again), bounded by ctx. Messages still queued are discarded. A ctx
+// expiry abandons the wait and returns ctx.Err(); the fabric is still
+// closed, but a slow handler may finish after Close returns.
+func (f *Fabric) Close(ctx context.Context) error {
 	f.mu.Lock()
-	if f.closed {
-		f.mu.Unlock()
-		f.wg.Wait()
-		return
+	if !f.closed {
+		f.closed = true
+		for _, ep := range f.endpoints {
+			close(ep.done)
+		}
+		close(f.done)
 	}
-	f.closed = true
-	for _, ep := range f.endpoints {
-		close(ep.done)
-	}
-	close(f.done)
 	f.mu.Unlock()
 	// Outside f.mu: an in-flight flush holds its link lock while taking
 	// f.mu.RLock, so disarming the timers under the write lock would
 	// deadlock against it.
 	f.stopBatchTimers()
-	f.wg.Wait()
+	if ctx.Done() == nil {
+		f.wg.Wait()
+		return nil
+	}
+	drained := make(chan struct{})
+	go func() { f.wg.Wait(); close(drained) }()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 func (f *Fabric) dispatch(ep *endpoint, inbox chan Message) {
@@ -657,25 +665,15 @@ func (f *Fabric) Crashed(node ids.NodeID) bool {
 	return f.crashed[node]
 }
 
-// PayloadSize is the canonical wire-size estimator for message payloads:
-// Sizer implementations report their own size, byte slices and strings are
-// charged their length plus a small framing overhead, scalars a machine
-// word, and anything else DefaultMessageSize. The reliable layer and the
-// kernel use it too, so byte accounting is consistent at every layer.
-func PayloadSize(p any) int {
-	switch v := p.(type) {
-	case nil:
-		return 0
-	case Sizer:
-		return v.WireSize()
-	case []byte:
-		return 8 + len(v)
-	case string:
-		return 8 + len(v)
-	case bool, int8, uint8:
-		return 1
-	case int, int64, uint64, uintptr, float64, int32, uint32, float32, int16, uint16:
-		return 8
-	}
-	return DefaultMessageSize
-}
+// PayloadSize is the canonical wire-size estimator for message payloads;
+// see transport.PayloadSize. Re-exported so netsim callers keep one name
+// for it.
+func PayloadSize(p any) int { return transport.PayloadSize(p) }
+
+// Compile-time interface checks: the fabric is the deterministic-sim
+// Transport implementation, with the full fault-injection surface.
+var (
+	_ transport.Transport     = (*Fabric)(nil)
+	_ transport.FaultInjector = (*Fabric)(nil)
+	_ transport.Batcher       = (*Fabric)(nil)
+)

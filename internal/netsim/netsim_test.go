@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -68,7 +69,7 @@ func buildFabric(t *testing.T, cfg Config, n int) (*Fabric, map[ids.NodeID]*coll
 		}
 	}
 	f.Start()
-	t.Cleanup(f.Close)
+	t.Cleanup(func() { f.Close(context.Background()) })
 	return f, cols
 }
 
@@ -114,7 +115,7 @@ func TestSendAfterClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Start()
-	f.Close()
+	f.Close(context.Background())
 	if err := f.Send(Message{From: 1, To: 1}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Send after Close: err = %v, want ErrClosed", err)
 	}
@@ -123,7 +124,7 @@ func TestSendAfterClose(t *testing.T) {
 func TestAttachAfterStartFails(t *testing.T) {
 	f := New(Config{})
 	f.Start()
-	t.Cleanup(f.Close)
+	t.Cleanup(func() { f.Close(context.Background()) })
 	if err := f.Attach(1, nil); err == nil {
 		t.Fatal("Attach after Start succeeded, want error")
 	}
@@ -337,8 +338,8 @@ func TestCloseIsIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Start()
-	f.Close()
-	f.Close()
+	f.Close(context.Background())
+	f.Close(context.Background())
 }
 
 func TestNodesList(t *testing.T) {

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -46,11 +47,11 @@ func TestSendCloseRace(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			<-start
-			f.Close()
+			f.Close(context.Background())
 		}()
 		close(start)
 		wg.Wait()
-		f.Close()
+		f.Close(context.Background())
 	}
 }
 
@@ -129,6 +130,6 @@ func TestDelayedSendBeforeStart(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Start()
-	defer f.Close()
+	defer f.Close(context.Background())
 	col.waitN(t, 1)
 }

@@ -89,6 +89,16 @@ type Config struct {
 	// machine clock). A *vclock.Virtual runs the whole retry protocol in
 	// virtual time.
 	Clock vclock.Clock
+	// Generation is this endpoint's incarnation epoch, stamped into every
+	// outbound envelope. A node that restarts as a fresh OS process starts
+	// its sequence space over at 1; without an epoch the peer's dedup
+	// window would silently swallow the new process's first sends as
+	// "duplicates" of the old incarnation's. Receivers reset a peer's
+	// inbound dedup state when they see a higher generation, and drop
+	// stragglers from older ones. Zero (the in-process simulation, where an
+	// endpoint's lifetime spans simulated crashes) keeps the legacy
+	// single-incarnation behavior.
+	Generation uint64
 }
 
 func (c *Config) fillDefaults() {
@@ -115,7 +125,10 @@ func (c *Config) fillDefaults() {
 // every (re)transmission, so even a retransmitted envelope carries current
 // ack information.
 type Envelope struct {
-	Seq     uint64
+	Seq uint64
+	// Gen is the sender's incarnation epoch (Config.Generation). Sequence
+	// numbers are only comparable within one generation.
+	Gen     uint64
 	Kind    string // the inner protocol kind, e.g. "rpc.req"
 	Payload any
 	AckCum  uint64
@@ -211,6 +224,7 @@ type peerState struct {
 	pending map[uint64]chan struct{} // seq → closed when acked
 
 	// Inbound.
+	gen      uint64          // peer's incarnation the window below belongs to
 	cum      uint64          // highest contiguously-received sequence
 	max      uint64          // highest sequence seen
 	seen     map[uint64]bool // received sequences above cum
@@ -343,7 +357,9 @@ func (e *Endpoint) transmit(to ids.NodeID, kind string, payload any, size int, s
 		}
 		err := e.send(netsim.Message{
 			From: e.self, To: to, Kind: KindData,
-			Payload: pendingEnv{e: e, to: to, env: Envelope{Seq: seq, Kind: kind, Payload: payload, Size: size}},
+			Payload: pendingEnv{e: e, to: to, env: Envelope{
+				Seq: seq, Gen: e.cfg.Generation, Kind: kind, Payload: payload, Size: size,
+			}},
 		})
 		if err != nil {
 			// Structural failure (unknown node, fabric closed): retrying
@@ -484,7 +500,7 @@ func (e *Endpoint) Handle(m netsim.Message) bool {
 		}
 		// The piggybacked frontier retires our own pending sends first.
 		e.retire(m.From, 0, env.AckCum)
-		isFresh := e.fresh(m.From, env.Seq)
+		isFresh := e.fresh(m.From, env.Gen, env.Seq)
 		switch {
 		case e.cfg.StandaloneAcks:
 			e.sendAck(m.From, env.Seq)
@@ -559,11 +575,23 @@ func (e *Endpoint) flushAck(to ids.NodeID) {
 
 // fresh records seq in the sender's dedup window, advances the cumulative
 // frontier through any now-contiguous sequences, and reports whether seq
-// was seen for the first time.
-func (e *Endpoint) fresh(from ids.NodeID, seq uint64) bool {
+// was seen for the first time. A higher sender generation means the peer
+// restarted as a new process and its sequence space began again: the
+// window resets so the new incarnation's sends are not mistaken for the
+// old one's duplicates. A lower generation is a straggler from a dead
+// incarnation and is dropped.
+func (e *Endpoint) fresh(from ids.NodeID, gen, seq uint64) bool {
 	p := e.peer(from)
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if gen < p.gen {
+		return false
+	}
+	if gen > p.gen {
+		p.gen = gen
+		p.cum, p.max = 0, 0
+		p.seen = make(map[uint64]bool)
+	}
 	p.lastRecv = seq
 	if seq <= p.cum {
 		return false // at or below the frontier: necessarily a duplicate

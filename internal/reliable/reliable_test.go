@@ -176,16 +176,16 @@ func TestWindowRejectsAncientDuplicates(t *testing.T) {
 		func(ids.NodeID, string, any) {},
 		nil)
 	defer e.Close()
-	if !e.fresh(1, 100) {
+	if !e.fresh(1, 0, 100) {
 		t.Fatal("first seq 100 not fresh")
 	}
-	if e.fresh(1, 100) {
+	if e.fresh(1, 0, 100) {
 		t.Error("repeat seq 100 fresh")
 	}
-	if e.fresh(1, 92) {
+	if e.fresh(1, 0, 92) {
 		t.Error("seq 92 (older than window below max 100) fresh")
 	}
-	if !e.fresh(1, 93) {
+	if !e.fresh(1, 0, 93) {
 		t.Error("seq 93 (inside window) not fresh")
 	}
 }

@@ -1,0 +1,803 @@
+// Package tcptransport is the real-socket implementation of
+// transport.Transport: a cluster of OS processes exchanging kernel
+// traffic over loopback or LAN TCP, framed by internal/batch and encoded
+// by internal/transport/wire.
+//
+// Topology is static: Config.Peers maps every node in the cluster to the
+// listen address of the process hosting it. Each process hosts one or
+// more nodes (Attach), listens on Config.Listen, and dials peers on
+// demand — the first Send toward an address opens one outbound TCP
+// connection to it, owned by a writer goroutine that coalesces queued
+// messages into length-prefixed batch frames. Connections are
+// unidirectional: a process sends only on connections it dialed and
+// receives only on connections it accepted, so two processes exchanging
+// traffic hold one socket per direction and no connection is ever shared
+// between a reader and a writer.
+//
+// Failures follow the datagram contract of transport.Transport: a send
+// into a dead, unreachable or congested peer is silently dropped (and
+// counted) — the reliable envelope above retransmits, the failure
+// detector above notices silence. A broken connection is redialed with
+// exponential backoff capped at Config.RetryMax.
+//
+// Unlike netsim, byte accounting here is measured, not estimated:
+// net.msg.bytes counts the exact bytes handed to the socket (frame
+// payloads plus framing overhead), and per-kind counters charge each
+// message its encoded record footprint. E14 compares these measured
+// costs against the simulator's estimates.
+//
+// The FaultInjector surface is implemented with process-local view:
+// CrashNode/CutLink/SetDropRate filter traffic entering and leaving
+// *this* process, which is what single-process multi-System tests need.
+// A real multi-process chaos test kills the process instead.
+package tcptransport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/ids"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// Common transport errors.
+var (
+	ErrClosed       = errors.New("tcptransport: transport closed")
+	ErrUnknownNode  = errors.New("tcptransport: unknown node")
+	ErrUnknownGroup = errors.New("tcptransport: unknown multicast group")
+)
+
+// Tunable defaults; see Config.
+const (
+	DefaultDialTimeout      = 2 * time.Second
+	DefaultHandshakeTimeout = 5 * time.Second
+	DefaultRetryBase        = 50 * time.Millisecond
+	DefaultRetryMax         = 2 * time.Second
+	DefaultQueueDepth       = 1024
+
+	// maxFrame bounds one length-prefixed frame on the wire; a peer
+	// announcing more is treated as corrupt and disconnected.
+	maxFrame = 16 << 20
+	// maxCoalesce bounds how many queued messages one socket write
+	// carries. Coalescing is opportunistic — whatever is already queued
+	// goes out together — so it never adds latency, only saves syscalls.
+	maxCoalesce = 64
+)
+
+// Config parameterizes a Transport.
+type Config struct {
+	// Listen is the TCP address this process accepts peer connections on
+	// (e.g. "127.0.0.1:7001"; ":0" picks a free port — read it back with
+	// Addr). Required.
+	Listen string
+	// Peers maps every node in the cluster — including the ones hosted
+	// here — to the listen address of its process. Addresses for nodes
+	// attached locally are ignored (local traffic never touches a
+	// socket). May be supplied or replaced later with SetPeers, as long
+	// as it happens before Start.
+	Peers map[ids.NodeID]string
+	// Generation is this process's incarnation epoch, announced in the
+	// connection handshake for diagnostics. The restart-surviving dedup
+	// lives in reliable.Config.Generation; transports only carry it.
+	Generation uint64
+	// DialTimeout bounds one connection attempt (0 = 2s).
+	DialTimeout time.Duration
+	// HandshakeTimeout bounds the hello exchange on a fresh connection
+	// (0 = 5s).
+	HandshakeTimeout time.Duration
+	// RetryBase/RetryMax shape the reconnect backoff: the delay after a
+	// failed dial starts at RetryBase and doubles to at most RetryMax
+	// (0 = 50ms / 2s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// QueueDepth is the capacity of each outbound per-peer queue and each
+	// inbound per-shard dispatch queue (0 = 1024). A full outbound queue
+	// drops (the peer is unreachable and the reliable layer retries); a
+	// full inbound shard exerts TCP backpressure on the sender.
+	QueueDepth int
+	// DispatchWorkers is the per-node dispatch parallelism: inbound
+	// messages are sharded by sender, preserving per-pair FIFO while
+	// letting different senders' handlers run concurrently. Zero picks
+	// GOMAXPROCS; negative forces 1.
+	DispatchWorkers int
+	// Metrics receives message accounting. Nil creates a private registry.
+	Metrics *metrics.Registry
+	// Logf, when non-nil, receives connection lifecycle and corruption
+	// diagnostics (think log.Printf). Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// endpoint is one locally-hosted node: its handler and sender-sharded
+// dispatch queues, exactly netsim's shape.
+type endpoint struct {
+	node    ids.NodeID
+	inboxes []chan transport.Message
+	handler transport.Handler
+	done    chan struct{}
+}
+
+func (ep *endpoint) shard(from ids.NodeID) chan transport.Message {
+	if len(ep.inboxes) == 1 {
+		return ep.inboxes[0]
+	}
+	return ep.inboxes[uint64(from)%uint64(len(ep.inboxes))]
+}
+
+// kindCounters is the interned per-kind wire counter pair (netsim keeps
+// the identical cache so both transports account identically).
+type kindCounters struct {
+	msgs  *atomic.Int64
+	bytes *atomic.Int64
+}
+
+// Transport is a live TCP transport. Create with New, attach local nodes
+// with Attach, then Start. All methods are safe for concurrent use.
+type Transport struct {
+	cfg     Config
+	reg     *metrics.Registry
+	workers int
+	ln      net.Listener
+
+	ctrSent      *atomic.Int64
+	ctrDelivered *atomic.Int64
+	ctrDropped   *atomic.Int64
+	ctrBytes     *atomic.Int64
+	ctrBroadcast *atomic.Int64
+	ctrMulticast *atomic.Int64
+	kindCtrs     sync.Map // message kind -> *kindCounters
+
+	mu      sync.RWMutex
+	local   map[ids.NodeID]*endpoint
+	peers   map[ids.NodeID]string
+	links   map[string]*link // remote address -> outbound link
+	groups  map[string]map[ids.NodeID]bool
+	cut     map[[2]ids.NodeID]bool
+	crashed map[ids.NodeID]bool
+	started bool
+	closed  bool
+
+	// Open sockets (dialed and accepted), tracked so Close can unblock
+	// every reader and writer immediately.
+	connMu sync.Mutex
+	conns  map[net.Conn]bool
+
+	dropRate atomic.Uint64 // float64 bits; SetDropRate
+	rngMu    sync.Mutex
+	rng      *rand.Rand
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New opens the listener and returns a Transport ready for Attach. The
+// listen port is bound immediately so Addr is valid before Start — a
+// test can boot N transports on ":0", collect their addresses, and only
+// then hand each the full peer map via SetPeers.
+func New(cfg Config) (*Transport, error) {
+	if cfg.Listen == "" {
+		return nil, errors.New("tcptransport: Config.Listen is required")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = DefaultRetryBase
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = DefaultRetryMax
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	workers := cfg.DispatchWorkers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	} else if workers < 0 {
+		workers = 1
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("tcptransport: listen %s: %w", cfg.Listen, err)
+	}
+	t := &Transport{
+		cfg:          cfg,
+		reg:          reg,
+		workers:      workers,
+		ln:           ln,
+		ctrSent:      reg.Counter(metrics.CtrMsgSent),
+		ctrDelivered: reg.Counter(metrics.CtrMsgDelivered),
+		ctrDropped:   reg.Counter(metrics.CtrMsgDropped),
+		ctrBytes:     reg.Counter(metrics.CtrMsgBytes),
+		ctrBroadcast: reg.Counter(metrics.CtrBroadcast),
+		ctrMulticast: reg.Counter(metrics.CtrMulticast),
+		local:        make(map[ids.NodeID]*endpoint),
+		peers:        make(map[ids.NodeID]string),
+		links:        make(map[string]*link),
+		groups:       make(map[string]map[ids.NodeID]bool),
+		cut:          make(map[[2]ids.NodeID]bool),
+		crashed:      make(map[ids.NodeID]bool),
+		conns:        make(map[net.Conn]bool),
+		rng:          rand.New(rand.NewSource(1)),
+		done:         make(chan struct{}),
+	}
+	for n, addr := range cfg.Peers {
+		t.peers[n] = addr
+	}
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with Listen ":0").
+func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+// SetPeers replaces the node → address map. Must be called before Start.
+func (t *Transport) SetPeers(peers map[ids.NodeID]string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.started {
+		return errors.New("tcptransport: SetPeers after Start")
+	}
+	t.peers = make(map[ids.NodeID]string, len(peers))
+	for n, addr := range peers {
+		t.peers[n] = addr
+	}
+	return nil
+}
+
+// Metrics returns the registry accounting this transport's traffic.
+func (t *Transport) Metrics() *metrics.Registry { return t.reg }
+
+// DispatchWorkers returns the resolved per-node dispatch parallelism.
+func (t *Transport) DispatchWorkers() int { return t.workers }
+
+// Attach registers a locally-hosted node with its message handler.
+// Attach must be called before Start.
+func (t *Transport) Attach(node ids.NodeID, h transport.Handler) error {
+	if !node.IsValid() {
+		return fmt.Errorf("tcptransport: attach: %v is not a valid node", node)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.started {
+		return errors.New("tcptransport: attach after Start")
+	}
+	if _, dup := t.local[node]; dup {
+		return fmt.Errorf("tcptransport: node %v already attached", node)
+	}
+	inboxes := make([]chan transport.Message, t.workers)
+	for i := range inboxes {
+		inboxes[i] = make(chan transport.Message, t.cfg.QueueDepth)
+	}
+	t.local[node] = &endpoint{node: node, inboxes: inboxes, handler: h, done: make(chan struct{})}
+	return nil
+}
+
+// Start launches the accept loop and the dispatch goroutines.
+func (t *Transport) Start() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.started || t.closed {
+		return
+	}
+	t.started = true
+	for _, ep := range t.local {
+		for i := range ep.inboxes {
+			t.wg.Add(1)
+			go t.dispatch(ep, ep.inboxes[i])
+		}
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+}
+
+func (t *Transport) dispatch(ep *endpoint, inbox chan transport.Message) {
+	defer t.wg.Done()
+	for {
+		select {
+		case <-ep.done:
+			return
+		case m := <-inbox:
+			t.ctrDelivered.Add(1)
+			if ep.handler != nil {
+				ep.handler(m)
+			}
+		}
+	}
+}
+
+// kindCountersFor returns the interned counter pair for a message kind.
+func (t *Transport) kindCountersFor(kind string) *kindCounters {
+	if kc, ok := t.kindCtrs.Load(kind); ok {
+		return kc.(*kindCounters)
+	}
+	kc := &kindCounters{
+		msgs:  t.reg.Counter(metrics.KindMsgs(kind)),
+		bytes: t.reg.Counter(metrics.KindBytes(kind)),
+	}
+	actual, _ := t.kindCtrs.LoadOrStore(kind, kc)
+	return actual.(*kindCounters)
+}
+
+// chargeSend accounts one departing message of the given wire size.
+func (t *Transport) chargeSend(kind string, size int) {
+	t.ctrSent.Add(1)
+	t.ctrBytes.Add(int64(size))
+	if kind != "" {
+		kc := t.kindCountersFor(kind)
+		kc.msgs.Add(1)
+		kc.bytes.Add(int64(size))
+	}
+}
+
+// Send delivers m.Payload from m.From to m.To asynchronously: locally
+// attached destinations go straight to their dispatch shard, remote ones
+// are queued on the outbound link toward their process. It returns an
+// error only for structural problems (unknown node, closed transport);
+// loss — severed/crashed filters, full queues, broken connections — is
+// silent and counted, exactly the datagram contract netsim implements.
+func (t *Transport) Send(m transport.Message) error {
+	t.mu.RLock()
+	if t.closed {
+		t.mu.RUnlock()
+		return ErrClosed
+	}
+	severed := t.cut[[2]ids.NodeID{m.From, m.To}] || t.crashed[m.From] || t.crashed[m.To]
+	ep := t.local[m.To]
+	addr, known := t.peers[m.To]
+	t.mu.RUnlock()
+
+	if ep != nil {
+		t.postLocal(ep, m, severed)
+		return nil
+	}
+	if !known {
+		return fmt.Errorf("%w: %v", ErrUnknownNode, m.To)
+	}
+	if severed || t.roll() {
+		// Account like netsim's post: the message departed (estimated
+		// size — it is never encoded) and was dropped on the floor.
+		size := m.Size
+		if size == 0 {
+			size = transport.PayloadSize(m.Payload)
+		}
+		t.chargeSend(m.Kind, size)
+		t.ctrDropped.Add(1)
+		return nil
+	}
+	l := t.linkFor(addr)
+	if l == nil {
+		return ErrClosed
+	}
+	select {
+	case l.out <- m:
+	default:
+		// Queue full: the peer is down or drowning. Drop — the reliable
+		// envelope retransmits after the link recovers.
+		size := m.Size
+		if size == 0 {
+			size = transport.PayloadSize(m.Payload)
+		}
+		t.chargeSend(m.Kind, size)
+		t.ctrDropped.Add(1)
+	}
+	return nil
+}
+
+// postLocal delivers to a locally-attached node without touching a
+// socket; sizes are estimates, as in netsim, since nothing is encoded.
+func (t *Transport) postLocal(ep *endpoint, m transport.Message, severed bool) {
+	if m.Size == 0 {
+		m.Size = transport.PayloadSize(m.Payload)
+	}
+	if fin, ok := m.Payload.(batch.Finalizer); ok {
+		m.Payload = fin.FinalizeFlush()
+	}
+	t.chargeSend(m.Kind, m.Size)
+	if severed || t.roll() {
+		t.ctrDropped.Add(1)
+		return
+	}
+	t.deliver(ep, m)
+}
+
+// deliver hands m to its destination shard, blocking for backpressure
+// but never past the endpoint's or transport's close.
+func (t *Transport) deliver(ep *endpoint, m transport.Message) {
+	select {
+	case ep.shard(m.From) <- m:
+	case <-ep.done:
+	case <-t.done:
+	}
+}
+
+// nodes returns every node this transport can address: locally attached
+// ones plus everything in the peer map.
+func (t *Transport) nodesLocked() []ids.NodeID {
+	seen := make(map[ids.NodeID]bool, len(t.local)+len(t.peers))
+	out := make([]ids.NodeID, 0, len(t.local)+len(t.peers))
+	for n := range t.local {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for n := range t.peers {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Broadcast sends payload from the sender to every other node in the
+// cluster (local and remote alike).
+func (t *Transport) Broadcast(from ids.NodeID, kind string, payload any) error {
+	t.mu.RLock()
+	if t.closed {
+		t.mu.RUnlock()
+		return ErrClosed
+	}
+	targets := t.nodesLocked()
+	t.mu.RUnlock()
+	t.ctrBroadcast.Add(1)
+	for _, n := range targets {
+		if n == from {
+			continue
+		}
+		_ = t.Send(transport.Message{From: from, To: n, Kind: kind, Payload: payload})
+	}
+	return nil
+}
+
+// Multicast sends payload to every member of group (including the sender
+// if it is a member), per this process's view of the membership.
+func (t *Transport) Multicast(from ids.NodeID, group, kind string, payload any) error {
+	t.mu.RLock()
+	if t.closed {
+		t.mu.RUnlock()
+		return ErrClosed
+	}
+	g, ok := t.groups[group]
+	members := make([]ids.NodeID, 0, len(g))
+	for n := range g {
+		members = append(members, n)
+	}
+	t.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	}
+	t.ctrMulticast.Add(1)
+	for _, n := range members {
+		_ = t.Send(transport.Message{From: from, To: n, Kind: kind, Payload: payload})
+	}
+	return nil
+}
+
+// JoinGroup adds node to the named multicast group. Membership of
+// locally-hosted nodes is authoritative here and replicated to every
+// peer process (incrementally now, and in the connection handshake's
+// snapshot for peers that connect later).
+func (t *Transport) JoinGroup(group string, node ids.NodeID) {
+	t.updateGroup(group, node, false)
+}
+
+// LeaveGroup removes node from the named multicast group.
+func (t *Transport) LeaveGroup(group string, node ids.NodeID) {
+	t.updateGroup(group, node, true)
+}
+
+func (t *Transport) updateGroup(group string, node ids.NodeID, leave bool) {
+	t.mu.Lock()
+	t.applyGroupLocked(group, node, leave)
+	_, isLocal := t.local[node]
+	replicate := isLocal && t.started && !t.closed
+	t.mu.Unlock()
+	if replicate {
+		// Group membership rides the normal message path as a transport-
+		// internal control record, so it shares ordering with the data
+		// stream toward each peer.
+		_ = t.Broadcast(node, kindGroup, groupUpdate{Group: group, Node: node, Leave: leave})
+	}
+}
+
+func (t *Transport) applyGroupLocked(group string, node ids.NodeID, leave bool) {
+	if leave {
+		if g, ok := t.groups[group]; ok {
+			delete(g, node)
+			if len(g) == 0 {
+				delete(t.groups, group)
+			}
+		}
+		return
+	}
+	g, ok := t.groups[group]
+	if !ok {
+		g = make(map[ids.NodeID]bool)
+		t.groups[group] = g
+	}
+	g[node] = true
+}
+
+// GroupMembers returns this process's current view of the group.
+func (t *Transport) GroupMembers(group string) []ids.NodeID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	g := t.groups[group]
+	out := make([]ids.NodeID, 0, len(g))
+	for n := range g {
+		out = append(out, n)
+	}
+	return out
+}
+
+// localGroupsLocked snapshots the groups containing locally-hosted
+// nodes — the slice of the membership this process is authoritative for,
+// announced in connection handshakes.
+func (t *Transport) localGroupsLocked() map[string][]ids.NodeID {
+	out := make(map[string][]ids.NodeID)
+	for g, set := range t.groups {
+		for n := range set {
+			if _, isLocal := t.local[n]; isLocal {
+				out[g] = append(out[g], n)
+			}
+		}
+	}
+	return out
+}
+
+// mergePeerGroups applies a peer's authoritative snapshot: drop every
+// membership we recorded for that peer's nodes, then re-add what the
+// snapshot lists. Incremental updates keep it current afterwards.
+func (t *Transport) mergePeerGroups(peerNodes []ids.NodeID, snapshot map[string][]ids.NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	owned := make(map[ids.NodeID]bool, len(peerNodes))
+	for _, n := range peerNodes {
+		owned[n] = true
+	}
+	for g, set := range t.groups {
+		for n := range set {
+			if owned[n] {
+				delete(set, n)
+			}
+		}
+		if len(set) == 0 {
+			delete(t.groups, g)
+		}
+	}
+	for g, members := range snapshot {
+		for _, n := range members {
+			if owned[n] {
+				t.applyGroupLocked(g, n, false)
+			}
+		}
+	}
+}
+
+// linkFor returns (creating on first use) the outbound link toward addr.
+func (t *Transport) linkFor(addr string) *link {
+	t.mu.RLock()
+	l := t.links[addr]
+	t.mu.RUnlock()
+	if l != nil {
+		return l
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	if l = t.links[addr]; l != nil {
+		return l
+	}
+	l = &link{t: t, addr: addr, out: make(chan transport.Message, t.cfg.QueueDepth), kick: make(chan struct{}, 1)}
+	t.links[addr] = l
+	t.wg.Add(1)
+	go l.run()
+	return l
+}
+
+// kickLinks wakes the outbound links toward the given peer nodes out of
+// any dial backoff. Called from the accept path when a peer's inbound
+// connection handshakes: that peer's process is demonstrably reachable,
+// so a backed-off redial toward it should run now, not after the tail of
+// a capped exponential delay. Matters most across a peer restart — the
+// restarted process dials us within milliseconds, while our old backoff
+// (grown while it was down) could otherwise delay our heartbeats past
+// its fresh detector's suspicion threshold.
+func (t *Transport) kickLinks(nodes []ids.NodeID) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	kicked := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		addr, ok := t.peers[n]
+		if !ok || kicked[addr] {
+			continue
+		}
+		kicked[addr] = true
+		if l := t.links[addr]; l != nil {
+			select {
+			case l.kick <- struct{}{}:
+			default: // a kick is already pending
+			}
+		}
+	}
+}
+
+// trackConn registers an open socket so Close can tear it down; it
+// reports false (and closes the socket) when the transport is closed.
+func (t *Transport) trackConn(c net.Conn) bool {
+	t.connMu.Lock()
+	defer t.connMu.Unlock()
+	select {
+	case <-t.done:
+		c.Close()
+		return false
+	default:
+	}
+	t.conns[c] = true
+	return true
+}
+
+func (t *Transport) untrackConn(c net.Conn) {
+	t.connMu.Lock()
+	delete(t.conns, c)
+	t.connMu.Unlock()
+}
+
+// Close stops delivery and drains: the listener and every socket are
+// torn down, and Close blocks until every dispatch, reader and writer
+// goroutine has exited — so no handler is mid-flight and none will run
+// again — bounded by ctx. Queued messages are discarded. A ctx expiry
+// abandons the wait and returns ctx.Err(); the transport is still
+// closed, but a slow handler may finish after Close returns.
+func (t *Transport) Close(ctx context.Context) error {
+	t.mu.Lock()
+	if !t.closed {
+		t.closed = true
+		for _, ep := range t.local {
+			close(ep.done)
+		}
+		close(t.done)
+	}
+	t.mu.Unlock()
+	t.ln.Close()
+	t.connMu.Lock()
+	for c := range t.conns {
+		c.Close()
+	}
+	t.connMu.Unlock()
+	if ctx.Done() == nil {
+		t.wg.Wait()
+		return nil
+	}
+	drained := make(chan struct{})
+	go func() { t.wg.Wait(); close(drained) }()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// roll reports whether the injected drop rate claims this message.
+func (t *Transport) roll() bool {
+	rate := t.DropRate()
+	if rate <= 0 {
+		return false
+	}
+	t.rngMu.Lock()
+	defer t.rngMu.Unlock()
+	return t.rng.Float64() < rate
+}
+
+// DropRate returns the current injected drop probability.
+func (t *Transport) DropRate() float64 {
+	return math.Float64frombits(t.dropRate.Load())
+}
+
+// SetDropRate changes the injected drop probability for subsequent
+// sends leaving this process.
+func (t *Transport) SetDropRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	t.dropRate.Store(math.Float64bits(rate))
+}
+
+// CutLink severs the directed link from → to as seen by this process:
+// departing and arriving messages on the pair are dropped.
+func (t *Transport) CutLink(from, to ids.NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cut[[2]ids.NodeID{from, to}] = true
+}
+
+// HealLink restores a severed directed link.
+func (t *Transport) HealLink(from, to ids.NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.cut, [2]ids.NodeID{from, to})
+}
+
+// Partition severs every link between the two node sets, in both
+// directions, as seen by this process.
+func (t *Transport) Partition(sideA, sideB []ids.NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, a := range sideA {
+		for _, b := range sideB {
+			t.cut[[2]ids.NodeID{a, b}] = true
+			t.cut[[2]ids.NodeID{b, a}] = true
+		}
+	}
+}
+
+// HealAll restores every severed link.
+func (t *Transport) HealAll() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cut = make(map[[2]ids.NodeID]bool)
+}
+
+// CrashNode fail-stops node as seen by this process: traffic to and
+// from it — outbound and inbound — is dropped until RestartNode.
+func (t *Transport) CrashNode(node ids.NodeID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.crashed[node] {
+		return fmt.Errorf("tcptransport: node %v is already crashed", node)
+	}
+	t.crashed[node] = true
+	return nil
+}
+
+// RestartNode brings a crashed node back: subsequent traffic flows.
+func (t *Transport) RestartNode(node ids.NodeID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.crashed[node] {
+		return fmt.Errorf("tcptransport: node %v is not crashed", node)
+	}
+	delete(t.crashed, node)
+	return nil
+}
+
+// Crashed reports whether node is currently fail-stopped in this
+// process's view.
+func (t *Transport) Crashed(node ids.NodeID) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.crashed[node]
+}
+
+func (t *Transport) logf(format string, args ...any) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+	}
+}
+
+// Compile-time interface checks: the full Transport contract plus the
+// process-local fault-injection surface.
+var (
+	_ transport.Transport     = (*Transport)(nil)
+	_ transport.FaultInjector = (*Transport)(nil)
+)

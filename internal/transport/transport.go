@@ -1,0 +1,147 @@
+// Package transport defines the cluster interconnect seam: the Transport
+// interface the DO/CT kernel (internal/core) sends all cross-node traffic
+// through, and the message/size vocabulary shared by every implementation.
+//
+// Two implementations exist: internal/netsim (the deterministic in-process
+// simulator — latency/drop injection, virtual-clock support, the transport
+// every test and experiment boots by default) and
+// internal/transport/tcptransport (real TCP sockets with the
+// internal/transport/wire binary codec, used by cmd/doctnode for
+// multi-process clusters). The kernel cannot tell them apart: both deliver
+// FIFO per (sender, receiver) pair, both account net.msg.*/net.bytes
+// metrics, and both honor the Close drain contract.
+package transport
+
+import (
+	"context"
+
+	"repro/internal/ids"
+	"repro/internal/metrics"
+)
+
+// Message is one envelope on the wire.
+type Message struct {
+	From    ids.NodeID
+	To      ids.NodeID
+	Kind    string // protocol message kind, e.g. "rpc.req"
+	Payload any
+	Size    int // wire size in bytes (estimated on netsim, measured on TCP)
+}
+
+// Sizer lets payloads report their wire size; payloads that do not
+// implement it are charged DefaultMessageSize bytes.
+type Sizer interface {
+	WireSize() int
+}
+
+// DefaultMessageSize is the byte charge for payloads without a Sizer.
+const DefaultMessageSize = 64
+
+// Handler consumes messages delivered to a node. Handlers run on the
+// transport's dispatch goroutines; they must not block indefinitely.
+// Messages from the same sender are always handled serially, in send
+// order; messages from different senders may be handled concurrently, so
+// handlers must be safe for concurrent calls.
+type Handler func(Message)
+
+// Transport is the cluster interconnect: asynchronous FIFO unicast between
+// nodes, broadcast, and named multicast groups, with message accounting.
+//
+// Lifecycle: Attach every local node's handler, then Start, then exchange
+// traffic, then Close. Close is a drain barrier — when it returns, no
+// handler is running and none will run again (the satellite-6 contract;
+// see TestNoHandlerAfterClose in transporttest).
+type Transport interface {
+	// Attach registers a locally-hosted node with its message handler.
+	// Attach must be called before Start.
+	Attach(node ids.NodeID, h Handler) error
+	// Start launches delivery. Messages may be handled from here on.
+	Start()
+	// Send delivers m.Payload from m.From to m.To asynchronously. It
+	// returns an error only for structural problems (unknown node, closed
+	// transport); loss on the wire is silent, as on a real network.
+	Send(m Message) error
+	// Broadcast sends payload from the sender to every other node.
+	Broadcast(from ids.NodeID, kind string, payload any) error
+	// Multicast sends payload to every member of a named group (including
+	// the sender if it is a member).
+	Multicast(from ids.NodeID, group, kind string, payload any) error
+	// JoinGroup adds node to the named multicast group, creating the
+	// group on first join.
+	JoinGroup(group string, node ids.NodeID)
+	// LeaveGroup removes node from the named multicast group.
+	LeaveGroup(group string, node ids.NodeID)
+	// GroupMembers returns the current members of group.
+	GroupMembers(group string) []ids.NodeID
+	// Metrics returns the registry accounting this transport's traffic
+	// (net.msg.sent, net.msg.bytes, per-kind decompositions, ...).
+	Metrics() *metrics.Registry
+	// DispatchWorkers returns the per-node dispatch parallelism: the
+	// number of handler goroutines that may run concurrently per node.
+	DispatchWorkers() int
+	// Close stops delivery and drains: it blocks until every in-flight
+	// handler has returned, bounded by ctx. After Close returns nil, no
+	// handler runs again. A ctx expiry abandons the wait and returns
+	// ctx.Err(); the transport is still closed, but handlers may be
+	// mid-flight.
+	Close(ctx context.Context) error
+}
+
+// FaultInjector is the optional fault-injection surface. The simulated
+// transport implements all of it; real transports may implement a subset
+// (tcptransport supports CrashNode/RestartNode by dropping connections and
+// refusing traffic, but cannot cut a kernel's view of a real link).
+// Callers type-assert and degrade gracefully.
+type FaultInjector interface {
+	// CutLink severs the directed link from → to: messages on it are
+	// dropped.
+	CutLink(from, to ids.NodeID)
+	// HealLink restores a severed directed link.
+	HealLink(from, to ids.NodeID)
+	// Partition severs every link between the two node sets, in both
+	// directions.
+	Partition(sideA, sideB []ids.NodeID)
+	// HealAll restores every severed link.
+	HealAll()
+	// SetDropRate changes the message drop probability for subsequent
+	// sends.
+	SetDropRate(rate float64)
+	// CrashNode fail-stops node until RestartNode.
+	CrashNode(node ids.NodeID) error
+	// RestartNode brings a crashed node back.
+	RestartNode(node ids.NodeID) error
+	// Crashed reports whether node is currently fail-stopped.
+	Crashed(node ids.NodeID) bool
+}
+
+// Batcher is the optional coalescing probe: transports that batch sends
+// into frames report it so layers above (the reliable envelope's
+// retransmit backoff) can widen their timers past the flush window.
+type Batcher interface {
+	Batching() bool
+}
+
+// PayloadSize is the canonical wire-size estimator for message payloads:
+// Sizer implementations report their own size, byte slices and strings are
+// charged their length plus a small framing overhead, scalars a machine
+// word, and anything else DefaultMessageSize. Every layer — transports,
+// the reliable envelope, the kernel — uses it, so byte accounting is
+// consistent end to end. The wire codec's test suite pins the codec's
+// exact encoded sizes against these estimates (satellite 1).
+func PayloadSize(p any) int {
+	switch v := p.(type) {
+	case nil:
+		return 0
+	case Sizer:
+		return v.WireSize()
+	case []byte:
+		return 8 + len(v)
+	case string:
+		return 8 + len(v)
+	case bool, int8, uint8:
+		return 1
+	case int, int64, uint64, uintptr, float64, int32, uint32, float32, int16, uint16:
+		return 8
+	}
+	return DefaultMessageSize
+}

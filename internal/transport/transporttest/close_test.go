@@ -1,0 +1,120 @@
+package transporttest
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/transport"
+	"repro/internal/transport/tcptransport"
+)
+
+// netsimFactory boots the deterministic simulator fabric.
+func netsimFactory(t *testing.T, handlers map[ids.NodeID]transport.Handler) transport.Transport {
+	f := netsim.New(netsim.Config{})
+	for n, h := range handlers {
+		if err := f.Attach(n, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		f.Close(ctx)
+	})
+	return f
+}
+
+// tcpFactory boots one tcptransport per node, all in this process, so
+// traffic crosses real loopback sockets. Close on the returned transport
+// closes every member — the drain contract must hold cluster-wide.
+func tcpFactory(t *testing.T, handlers map[ids.NodeID]transport.Handler) transport.Transport {
+	members := make(map[ids.NodeID]*tcptransport.Transport, len(handlers))
+	peers := make(map[ids.NodeID]string, len(handlers))
+	for n := range handlers {
+		tr, err := tcptransport.New(tcptransport.Config{
+			Listen:    "127.0.0.1:0",
+			RetryBase: 5 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[n] = tr
+		peers[n] = tr.Addr()
+	}
+	for n, tr := range members {
+		if err := tr.SetPeers(peers); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Attach(n, handlers[n]); err != nil {
+			t.Fatal(err)
+		}
+		tr.Start()
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, tr := range members {
+			tr.Close(ctx)
+		}
+	})
+	return &tcpCluster{members: members, primary: members[1]}
+}
+
+// tcpCluster fans the Transport surface out over per-process members:
+// sends route via the sender's transport, Close closes every member.
+type tcpCluster struct {
+	members map[ids.NodeID]*tcptransport.Transport
+	primary *tcptransport.Transport
+}
+
+func (c *tcpCluster) Attach(node ids.NodeID, h transport.Handler) error {
+	return c.members[node].Attach(node, h)
+}
+func (c *tcpCluster) Start() {}
+func (c *tcpCluster) Send(m transport.Message) error {
+	tr, ok := c.members[m.From]
+	if !ok {
+		tr = c.primary
+	}
+	return tr.Send(m)
+}
+func (c *tcpCluster) Broadcast(from ids.NodeID, kind string, payload any) error {
+	return c.members[from].Broadcast(from, kind, payload)
+}
+func (c *tcpCluster) Multicast(from ids.NodeID, group, kind string, payload any) error {
+	return c.members[from].Multicast(from, group, kind, payload)
+}
+func (c *tcpCluster) JoinGroup(group string, node ids.NodeID)  { c.members[node].JoinGroup(group, node) }
+func (c *tcpCluster) LeaveGroup(group string, node ids.NodeID) { c.members[node].LeaveGroup(group, node) }
+func (c *tcpCluster) GroupMembers(group string) []ids.NodeID {
+	return c.primary.GroupMembers(group)
+}
+func (c *tcpCluster) Metrics() *metrics.Registry { return c.primary.Metrics() }
+func (c *tcpCluster) DispatchWorkers() int       { return c.primary.DispatchWorkers() }
+func (c *tcpCluster) Close(ctx context.Context) error {
+	var firstErr error
+	for _, tr := range c.members {
+		if err := tr.Close(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// TestNoHandlerAfterClose is the satellite-6 contract pinned for both
+// implementations: Close is a drain barrier.
+func TestNoHandlerAfterClose(t *testing.T) {
+	t.Run("netsim", func(t *testing.T) { NoHandlerAfterClose(t, netsimFactory) })
+	t.Run("tcp", func(t *testing.T) { NoHandlerAfterClose(t, tcpFactory) })
+}
+
+// TestCloseTimeout pins the bounded-wait half of the contract.
+func TestCloseTimeout(t *testing.T) {
+	t.Run("netsim", func(t *testing.T) { CloseTimeout(t, netsimFactory) })
+	t.Run("tcp", func(t *testing.T) { CloseTimeout(t, tcpFactory) })
+}

@@ -1,0 +1,108 @@
+// Package transporttest holds contract tests every transport.Transport
+// implementation must pass, factored so netsim and tcptransport run the
+// identical scenarios. The flagship is the Close drain contract: after
+// Close(ctx) returns nil, no handler is running and none will run again.
+package transporttest
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// Factory boots a started transport hosting nodes 1..len(handlers),
+// with handlers[n] attached to node n. The factory registers its own
+// cleanup for anything Close does not release.
+type Factory func(t *testing.T, handlers map[ids.NodeID]transport.Handler) transport.Transport
+
+// NoHandlerAfterClose drives traffic between two nodes with slow
+// handlers, closes the transport mid-stream, and fails if any handler
+// observes a time after Close returned — in-flight handlers must have
+// drained, queued messages must be discarded, nothing may run late.
+func NoHandlerAfterClose(t *testing.T, factory Factory) {
+	t.Helper()
+	var closed atomic.Bool
+	var violations atomic.Int64
+	handler := func(m transport.Message) {
+		if closed.Load() {
+			violations.Add(1)
+		}
+		// Long enough that Close overlaps in-flight handlers; the
+		// post-sleep check is the one a non-draining Close trips.
+		time.Sleep(200 * time.Microsecond)
+		if closed.Load() {
+			violations.Add(1)
+		}
+	}
+	tr := factory(t, map[ids.NodeID]transport.Handler{1: handler, 2: handler})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, pairDir := range [][2]ids.NodeID{{1, 2}, {2, 1}} {
+		from, to := pairDir[0], pairDir[1]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = tr.Send(transport.Message{From: from, To: to, Kind: "test.drain", Payload: i})
+			}
+		}()
+	}
+
+	time.Sleep(20 * time.Millisecond) // let traffic and handlers overlap Close
+	if err := tr.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	closed.Store(true)
+	close(stop)
+	wg.Wait()
+
+	// Any straggler handler still running would trip the flag here.
+	time.Sleep(50 * time.Millisecond)
+	if v := violations.Load(); v > 0 {
+		t.Fatalf("%d handler executions observed after Close returned", v)
+	}
+}
+
+// CloseTimeout checks the other half of the contract: a ctx that expires
+// while handlers are wedged makes Close return ctx.Err() instead of
+// hanging forever.
+func CloseTimeout(t *testing.T, factory Factory) {
+	t.Helper()
+	release := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	handler := func(m transport.Message) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release // wedged until the test lets go
+	}
+	tr := factory(t, map[ids.NodeID]transport.Handler{1: handler, 2: handler})
+	_ = tr.Send(transport.Message{From: 1, To: 2, Kind: "test.wedge", Payload: 0})
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler never entered")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := tr.Close(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Close with wedged handler = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	// A second Close with no deadline now drains cleanly.
+	if err := tr.Close(context.Background()); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -14,6 +14,7 @@ package workload
 // E12 quantifies.
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -266,7 +267,7 @@ func RunSustained(cfg SustainedConfig) (SustainedResult, error) {
 	elapsed := time.Since(start)
 	// Stop dispatch before closing the outboxes: handlers cannot run after
 	// Close returns, so nothing sends on a closed outbox.
-	fab.Close()
+	fab.Close(context.Background())
 	snap := fab.Metrics().Snapshot()
 	for _, ob := range outboxes[1:] {
 		close(ob)
