@@ -32,13 +32,15 @@ bench:
 # fidelity, just proof that the bench harnesses (and the wire-efficiency
 # counters they report) still execute — then replays the gated experiments
 # against their checked-in baselines: E12/E13 delivered events/sec and the
-# E13 message reduction may not fall more than 30% below baseline, and E11
-# wire bytes per invoke may not rise more than 30% above it. The tolerance
+# E13 message reduction may not fall more than 30% below baseline, E11
+# wire bytes per invoke may not rise more than 30% above it, and the E16
+# cluster-scaling reductions (total messages and peak per-node burst,
+# tree vs unicast at 256 nodes) may not regress. The tolerance
 # absorbs shared-runner noise; the regressions the gate exists for — losing
 # the dispatch pool, losing send coalescing — cost far more than 30%.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
-	$(GO) run ./cmd/benchtab -e e11,e12,e13,e14 -json -gate BENCH_e11.json,BENCH_e12.json,BENCH_e13.json,BENCH_e14.json > /dev/null
+	$(GO) run ./cmd/benchtab -e e11,e12,e13,e14,e16 -json -gate BENCH_e11.json,BENCH_e12.json,BENCH_e13.json,BENCH_e14.json,BENCH_e16.json > /dev/null
 
 # bench-batch reruns just the E13 batching sweep and prints the table —
 # the quick loop for tuning the coalescing knobs.
@@ -69,10 +71,16 @@ sim:
 	$(GO) test -count=1 ./internal/sim/
 
 # sim-soak sweeps many more schedules than the default suite; CI runs it
-# on a schedule rather than per push. SOAK_SEEDS picks the sweep width.
+# on a schedule rather than per push. SOAK_SEEDS picks the sweep width of
+# the 8-node fuzz; the second leg reruns the large-cluster scenario at
+# LARGE_NODES nodes (concurrent partitions, cascading restarts, tree
+# fan-out group raises) over LARGE_SEEDS seeds.
 SOAK_SEEDS ?= 25
+LARGE_NODES ?= 128
+LARGE_SEEDS ?= 10
 sim-soak:
 	SIM_SOAK_SEEDS=$(SOAK_SEEDS) $(GO) test -count=1 -timeout 60m -run TestSimFuzz -v ./internal/sim/
+	SIM_LARGE_NODES=$(LARGE_NODES) SIM_SOAK_SEEDS=$(LARGE_SEEDS) $(GO) test -count=1 -timeout 60m -run TestSimLargeCluster -v ./internal/sim/
 
 # tcp-smoke boots a real multi-process cluster over loopback TCP — the
 # doctnode binary, one OS process per node — and proves events cross the
@@ -89,5 +97,6 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzDeltaRoundTrip -fuzztime 10s ./internal/thread/
 	$(GO) test -fuzz FuzzReliableReorder -fuzztime 10s ./internal/reliable/
 	$(GO) test -fuzz FuzzBatchRoundTrip -fuzztime 10s ./internal/batch/
+	$(GO) test -fuzz FuzzGossipRoundTrip -fuzztime 10s ./internal/failure/
 
 check: vet build test shuffle race chaos sim

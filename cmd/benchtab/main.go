@@ -57,6 +57,7 @@ var runners = []struct {
 	{"e12", "sustained-throughput event pipeline (DESIGN.md §10)", func() experiments.Table { return experiments.RunE12(0) }},
 	{"e13", "per-link batch coalescing sweep (DESIGN.md §11)", func() experiments.Table { return experiments.RunE13(0) }},
 	{"e14", "real TCP wire bytes vs simulated estimate (DESIGN.md §12)", func() experiments.Table { return experiments.RunE14(0) }},
+	{"e16", "cluster scaling: hash placement + tree fan-out (DESIGN.md §13)", func() experiments.Table { return experiments.RunE16(nil) }},
 }
 
 func main() {
@@ -164,6 +165,12 @@ var gateRules = map[string][]gateRule{
 	"E12": {{column: "events/s"}},
 	"E13": {{column: "events/s"}, {column: "msg reduction"}},
 	"E14": {{column: "wire B/op", min: true}},
+	// E16's scaling claims are gated as ratios (tree vs unicast measured in
+	// the same run), so machine speed cancels out: total physical-message
+	// reduction and peak single-node-burst reduction at the best cluster
+	// size must not regress, and absolute delivered throughput keeps the
+	// same floor the other event-path gates use.
+	"E16": {{column: "reduction"}, {column: "peak reduction"}, {column: "events/s"}},
 }
 
 // checkGate compares the fresh run against each checked-in baseline file.
@@ -225,7 +232,7 @@ func checkGate(paths string, tol float64, tables []experiments.Table) error {
 			}
 		}
 		if fileChecked == 0 {
-			return fmt.Errorf("gate: no gated tables in %s (known: E11, E12, E13, E14)", path)
+			return fmt.Errorf("gate: no gated tables in %s (known: E11, E12, E13, E14, E16)", path)
 		}
 		checked += fileChecked
 	}

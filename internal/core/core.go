@@ -121,6 +121,13 @@ type Config struct {
 	// threads move, enabling the Multicast location strategy. It costs
 	// group maintenance on every hop.
 	TrackMulticast bool
+	// FanoutK is the arity of the spanning-tree fan-out used for group
+	// raises whose members span many nodes (deliver.go/fanout.go): the
+	// raiser ships one relay message per child instead of one event post
+	// per member, and relays re-batch down their subtrees. Zero picks
+	// DefaultFanoutK; negative disables the tree and every group raise
+	// unicasts to each member as before.
+	FanoutK int
 	// CallTimeout bounds every kernel RPC (0 = 30s). It exists so broken
 	// protocols fail tests instead of hanging them.
 	CallTimeout time.Duration
@@ -250,6 +257,11 @@ type System struct {
 	ftDown   map[ids.NodeID]bool
 	watchers []ids.ObjectID
 
+	// dirStrategy is the hash placement strategy unwrapped from
+	// cfg.Locator at boot, nil for every other locator. Kernels consult
+	// it to route residency-directory publications (directory.go).
+	dirStrategy *locate.Hashed
+
 	closed    chan struct{}
 	closeOnce sync.Once
 }
@@ -309,6 +321,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.TraceCapacity > 0 {
 		s.tr = trace.New(cfg.TraceCapacity)
 	}
+	s.dirStrategy, _ = locate.DirectoryStrategy(cfg.Locator)
 	s.ctrs = newHotCounters(s.reg)
 	if cfg.Transport != nil {
 		s.fabric = cfg.Transport

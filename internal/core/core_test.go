@@ -981,6 +981,8 @@ func TestLocateStrategiesEndToEnd(t *testing.T) {
 		{"broadcast", locate.Broadcast{}, false},
 		{"path-follow", locate.PathFollow{}, false},
 		{"multicast", locate.Multicast{}, true},
+		{"hash", locate.NewHashed(), false},
+		{"cached+hash", locate.NewCache(locate.NewHashed(), 0), false},
 	}
 	for _, tc := range strategies {
 		t.Run(tc.name, func(t *testing.T) {

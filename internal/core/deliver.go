@@ -190,6 +190,16 @@ func (k *Kernel) raiseToGroup(eb *event.Block, gid ids.GroupID) error {
 	if err != nil {
 		return err
 	}
+	if k.sys.cfg.FanoutK >= 0 && len(members) >= fanoutMinNodes {
+		// Wide groups go down the spanning relay tree (fanout.go): one
+		// message per child instead of one per member. Delivery errors
+		// surface at the responsible relay — through releases for
+		// synchronous raises, death notices and pruning otherwise — so
+		// there is nothing to aggregate here.
+		if handled, terr := k.raiseToGroupTree(eb, gid, members); handled {
+			return terr
+		}
+	}
 	var firstErr error
 	for _, tid := range members {
 		m := eb.Clone()

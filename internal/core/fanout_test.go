@@ -1,0 +1,231 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/locate"
+	"repro/internal/metrics"
+	"repro/internal/object"
+	"repro/internal/testutil"
+)
+
+// fanoutGroup builds a group with exactly one member thread per node of
+// an n-node system, using the lead/follow idiom: the lead (node 1)
+// creates the group, attaches the counting handler, and publishes the
+// gid; followers join it. Every member then sleeps so it stays alive to
+// receive raises. Returns the gid and the member tids keyed by node.
+func fanoutGroup(t *testing.T, sys *System, n int, proc string) (ids.GroupID, map[ids.NodeID]ids.ThreadID) {
+	t.Helper()
+	gidCh := make(chan ids.GroupID, 1)
+	ready := make(chan ids.ThreadID, n)
+	spec := object.Spec{
+		Name: "fanmember",
+		Entries: map[string]object.Entry{
+			"lead": func(ctx object.Ctx, _ []any) ([]any, error) {
+				gid, err := ctx.CreateGroup()
+				if err != nil {
+					return nil, err
+				}
+				if err := ctx.AttachHandler(event.HandlerRef{Event: event.Interrupt, Kind: event.KindProc, Proc: proc}); err != nil {
+					return nil, err
+				}
+				gidCh <- gid
+				ready <- ctx.Thread()
+				return nil, ctx.Sleep(15 * time.Second)
+			},
+			"follow": func(ctx object.Ctx, args []any) ([]any, error) {
+				if err := ctx.JoinGroup(args[0].(ids.GroupID)); err != nil {
+					return nil, err
+				}
+				if err := ctx.AttachHandler(event.HandlerRef{Event: event.Interrupt, Kind: event.KindProc, Proc: proc}); err != nil {
+					return nil, err
+				}
+				ready <- ctx.Thread()
+				return nil, ctx.Sleep(15 * time.Second)
+			},
+		},
+	}
+	objs := map[ids.NodeID]ids.ObjectID{}
+	for node := 1; node <= n; node++ {
+		oid, err := sys.CreateObject(ids.NodeID(node), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs[ids.NodeID(node)] = oid
+	}
+	if _, err := sys.Spawn(1, objs[1], "lead"); err != nil {
+		t.Fatal(err)
+	}
+	gid := <-gidCh
+	for node := 2; node <= n; node++ {
+		if _, err := sys.Spawn(ids.NodeID(node), objs[ids.NodeID(node)], "follow", gid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	members := map[ids.NodeID]ids.ThreadID{}
+	for i := 0; i < n; i++ {
+		tid := <-ready
+		members[ids.NodeID(tid.Root())] = tid
+	}
+	if len(members) != n {
+		t.Fatalf("members landed on %d distinct nodes, want %d", len(members), n)
+	}
+	return gid, members
+}
+
+// TestFanoutTreeGroupRaise pins the happy path: a synchronous raise to a
+// group spanning 8 nodes goes down the relay tree (not 7 unicast posts
+// from the raiser), every member runs the handler exactly once, and all
+// releases still reach the raiser so RaiseAndWait completes cleanly.
+func TestFanoutTreeGroupRaise(t *testing.T) {
+	sys := newSystem(t, ftConfig(8))
+	var handled atomic.Int64
+	var perThread sync.Map // ids.ThreadID -> *atomic.Int64
+	if err := sys.RegisterProcs(map[string]ProcFunc{
+		"fan": func(ctx object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+			c, _ := perThread.LoadOrStore(ctx.Thread(), new(atomic.Int64))
+			c.(*atomic.Int64).Add(1)
+			handled.Add(1)
+			return event.VerdictResume
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	gid, members := fanoutGroup(t, sys, 8, "fan")
+
+	if _, err := sys.RaiseAndWait(1, event.Interrupt, event.ToGroup(gid), nil); err != nil {
+		t.Fatalf("group RaiseAndWait: %v", err)
+	}
+	if got := handled.Load(); got != 8 {
+		t.Errorf("handler ran %d times, want 8 (once per member)", got)
+	}
+	for node, tid := range members {
+		c, ok := perThread.Load(tid)
+		if !ok || c.(*atomic.Int64).Load() != 1 {
+			t.Errorf("member on node %d ran %v times, want exactly 1", node, c)
+		}
+	}
+	snap := sys.Metrics().Snapshot()
+	if relays := snap.Get(metrics.CtrFanoutRelay); relays == 0 {
+		t.Error("fanout.relay is zero — the group raise did not use the tree")
+	}
+	if dups := snap.Get(metrics.CtrFanoutDup); dups != 0 {
+		t.Errorf("fanout.dup = %d on the failure-free path, want 0", dups)
+	}
+}
+
+// TestFanoutDisabled pins the escape hatch: FanoutK < 0 forces every
+// group raise down the original unicast path regardless of group width.
+func TestFanoutDisabled(t *testing.T) {
+	cfg := ftConfig(6)
+	cfg.FanoutK = -1
+	sys := newSystem(t, cfg)
+	var handled atomic.Int64
+	if err := sys.RegisterProcs(map[string]ProcFunc{
+		"fan": func(_ object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+			handled.Add(1)
+			return event.VerdictResume
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	gid, _ := fanoutGroup(t, sys, 6, "fan")
+	if _, err := sys.RaiseAndWait(1, event.Interrupt, event.ToGroup(gid), nil); err != nil {
+		t.Fatalf("group RaiseAndWait: %v", err)
+	}
+	if got := handled.Load(); got != 6 {
+		t.Errorf("handler ran %d times, want 6", got)
+	}
+	if relays := sys.Metrics().Snapshot().Get(metrics.CtrFanoutRelay); relays != 0 {
+		t.Errorf("fanout.relay = %d with FanoutK=-1, want 0", relays)
+	}
+}
+
+// TestChaosTreeFanoutRelayCrash crashes an interior relay of the fan-out
+// tree mid-broadcast and checks the orphaned subtree is adopted: with 8
+// nodes and the default arity 4, the tree order is [1..8] and node 2
+// (index 1) relays to nodes 6, 7, 8. The locate cache is warmed by a
+// first raise so that when node 2 crashes, the raiser still builds it
+// into the tree (the detector hasn't flagged it yet — the true
+// crash-mid-broadcast window). The send to node 2 exhausts the reliable
+// retry ladder, dead-letters, and the raiser adopts the subtree: every
+// member on a live node runs exactly once, the member lost with node 2
+// is reported to the synchronous raiser as an error, and fanout.adopt
+// proves the re-route actually happened.
+func TestChaosTreeFanoutRelayCrash(t *testing.T) {
+	cfg := ftConfig(8)
+	// A roomier suspicion window than the chaos default: the test needs
+	// the raise to reach the tree-building step before the detector
+	// invalidates the crashed node's cache entries, even when -race and a
+	// loaded machine stall the raising goroutine.
+	cfg.FT.SuspectAfter = 400 * time.Millisecond
+	cfg.Locator = locate.NewCache(locate.PathFollow{}, 0)
+	sys := newSystem(t, cfg)
+
+	var handled atomic.Int64
+	var perThread sync.Map // ids.ThreadID -> *atomic.Int64
+	if err := sys.RegisterProcs(map[string]ProcFunc{
+		"fan": func(ctx object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+			c, _ := perThread.LoadOrStore(ctx.Thread(), new(atomic.Int64))
+			c.(*atomic.Int64).Add(1)
+			handled.Add(1)
+			return event.VerdictResume
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	gid, members := fanoutGroup(t, sys, 8, "fan")
+
+	// Warm-up raise: proves the tree path works and populates the locate
+	// cache with every member's residency.
+	if _, err := sys.RaiseAndWait(1, event.Interrupt, event.ToGroup(gid), nil); err != nil {
+		t.Fatalf("warm-up RaiseAndWait: %v", err)
+	}
+	if got := handled.Load(); got != 8 {
+		t.Fatalf("warm-up reached %d members, want 8", got)
+	}
+	if relays := sys.Metrics().Snapshot().Get(metrics.CtrFanoutRelay); relays == 0 {
+		t.Fatal("warm-up raise did not use the tree; the crash below would test nothing")
+	}
+
+	handled.Store(0)
+	if err := sys.CrashNode(2); err != nil {
+		t.Fatal(err)
+	}
+	// Raise immediately — before the failure detector suspects node 2 —
+	// so the cached residency puts the dead node into the tree as the
+	// interior relay for nodes 6..8.
+	_, err := sys.RaiseAndWait(1, event.Interrupt, event.ToGroup(gid), nil)
+	if err == nil {
+		t.Error("RaiseAndWait succeeded, want an error for the member lost with node 2")
+	}
+
+	// Every member on a live node ran exactly once: the orphaned subtree
+	// (nodes 6..8) was adopted, and the adoption did not double-deliver
+	// to anyone the original relay wave already reached.
+	testutil.WaitFor(t, "live members to run the handler", func() bool {
+		return handled.Load() >= 7
+	})
+	time.Sleep(150 * time.Millisecond)
+	if got := handled.Load(); got != 7 {
+		t.Errorf("second raise reached %d members, want exactly the 7 on live nodes", got)
+	}
+	for node, tid := range members {
+		want := int64(2) // warm-up + crash raise
+		if node == 2 {
+			want = 1 // died with its node after the warm-up
+		}
+		c, ok := perThread.Load(tid)
+		if !ok || c.(*atomic.Int64).Load() != want {
+			t.Errorf("member on node %d ran %v times across both raises, want %d", node, c, want)
+		}
+	}
+	if adopts := sys.Metrics().Snapshot().Get(metrics.CtrFanoutAdopt); adopts == 0 {
+		t.Error("fanout.adopt is zero — the orphaned subtree was never re-routed")
+	}
+}

@@ -25,10 +25,24 @@ type heartbeat struct{}
 // WireSize charges a minimal frame.
 func (heartbeat) WireSize() int { return 8 }
 
+// kindGossip carries one encoded gossip protocol message (failure
+// detector gossip mode, DESIGN.md §13). Like heartbeats it bypasses the
+// reliable envelope: the protocol has its own redundancy — probes repeat
+// every period and rumors are retransmitted λ·log n times — so reliable
+// retransmission of an individual message would only add load.
+const kindGossip = "k.fd.gossip"
+
+// gossipFrame wraps the canonical gossip encoding for the fabric.
+type gossipFrame struct{ Data []byte }
+
+// WireSize charges the encoded bytes plus a small header.
+func (g gossipFrame) WireSize() int { return 8 + len(g.Data) }
+
 // kindFDNotice disseminates a locally observed membership transition in
 // ring monitoring mode: only the crashed node's ring watcher sees it fall
 // silent, so the watcher tells everyone else (reliably — a lost notice
 // would leave a peer routing calls at a dead node until its call timeout).
+// Gossip mode does not use it: dissemination rides the piggyback blocks.
 const kindFDNotice = "k.fd.notice"
 
 // fdNotice is one membership transition, relayed by its first observer.
@@ -56,6 +70,11 @@ type FTConfig struct {
 	// SuspectAfter is the detector's suspicion threshold
 	// (0 = failure.DefaultSuspectMultiple × period).
 	SuspectAfter time.Duration
+	// Ring falls back to the ring-successor monitoring topology instead
+	// of the default SWIM-style gossip (the escape hatch for workloads
+	// tuned against ring-mode traffic patterns). Ignored when
+	// Wire.EagerHeartbeats forces legacy all-pairs heartbeating.
+	Ring bool
 	// RetryBase, RetryMax and MaxAttempts parameterize the reliable
 	// envelope's retransmit backoff (0 = reliable defaults).
 	RetryBase   time.Duration
@@ -82,15 +101,29 @@ func (k *Kernel) initFT() {
 		}
 	}
 
+	// Topology precedence: legacy all-pairs when the wire config demands
+	// eager heartbeats, else ring if explicitly requested, else gossip —
+	// the scale default (O(1) probe load per node, piggybacked
+	// dissemination; DESIGN.md §13).
+	ring := !wire.EagerHeartbeats && ft.Ring
+	gossip := !wire.EagerHeartbeats && !ft.Ring
+	k.fdRing = ring
 	k.det = failure.New(failure.Config{
 		Period:       ft.HeartbeatPeriod,
 		SuspectAfter: ft.SuspectAfter,
-		Ring:         !wire.EagerHeartbeats,
+		Ring:         ring,
+		Gossip:       gossip,
+		Seed:         k.sys.cfg.Seed,
 		Metrics:      k.sys.reg,
 		Clock:        k.sys.cfg.Clock,
 	}, k.node, peers, func(to ids.NodeID) {
 		_ = k.sys.fabric.Send(netsim.Message{From: k.node, To: to, Kind: kindHeartbeat, Payload: heartbeat{}})
 	})
+	if gossip {
+		k.det.SetGossipSend(func(to ids.NodeID, payload []byte) {
+			_ = k.sys.fabric.Send(netsim.Message{From: k.node, To: to, Kind: kindGossip, Payload: gossipFrame{Data: payload}})
+		})
+	}
 	k.det.Subscribe(func(ev failure.Event) {
 		if !ev.Remote {
 			k.disseminateFD(ev)
@@ -131,10 +164,11 @@ func (k *Kernel) initFT() {
 
 // disseminateFD relays a locally observed membership transition to the
 // rest of the cluster. Only needed in ring mode, where a crash is seen by
-// exactly one watcher; legacy all-pairs detectors each find out on their
-// own. The subject itself and already-suspected peers are skipped.
+// exactly one watcher: legacy all-pairs detectors each find out on their
+// own, and gossip mode piggybacks transitions on its own protocol
+// messages. The subject itself and already-suspected peers are skipped.
 func (k *Kernel) disseminateFD(ev failure.Event) {
-	if k.sys.cfg.Wire.EagerHeartbeats || k.rel == nil {
+	if !k.fdRing || k.rel == nil {
 		return
 	}
 	for _, n := range k.sys.Nodes() {
@@ -152,7 +186,30 @@ func (k *Kernel) disseminateFD(ev failure.Event) {
 // instead of a raise_and_wait hung until its timeout. Undeliverable
 // replies need no handling here: the remote caller's own waiter is failed
 // by its kernel's failNode sweep or call timeout.
+// An undeliverable fan-out relay step re-parents the dead child's
+// subtree here (fanout.go): its members and grandchildren are served by
+// this node instead of being orphaned mid-broadcast.
 func (k *Kernel) deadLetter(to ids.NodeID, kind string, payload any, _ error) {
+	if kind == kindFanout {
+		req, ok := payload.(*fanoutReq)
+		if !ok {
+			return
+		}
+		if idx := req.nodeIndex(to); idx >= 0 && !k.crashedLocal() {
+			k.closingMu.RLock()
+			if k.closing {
+				k.closingMu.RUnlock()
+				return
+			}
+			k.wg.Add(1)
+			k.closingMu.RUnlock()
+			go func() {
+				defer k.wg.Done()
+				k.adoptFanoutSubtree(req, idx)
+			}()
+		}
+		return
+	}
 	if kind != msgRPCReq {
 		return
 	}
@@ -271,6 +328,9 @@ func (s *System) RestartNode(node ids.NodeID) error {
 	// Cached attribute snapshots are volatile kernel state: delta senders
 	// will miss, get a resync error, and fall back to one full snapshot.
 	k.attrCache.Clear()
+	// So is this node's residency-directory shard: threads republish as
+	// they move, and locates fall back to scatter until they do.
+	k.dir.clear()
 	if k.det != nil {
 		// The restarted node's own arrival clocks are stale (every peer
 		// heartbeated into the void while it was down); Resume resets them
@@ -372,7 +432,7 @@ func (s *System) onMembershipEvent(observer *Kernel, ev failure.Event) {
 
 	name := event.NodeUp
 	if ev.Up {
-		s.reactNodeUp(observer)
+		s.reactNodeUp(observer, ev.Node)
 	} else {
 		name = event.NodeDown
 		s.reactNodeDown(observer, ev.Node)
@@ -393,9 +453,17 @@ func (s *System) onMembershipEvent(observer *Kernel, ev failure.Event) {
 // reactNodeDown runs the kernel-side reactions to a freshly detected
 // crash, from the first surviving node to observe it.
 func (s *System) reactNodeDown(observer *Kernel, node ids.NodeID) {
-	// Every location cached at the dead node is stale at once.
+	// Every location cached at the dead node is stale at once, and so is
+	// every residency-directory entry naming it.
 	if inv, ok := s.cfg.Locator.(locate.NodeInvalidator); ok {
 		inv.InvalidateNode(node)
+	}
+	if s.dirStrategy != nil {
+		for _, ak := range s.kernels {
+			if !ak.crashedLocal() {
+				ak.dir.sweepNode(node)
+			}
+		}
 	}
 	// Calls already in flight toward the dead node would otherwise sit out
 	// the full call timeout; fail them now on every surviving kernel.
@@ -417,17 +485,29 @@ func (s *System) reactNodeDown(observer *Kernel, node ids.NodeID) {
 	}()
 }
 
-// reactNodeUp re-runs the orphaned-lock sweep when a node rejoins the
-// cluster. The down-transition sweep races grants in flight at the moment
-// of the crash: a lock can be granted to a dying thread after the sweep
-// probed it, or during the unsettled view a holder's grant reply can be
-// lost so nobody learns the lock is taken. Once the node is back, locate
-// probes against its fresh incarnation answer definitively, so a rejoin
-// is exactly when a leaked hold becomes provably orphaned. The sweep is
-// documented safe to repeat — releases are idempotent and liveness is
-// re-checked each pass — so running it on both transitions only costs a
-// few probes.
-func (s *System) reactNodeUp(observer *Kernel) {
+// reactNodeUp runs the kernel-side reactions to a node rejoining the
+// cluster.
+//
+// Cached locations naming the node are invalidated: its thread residency
+// died with the crash (TCBs are volatile), so an LRU entry recorded
+// before the crash now points at a node that will answer "unknown" — or
+// worse, in a restart storm the entry can outlive several crash/rejoin
+// cycles and serve stale residency for a full LRU lifetime. Down
+// transitions already invalidate; the up transition is the other half.
+//
+// The orphaned-lock sweep is also re-run. The down-transition sweep
+// races grants in flight at the moment of the crash: a lock can be
+// granted to a dying thread after the sweep probed it, or during the
+// unsettled view a holder's grant reply can be lost so nobody learns the
+// lock is taken. Once the node is back, locate probes against its fresh
+// incarnation answer definitively, so a rejoin is exactly when a leaked
+// hold becomes provably orphaned. The sweep is documented safe to repeat
+// — releases are idempotent and liveness is re-checked each pass — so
+// running it on both transitions only costs a few probes.
+func (s *System) reactNodeUp(observer *Kernel, node ids.NodeID) {
+	if inv, ok := s.cfg.Locator.(locate.NodeInvalidator); ok {
+		inv.InvalidateNode(node)
+	}
 	observer.wg.Add(1)
 	go func() {
 		defer observer.wg.Done()

@@ -208,6 +208,10 @@ func (k *Kernel) invokeRemote(a *activation, oid ids.ObjectID, entry string, arg
 		if k.sys.cfg.TrackMulticast {
 			k.sys.fabric.JoinGroup(locate.GroupName(a.tid), k.node)
 		}
+		// The thread's deepest activation is current here again; tell its
+		// residency directory (departures are not published — the callee's
+		// own arrival supersedes, and a conditional remove cannot beat it).
+		k.dirPublish(a.tid, false)
 	}
 	a.mu.Lock()
 	a.childNode = ids.NoNode

@@ -110,9 +110,21 @@ type Kernel struct {
 
 	// Crash-fault tolerance (fault.go). rel and det are nil unless
 	// Config.FT.Enabled; the crash channel exists regardless so fault
-	// injection works on a plain system too.
-	rel *reliable.Endpoint
-	det *failure.Detector
+	// injection works on a plain system too. fdRing records that the
+	// detector runs the ring topology, whose detections must be
+	// disseminated out-of-band (disseminateFD).
+	rel    *reliable.Endpoint
+	det    *failure.Detector
+	fdRing bool
+
+	// dir is this node's shard of the residency directory backing the
+	// hash placement strategy (directory.go). Always present; only
+	// populated when System.dirStrategy is set.
+	dir directory
+
+	// fanoutSeen dedups group-raise fan-out relays after adoption races
+	// (fanout.go).
+	fanoutSeen fanoutDedup
 
 	downMu   sync.Mutex
 	downCh   chan struct{} // closed while this node is crashed
@@ -253,6 +265,17 @@ func (k *Kernel) onMessage(m netsim.Message) {
 		}
 		return
 	}
+	if m.Kind == kindGossip {
+		// Gossip protocol messages also bypass the reliable layer; the
+		// detector applies the piggybacked membership block and answers
+		// pings itself.
+		if k.det != nil {
+			if g, ok := m.Payload.(gossipFrame); ok {
+				k.det.HandleGossip(m.From, g.Data)
+			}
+		}
+		return
+	}
 	if k.det != nil {
 		// Any traffic from a peer proves it alive just as well as an
 		// explicit heartbeat — this is what lets busy links go without one.
@@ -305,6 +328,30 @@ func (k *Kernel) dispatchNet(from ids.NodeID, kind string, payload any) {
 		if k.det != nil {
 			k.det.ApplyRemote(n.Node, n.Up)
 		}
+	case kindDirUpdate:
+		u, ok := payload.(dirUpdate)
+		if !ok {
+			return
+		}
+		k.dir.apply(u)
+	case kindFanout:
+		req, ok := payload.(*fanoutReq)
+		if !ok {
+			return
+		}
+		// Like msgRPCReq service: deliveries and relays block on kernel
+		// calls, so they cannot run on the fabric dispatch goroutine.
+		k.closingMu.RLock()
+		if k.closing {
+			k.closingMu.RUnlock()
+			return
+		}
+		k.wg.Add(1)
+		k.closingMu.RUnlock()
+		go func() {
+			defer k.wg.Done()
+			k.serveFanout(req)
+		}()
 	}
 }
 
@@ -369,6 +416,13 @@ func (k *Kernel) serve(from ids.NodeID, kind string, body any) (any, error) {
 			return nil, fmt.Errorf("core: probe payload %T", body)
 		}
 		return k.probeLocal(tid), nil
+
+	case kindDirGet:
+		tid, ok := body.(ids.ThreadID)
+		if !ok {
+			return nil, fmt.Errorf("core: dir.get payload %T", body)
+		}
+		return k.dir.get(tid), nil
 
 	case kindInvoke:
 		req, ok := body.(invokeReq)
@@ -603,6 +657,7 @@ func (k *Kernel) GroupMembers(tid ids.ThreadID) []ids.NodeID {
 func (k *Kernel) Metrics() *metrics.Registry { return k.sys.reg }
 
 var _ locate.Env = (*Kernel)(nil)
+var _ locate.DirectoryEnv = (*Kernel)(nil)
 
 // createObject creates an object homed at this node.
 func (k *Kernel) createObject(spec object.Spec) (ids.ObjectID, error) {
@@ -658,6 +713,7 @@ func (k *Kernel) pushAct(a *activation) {
 	if k.sys.cfg.TrackMulticast {
 		k.sys.fabric.JoinGroup(locate.GroupName(a.tid), k.node)
 	}
+	k.dirPublish(a.tid, false)
 }
 
 // popAct unregisters a finished activation. If an earlier activation of the
@@ -688,6 +744,7 @@ func (k *Kernel) popAct(a *activation) {
 		if k.sys.cfg.TrackMulticast {
 			k.sys.fabric.LeaveGroup(locate.GroupName(a.tid), k.node)
 		}
+		k.dirPublish(a.tid, true)
 		return
 	}
 	// The earlier activation is blocked invoking toward prev.childNode:

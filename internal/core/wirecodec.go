@@ -31,6 +31,9 @@ const (
 	widKVReply        = 54
 	widPageOpReq      = 55
 	widPageFetchReply = 56
+	widGossipFrame    = 57
+	widDirUpdate      = 58
+	widFanoutReq      = 59
 )
 
 const (
@@ -84,6 +87,70 @@ func init() {
 		func(heartbeat) int { return 0 },
 		func(*wire.Enc, heartbeat) {},
 		func(*wire.Dec) heartbeat { return heartbeat{} })
+	wire.Register(widGossipFrame, "core.gossipFrame",
+		// The payload is already the gossip codec's canonical encoding
+		// (internal/failure); the wire layer ships it opaquely.
+		func(g gossipFrame) int { return wire.SizeBytes(g.Data) },
+		func(e *wire.Enc, g gossipFrame) { e.Bytes(g.Data) },
+		func(d *wire.Dec) gossipFrame { return gossipFrame{Data: d.Bytes()} })
+	wire.Register(widDirUpdate, "core.dirUpdate",
+		func(u dirUpdate) int {
+			return wire.SizeUvarint(uint64(u.TID)) + wire.SizeUvarint(uint64(u.Node)) + 1
+		},
+		func(e *wire.Enc, u dirUpdate) {
+			e.Uvarint(uint64(u.TID))
+			e.Uvarint(uint64(u.Node))
+			e.Bool(u.Remove)
+		},
+		func(d *wire.Dec) dirUpdate {
+			return dirUpdate{
+				TID:    ids.ThreadID(d.Uvarint()),
+				Node:   ids.NodeID(d.Uvarint()),
+				Remove: d.Bool(),
+			}
+		})
+	wire.Register(widFanoutReq, "core.fanoutReq",
+		func(r *fanoutReq) int {
+			size := wire.SizeUvarint(r.ID) + wire.SizeUvarint(uint64(r.Root)) +
+				wire.SizeVarint(int64(r.K)) + wire.SizeUvarint(uint64(r.GID)) +
+				wire.SizeValue(r.EB) + wire.SizeValue(r.Nodes) +
+				wire.SizeUvarint(uint64(len(r.Assign)))
+			for _, tids := range r.Assign {
+				size += wire.SizeValue(tids)
+			}
+			return size
+		},
+		func(e *wire.Enc, r *fanoutReq) {
+			e.Uvarint(r.ID)
+			e.Uvarint(uint64(r.Root))
+			e.Varint(int64(r.K))
+			e.Uvarint(uint64(r.GID))
+			e.Value(r.EB)
+			e.Value(r.Nodes)
+			e.Uvarint(uint64(len(r.Assign)))
+			for _, tids := range r.Assign {
+				e.Value(tids)
+			}
+		},
+		func(d *wire.Dec) *fanoutReq {
+			r := &fanoutReq{
+				ID:   d.Uvarint(),
+				Root: ids.NodeID(d.Uvarint()),
+				K:    int(d.Varint()),
+				GID:  ids.GroupID(d.Uvarint()),
+				EB:   wdecBlock(d),
+			}
+			r.Nodes = wdecNodeIDs(d)
+			n := d.Count(1)
+			r.Assign = make([][]ids.ThreadID, 0, n)
+			for i := 0; i < n; i++ {
+				r.Assign = append(r.Assign, wdecThreadIDs(d))
+				if d.Err() != nil {
+					return r
+				}
+			}
+			return r
+		})
 	wire.Register(widFDNotice, "core.fdNotice",
 		func(n fdNotice) int { return wire.SizeUvarint(uint64(n.Node)) + 1 },
 		func(e *wire.Enc, n fdNotice) { e.Uvarint(uint64(n.Node)); e.Bool(n.Up) },
@@ -354,6 +421,32 @@ func wdecBlock(d *wire.Dec) *event.Block {
 		return nil
 	}
 	return b
+}
+
+func wdecNodeIDs(d *wire.Dec) []ids.NodeID {
+	v := d.Value()
+	if v == nil {
+		return nil
+	}
+	ns, ok := v.([]ids.NodeID)
+	if !ok {
+		d.Corrupt("node list slot holds wrong type")
+		return nil
+	}
+	return ns
+}
+
+func wdecThreadIDs(d *wire.Dec) []ids.ThreadID {
+	v := d.Value()
+	if v == nil {
+		return nil
+	}
+	ts, ok := v.([]ids.ThreadID)
+	if !ok {
+		d.Corrupt("thread list slot holds wrong type")
+		return nil
+	}
+	return ts
 }
 
 func wdecRef(d *wire.Dec) event.HandlerRef {

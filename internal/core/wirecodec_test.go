@@ -76,6 +76,16 @@ func codecSamples() map[string]any {
 		"kvReply":         kvReply{Val: map[string]any{"a": 1}, Found: true},
 		"pageOpReq":       pageOpReq{Seg: 8, Page: 3, Data: []byte("page image")},
 		"pageFetchReply":  pageFetchReply{Data: []byte{9, 9}, Found: true},
+		"dirUpdate":       dirUpdate{TID: ids.NewThreadID(3, 5), Node: 2, Remove: true},
+		"fanoutReq": &fanoutReq{
+			ID: 12, Root: 1, K: 4, GID: 7, EB: eb,
+			Nodes: []ids.NodeID{1, 2, 3},
+			Assign: [][]ids.ThreadID{
+				{ids.NewThreadID(1, 1)},
+				{ids.NewThreadID(2, 9)},
+				{ids.NewThreadID(3, 2), ids.NewThreadID(3, 3)},
+			},
+		},
 	}
 }
 

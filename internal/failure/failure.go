@@ -4,11 +4,11 @@
 // the paper's §7.2 THREAD_DEATH notices from one dead thread to a whole
 // dead node's worth of threads.
 //
-// Two monitoring topologies are supported:
+// Three monitoring topologies are supported:
 //
-//   - Legacy all-pairs (Config.Ring false, the zero value): every node
-//     heartbeats every peer each period and sweeps every peer's arrival
-//     time. Simple, and O(n²) messages per period.
+//   - Legacy all-pairs (the zero value): every node heartbeats every peer
+//     each period and sweeps every peer's arrival time. Simple, and O(n²)
+//     messages per period.
 //   - Ring (Config.Ring true): the live nodes form a sorted ring; each node
 //     heartbeats only its ring predecessor and watches only its ring
 //     successor, so steady-state heartbeat traffic is O(n) per period.
@@ -16,21 +16,31 @@
 //     sends reliable notices and feeds them back via ApplyRemote), and
 //     suspected peers are probed once per suspicion window so partitions
 //     heal and restarts are noticed.
+//   - Gossip (Config.Gossip true, takes precedence over Ring): SWIM-style
+//     randomized probing with ping-req escalation, incarnation numbers,
+//     and membership dissemination piggybacked on the protocol's own
+//     messages — no out-of-band notices. O(1) messages per node per
+//     period and O(log n) dissemination rounds, the scale mode for
+//     clusters past a few dozen nodes. See gossip.go.
 //
 // Independently of topology, any received message counts as liveness
-// evidence (the owner feeds Observe), and explicit heartbeats are
-// suppressed toward peers that just received data from us (the owner feeds
-// ObserveSend) — an idle link is the only thing that still costs periodic
-// heartbeat messages.
+// evidence (the owner feeds Observe), and explicit heartbeats/probes are
+// suppressed toward peers that just proved themselves alive (the owner
+// feeds ObserveSend; gossip suppresses on fresh arrivals) — an idle link
+// is the only thing that still costs periodic liveness messages.
 //
-// The detector is deliberately simple (no gossip, no incarnation numbers):
-// the netsim fabric gives every pair of nodes a direct link, so a missing
-// heartbeat means the peer is crashed, partitioned away, or badly lossy —
-// and for the DO/CT protocols those all warrant the same reaction, because
-// posts and probes toward such a node would otherwise hang their callers.
+// The ring and all-pairs modes are deliberately simple (no incarnation
+// numbers): the netsim fabric gives every pair of nodes a direct link, so
+// a missing heartbeat means the peer is crashed, partitioned away, or
+// badly lossy — and for the DO/CT protocols those all warrant the same
+// reaction, because posts and probes toward such a node would otherwise
+// hang their callers. Gossip adds incarnations because rumors outlive
+// their subjects: a restart must be able to out-vote stale death notices
+// still circulating.
 package failure
 
 import (
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -64,6 +74,15 @@ type Config struct {
 	// Ring selects ring-successor monitoring (see the package comment).
 	// False keeps the legacy all-pairs topology.
 	Ring bool
+	// Gossip selects SWIM-style gossip membership (gossip.go) and takes
+	// precedence over Ring. The owner must wire SetGossipSend and feed
+	// received gossip messages to HandleGossip.
+	Gossip bool
+	// Seed seeds gossip's probe-order and helper-selection randomness
+	// (0 = 1). Detectors mix their node ID in, so one cluster-wide seed
+	// still de-correlates the per-node probe schedules while keeping a
+	// seeded run replayable.
+	Seed int64
 	// Metrics receives heartbeat and transition accounting (nil = none).
 	Metrics *metrics.Registry
 	// Clock drives heartbeat periods, silence clocks and suspicion
@@ -78,6 +97,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.SuspectAfter <= 0 {
 		c.SuspectAfter = DefaultSuspectMultiple * c.Period
+	}
+	if c.Gossip {
+		c.Ring = false // gossip takes precedence; exactly one topology runs
 	}
 }
 
@@ -128,6 +150,22 @@ type Detector struct {
 	// the rest of the cluster is waiting to have disseminated.
 	rejoin bool
 
+	// Gossip mode state (gossip.go), all guarded by mu. gout tracks
+	// outstanding direct probes; ginc is the highest incarnation heard
+	// per peer; selfInc is this node's own incarnation (bumped on restart
+	// and on refuting a death rumor); gqueue holds rumors awaiting
+	// piggyback transmission; gperm/gpermIdx walk the shuffled probe
+	// order; gseq numbers outgoing messages.
+	gsend    func(to ids.NodeID, payload []byte)
+	grng     *rand.Rand
+	gperm    []ids.NodeID
+	gpermIdx int
+	gout     map[ids.NodeID]*gossipProbe
+	ginc     map[ids.NodeID]uint32
+	selfInc  uint32
+	gqueue   []gossipItem
+	gseq     uint32
+
 	// paused freezes beats, sweeps and probes while this node simulates
 	// being crashed (fail-stop realism: a dead node emits nothing and
 	// suspects nobody).
@@ -162,6 +200,9 @@ func New(cfg Config, self ids.NodeID, peers []ids.NodeID, beat func(to ids.NodeI
 	now := d.clk.Now()
 	for _, p := range d.peers {
 		d.lastSeen[p] = now
+	}
+	if d.cfg.Gossip {
+		d.initGossipLocked()
 	}
 	d.recomputeWatchLocked(now)
 	return d
@@ -207,6 +248,15 @@ func (d *Detector) Reset() {
 	}
 	d.suspected = make(map[ids.NodeID]bool)
 	d.lastProbe = make(map[ids.NodeID]time.Time)
+	if d.gout != nil {
+		// Gossip: outstanding probes and queued rumors predate the reset
+		// and would instantly re-suspect peers or spread stale facts.
+		// Incarnations are kept — higher-wins makes them safe, and
+		// forgetting them would let old death rumors re-apply.
+		d.gout = make(map[ids.NodeID]*gossipProbe)
+		d.gqueue = nil
+		d.reshufflePermLocked()
+	}
 	d.recomputeWatchLocked(now)
 	d.mu.Unlock()
 }
@@ -222,6 +272,13 @@ func (d *Detector) Resume() {
 	d.Reset()
 	d.mu.Lock()
 	d.rejoin = true
+	if d.ginc != nil {
+		// A restarted node re-enters at a fresh incarnation so its alive
+		// announcement out-votes any death rumor still circulating from
+		// the crash it just recovered from.
+		d.selfInc++
+		d.enqueueUpdateLocked(Update{Node: d.self, Up: true, Inc: d.selfInc})
+	}
 	d.mu.Unlock()
 	d.paused.Store(false)
 }
@@ -246,6 +303,10 @@ func (d *Detector) Observe(from ids.NodeID) {
 	}
 	now := d.clk.Now()
 	d.lastSeen[from] = now
+	if d.gout != nil {
+		// Gossip: any arrival is an implicit ack for an outstanding probe.
+		delete(d.gout, from)
+	}
 	var evs []Event
 	if d.suspected[from] {
 		delete(d.suspected, from)
@@ -253,6 +314,15 @@ func (d *Detector) Observe(from ids.NodeID) {
 		evs = append(evs, Event{Node: from, Up: true, Gen: d.gen})
 		if d.cfg.Metrics != nil {
 			d.cfg.Metrics.Inc(metrics.CtrFDNodeUp)
+		}
+		if d.ginc != nil {
+			// Direct observation out-votes the death rumor we believed:
+			// bump the peer's known incarnation and gossip it alive (the
+			// documented deviation from strict SWIM; the peer's own
+			// refutation, if any, always carries a higher incarnation
+			// still and wins).
+			d.ginc[from]++
+			d.enqueueUpdateLocked(Update{Node: from, Up: true, Inc: d.ginc[from]})
 		}
 		d.recomputeWatchLocked(now)
 	}
@@ -414,6 +484,10 @@ func (d *Detector) loop() {
 			return
 		case <-ticker.C:
 			if d.paused.Load() {
+				continue
+			}
+			if d.cfg.Gossip {
+				d.gossipTick()
 				continue
 			}
 			d.emitBeats()

@@ -1,0 +1,81 @@
+package failure
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+// FuzzGossipRoundTrip drives the gossip piggyback codec from a byte
+// script in two modes, selected by the first byte (the same shape as
+// internal/batch's frame fuzzer):
+//
+//   - decode mode (0): the remaining bytes are treated as a wire message;
+//     the decoder must reject or accept without panicking, and anything
+//     it accepts must re-encode to the identical bytes — the codec has
+//     exactly one canonical encoding, which is what lets a relay forward
+//     a message without re-serialization drift.
+//   - build mode (non-zero): the remaining bytes script a message (type,
+//     seq, origin, subject, update list); it must encode, decode back to
+//     the same message, and survive a re-encode byte-for-byte.
+func FuzzGossipRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})             // decode mode, empty input
+	f.Add([]byte{0x00, 0x00, 0x01}) // decode mode, truncated ping
+	f.Add([]byte{0x01, 0x00})       // build mode, minimal ping
+	f.Add([]byte{0x01, 0x02, 0x07, 0x01, 0x03, 0x02, 0x01, 0x05, 0x03, 0x00, 0x09})
+	f.Add(append([]byte{0x00}, (&GossipMsg{
+		Type: GossipPing, Seq: 3, Origin: 1, Updates: []Update{
+			{Node: 2, Up: false, Inc: 7},
+			{Node: 5, Up: true, Inc: 8},
+		},
+	}).Encode()...)) // decode mode, a well-formed message
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		mode, script := data[0], data[1:]
+		if mode == 0 {
+			m, err := DecodeGossip(script)
+			if err != nil {
+				return
+			}
+			if re := m.Encode(); !bytes.Equal(re, script) {
+				t.Fatalf("accepted message is not canonical: decode+encode %x -> %x", script, re)
+			}
+			return
+		}
+
+		// Build mode: script bytes drive the message fields.
+		next := func() byte {
+			if len(script) == 0 {
+				return 0
+			}
+			b := script[0]
+			script = script[1:]
+			return b
+		}
+		m := GossipMsg{
+			Type:    next() % 3,
+			Seq:     uint32(next()) | uint32(next())<<8,
+			Origin:  ids.NodeID(next()),
+			Subject: ids.NodeID(next()),
+		}
+		for len(script) >= 3 && len(m.Updates) < MaxGossipUpdates {
+			m.Updates = append(m.Updates, Update{
+				Node: ids.NodeID(next()),
+				Up:   next()%2 == 1,
+				Inc:  uint32(next()),
+			})
+		}
+		b := m.Encode()
+		got, err := DecodeGossip(b)
+		if err != nil {
+			t.Fatalf("built message rejected: %+v: %v", m, err)
+		}
+		if re := got.Encode(); !bytes.Equal(re, b) {
+			t.Fatalf("re-encode mismatch: %x -> %x", b, re)
+		}
+	})
+}

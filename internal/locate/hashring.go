@@ -1,0 +1,263 @@
+// Consistent-hash object placement. Broadcast location costs n-1 probes
+// per miss, which is the piece of §7.1 that stops scaling first: at 256
+// nodes every cold locate is 255 messages. The Hashed strategy replaces
+// the scatter with a partitioned directory — every thread has a home
+// directory node, chosen by hashing its ThreadID onto a virtual-node
+// consistent-hash ring built from the current membership view. The kernel
+// publishes residency changes to the directory as the thread migrates
+// (one fire-and-forget message per hop), and a cold locate becomes O(1):
+// one directory get plus one confirming probe, independent of cluster
+// size. The LRU Cache still sits in front as the zero-message fast path.
+//
+// The ring is keyed by the failure detector's membership generation:
+// every NODE_DOWN/NODE_UP transition bumps the generation, the next
+// lookup rebuilds the ring from the new alive set, and the virtual nodes
+// confine the reshuffle to ~1/n of the key space. Directory entries are
+// hints, not truth — a stale or missing entry just drops the locate to
+// the inner fallback strategy (Broadcast by default), and the kernel's
+// relocate-and-retry loop absorbs anything the directory got wrong.
+package locate
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/metrics"
+)
+
+// DefaultVNodes is the number of virtual nodes each physical node
+// contributes to the placement ring when Hashed.VNodes is zero. 64 keeps
+// the per-node share of the key space within a few percent of uniform
+// while the ring stays small enough to rebuild in microseconds.
+const DefaultVNodes = 64
+
+// DirectoryEnv is the extended kernel surface the Hashed strategy needs:
+// the membership view that keys the placement ring, and a directory get
+// against the thread's home node. A kernel that does not implement it
+// (or a test fake) silently degrades Hashed to its fallback strategy.
+type DirectoryEnv interface {
+	Env
+	// MembershipView returns the failure detector's current membership
+	// generation and the alive node set. Without a detector the
+	// generation is 0 and the set is the full cluster.
+	MembershipView() (gen uint64, alive []ids.NodeID)
+	// DirectoryGet asks dir for tid's last published residency (a local
+	// table lookup when dir is Self). NoNode with nil error means the
+	// directory has no entry.
+	DirectoryGet(dir ids.NodeID, tid ids.ThreadID) (ids.NodeID, error)
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap
+// statistically strong bit mixer, used both to place virtual nodes on
+// the ring and to hash thread identifiers onto it.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// ringPoint is one virtual node: a position on the 2^64 ring and the
+// physical node that owns the arc ending there.
+type ringPoint struct {
+	hash uint64
+	node ids.NodeID
+}
+
+// hashRing is an immutable consistent-hash ring built from one
+// membership view. Lookups are a binary search, no locking.
+type hashRing struct {
+	gen    uint64
+	points []ringPoint
+}
+
+// buildRing places vnodes virtual nodes per physical node. Positions
+// depend only on (node, replica index), so every node in the cluster
+// builds byte-identical rings from the same alive set — the property
+// that lets publishers and locators agree on a directory without talking.
+func buildRing(gen uint64, alive []ids.NodeID, vnodes int) *hashRing {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	pts := make([]ringPoint, 0, len(alive)*vnodes)
+	for _, n := range alive {
+		for v := 0; v < vnodes; v++ {
+			h := splitmix64(uint64(n)<<24 | uint64(v))
+			pts = append(pts, ringPoint{hash: h, node: n})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].hash != pts[j].hash {
+			return pts[i].hash < pts[j].hash
+		}
+		return pts[i].node < pts[j].node // deterministic on (vanishingly rare) collisions
+	})
+	return &hashRing{gen: gen, points: pts}
+}
+
+// lookup returns the owner of the first virtual node at or clockwise of
+// h, wrapping at the top of the ring. NoNode only when the ring is empty.
+func (r *hashRing) lookup(h uint64) ids.NodeID {
+	if len(r.points) == 0 {
+		return ids.NoNode
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Hashed locates through the partitioned directory described in the
+// package comment for this file. It must be shared by pointer: the one
+// instance memoizes the ring for the current membership generation.
+type Hashed struct {
+	// VNodes is the virtual-node count per physical node on the
+	// placement ring (DefaultVNodes if zero).
+	VNodes int
+	// Fallback handles directory misses and environments without a
+	// DirectoryEnv (Broadcast{} if nil).
+	Fallback Strategy
+
+	mu   sync.Mutex
+	ring *hashRing
+}
+
+var _ Strategy = (*Hashed)(nil)
+var _ residencyLocator = (*Hashed)(nil)
+
+// NewHashed returns a Hashed strategy with default virtual-node count
+// and Broadcast fallback.
+func NewHashed() *Hashed { return &Hashed{} }
+
+// Name returns "hash".
+func (h *Hashed) Name() string { return "hash" }
+
+// ringFor returns the ring for the given membership view, rebuilding it
+// only when the generation moved. Generations are strictly monotonic and
+// a given generation always names the same alive set, so the generation
+// alone is a sound cache key.
+func (h *Hashed) ringFor(gen uint64, alive []ids.NodeID) *hashRing {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ring == nil || h.ring.gen != gen || len(h.ring.points) == 0 {
+		h.ring = buildRing(gen, alive, h.VNodes)
+	}
+	return h.ring
+}
+
+// DirNode returns the directory node responsible for tid under the given
+// membership view. The kernel calls this on the publish path so that
+// publishers and locators route to the same home node.
+func (h *Hashed) DirNode(gen uint64, alive []ids.NodeID, tid ids.ThreadID) ids.NodeID {
+	return h.ringFor(gen, alive).lookup(splitmix64(uint64(tid)))
+}
+
+// Locate resolves tid through the directory: free local check, one
+// directory get, one confirming probe. See locateResident.
+func (h *Hashed) Locate(env Env, tid ids.ThreadID) (ids.NodeID, error) {
+	node, _, err := h.locateResident(env, tid)
+	return node, err
+}
+
+func (h *Hashed) fallback() Strategy {
+	if h.Fallback != nil {
+		return h.Fallback
+	}
+	return Broadcast{}
+}
+
+// locateResident checks the local table first (free), then asks the
+// thread's directory node and confirms the answer with a single probe —
+// the probe keeps a stale directory harmless and classifies the answer
+// as resident or transit-host for the Cache in front. Any miss, stale
+// entry, or directory failure drops to the fallback strategy; the
+// directory is an accelerator, never an authority.
+func (h *Hashed) locateResident(env Env, tid ids.ThreadID) (ids.NodeID, bool, error) {
+	env.Metrics().Inc(metrics.CtrThreadLocate)
+	self := env.Self()
+	selfRes, selfErr := probe(env, self, tid)
+	if selfErr == nil && selfRes.Here {
+		return self, true, nil
+	}
+	selfKnown := selfErr == nil && selfRes.Known
+	de, ok := env.(DirectoryEnv)
+	if !ok {
+		return h.fallbackLocate(env, tid, selfKnown)
+	}
+	gen, alive := de.MembershipView()
+	dir := h.ringFor(gen, alive).lookup(splitmix64(uint64(tid)))
+	if !dir.IsValid() {
+		return h.fallbackLocate(env, tid, selfKnown)
+	}
+	host, err := de.DirectoryGet(dir, tid)
+	if err != nil || !host.IsValid() {
+		env.Metrics().Inc(metrics.CtrDirMiss)
+		return h.fallbackLocate(env, tid, selfKnown)
+	}
+	env.Metrics().Inc(metrics.CtrDirHit)
+	if host == self {
+		// Already probed above: the directory still points here but the
+		// thread is not resident. Deliverable by surrogate if a TCB
+		// remains; otherwise the entry is stale.
+		if selfKnown {
+			return self, false, nil
+		}
+		return h.fallbackLocate(env, tid, false)
+	}
+	res, perr := probe(env, host, tid)
+	if perr == nil {
+		if res.Here {
+			return host, true, nil
+		}
+		if res.Known {
+			return host, false, nil
+		}
+	}
+	// Stale entry (thread moved on and the update is in flight, or the
+	// host just crashed): the retry loop upstream will republish; here we
+	// recover via the fallback scatter.
+	return h.fallbackLocate(env, tid, selfKnown)
+}
+
+// fallbackLocate runs the fallback strategy, preferring its residency
+// answer when it exposes one. selfKnown carries the already-performed
+// local probe's answer so a fallback miss can still land on the local
+// surrogate host.
+func (h *Hashed) fallbackLocate(env Env, tid ids.ThreadID, selfKnown bool) (ids.NodeID, bool, error) {
+	fb := h.fallback()
+	if rl, ok := fb.(residencyLocator); ok {
+		node, resident, err := rl.locateResident(env, tid)
+		if err == nil || !selfKnown {
+			return node, resident, err
+		}
+		return env.Self(), false, nil
+	}
+	node, err := fb.Locate(env, tid)
+	if err == nil {
+		return node, false, nil
+	}
+	if selfKnown {
+		return env.Self(), false, nil
+	}
+	return ids.NoNode, false, err
+}
+
+// DirectoryStrategy unwraps s — through any Cache layers — to the
+// *Hashed strategy, reporting whether one is present. The kernel calls
+// it once at boot: only when the configured locator is hash-based does
+// it maintain the residency directory (publishes on every activation
+// push/pop and the kindDirGet/kindDirUpdate message handlers).
+func DirectoryStrategy(s Strategy) (*Hashed, bool) {
+	for {
+		switch v := s.(type) {
+		case *Hashed:
+			return v, true
+		case *Cache:
+			s = v.Inner()
+		default:
+			return nil, false
+		}
+	}
+}

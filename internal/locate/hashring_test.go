@@ -1,0 +1,235 @@
+package locate
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/metrics"
+)
+
+func clusterNodes(n int) []ids.NodeID {
+	nodes := make([]ids.NodeID, n)
+	for i := range nodes {
+		nodes[i] = ids.NodeID(i + 1)
+	}
+	return nodes
+}
+
+func TestHashRingDeterministic(t *testing.T) {
+	alive := clusterNodes(16)
+	a := buildRing(3, alive, 0)
+	b := buildRing(3, alive, 0)
+	for i := 0; i < 1000; i++ {
+		tid := ids.NewThreadID(ids.NodeID(i%16+1), uint64(i))
+		h := splitmix64(uint64(tid))
+		if a.lookup(h) != b.lookup(h) {
+			t.Fatalf("two rings from the same view disagree on %v", tid)
+		}
+	}
+}
+
+func TestHashRingBalance(t *testing.T) {
+	alive := clusterNodes(32)
+	r := buildRing(1, alive, 0)
+	counts := make(map[ids.NodeID]int)
+	const keys = 32 * 1000
+	for i := 0; i < keys; i++ {
+		tid := ids.NewThreadID(ids.NodeID(i%32+1), uint64(i))
+		counts[r.lookup(splitmix64(uint64(tid)))]++
+	}
+	want := keys / 32
+	for _, n := range alive {
+		got := counts[n]
+		if got < want/3 || got > want*3 {
+			t.Errorf("node %v owns %d keys, want ~%d (3x imbalance bound)", n, got, want)
+		}
+	}
+}
+
+// TestHashRingMinimalDisruption: removing one node must only move the
+// keys that node owned — every other key keeps its owner. This is the
+// property that keeps the directory mostly valid across a crash.
+func TestHashRingMinimalDisruption(t *testing.T) {
+	alive := clusterNodes(32)
+	before := buildRing(1, alive, 0)
+	var without31 []ids.NodeID
+	for _, n := range alive {
+		if n != 31 {
+			without31 = append(without31, n)
+		}
+	}
+	after := buildRing(2, without31, 0)
+	moved := 0
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		h := splitmix64(uint64(ids.NewThreadID(ids.NodeID(i%32+1), uint64(i))))
+		was, now := before.lookup(h), after.lookup(h)
+		if was == now {
+			continue
+		}
+		if was != 31 {
+			t.Fatalf("key %d moved %v -> %v though its owner stayed alive", i, was, now)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Error("no keys owned by the removed node? balance is broken")
+	}
+	if moved > keys/8 {
+		t.Errorf("%d/%d keys moved for one node loss; expected ~1/32", moved, keys)
+	}
+}
+
+func TestHashRingEmpty(t *testing.T) {
+	r := buildRing(0, nil, 0)
+	if n := r.lookup(12345); n != ids.NoNode {
+		t.Fatalf("empty ring returned %v", n)
+	}
+}
+
+// dirEnv extends fakeEnv with a scripted directory, exercising the
+// DirectoryEnv fast path of the Hashed strategy.
+type dirEnv struct {
+	*fakeEnv
+	gen     uint64
+	alive   []ids.NodeID
+	dir     map[ids.ThreadID]ids.NodeID
+	dirSeen []ids.NodeID // which directory node each get went to
+}
+
+func (e *dirEnv) MembershipView() (uint64, []ids.NodeID) { return e.gen, e.alive }
+
+func (e *dirEnv) DirectoryGet(dir ids.NodeID, tid ids.ThreadID) (ids.NodeID, error) {
+	e.dirSeen = append(e.dirSeen, dir)
+	return e.dir[tid], nil
+}
+
+func newDirEnv(self ids.NodeID, n int) *dirEnv {
+	fe := newFakeEnv(self, n)
+	return &dirEnv{fakeEnv: fe, alive: fe.nodes, dir: make(map[ids.ThreadID]ids.NodeID)}
+}
+
+func TestHashedDirectoryHit(t *testing.T) {
+	env := newDirEnv(1, 8)
+	tid := ids.NewThreadID(2, 7)
+	env.dir[tid] = 5
+	env.results[5] = ProbeResult{Known: true, Here: true}
+	h := NewHashed()
+	node, resident, err := h.locateResident(env, tid)
+	if err != nil || node != 5 || !resident {
+		t.Fatalf("locateResident = %v, %v, %v; want node5 resident", node, resident, err)
+	}
+	// Cost: 1 free self probe + 1 confirming probe, no scatter.
+	if probed := env.probeLog(); len(probed) != 2 {
+		t.Fatalf("probed %v; want [self, host] only", probed)
+	}
+	if env.reg.Get(metrics.CtrDirHit) != 1 || env.reg.Get(metrics.CtrDirMiss) != 0 {
+		t.Fatalf("hit/miss = %d/%d", env.reg.Get(metrics.CtrDirHit), env.reg.Get(metrics.CtrDirMiss))
+	}
+	// The directory consulted must match DirNode for the same view.
+	if want := h.DirNode(env.gen, env.alive, tid); len(env.dirSeen) != 1 || env.dirSeen[0] != want {
+		t.Fatalf("asked directory %v, want %v", env.dirSeen, want)
+	}
+}
+
+func TestHashedDirectoryMissFallsBack(t *testing.T) {
+	env := newDirEnv(1, 8)
+	tid := ids.NewThreadID(2, 7)
+	env.results[6] = ProbeResult{Known: true, Here: true}
+	node, resident, err := NewHashed().locateResident(env, tid)
+	if err != nil || node != 6 || !resident {
+		t.Fatalf("locateResident = %v, %v, %v; want node6 via broadcast fallback", node, resident, err)
+	}
+	if env.reg.Get(metrics.CtrDirMiss) != 1 {
+		t.Fatalf("CtrDirMiss = %d, want 1", env.reg.Get(metrics.CtrDirMiss))
+	}
+}
+
+func TestHashedStaleDirectoryEntry(t *testing.T) {
+	env := newDirEnv(1, 8)
+	tid := ids.NewThreadID(2, 7)
+	env.dir[tid] = 4 // stale: thread actually at 7
+	env.results[7] = ProbeResult{Known: true, Here: true}
+	node, resident, err := NewHashed().locateResident(env, tid)
+	if err != nil || node != 7 || !resident {
+		t.Fatalf("locateResident = %v, %v, %v; want node7 after stale entry", node, resident, err)
+	}
+}
+
+func TestHashedSelfFastPath(t *testing.T) {
+	env := newDirEnv(3, 8)
+	tid := ids.NewThreadID(3, 1)
+	env.results[3] = ProbeResult{Known: true, Here: true}
+	node, resident, err := NewHashed().locateResident(env, tid)
+	if err != nil || node != 3 || !resident {
+		t.Fatalf("locateResident = %v, %v, %v", node, resident, err)
+	}
+	if probed := env.probeLog(); len(probed) != 1 {
+		t.Fatalf("probed %v; want local only", probed)
+	}
+	if len(env.dirSeen) != 0 {
+		t.Fatal("consulted directory despite local residency")
+	}
+}
+
+// TestHashedWithoutDirectoryEnv: a plain Env (no directory surface)
+// degrades Hashed to its Broadcast fallback.
+func TestHashedWithoutDirectoryEnv(t *testing.T) {
+	env := newFakeEnv(1, 8)
+	tid := ids.NewThreadID(2, 7)
+	env.results[5] = ProbeResult{Known: true, Here: true}
+	node, err := NewHashed().Locate(env, tid)
+	if err != nil || node != 5 {
+		t.Fatalf("Locate = %v, %v; want node5 via fallback", node, err)
+	}
+}
+
+func TestHashedTransitHostAnswer(t *testing.T) {
+	env := newDirEnv(1, 8)
+	tid := ids.NewThreadID(2, 7)
+	env.dir[tid] = 5
+	env.results[5] = ProbeResult{Known: true} // blocked mid-invoke, not resident
+	node, resident, err := NewHashed().locateResident(env, tid)
+	if err != nil || node != 5 || resident {
+		t.Fatalf("locateResident = %v, %v, %v; want node5 transit host", node, resident, err)
+	}
+}
+
+func TestHashedRingRebuildsOnGeneration(t *testing.T) {
+	h := NewHashed()
+	alive := clusterNodes(8)
+	r1 := h.ringFor(1, alive)
+	if r2 := h.ringFor(1, alive); r2 != r1 {
+		t.Fatal("ring rebuilt without a generation change")
+	}
+	if r3 := h.ringFor(2, alive[:4]); r3 == r1 {
+		t.Fatal("ring not rebuilt after generation change")
+	}
+}
+
+func TestDirectoryStrategyUnwrap(t *testing.T) {
+	h := NewHashed()
+	if got, ok := DirectoryStrategy(h); !ok || got != h {
+		t.Fatal("bare *Hashed not recognized")
+	}
+	if got, ok := DirectoryStrategy(NewCache(h, 0)); !ok || got != h {
+		t.Fatal("cached *Hashed not recognized")
+	}
+	if _, ok := DirectoryStrategy(Broadcast{}); ok {
+		t.Fatal("Broadcast misidentified as directory strategy")
+	}
+}
+
+func TestByNameHash(t *testing.T) {
+	s, err := ByName("hash")
+	if err != nil || s.Name() != "hash" {
+		t.Fatalf("ByName(hash) = %v, %v", s, err)
+	}
+	c, err := ByName("cached+hash")
+	if err != nil || c.Name() != "cached+hash" {
+		t.Fatalf("ByName(cached+hash) = %v, %v", c, err)
+	}
+	if _, ok := DirectoryStrategy(c); !ok {
+		t.Fatal("cached+hash lost the directory strategy")
+	}
+}

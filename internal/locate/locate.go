@@ -406,6 +406,8 @@ func ByName(name string) (Strategy, error) {
 		return PathFollow{}, nil
 	case "multicast":
 		return Multicast{}, nil
+	case "hash":
+		return NewHashed(), nil
 	default:
 		return nil, fmt.Errorf("locate: unknown strategy %q", name)
 	}

@@ -77,6 +77,34 @@ const (
 	CtrObjRecovered  = "failure.obj.recovered"
 	CtrWaitersFailed = "failure.waiters.failed"
 
+	// Gossip membership (SWIM-style probing with piggybacked dissemination,
+	// DESIGN.md §13). ping/ack/pingreq count gossip messages sent by role;
+	// updates counts piggybacked membership updates applied (fresh
+	// information only); refute counts self-alive refutations enqueued after
+	// hearing a rumor of our own death.
+	CtrGossipPing    = "failure.gossip.ping"
+	CtrGossipAck     = "failure.gossip.ack"
+	CtrGossipPingReq = "failure.gossip.pingreq"
+	CtrGossipUpdates = "failure.gossip.updates"
+	CtrGossipRefute  = "failure.gossip.refute"
+
+	// Consistent-hash placement directory (DESIGN.md §13): put/remove are
+	// residency publications from the hosting kernel to the directory node;
+	// get is a directory lookup RPC served; hit/miss split lookup outcomes
+	// at the locating side.
+	CtrDirPut  = "thread.locate.dir.put"
+	CtrDirGet  = "thread.locate.dir.get"
+	CtrDirHit  = "thread.locate.dir.hit"
+	CtrDirMiss = "thread.locate.dir.miss"
+
+	// Spanning-tree fan-out for group raise (DESIGN.md §13). relay counts
+	// fanout frames re-forwarded by interior nodes; adopt counts subtree
+	// adoptions around a suspected child; dup counts duplicate fanout
+	// frames dropped by the (root, id) dedup window.
+	CtrFanoutRelay = "fanout.relay"
+	CtrFanoutAdopt = "fanout.adopt"
+	CtrFanoutDup   = "fanout.dup"
+
 	// Attribute delta codec (wire-efficiency layer, DESIGN.md §8).
 	CtrAttrDeltaSent  = "attr.delta.sent"
 	CtrAttrFullSent   = "attr.full.sent"

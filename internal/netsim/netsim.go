@@ -143,6 +143,12 @@ type Fabric struct {
 	ctrMulticast *atomic.Int64
 	kindCtrs     sync.Map // message kind -> *kindCounters
 
+	// nodeSent tracks physical departures per source node (same charge
+	// point as ctrSent — after batching, before drop). Scaling sweeps use
+	// it to check no single node bears O(n) of a broadcast's cost once
+	// tree fan-out spreads the relay work.
+	nodeSent sync.Map // ids.NodeID -> *atomic.Int64
+
 	// bat is the per-link send coalescing state; nil means every Send
 	// posts its own message (batching off, or forced off under a virtual
 	// clock).
@@ -246,6 +252,36 @@ func (f *Fabric) kindCounters(kind string) *kindCounters {
 	}
 	actual, _ := f.kindCtrs.LoadOrStore(kind, kc)
 	return actual.(*kindCounters)
+}
+
+// nodeSentCtr returns node's departure counter, creating it on first use.
+func (f *Fabric) nodeSentCtr(node ids.NodeID) *atomic.Int64 {
+	if c, ok := f.nodeSent.Load(node); ok {
+		return c.(*atomic.Int64)
+	}
+	c, _ := f.nodeSent.LoadOrStore(node, new(atomic.Int64))
+	return c.(*atomic.Int64)
+}
+
+// NodeSent returns the number of physical messages node has put on the
+// wire (departures: counted after batching, before loss), or zero for a
+// node that has never sent.
+func (f *Fabric) NodeSent(node ids.NodeID) int64 {
+	if c, ok := f.nodeSent.Load(node); ok {
+		return c.(*atomic.Int64).Load()
+	}
+	return 0
+}
+
+// NodeSends returns the per-node physical departure counts for every
+// node that has sent at least one message.
+func (f *Fabric) NodeSends() map[ids.NodeID]int64 {
+	out := map[ids.NodeID]int64{}
+	f.nodeSent.Range(func(k, v any) bool {
+		out[k.(ids.NodeID)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return out
 }
 
 // Metrics returns the registry accounting this fabric's traffic.
@@ -417,6 +453,7 @@ func (f *Fabric) post(ep *endpoint, m Message, severed bool) {
 		m.Payload = fin.FinalizeFlush()
 	}
 	f.ctrSent.Add(1)
+	f.nodeSentCtr(m.From).Add(1)
 	f.ctrBytes.Add(int64(m.Size))
 	if m.Kind != "" {
 		kc := f.kindCounters(m.Kind)

@@ -71,14 +71,39 @@ func (o op) describe() string {
 type genState struct {
 	nodes   int
 	crashed map[int]bool
-	severed bool
-	sevA    int
-	sevB    int
+	severs  int          // concurrently severed link pairs (opHeal clears all)
 	dead    map[int]bool // worker indexes lost with a crashed node
 	workers int
 }
 
-func (g *genState) quiet() bool { return len(g.crashed) == 0 && !g.severed }
+func (g *genState) quiet() bool { return len(g.crashed) == 0 && g.severs == 0 }
+
+// crashBudget and severBudget scale fault concurrency with cluster size:
+// an 8-node run keeps the suite's classic limits (two crashed nodes, one
+// severed pair at a time), while a 32+-node run tolerates proportionally
+// more concurrent damage — several nodes down at once whose restarts
+// cascade, and overlapping partitions cutting independent link pairs.
+func (g *genState) crashBudget() int {
+	switch b := g.nodes / 8; {
+	case b <= 2:
+		return 2
+	case b > 8:
+		return 8
+	default:
+		return b
+	}
+}
+
+func (g *genState) severBudget() int {
+	switch b := g.nodes / 16; {
+	case b <= 1:
+		return 1
+	case b > 4:
+		return 4
+	default:
+		return b
+	}
+}
 
 // aliveNodes lists non-crashed nodes, 1-based.
 func (g *genState) aliveNodes() []int {
@@ -140,16 +165,16 @@ func genOps(rng *rand.Rand, sc Scenario) []op {
 			}
 		}
 		if sc.Faults {
-			if len(g.crashed) < 2 && len(g.memberNodes()) > 1 {
+			if len(g.crashed) < g.crashBudget() && len(g.memberNodes()) > 1 {
 				cands = append(cands, opCrash)
 			}
 			if len(g.crashed) > 0 {
 				cands = append(cands, opRestart, opRestart)
 			}
-			if !g.severed && len(g.memberNodes()) >= 2 {
+			if g.severs < g.severBudget() && len(g.memberNodes()) >= 2 {
 				cands = append(cands, opSever)
 			}
-			if g.severed {
+			if g.severs > 0 {
 				cands = append(cands, opHeal, opHeal)
 			}
 		}
@@ -184,7 +209,7 @@ func genOps(rng *rand.Rand, sc Scenario) []op {
 				o.settle = ms(30 + rng.Intn(30))
 			}
 			// Cross-cut raises cannot complete; they resolve via timeout.
-			if g.severed && o.kind == opAsync {
+			if g.severs > 0 && o.kind == opAsync {
 				o.settle = ms(1400)
 				o.quiet = false
 			}
@@ -238,10 +263,10 @@ func genOps(rng *rand.Rand, sc Scenario) []op {
 			}
 			o.node, o.node2 = a, b
 			o.settle = ms(50)
-			g.severed, g.sevA, g.sevB = true, a, b
+			g.severs++
 		case opHeal:
 			o.settle = ms(200)
-			g.severed = false
+			g.severs = 0
 		}
 		ops = append(ops, o)
 	}

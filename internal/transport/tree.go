@@ -1,0 +1,72 @@
+package transport
+
+import (
+	"sort"
+
+	"repro/internal/ids"
+)
+
+// Spanning-tree fan-out layout. A broadcast-style message to n nodes from
+// one sender costs the sender n-1 sends and one network round; routed down
+// a k-ary tree it costs every node at most k sends and ⌈log_k n⌉ rounds,
+// with the same n-1 total messages. The layout is pure arithmetic over a
+// shared node list — no per-tree state, no handshakes — so any node that
+// holds the list can compute its own children, and a relay that must adopt
+// a dead child's subtree just recurses into the child's slots.
+//
+// The tree is the implicit heap layout: the node at index i relays to
+// indices k·i+1 … k·i+k. Index 0 is the root (the sender), and the rest of
+// the list is sorted ascending so that every participant derives the
+// identical tree from the identical membership view.
+
+// TreeOrder arranges nodes for a fan-out tree rooted at root: root first,
+// every other node following in ascending order. The input is not
+// modified. Root need not appear in nodes; it is prepended regardless.
+func TreeOrder(nodes []ids.NodeID, root ids.NodeID) []ids.NodeID {
+	out := make([]ids.NodeID, 0, len(nodes)+1)
+	out = append(out, root)
+	for _, n := range nodes {
+		if n != root {
+			out = append(out, n)
+		}
+	}
+	rest := out[1:]
+	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	return out
+}
+
+// TreeChildren returns the child index range [lo, hi) of the node at idx
+// in a k-ary heap-layout tree over n nodes. An empty range (lo >= hi)
+// means the node is a leaf.
+func TreeChildren(n, k, idx int) (lo, hi int) {
+	if k < 1 {
+		k = 1
+	}
+	lo = k*idx + 1
+	hi = lo + k
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// TreeDepth returns the number of relay rounds a k-ary tree over n nodes
+// needs (the depth of the last leaf): 0 for n <= 1.
+func TreeDepth(n, k int) int {
+	if k < 2 {
+		if n <= 1 {
+			return 0
+		}
+		return n - 1
+	}
+	depth, reach, width := 0, 1, 1
+	for reach < n {
+		width *= k
+		reach += width
+		depth++
+	}
+	return depth
+}

@@ -1,0 +1,70 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+)
+
+func TestTreeOrderRootFirstSorted(t *testing.T) {
+	nodes := []ids.NodeID{5, 3, 9, 1, 7}
+	got := TreeOrder(nodes, 9)
+	want := []ids.NodeID{9, 1, 3, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("TreeOrder = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TreeOrder = %v, want %v", got, want)
+		}
+	}
+	// Root absent from the input is prepended.
+	if got := TreeOrder([]ids.NodeID{2, 4}, 8); got[0] != 8 || len(got) != 3 {
+		t.Fatalf("TreeOrder with external root = %v", got)
+	}
+}
+
+// TestTreeCoverage: for a range of sizes and arities, every non-root index
+// is the child of exactly one parent, and every index is reachable from
+// the root within TreeDepth rounds.
+func TestTreeCoverage(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 32, 100, 256} {
+		for _, k := range []int{1, 2, 3, 4, 8} {
+			parents := make([]int, n)
+			for i := range parents {
+				parents[i] = -1
+			}
+			for idx := 0; idx < n; idx++ {
+				lo, hi := TreeChildren(n, k, idx)
+				for c := lo; c < hi; c++ {
+					if parents[c] != -1 {
+						t.Fatalf("n=%d k=%d: index %d has parents %d and %d", n, k, c, parents[c], idx)
+					}
+					parents[c] = idx
+				}
+			}
+			depth := 0
+			for i := 1; i < n; i++ {
+				if parents[i] == -1 {
+					t.Fatalf("n=%d k=%d: index %d unreachable", n, k, i)
+				}
+				d := 0
+				for j := i; j != 0; j = parents[j] {
+					d++
+				}
+				if d > depth {
+					depth = d
+				}
+			}
+			if want := TreeDepth(n, k); depth != want {
+				t.Errorf("n=%d k=%d: measured depth %d, TreeDepth says %d", n, k, depth, want)
+			}
+		}
+	}
+}
+
+func TestTreeChildrenLeaf(t *testing.T) {
+	if lo, hi := TreeChildren(8, 4, 7); lo < hi {
+		t.Fatalf("index 7 of 8 (k=4) should be a leaf, got children [%d,%d)", lo, hi)
+	}
+}
