@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test shuffle race bench bench-smoke bench-batch chaos chaos-soak sim sim-soak fuzz-smoke tcp-smoke check
+.PHONY: all vet build test shuffle race bench bench-smoke bench-batch chaos chaos-soak sim sim-soak recovery-soak fuzz-smoke tcp-smoke wal-smoke check
 
 all: check
 
@@ -35,12 +35,14 @@ bench:
 # E13 message reduction may not fall more than 30% below baseline, E11
 # wire bytes per invoke may not rise more than 30% above it, and the E16
 # cluster-scaling reductions (total messages and peak per-node burst,
-# tree vs unicast at 256 nodes) may not regress. The tolerance
-# absorbs shared-runner noise; the regressions the gate exists for — losing
-# the dispatch pool, losing send coalescing — cost far more than 30%.
+# tree vs unicast at 256 nodes) may not regress. E17 gates durable
+# throughput (events/s with real fsync) and the crash-recovery proof
+# (recovered must stay 1). The tolerance absorbs shared-runner noise;
+# the regressions the gate exists for — losing the dispatch pool, losing
+# send coalescing, losing group commit — cost far more than 30%.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
-	$(GO) run ./cmd/benchtab -e e11,e12,e13,e14,e16 -json -gate BENCH_e11.json,BENCH_e12.json,BENCH_e13.json,BENCH_e14.json,BENCH_e16.json > /dev/null
+	$(GO) run ./cmd/benchtab -e e11,e12,e13,e14,e16,e17 -json -gate BENCH_e11.json,BENCH_e12.json,BENCH_e13.json,BENCH_e14.json,BENCH_e16.json,BENCH_e17.json > /dev/null
 
 # bench-batch reruns just the E13 batching sweep and prints the table —
 # the quick loop for tuning the coalescing knobs.
@@ -82,6 +84,15 @@ sim-soak:
 	SIM_SOAK_SEEDS=$(SOAK_SEEDS) $(GO) test -count=1 -timeout 60m -run TestSimFuzz -v ./internal/sim/
 	SIM_LARGE_NODES=$(LARGE_NODES) SIM_SOAK_SEEDS=$(LARGE_SEEDS) $(GO) test -count=1 -timeout 60m -run TestSimLargeCluster -v ./internal/sim/
 
+# recovery-soak sweeps the durable crash-restart-replay scenario — WAL +
+# snapshots on, guaranteed crash/restart pair per schedule, the
+# durable-replay invariant (recovered state must equal a correct replay
+# of the on-disk log) checked at every restart — over DUR_SEEDS random
+# schedules. CI runs it nightly next to sim-soak.
+DUR_SEEDS ?= 100
+recovery-soak:
+	SIM_DUR_SEEDS=$(DUR_SEEDS) $(GO) test -count=1 -timeout 60m -run TestSimDurableRecovery -v ./internal/sim/
+
 # tcp-smoke boots a real multi-process cluster over loopback TCP — the
 # doctnode binary, one OS process per node — and proves events cross the
 # wire end to end: the 3-process quickstart plus the 8-process kill -9
@@ -89,6 +100,15 @@ sim-soak:
 # transport subsystem works outside the simulator.
 tcp-smoke:
 	$(GO) test -count=1 -run 'TestSmokeThreeProcess|TestChaosKill9EightProcess' ./cmd/doctnode/
+
+# wal-smoke proves durability outside the simulator: an 8-process durable
+# cluster (every node on -datadir) loses its stateful node to kill -9
+# mid-workload, restarts it against the same data directory, and the
+# replayed state — sink log, lock tally, dedup windows — must carry the
+# whole run's history. The WAL unit suite rides along.
+wal-smoke:
+	$(GO) test -count=1 ./internal/wal/
+	$(GO) test -count=1 -run 'TestWALKill9RestartKeepsState' ./cmd/doctnode/
 
 # fuzz-smoke gives each fuzz target a short budget on top of its
 # checked-in corpus — enough to catch an obvious regression per push;
@@ -98,5 +118,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzReliableReorder -fuzztime 10s ./internal/reliable/
 	$(GO) test -fuzz FuzzBatchRoundTrip -fuzztime 10s ./internal/batch/
 	$(GO) test -fuzz FuzzGossipRoundTrip -fuzztime 10s ./internal/failure/
+	$(GO) test -fuzz FuzzWALRoundTrip -fuzztime 10s ./internal/wal/
+	$(GO) test -fuzz FuzzWALTornTail -fuzztime 10s ./internal/wal/
 
 check: vet build test shuffle race chaos sim

@@ -58,6 +58,7 @@ var runners = []struct {
 	{"e13", "per-link batch coalescing sweep (DESIGN.md §11)", func() experiments.Table { return experiments.RunE13(0) }},
 	{"e14", "real TCP wire bytes vs simulated estimate (DESIGN.md §12)", func() experiments.Table { return experiments.RunE14(0) }},
 	{"e16", "cluster scaling: hash placement + tree fan-out (DESIGN.md §13)", func() experiments.Table { return experiments.RunE16(nil) }},
+	{"e17", "durable objects: WAL overhead + crash recovery (DESIGN.md §14)", func() experiments.Table { return experiments.RunE17(0) }},
 }
 
 func main() {
@@ -171,6 +172,11 @@ var gateRules = map[string][]gateRule{
 	// size must not regress, and absolute delivered throughput keeps the
 	// same floor the other event-path gates use.
 	"E16": {{column: "reduction"}, {column: "peak reduction"}, {column: "events/s"}},
+	// E17 gates the durable configuration directly: delivered throughput
+	// with WAL + fsync on must not fall (losing group commit would halve
+	// it), and the recovery proof — restarted state equals a correct
+	// replay of the disk — must keep passing (recovered is 1/0).
+	"E17": {{column: "wal events/s"}, {column: "recovered"}},
 }
 
 // checkGate compares the fresh run against each checked-in baseline file.
@@ -232,7 +238,7 @@ func checkGate(paths string, tol float64, tables []experiments.Table) error {
 			}
 		}
 		if fileChecked == 0 {
-			return fmt.Errorf("gate: no gated tables in %s (known: E11, E12, E13, E14, E16)", path)
+			return fmt.Errorf("gate: no gated tables in %s (known: E11, E12, E13, E14, E16, E17)", path)
 		}
 		checked += fileChecked
 	}

@@ -319,3 +319,142 @@ func TestChaosKill9EightProcess(t *testing.T) {
 	}
 	t.Logf("sink events=%d tally=%d (min %d)", len(sink), report["tally"], wantTally)
 }
+
+// TestWALKill9RestartKeepsState is the durability acceptance scenario:
+// an 8-process cluster where every node runs with -datadir, and the
+// victim is the STATEFUL node — node 1, which hosts the sink, the lock
+// server and the shared tally. Node 1 is kill -9ed mid-workload and
+// restarted over the same datadir; WAL + snapshot replay must hand the
+// new incarnation the tally value, the attribute-version watermark and
+// the inbound dedup windows the dead one had made durable. The proof is
+// end-to-end: with replay working, the final tally absorbs every
+// completed lock cycle (pre-crash bumps live only in the WAL), no lock
+// is left held, and every recorded raise reached the sink. `make
+// wal-smoke` runs exactly this test.
+func TestWALKill9RestartKeepsState(t *testing.T) {
+	const (
+		nodes      = 8
+		raiseCount = 16 // nodes 2..5
+		lockCount  = 10 // nodes 6..8
+		suspect    = 500 * time.Millisecond
+	)
+	dir := t.TempDir()
+	datadir := filepath.Join(dir, "wal")
+	addrs := reserveAddrs(t, nodes)
+	peers := peersFlag(addrs)
+	sinkLog := filepath.Join(dir, "sink.txt")
+	reportFile := filepath.Join(dir, "report.txt")
+	progFile := func(n int) string { return filepath.Join(dir, fmt.Sprintf("prog%d.txt", n)) }
+
+	baseArgs := func(n int) []string {
+		return []string{
+			"-node", strconv.Itoa(n), "-nodes", strconv.Itoa(nodes),
+			"-listen", addrs[n-1], "-peers", peers,
+			"-hb", "25ms", "-suspect", suspect.String(),
+			"-datadir", datadir,
+		}
+	}
+	n1 := spawnNode(t, dir, "node1", append(baseArgs(1),
+		"-sinklog", sinkLog, "-report", reportFile, "-v")...)
+	for n := 2; n <= 5; n++ {
+		spawnNode(t, dir, fmt.Sprintf("node%d", n), append(baseArgs(n),
+			"-workload", "raise", "-count", strconv.Itoa(raiseCount),
+			"-pace", "40ms", "-progress", progFile(n))...)
+	}
+	for n := 6; n <= 8; n++ {
+		spawnNode(t, dir, fmt.Sprintf("node%d", n), append(baseArgs(n),
+			"-workload", "lock", "-count", strconv.Itoa(lockCount),
+			"-hold", "15ms", "-progress", progFile(n))...)
+	}
+
+	// Let real state accumulate at node 1 — tally bumps and sink events
+	// whose only record outside its process memory is the WAL — then kill
+	// it. Everything since the last graceful close exists solely on disk.
+	waitForFiles(t, "pre-crash lock cycles and raises", 30*time.Second, func() bool {
+		return len(progressInts(t, progFile(7))) >= 3 &&
+			len(progressInts(t, progFile(3))) >= 3
+	})
+	preCycles := 0
+	for n := 6; n <= 8; n++ {
+		preCycles += len(progressInts(t, progFile(n)))
+	}
+	n1.kill9()
+	t.Logf("node 1 killed with >=%d lock cycles and the sink state in the WAL", preCycles)
+
+	// Let the cluster notice the coordinator is gone (workloads stall and
+	// retry), then restart node 1 over the same datadir with a fresh
+	// generation. Replay must finish before it starts serving.
+	time.Sleep(suspect + 300*time.Millisecond)
+	n1 = spawnNode(t, dir, "node1b", append(baseArgs(1),
+		"-sinklog", sinkLog, "-report", reportFile, "-v")...)
+
+	// Every workload — stalled across the crash — must still complete.
+	waitForFiles(t, "all workloads to complete", 120*time.Second, func() bool {
+		for n := 2; n <= 5; n++ {
+			if len(progressInts(t, progFile(n))) < raiseCount {
+				return false
+			}
+		}
+		for n := 6; n <= 8; n++ {
+			if len(progressInts(t, progFile(n))) < lockCount {
+				return false
+			}
+		}
+		return true
+	})
+
+	n1.sigterm()
+	if err := n1.waitExit(60 * time.Second); err != nil {
+		t.Fatalf("node 1 shutdown: %v", err)
+	}
+
+	// Zero lost events: every raise recorded as complete must appear in
+	// the sink log (pre-crash lines were written before the kill, and the
+	// restarted sink's recovered dedup windows keep retransmits of
+	// already-accepted events from re-running the handler).
+	sink := map[string]bool{}
+	b, err := os.ReadFile(sinkLog)
+	if err != nil {
+		t.Fatalf("sink log: %v", err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(b)), "\n") {
+		if line != "" {
+			sink[line] = true
+		}
+	}
+	for n := 2; n <= 5; n++ {
+		for i := range progressInts(t, progFile(n)) {
+			if key := fmt.Sprintf("%d %d", n, i); !sink[key] {
+				t.Errorf("event (src=%d i=%d) recorded as raised but never reached the sink", n, i)
+			}
+		}
+	}
+
+	// The durability headline: the tally is volatile object state that
+	// died with the first incarnation's memory. Only WAL replay can carry
+	// the pre-crash bumps into the restarted process, so a tally below
+	// one bump per completed cycle means recovery lost state.
+	rb, err := os.ReadFile(reportFile)
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	report := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(rb)), "\n") {
+		if k, v, ok := strings.Cut(line, "="); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				t.Fatalf("report line %q: %v", line, err)
+			}
+			report[k] = n
+		}
+	}
+	if report["held"] != 0 {
+		t.Errorf("%d cluster locks still held at shutdown, want 0", report["held"])
+	}
+	const wantTally = 3 * lockCount
+	if report["tally"] < wantTally {
+		t.Errorf("tally=%d after %d completed lock cycles — WAL replay lost pre-crash state",
+			report["tally"], wantTally)
+	}
+	t.Logf("sink events=%d tally=%d (min %d) across kill -9 + replay", len(sink), report["tally"], wantTally)
+}

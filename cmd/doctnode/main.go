@@ -62,6 +62,7 @@ func main() {
 		report   = flag.String("report", "", "node 1 only: file receiving tally/held-locks totals on graceful shutdown")
 		expect   = flag.Int("expect", 0, "node 1 only: exit 0 once the sink has handled this many events (smoke mode)")
 		reclaim  = flag.Duration("reclaim", time.Second, "node 1 only: orphaned-lock sweep interval (0 disables)")
+		datadir  = flag.String("datadir", "", "durability root: WAL + snapshots under <dir>/node-<N>, replayed before serving on restart")
 		verbose  = flag.Bool("v", false, "log per-iteration progress and transport events")
 	)
 	flag.Parse()
@@ -72,7 +73,7 @@ func main() {
 		gen: *gen, hb: *hb, suspect: *suspect,
 		workload: *workload, count: *count, start: *start, pace: *pace, hold: *hold,
 		progress: *progress, sinklog: *sinklog, report: *report, expect: *expect,
-		reclaim: *reclaim, verbose: *verbose,
+		reclaim: *reclaim, datadir: *datadir, verbose: *verbose,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -91,6 +92,7 @@ type config struct {
 	sinklog, report string
 	expect          int
 	reclaim         time.Duration
+	datadir         string
 	verbose         bool
 }
 
@@ -136,6 +138,10 @@ func run(cfg config) error {
 			SuspectAfter:    cfg.suspect,
 			Generation:      cfg.gen,
 		},
+		// -datadir arms WAL + snapshot durability with real fsync: object
+		// state, attribute versions and dedup windows survive kill -9, and
+		// NewSystem replays the log before the node starts serving.
+		Durability: core.DurabilityConfig{Enabled: cfg.datadir != "", Dir: cfg.datadir},
 	})
 	if err != nil {
 		return fmt.Errorf("system: %w", err)

@@ -462,3 +462,49 @@ func TestRaiseAndWaitTimeoutSeveredLink(t *testing.T) {
 		t.Errorf("RaiseAndWait returned after %v, want promptly after the 100ms raise timeout", elapsed)
 	}
 }
+
+// TestChaosAckDirectionLossy makes only the ack/reply direction lossy:
+// every event raised from node 2 reaches the sink on node 1 intact, but
+// 40% of node 1's traffic back — acks, RPC responses, releases — is
+// dropped. The raiser's reliable endpoint retransmits the "lost" requests,
+// so the sink sees heavy duplication and its dedup window must suppress
+// every copy: symmetric-loss chaos never isolates this path, because there
+// the data direction loses messages too and retransmits are usually
+// carrying genuinely undelivered payloads.
+func TestChaosAckDirectionLossy(t *testing.T) {
+	cfg := ftConfig(2)
+	cfg.Wire.StandaloneAcks = true
+	sys := newSystem(t, cfg)
+	var handled atomic.Int64
+	sink, err := sys.CreateObject(1, object.Spec{
+		Name: "sink",
+		Handlers: map[event.Name]object.Handler{
+			event.Interrupt: func(_ object.Ctx, _ event.HandlerRef, _ *event.Block) event.Verdict {
+				handled.Add(1)
+				return event.VerdictResume
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetDropRateDirected(1, 2, 0.4)
+
+	const want = 25
+	for i := 0; i < want; i++ {
+		if _, err := sys.RaiseAndWait(2, event.Interrupt, event.ToObject(sink), nil); err != nil {
+			t.Fatalf("raise %d: %v", i, err)
+		}
+	}
+	sys.HealAll() // clears the directed rate
+
+	retries := sys.Metrics().Snapshot().Get(metrics.CtrRelRetry)
+	if retries == 0 {
+		t.Error("no retransmissions under 40% reverse-path loss — the asymmetric loss was not injected")
+	}
+	// Straggler retransmits must not double-run any handler.
+	time.Sleep(100 * time.Millisecond)
+	if got := handled.Load(); got != want {
+		t.Errorf("handler ran %d times for %d raises, want exactly once each", got, want)
+	}
+}

@@ -141,6 +141,10 @@ type Config struct {
 	// fault injection (CrashNode, SeverLink) still works without it, the
 	// system just doesn't detect or recover.
 	FT FTConfig
+	// Durability configures per-node WAL + snapshot recovery (durable.go,
+	// DESIGN.md §14). The zero value disables it: object state, attribute
+	// versions and dedup windows stay volatile, exactly as before.
+	Durability DurabilityConfig
 	// Wire configures the wire-efficiency fast path (delta attribute
 	// propagation, cumulative/piggybacked acks, heartbeat suppression).
 	// The zero value enables every optimization; the negative flags exist
@@ -346,6 +350,17 @@ func NewSystem(cfg Config) (*System, error) {
 		s.kernels[node] = k
 		if err := s.fabric.Attach(node, k.onMessage); err != nil {
 			return nil, fmt.Errorf("boot %v: %w", node, err)
+		}
+	}
+	if cfg.Durability.Enabled {
+		// Replay before the fabric starts: recovery must complete before
+		// any peer traffic — or a NODE_UP announcement — can observe the
+		// node, so a recovered kernel is indistinguishable from one that
+		// merely paused.
+		for _, node := range cfg.LocalNodes {
+			if err := s.kernels[node].openDurable(cfg.Durability); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if cfg.FT.Enabled {

@@ -147,7 +147,7 @@ func (k *Kernel) initFT() {
 		}
 		retryBase = reliable.DefaultRetryBase + 2*fi
 	}
-	k.rel = reliable.New(reliable.Config{
+	relCfg := reliable.Config{
 		MaxAttempts:    ft.MaxAttempts,
 		RetryBase:      retryBase,
 		RetryMax:       ft.RetryMax,
@@ -156,10 +156,35 @@ func (k *Kernel) initFT() {
 		AckDelay:       wire.AckDelay,
 		Metrics:        k.sys.reg,
 		Clock:          k.sys.cfg.Clock,
-	}, k.node, func(m netsim.Message) error {
+	}
+	if k.dur != nil {
+		// Log every acceptance and hold acknowledgement until the log
+		// commits: an acked envelope is a durable envelope, so a crash
+		// after the ack cannot reopen the dedup window (DESIGN.md §14).
+		// The append is async; piggybacked acks advertise the committed
+		// frontier without blocking the fabric's flush path, standalone
+		// acks wait for the group commit, and concurrent accepts share
+		// one fsync instead of serializing on it.
+		relCfg.OnAccept = k.dur.onAccept
+		relCfg.AckGate = k.dur.ackGate
+		relCfg.AckFrontier = k.dur.ackFrontier
+		if !k.sys.cfg.Durability.NoFsync {
+			// Standalone acks now trail the commit; give retransmits
+			// fsync headroom so a healthy delayed ack beats the first
+			// retry instead of triggering a duplicate per envelope.
+			relCfg.RetryBase = retryBase + 10*time.Millisecond
+		}
+	}
+	k.rel = reliable.New(relCfg, k.node, func(m netsim.Message) error {
 		k.det.ObserveSend(m.To)
 		return k.sys.fabric.Send(m)
 	}, k.dispatchNet, k.deadLetter)
+	if k.dur != nil {
+		// Replayed dedup windows go live before the fabric starts — a
+		// retransmit that crosses the restart must land in a window that
+		// remembers it.
+		k.dur.installWindows(k.rel)
+	}
 }
 
 // disseminateFD relays a locally observed membership transition to the
@@ -274,6 +299,12 @@ func (s *System) CrashNode(node ids.NodeID) error {
 	if fi := s.injector(); fi != nil {
 		_ = fi.CrashNode(node)
 	}
+	if k.dur != nil {
+		// The crash closes the WAL: whatever reached the log survives,
+		// anything buffered in a dying goroutine does not. Restart reopens
+		// and replays.
+		k.dur.close()
+	}
 	if k.det != nil {
 		// A fail-stopped node emits no heartbeats and suspects nobody.
 		k.det.Suspend()
@@ -336,6 +367,16 @@ func (s *System) RestartNode(node ids.NodeID) error {
 		// heartbeated into the void while it was down); Resume resets them
 		// so it does not instantly suspect the whole cluster.
 		k.det.Resume()
+	}
+	if k.dur != nil {
+		// Replay disk state before the node is reachable again. Durable-
+		// covered memory state is reset from the replay, not trusted: an
+		// in-process restart leaves object KV and windows intact in RAM,
+		// which would mask replay holes the simulation checker exists to
+		// catch.
+		if _, err := k.dur.reopen(); err != nil {
+			return fmt.Errorf("core: restart of %v: %w", node, err)
+		}
 	}
 	k.markRestarted()
 	if fi := s.injector(); fi != nil {
@@ -565,5 +606,36 @@ func (s *System) HealAll() {
 func (s *System) SetDropRate(rate float64) {
 	if fi := s.injector(); fi != nil {
 		fi.SetDropRate(rate)
+	}
+}
+
+// directedInjector returns the transport's per-directed-link fault
+// surface, nil when the transport has none.
+func (s *System) directedInjector() transport.DirectedFaultInjector {
+	fi, _ := s.fabric.(transport.DirectedFaultInjector)
+	return fi
+}
+
+// SetDropRateDirected sets the drop probability on the directed link
+// from → to (max'd with the global rate). Asymmetric loss — acks dropped
+// while data flows — is the probe for retransmit/dedup paths that
+// symmetric loss cannot reach.
+func (s *System) SetDropRateDirected(from, to ids.NodeID, rate float64) {
+	if fi := s.directedInjector(); fi != nil {
+		fi.SetDropRateDirected(from, to, rate)
+	}
+}
+
+// CutLinkDirected severs the directed fabric link from → to.
+func (s *System) CutLinkDirected(from, to ids.NodeID) {
+	if fi := s.directedInjector(); fi != nil {
+		fi.CutLinkDirected(from, to)
+	}
+}
+
+// HealLinkDirected restores the directed fabric link from → to.
+func (s *System) HealLinkDirected(from, to ids.NodeID) {
+	if fi := s.directedInjector(); fi != nil {
+		fi.HealLinkDirected(from, to)
 	}
 }

@@ -117,6 +117,11 @@ type Kernel struct {
 	det    *failure.Detector
 	fdRing bool
 
+	// dur is this node's durability engine (durable.go). Nil unless
+	// Config.Durability.Enabled; every touch is nil-guarded so the
+	// volatile path pays nothing.
+	dur *durable
+
 	// dir is this node's shard of the residency directory backing the
 	// hash placement strategy (directory.go). Always present; only
 	// populated when System.dirStrategy is set.
@@ -247,6 +252,9 @@ func (k *Kernel) shutdown() {
 	k.closing = true
 	k.closingMu.Unlock()
 	k.wg.Wait()
+	if k.dur != nil {
+		k.dur.stop()
+	}
 }
 
 // onMessage is the fabric handler: it must not block, so request service
@@ -676,6 +684,13 @@ func (k *Kernel) createObject(spec object.Spec) (ids.ObjectID, error) {
 	}
 	if err := k.store.Add(obj); err != nil {
 		return ids.NoObject, err
+	}
+	if k.dur != nil {
+		// Hook first so no mutation slips past the log, then adopt any
+		// state replay staged for this name (an object recreated by app
+		// boot code after a restart picks its durable KV back up).
+		obj.SetMutationHook(k.dur.objectHook(spec.Name))
+		k.dur.applyStagedObject(obj)
 	}
 	return oid, nil
 }

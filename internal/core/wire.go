@@ -65,7 +65,13 @@ var errAttrResync = errors.New("core: attribute base version unknown, resync req
 // kernel never reuses one. Versions are pure cache keys — nothing orders
 // or compares them beyond equality.
 func (k *Kernel) stampVersion() uint64 {
-	return k.attrVer.Add(1)<<8 | uint64(k.node)&0xff
+	v := k.attrVer.Add(1)
+	if k.dur != nil {
+		// Durable nodes log version leases, not individual mints: the
+		// counter only has to never move backward across a restart.
+		k.dur.maybeLease(v)
+	}
+	return v<<8 | uint64(k.node)&0xff
 }
 
 // attrKey builds the snapshot cache key for a thread's version.

@@ -9,6 +9,7 @@ package core
 import (
 	"repro/internal/event"
 	"repro/internal/ids"
+	"repro/internal/reliable"
 	"repro/internal/thread"
 	"repro/internal/transport/wire"
 )
@@ -34,6 +35,13 @@ const (
 	widGossipFrame    = 57
 	widDirUpdate      = 58
 	widFanoutReq      = 59
+	// 60–61 are claimed by tcptransport (hello, groupUpdate); the WAL
+	// record family starts at 70 to leave that block room to grow.
+	widWALObjSet   = 70
+	widWALAttrVer  = 71
+	widWALWindow   = 72
+	widWALObjDel   = 73
+	widWALSnapshot = 74
 )
 
 const (
@@ -337,6 +345,92 @@ func init() {
 			return pageFetchReply{Data: wdecBytesNil(d), Found: d.Bool()}
 		})
 
+	// Durability record payloads (DESIGN.md §14). These never cross the
+	// network — they are WAL record bodies — but they share the wire
+	// vocabulary so replay decodes with the same self-describing codec the
+	// transport uses, and the roundtrip tests cover them for free.
+	wire.Register(widWALObjSet, "core.walObjSet",
+		func(r walObjSet) int {
+			return wire.SizeString(r.Obj) + wire.SizeString(r.Key) + wire.SizeValue(r.Val)
+		},
+		func(e *wire.Enc, r walObjSet) {
+			e.String(r.Obj)
+			e.String(r.Key)
+			e.Value(r.Val)
+		},
+		func(d *wire.Dec) walObjSet {
+			return walObjSet{Obj: d.String(), Key: d.String(), Val: d.Value()}
+		})
+	wire.Register(widWALAttrVer, "core.walAttrVer",
+		func(r walAttrVer) int { return wire.SizeUvarint(r.Ver) },
+		func(e *wire.Enc, r walAttrVer) { e.Uvarint(r.Ver) },
+		func(d *wire.Dec) walAttrVer { return walAttrVer{Ver: d.Uvarint()} })
+	wire.Register(widWALWindow, "core.walWindow",
+		func(r walWindow) int {
+			return wire.SizeUvarint(uint64(r.Peer)) + wire.SizeUvarint(r.Gen) +
+				wire.SizeUvarint(r.Seq) + wire.SizeUvarint(r.Cum)
+		},
+		func(e *wire.Enc, r walWindow) {
+			e.Uvarint(uint64(r.Peer))
+			e.Uvarint(r.Gen)
+			e.Uvarint(r.Seq)
+			e.Uvarint(r.Cum)
+		},
+		func(d *wire.Dec) walWindow {
+			return walWindow{
+				Peer: ids.NodeID(d.Uvarint()),
+				Gen:  d.Uvarint(),
+				Seq:  d.Uvarint(),
+				Cum:  d.Uvarint(),
+			}
+		})
+	wire.Register(widWALObjDel, "core.walObjDel",
+		func(r walObjDel) int { return wire.SizeString(r.Obj) },
+		func(e *wire.Enc, r walObjDel) { e.String(r.Obj) },
+		func(d *wire.Dec) walObjDel { return walObjDel{Obj: d.String()} })
+	wire.Register(widWALSnapshot, "core.walSnapshot",
+		func(r walSnapshot) int {
+			size := wire.SizeUvarint(r.AttrVer) + wire.SizeUvarint(uint64(len(r.Objects))) +
+				wire.SizeUvarint(uint64(len(r.Windows)))
+			for _, img := range r.Objects {
+				size += wire.SizeString(img.Name) + wire.SizeValue(img.KV)
+			}
+			for _, w := range r.Windows {
+				size += wsizePeerWindow(w)
+			}
+			return size
+		},
+		func(e *wire.Enc, r walSnapshot) {
+			e.Uvarint(r.AttrVer)
+			e.Uvarint(uint64(len(r.Objects)))
+			for _, img := range r.Objects {
+				e.String(img.Name)
+				e.Value(img.KV)
+			}
+			e.Uvarint(uint64(len(r.Windows)))
+			for _, w := range r.Windows {
+				wencPeerWindow(e, w)
+			}
+		},
+		func(d *wire.Dec) walSnapshot {
+			r := walSnapshot{AttrVer: d.Uvarint()}
+			nObj := d.Count(2)
+			for i := 0; i < nObj; i++ {
+				r.Objects = append(r.Objects, walObjImage{Name: d.String(), KV: wdecKV(d)})
+				if d.Err() != nil {
+					return r
+				}
+			}
+			nWin := d.Count(4)
+			for i := 0; i < nWin; i++ {
+				r.Windows = append(r.Windows, wdecPeerWindow(d))
+				if d.Err() != nil {
+					return r
+				}
+			}
+			return r
+		})
+
 	wire.RegisterErr(wcodeTerminated, ErrTerminated)
 	wire.RegisterErr(wcodeAborted, ErrAborted)
 	wire.RegisterErr(wcodeThreadNotFound, ErrThreadNotFound)
@@ -494,6 +588,63 @@ func wdecAnys(d *wire.Dec) []any {
 		}
 	}
 	return out
+}
+
+// PeerWindow is nested inside walSnapshot; it never travels standalone,
+// so it is hand-encoded inline instead of owning a type id.
+
+func wsizePeerWindow(w reliable.PeerWindow) int {
+	size := wire.SizeUvarint(uint64(w.Peer)) + wire.SizeUvarint(w.Gen) +
+		wire.SizeUvarint(w.Cum) + wire.SizeUvarint(w.Max) +
+		wire.SizeUvarint(w.NextSeq) + wire.SizeUvarint(uint64(len(w.Seen)))
+	for _, s := range w.Seen {
+		size += wire.SizeUvarint(s)
+	}
+	return size
+}
+
+func wencPeerWindow(e *wire.Enc, w reliable.PeerWindow) {
+	e.Uvarint(uint64(w.Peer))
+	e.Uvarint(w.Gen)
+	e.Uvarint(w.Cum)
+	e.Uvarint(w.Max)
+	e.Uvarint(w.NextSeq)
+	e.Uvarint(uint64(len(w.Seen)))
+	for _, s := range w.Seen {
+		e.Uvarint(s)
+	}
+}
+
+func wdecPeerWindow(d *wire.Dec) reliable.PeerWindow {
+	w := reliable.PeerWindow{
+		Peer:    ids.NodeID(d.Uvarint()),
+		Gen:     d.Uvarint(),
+		Cum:     d.Uvarint(),
+		Max:     d.Uvarint(),
+		NextSeq: d.Uvarint(),
+	}
+	n := d.Count(1)
+	for i := 0; i < n; i++ {
+		w.Seen = append(w.Seen, d.Uvarint())
+		if d.Err() != nil {
+			return w
+		}
+	}
+	return w
+}
+
+// wdecKV reads a map[string]any value slot.
+func wdecKV(d *wire.Dec) map[string]any {
+	v := d.Value()
+	if v == nil {
+		return nil
+	}
+	kv, ok := v.(map[string]any)
+	if !ok {
+		d.Corrupt("kv slot holds wrong type")
+		return nil
+	}
+	return kv
 }
 
 func wsizeBytesNil(b []byte) int {

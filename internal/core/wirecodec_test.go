@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/event"
 	"repro/internal/ids"
+	"repro/internal/reliable"
 	"repro/internal/thread"
 	"repro/internal/transport/wire"
 )
@@ -84,6 +85,21 @@ func codecSamples() map[string]any {
 				{ids.NewThreadID(1, 1)},
 				{ids.NewThreadID(2, 9)},
 				{ids.NewThreadID(3, 2), ids.NewThreadID(3, 3)},
+			},
+		},
+		// WAL record family (durable.go): these hit disk, so their
+		// encodings are as much wire format as anything that crosses TCP.
+		"walObjSet":  walObjSet{Obj: "tally", Key: "count", Val: 42},
+		"walObjDel":  walObjDel{Obj: "tally"},
+		"walAttrVer": walAttrVer{Ver: 2048},
+		"walWindow":  walWindow{Peer: 3, Gen: 7, Seq: 12, Cum: 9},
+		"walSnapshot": walSnapshot{
+			AttrVer: 1024,
+			Objects: []walObjImage{
+				{Name: "sink", KV: map[string]any{"last": "e-41", "n": 41}},
+			},
+			Windows: []reliable.PeerWindow{
+				{Peer: 2, Gen: 1, Cum: 5, Max: 9, Seen: []uint64{7, 9}, NextSeq: 4},
 			},
 		},
 	}

@@ -167,6 +167,15 @@ type Fabric struct {
 	// experiments use to inject loss into an already-booted cluster.
 	dropRate atomic.Uint64
 
+	// linkDrop holds per-directed-link drop probabilities (float64 bits,
+	// keyed [from,to]) installed by SetDropRateDirected; the effective
+	// rate for a send is the max of the global rate and the link's.
+	// linkDropN counts installed entries so the hot path skips the map
+	// lookup entirely when no directed loss is configured. A sync.Map —
+	// not f.mu — keeps post() lock-free, preserving its no-f.mu contract.
+	linkDrop  sync.Map
+	linkDropN atomic.Int64
+
 	// Delayed sends sit in a timer heap drained by one scheduler
 	// goroutine (see sched.go) instead of a goroutine per message.
 	schedMu   sync.Mutex
@@ -460,7 +469,11 @@ func (f *Fabric) post(ep *endpoint, m Message, severed bool) {
 		kc.msgs.Add(1)
 		kc.bytes.Add(int64(m.Size))
 	}
-	if rate := f.DropRate(); severed || f.roll(ep, rate) < rate {
+	rate := f.DropRate()
+	if lr := f.linkRate(m.From, m.To); lr > rate {
+		rate = lr
+	}
+	if severed || f.roll(ep, rate) < rate {
 		f.ctrDropped.Add(1)
 		return
 	}
@@ -523,6 +536,46 @@ func (f *Fabric) SetDropRate(rate float64) {
 	}
 	f.dropRate.Store(math.Float64bits(rate))
 }
+
+// linkRate returns the directed drop probability for from → to (0 when
+// none is configured).
+func (f *Fabric) linkRate(from, to ids.NodeID) float64 {
+	if f.linkDropN.Load() == 0 {
+		return 0
+	}
+	if v, ok := f.linkDrop.Load([2]ids.NodeID{from, to}); ok {
+		return math.Float64frombits(v.(uint64))
+	}
+	return 0
+}
+
+// SetDropRateDirected sets the drop probability for the directed link
+// from → to. The effective rate for a send is the maximum of this and the
+// global SetDropRate, so directed loss can only add to ambient loss.
+// Rate <= 0 clears the link's entry.
+func (f *Fabric) SetDropRateDirected(from, to ids.NodeID, rate float64) {
+	key := [2]ids.NodeID{from, to}
+	if rate <= 0 {
+		if _, ok := f.linkDrop.LoadAndDelete(key); ok {
+			f.linkDropN.Add(-1)
+		}
+		return
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	if _, loaded := f.linkDrop.Swap(key, math.Float64bits(rate)); !loaded {
+		f.linkDropN.Add(1)
+	}
+}
+
+// CutLinkDirected severs the directed link from → to. CutLink is already
+// one-directional; this synonym exists so code written against
+// transport.DirectedFaultInjector reads unambiguously.
+func (f *Fabric) CutLinkDirected(from, to ids.NodeID) { f.CutLink(from, to) }
+
+// HealLinkDirected restores the directed link from → to.
+func (f *Fabric) HealLinkDirected(from, to ids.NodeID) { f.HealLink(from, to) }
 
 // Broadcast sends payload from the sender to every other attached node.
 // It costs n-1 unicast messages plus one broadcast operation in the
@@ -654,11 +707,19 @@ func (f *Fabric) Partition(sideA, sideB []ids.NodeID) {
 	}
 }
 
-// HealAll restores every severed link.
+// HealAll restores every severed link and clears every directed drop
+// rate (the global SetDropRate is left alone — it was set globally and is
+// cleared globally).
 func (f *Fabric) HealAll() {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	f.cut = make(map[[2]ids.NodeID]bool)
+	f.mu.Unlock()
+	f.linkDrop.Range(func(k, _ any) bool {
+		if _, ok := f.linkDrop.LoadAndDelete(k); ok {
+			f.linkDropN.Add(-1)
+		}
+		return true
+	})
 }
 
 // CrashNode fail-stops node: every message to or from it, including those

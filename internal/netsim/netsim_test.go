@@ -529,3 +529,61 @@ func TestSetDropRateTakesEffect(t *testing.T) {
 		t.Errorf("after clearing drop rate got %+v, want the c message", got[n])
 	}
 }
+
+// TestDirectedDropRate pins the per-directed-link loss surface: rate 1 on
+// 1→2 blackholes that direction while 2→1 flows untouched, clearing the
+// rate restores delivery, and HealAll clears directed rates wholesale.
+func TestDirectedDropRate(t *testing.T) {
+	f, cols := buildFabric(t, Config{}, 2)
+	f.SetDropRateDirected(1, 2, 1.0)
+	for i := 0; i < 20; i++ {
+		if err := f.Send(Message{From: 1, To: 2, Kind: "fwd", Payload: i}); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		if err := f.Send(Message{From: 2, To: 1, Kind: "rev", Payload: i}); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	cols[1].waitN(t, 20) // reverse direction unimpaired
+	if n := cols[2].count(); n != 0 {
+		t.Fatalf("1→2 delivered %d messages through a rate-1.0 directed drop", n)
+	}
+
+	f.SetDropRateDirected(1, 2, 0) // clear
+	if err := f.Send(Message{From: 1, To: 2, Kind: "fwd", Payload: "after"}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	cols[2].waitN(t, 1)
+
+	f.SetDropRateDirected(2, 1, 1.0)
+	f.HealAll()
+	if err := f.Send(Message{From: 2, To: 1, Kind: "rev", Payload: "healed"}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	cols[1].waitN(t, 21)
+}
+
+// TestDirectedDropMaxesWithGlobal pins the combination rule: the effective
+// rate is max(global, link), so a directed 1.0 dominates a small global
+// rate and a directed 0 does not shield a link from global loss.
+func TestDirectedDropMaxesWithGlobal(t *testing.T) {
+	f, cols := buildFabric(t, Config{}, 3)
+	f.SetDropRate(0)
+	f.SetDropRateDirected(1, 2, 1.0)
+	for i := 0; i < 10; i++ {
+		_ = f.Send(Message{From: 1, To: 2, Kind: "x", Payload: i})
+		_ = f.Send(Message{From: 1, To: 3, Kind: "x", Payload: i})
+	}
+	cols[3].waitN(t, 10)
+	if n := cols[2].count(); n != 0 {
+		t.Fatalf("directed 1.0 lost to global 0: %d delivered", n)
+	}
+
+	f.SetDropRate(1.0)
+	f.SetDropRateDirected(1, 3, 0.0000001) // present but tiny: max picks global
+	_ = f.Send(Message{From: 1, To: 3, Kind: "x", Payload: "blocked"})
+	time.Sleep(20 * time.Millisecond)
+	if n := cols[3].count(); n != 10 {
+		t.Fatalf("global 1.0 lost to tiny directed rate: %d delivered, want 10", n)
+	}
+}

@@ -207,6 +207,15 @@ type Spec struct {
 // DefaultDataSize is the persistent segment size when Spec.DataSize is 0.
 const DefaultDataSize = 4096
 
+// Mutation is one committed change to an object's volatile state, as seen
+// by a mutation hook: a key write (Key/Val) or the object's deletion
+// (Delete set, Key empty).
+type Mutation struct {
+	Key    string
+	Val    any
+	Delete bool
+}
+
 // Object is one passive persistent object resident at its home node.
 // Objects are safe for concurrent use: multiple threads may be active
 // inside an object (§2).
@@ -215,11 +224,23 @@ type Object struct {
 	spec Spec
 	seg  ids.SegmentID
 
+	// mutate, when set, observes every committed mutation (Set, successful
+	// CompareAndSwap, MarkDeleted — not RestoreKV, which replays state that
+	// was already observed when first written). It runs under the object's
+	// write lock so hook order is commit order; it must not call back into
+	// the object.
+	mutate func(Mutation)
+
 	mu sync.RWMutex
 	kv map[string]any
 	// deleted is set after a DELETE completes; further invocations fail.
 	deleted bool
 }
+
+// SetMutationHook installs the mutation observer. The kernel installs it at
+// creation/activation time, before the object is reachable; it is not safe
+// to call concurrently with mutations.
+func (o *Object) SetMutationHook(fn func(Mutation)) { o.mutate = fn }
 
 // New constructs an object from spec. The caller (the kernel) assigns the
 // identity and backing segment.
@@ -334,6 +355,9 @@ func (o *Object) Set(key string, val any) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.kv[key] = val
+	if o.mutate != nil {
+		o.mutate(Mutation{Key: key, Val: val})
+	}
 }
 
 // CompareAndSwap atomically replaces key's value with new if it currently
@@ -350,6 +374,9 @@ func (o *Object) CompareAndSwap(key string, old, new any) bool {
 		return false
 	}
 	o.kv[key] = new
+	if o.mutate != nil {
+		o.mutate(Mutation{Key: key, Val: new})
+	}
 	return true
 }
 
@@ -380,6 +407,9 @@ func (o *Object) MarkDeleted() {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.deleted = true
+	if o.mutate != nil {
+		o.mutate(Mutation{Delete: true})
+	}
 }
 
 // Deleted reports whether the object has been deleted.

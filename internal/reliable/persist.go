@@ -1,0 +1,150 @@
+package reliable
+
+import (
+	"sort"
+
+	"repro/internal/ids"
+)
+
+// PeerWindow is the durable image of one peer's reliable-channel state: the
+// inbound dedup window (generation, cumulative frontier, out-of-order
+// receipts) plus the outbound sequence cursor. The durability layer writes
+// these into snapshots and restores them before a recovered node announces
+// itself, so a retransmit that crosses the crash still lands in a window
+// that remembers it — exactly-once survives the restart instead of being
+// reset via Envelope.Gen.
+type PeerWindow struct {
+	Peer ids.NodeID
+	// Inbound dedup window for envelopes from Peer.
+	Gen  uint64
+	Cum  uint64
+	Max  uint64
+	Seen []uint64 // received sequences above Cum, sorted ascending
+	// NextSeq is the outbound cursor: the last sequence allocated toward
+	// Peer. Restoring it on a cold boot keeps the recovered incarnation's
+	// sequence space monotonic even before the generation bump is visible
+	// everywhere.
+	NextSeq uint64
+}
+
+// SnapshotWindows captures every peer's window state, sorted by peer id so
+// the snapshot image is deterministic. Safe to call concurrently with
+// traffic; each peer is captured atomically under its own lock.
+func (e *Endpoint) SnapshotWindows() []PeerWindow {
+	e.peersMu.RLock()
+	nodes := make([]ids.NodeID, 0, len(e.peers))
+	for n := range e.peers {
+		nodes = append(nodes, n)
+	}
+	e.peersMu.RUnlock()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	ws := make([]PeerWindow, 0, len(nodes))
+	for _, n := range nodes {
+		p := e.lookup(n)
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		w := PeerWindow{Peer: n, Gen: p.gen, Cum: p.cum, Max: p.max, NextSeq: p.seq}
+		if len(p.seen) > 0 {
+			w.Seen = make([]uint64, 0, len(p.seen))
+			for s := range p.seen {
+				w.Seen = append(w.Seen, s)
+			}
+			sort.Slice(w.Seen, func(i, j int) bool { return w.Seen[i] < w.Seen[j] })
+		}
+		p.mu.Unlock()
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+// RestoreWindows installs snapshot window images, creating peer state as
+// needed. Inbound fields are overwritten when the image's generation is at
+// least as new as the live one (at boot the live state is empty, so the
+// snapshot always wins; a later live generation means the peer already
+// restarted past the image and the stale window must not clobber it). The
+// outbound cursor is only adopted when nothing has been sent yet — an
+// in-process restart keeps its pending retransmits and live cursor.
+func (e *Endpoint) RestoreWindows(ws []PeerWindow) {
+	for _, w := range ws {
+		p := e.peer(w.Peer)
+		p.mu.Lock()
+		if w.Gen >= p.gen {
+			p.gen, p.cum, p.max = w.Gen, w.Cum, w.Max
+			p.seen = make(map[uint64]bool, len(w.Seen))
+			for _, s := range w.Seen {
+				if s > w.Cum {
+					p.seen[s] = true
+				}
+			}
+			if p.max < p.cum {
+				p.max = p.cum
+			}
+		}
+		if p.seq == 0 && w.NextSeq > 0 {
+			p.seq = w.NextSeq
+		}
+		p.mu.Unlock()
+	}
+}
+
+// ClearInboundWindows zeroes every peer's inbound dedup state, leaving
+// outbound cursors and pending sends alone. A durable restart calls it
+// before re-installing the replayed windows, so recovery reflects only
+// what the disk actually yields — state that survived in memory must not
+// mask a replay hole.
+func (e *Endpoint) ClearInboundWindows() {
+	e.peersMu.RLock()
+	peers := make([]*peerState, 0, len(e.peers))
+	for _, p := range e.peers {
+		peers = append(peers, p)
+	}
+	e.peersMu.RUnlock()
+	for _, p := range peers {
+		p.mu.Lock()
+		p.gen, p.cum, p.max, p.lastRecv = 0, 0, 0, 0
+		p.seen = make(map[uint64]bool)
+		p.mu.Unlock()
+	}
+}
+
+// RestoreAccept replays one logged acceptance (an OnAccept record from the
+// WAL tail) into the inbound window, reconstructing exactly the state the
+// original fresh() call left behind: generation bumps reset the window, the
+// logged cumulative frontier fast-forwards it, and the sequence itself is
+// marked seen (folding into the frontier when contiguous).
+func (e *Endpoint) RestoreAccept(from ids.NodeID, gen, seq, cum uint64) {
+	p := e.peer(from)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if gen < p.gen {
+		return // straggler record from an incarnation the peer already left
+	}
+	if gen > p.gen {
+		p.gen = gen
+		p.cum, p.max = 0, 0
+		p.seen = make(map[uint64]bool)
+	}
+	if cum > p.cum {
+		p.cum = cum
+		for s := range p.seen {
+			if s <= cum {
+				delete(p.seen, s)
+			}
+		}
+	}
+	if seq > p.cum && !p.seen[seq] {
+		p.seen[seq] = true
+		for p.seen[p.cum+1] {
+			p.cum++
+			delete(p.seen, p.cum)
+		}
+	}
+	if seq > p.max {
+		p.max = seq
+	}
+	if p.max < p.cum {
+		p.max = p.cum
+	}
+}

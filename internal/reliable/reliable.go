@@ -99,6 +99,33 @@ type Config struct {
 	// endpoint's lifetime spans simulated crashes) keeps the legacy
 	// single-incarnation behavior.
 	Generation uint64
+	// OnAccept, when set, observes every freshly accepted data envelope:
+	// it runs after the dedup window has admitted (from, gen, seq) and
+	// advanced the cumulative frontier to cum, but before the envelope is
+	// delivered or acknowledged. The durability layer logs the window
+	// advance here — an ack must imply the acceptance is recoverable, or a
+	// crash between ack and log loses the window entry and a retransmit
+	// after restart becomes a duplicate delivery. Duplicates and stale-
+	// generation stragglers never reach the hook.
+	OnAccept func(from ids.NodeID, gen, seq, cum uint64)
+	// AckGate, when set, runs immediately before a standalone ack message
+	// departs (immediate, duplicate-triggered, or delayed-flush). It must
+	// block until every acceptance OnAccept has observed so far is
+	// durable. Paired with an asynchronous OnAccept this forms the
+	// group-commit ack path: accepts append to the log without waiting,
+	// handlers run concurrently with the flush, and the single commit
+	// preceding the ack covers every accept in flight — instead of each
+	// accept paying its own fsync before the next message on the link can
+	// even be examined.
+	AckGate func()
+	// AckFrontier, when set, bounds the cumulative ack piggybacked on
+	// outbound envelopes: given the peer and the current receive frontier
+	// it returns the highest frontier that is already durable, WITHOUT
+	// blocking. Envelope departures run on the fabric's per-link flush
+	// path, so they must never wait for an fsync; they advertise the
+	// durable floor instead, and the (gated, blocking) standalone ack or
+	// a later envelope carries the rest once the commit lands.
+	AckFrontier func(peer ids.NodeID, cum uint64) uint64
 }
 
 func (c *Config) fillDefaults() {
@@ -419,15 +446,30 @@ func (p pendingEnv) FinalizeFlush() any {
 func (e *Endpoint) takePiggyback(to ids.NodeID) uint64 {
 	p := e.peer(to)
 	p.mu.Lock()
+	cum := p.cum
+	p.mu.Unlock()
+	// An acked envelope must be a durable envelope: clamp the advertised
+	// frontier to what has already committed. This never blocks — the
+	// caller is the fabric's departure path.
+	ackCum := cum
+	if e.cfg.AckFrontier != nil {
+		if ackCum = e.cfg.AckFrontier(to, cum); ackCum > cum {
+			ackCum = cum
+		}
+	}
+	p.mu.Lock()
 	defer p.mu.Unlock()
-	if !e.cfg.StandaloneAcks && p.ackOwed {
+	// Settle the ack debt only when the envelope carries the full
+	// frontier; a clamped (or meanwhile outdated) value leaves the timer
+	// armed so the blocking standalone ack still reports the rest.
+	if !e.cfg.StandaloneAcks && p.ackOwed && ackCum == p.cum {
 		p.ackOwed = false
 		if p.ackTimer != nil {
 			p.ackTimer.Stop()
 		}
 		e.ctrAckPiggyback.Add(1)
 	}
-	return p.cum
+	return ackCum
 }
 
 func (e *Endpoint) deadLetter(to ids.NodeID, kind string, payload any, err error) {
@@ -500,7 +542,13 @@ func (e *Endpoint) Handle(m netsim.Message) bool {
 		}
 		// The piggybacked frontier retires our own pending sends first.
 		e.retire(m.From, 0, env.AckCum)
-		isFresh := e.fresh(m.From, env.Gen, env.Seq)
+		isFresh, cum := e.fresh(m.From, env.Gen, env.Seq)
+		if isFresh && e.cfg.OnAccept != nil {
+			// Persist the window advance before the ack can leave: once the
+			// peer sees the ack it stops retransmitting, so the acceptance
+			// must already be durable.
+			e.cfg.OnAccept(m.From, env.Gen, env.Seq, cum)
+		}
 		switch {
 		case e.cfg.StandaloneAcks:
 			e.sendAck(m.From, env.Seq)
@@ -529,6 +577,9 @@ func (e *Endpoint) sendAck(to ids.NodeID, seq uint64) {
 	p.mu.Lock()
 	cum := p.cum
 	p.mu.Unlock()
+	if e.cfg.AckGate != nil {
+		e.cfg.AckGate()
+	}
 	e.ctrAckStandalone.Add(1)
 	_ = e.send(netsim.Message{From: e.self, To: to, Kind: KindAck, Payload: Ack{Seq: seq, Cum: cum}})
 }
@@ -569,23 +620,27 @@ func (e *Endpoint) flushAck(to ids.NodeID) {
 	p.ackOwed = false
 	seq, cum := p.lastRecv, p.cum
 	p.mu.Unlock()
+	if e.cfg.AckGate != nil {
+		e.cfg.AckGate()
+	}
 	e.ctrAckStandalone.Add(1)
 	_ = e.send(netsim.Message{From: e.self, To: to, Kind: KindAck, Payload: Ack{Seq: seq, Cum: cum}})
 }
 
 // fresh records seq in the sender's dedup window, advances the cumulative
 // frontier through any now-contiguous sequences, and reports whether seq
-// was seen for the first time. A higher sender generation means the peer
-// restarted as a new process and its sequence space began again: the
+// was seen for the first time, plus the post-advance cumulative frontier
+// (for the OnAccept durability hook). A higher sender generation means the
+// peer restarted as a new process and its sequence space began again: the
 // window resets so the new incarnation's sends are not mistaken for the
 // old one's duplicates. A lower generation is a straggler from a dead
 // incarnation and is dropped.
-func (e *Endpoint) fresh(from ids.NodeID, gen, seq uint64) bool {
+func (e *Endpoint) fresh(from ids.NodeID, gen, seq uint64) (bool, uint64) {
 	p := e.peer(from)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if gen < p.gen {
-		return false
+		return false, p.cum
 	}
 	if gen > p.gen {
 		p.gen = gen
@@ -594,14 +649,14 @@ func (e *Endpoint) fresh(from ids.NodeID, gen, seq uint64) bool {
 	}
 	p.lastRecv = seq
 	if seq <= p.cum {
-		return false // at or below the frontier: necessarily a duplicate
+		return false, p.cum // at or below the frontier: necessarily a duplicate
 	}
 	win := uint64(e.cfg.Window)
 	if p.max > win && seq <= p.max-win {
-		return false // older than the window: necessarily a duplicate
+		return false, p.cum // older than the window: necessarily a duplicate
 	}
 	if p.seen[seq] {
-		return false
+		return false, p.cum
 	}
 	p.seen[seq] = true
 	if seq > p.max {
@@ -620,5 +675,5 @@ func (e *Endpoint) fresh(from ids.NodeID, gen, seq uint64) bool {
 			}
 		}
 	}
-	return true
+	return true, p.cum
 }

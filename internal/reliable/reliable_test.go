@@ -176,16 +176,16 @@ func TestWindowRejectsAncientDuplicates(t *testing.T) {
 		func(ids.NodeID, string, any) {},
 		nil)
 	defer e.Close()
-	if !e.fresh(1, 0, 100) {
+	if ok, _ := e.fresh(1, 0, 100); !ok {
 		t.Fatal("first seq 100 not fresh")
 	}
-	if e.fresh(1, 0, 100) {
+	if ok, _ := e.fresh(1, 0, 100); ok {
 		t.Error("repeat seq 100 fresh")
 	}
-	if e.fresh(1, 0, 92) {
+	if ok, _ := e.fresh(1, 0, 92); ok {
 		t.Error("seq 92 (older than window below max 100) fresh")
 	}
-	if !e.fresh(1, 0, 93) {
+	if ok, _ := e.fresh(1, 0, 93); !ok {
 		t.Error("seq 93 (inside window) not fresh")
 	}
 }

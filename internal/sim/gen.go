@@ -282,6 +282,30 @@ func genOps(rng *rand.Rand, sc Scenario) []op {
 			}
 		}
 	}
+
+	// A durable run must exercise crash-restart-replay at least once, or
+	// the durable-replay invariant checks nothing. Appended (not spliced)
+	// so the seeded schedule — and the generator's rng consumption — is
+	// untouched: a restart of an already-crashed node when any exists,
+	// else a fresh crash/restart pair on member node 2.
+	if sc.Durable && sc.Faults {
+		if len(g.crashed) > 0 {
+			var cr []int
+			for n := range g.crashed {
+				cr = append(cr, n)
+			}
+			for i := 1; i < len(cr); i++ { // deterministic pick: the minimum
+				for j := i; j > 0 && cr[j] < cr[j-1]; j-- {
+					cr[j], cr[j-1] = cr[j-1], cr[j]
+				}
+			}
+			ops = append(ops, op{kind: opRestart, node: cr[0], settle: ms(400)})
+		} else {
+			ops = append(ops,
+				op{kind: opCrash, node: 2, settle: ms(400)},
+				op{kind: opRestart, node: 2, settle: ms(400)})
+		}
+	}
 	return ops
 }
 

@@ -2,8 +2,10 @@ package sim
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,11 +48,12 @@ type simWorker struct {
 // checkers read. Handler callbacks write the books from kernel
 // goroutines; everything shared is behind mu.
 type harness struct {
-	sc   Scenario
-	seed int64
-	v    *vclock.Virtual
-	sys  *core.System
-	stop atomic.Bool
+	sc      Scenario
+	seed    int64
+	v       *vclock.Virtual
+	sys     *core.System
+	stop    atomic.Bool
+	datadir string // per-run WAL root (Scenario.Durable), removed at close
 
 	lockSrv ids.ObjectID
 	objs    map[ids.NodeID]ids.ObjectID
@@ -63,6 +66,7 @@ type harness struct {
 	crashed    map[int]bool     // node (int form) → currently crashed
 	runs       map[string][]int // "opNNN/label" → handler idx sequence
 	lockers    map[int]ids.ThreadID
+	durSnap    map[int]*core.DurableState // node → disk state captured at its crash
 	tidLabel   map[ids.ThreadID]string
 	handles    []*core.Handle
 	lastGen    map[ids.NodeID]uint64
@@ -72,7 +76,7 @@ type harness struct {
 
 func newHarness(seed int64, sc Scenario) (*harness, error) {
 	v := vclock.NewVirtual()
-	sys, err := core.NewSystem(core.Config{
+	cfg := core.Config{
 		Nodes:        sc.Nodes,
 		Latency:      simLatency,
 		CallTimeout:  simCallTO,
@@ -86,18 +90,41 @@ func newHarness(seed int64, sc Scenario) (*harness, error) {
 		Seed:          seed,
 		Clock:         v,
 		Wire:          sc.Wire,
-	})
+	}
+	datadir := ""
+	if sc.Durable {
+		// NoFsync: an in-process "crash" cannot lose the page cache, and a
+		// real fsync would drag wall-clock time into the virtual schedule.
+		dir, err := os.MkdirTemp("", "repro-sim-wal-")
+		if err != nil {
+			return nil, err
+		}
+		datadir = dir
+		cfg.Durability = core.DurabilityConfig{Enabled: true, Dir: dir, NoFsync: true}
+		switch sc.Bug {
+		case BugWALSkipFsync:
+			cfg.Durability.DropTailOnReplay = 8
+		case BugWALStaleSnapshot:
+			cfg.Durability.IgnoreTailOnReplay = true
+			cfg.Durability.SnapshotEvery = 8
+		}
+	}
+	sys, err := core.NewSystem(cfg)
 	if err != nil {
+		if datadir != "" {
+			os.RemoveAll(datadir)
+		}
 		return nil, err
 	}
 	return &harness{
-		sc: sc, seed: seed, v: v, sys: sys,
+		sc: sc, seed: seed, v: v, sys: sys, datadir: datadir,
 		objs:     map[ids.NodeID]ids.ObjectID{},
 		workers:  make([]simWorker, sc.Workers),
 		dead:     map[int]bool{},
 		crashed:  map[int]bool{},
 		runs:     map[string][]int{},
 		lockers:  map[int]ids.ThreadID{},
+		durSnap:  map[int]*core.DurableState{},
 		tidLabel: map[ids.ThreadID]string{},
 		lastGen:  map[ids.NodeID]uint64{},
 	}, nil
@@ -109,6 +136,9 @@ func (h *harness) close() {
 	// unblocks any straggler through the system closed channel.
 	h.v.Advance(2 * workerSlice)
 	h.sys.Close()
+	if h.datadir != "" {
+		os.RemoveAll(h.datadir)
+	}
 }
 
 func workerLabel(w int) string { return fmt.Sprintf("w%d", w) }
@@ -426,12 +456,14 @@ func (h *harness) perform(i int, o op) string {
 			return "crash-err"
 		}
 		h.markCrashed(o.node)
+		h.captureDurable(i, o.node)
 		return "crashed"
 	case opCrash:
 		if err := h.sys.CrashNode(ids.NodeID(o.node)); err != nil {
 			return "crash-err"
 		}
 		h.markCrashed(o.node)
+		h.captureDurable(i, o.node)
 		return "crashed"
 	case opRestart:
 		if err := h.sys.RestartNode(ids.NodeID(o.node)); err != nil {
@@ -443,6 +475,7 @@ func (h *harness) perform(i int, o op) string {
 		// generation counter starts over.
 		delete(h.lastGen, ids.NodeID(o.node))
 		h.mu.Unlock()
+		h.checkDurableRecovery(i, o.node)
 		return "restarted"
 	case opSever:
 		h.sys.CutLink(ids.NodeID(o.node), ids.NodeID(o.node2))
@@ -471,6 +504,50 @@ func (h *harness) markCrashed(node int) {
 		}
 	}
 	h.mu.Unlock()
+}
+
+// captureDurable records, at the instant of a crash (the WAL is already
+// closed, so the disk is frozen), the state a CORRECT replay of the
+// victim's log would recover. The capture always scans with unbugged
+// replay options: it is the oracle the restarted node — possibly running
+// an injected replay defect — is held against.
+func (h *harness) captureDurable(opID, node int) {
+	if !h.sc.Durable {
+		return
+	}
+	ds, err := h.sys.DurableSnapshot(ids.NodeID(node))
+	if err != nil {
+		h.violate("durable-replay", opID, fmt.Sprintf("node %d: disk state unreadable at crash: %v", node, err))
+		return
+	}
+	h.mu.Lock()
+	h.durSnap[node] = ds
+	h.mu.Unlock()
+}
+
+// checkDurableRecovery diffs what the restarted node actually recovered
+// against the crash-time capture; any non-empty diff is a durable-replay
+// violation (lines lost by recovery are -prefixed, invented ones +).
+func (h *harness) checkDurableRecovery(opID, node int) {
+	if !h.sc.Durable {
+		return
+	}
+	h.mu.Lock()
+	want := h.durSnap[node]
+	delete(h.durSnap, node)
+	h.mu.Unlock()
+	if want == nil {
+		return // crash was never observed (crash-err path)
+	}
+	got, err := h.sys.LastRecovered(ids.NodeID(node))
+	if err != nil || got == nil {
+		h.violate("durable-replay", opID, fmt.Sprintf("node %d: recovered state unreadable: %v", node, err))
+		return
+	}
+	if diff := want.Diff(got); len(diff) != 0 {
+		h.violate("durable-replay", opID,
+			fmt.Sprintf("node %d recovery diverges from disk: %s", node, strings.Join(diff, " | ")))
+	}
 }
 
 // waitLocker polls (in real time, while the main goroutine advances the
@@ -612,6 +689,7 @@ func (h *harness) finalPhase(nOps int) {
 			delete(h.crashed, n)
 			delete(h.lastGen, ids.NodeID(n))
 			h.mu.Unlock()
+			h.checkDurableRecovery(-1, n)
 		}
 	}
 	h.v.Advance(finalWindow)

@@ -38,6 +38,12 @@
 //     monotone for the life of that detector incarnation.
 //   - membership-converge: after faults heal, every node's view agrees
 //     the whole cluster is alive.
+//   - durable-replay (Scenario.Durable): at every crash the harness
+//     captures what a correct replay of the victim's WAL would recover;
+//     at the restart it diffs the state the node actually recovered
+//     against that capture and requires an empty diff — recovery must
+//     reproduce the durable-visible state exactly, no lost tail, no
+//     stale snapshot.
 package sim
 
 import (
@@ -60,6 +66,14 @@ const (
 	// cleanup path. A terminate-while-holding schedule then strands the
 	// lock on a dead thread, which the orphan-lock invariant reports.
 	BugSkipChainedUnlock
+	// BugWALSkipFsync models a lost fsync window: replay discards the
+	// last few tail records, as if the final group commit never reached
+	// the platter. The durable-replay invariant reports the lost state.
+	BugWALSkipFsync
+	// BugWALStaleSnapshot models recovery trusting a snapshot and
+	// skipping the tail behind it — every record since the last snapshot
+	// is silently dropped. The durable-replay invariant reports it.
+	BugWALStaleSnapshot
 )
 
 // Scenario parameterizes a simulation run. The zero value of each field
@@ -87,6 +101,13 @@ type Scenario struct {
 	Locks bool
 	// Bug injects a known defect (see Bug).
 	Bug Bug
+	// Durable runs every node with WAL + snapshot durability on (NoFsync,
+	// under the virtual clock) and arms the durable-replay invariant:
+	// crash steps capture the disk's recoverable state, restart steps
+	// require the node to have recovered exactly that. The generator
+	// also guarantees at least one crash/restart pair so every durable
+	// run exercises replay (Faults must be on for that to take effect).
+	Durable bool
 	// Wire overrides the kernel's wire configuration. Send batching is
 	// forced off under the simulator's virtual clock whatever this says
 	// (TestSimDigestIgnoresBatchingConfig pins that), so the zero value

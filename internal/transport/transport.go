@@ -114,6 +114,23 @@ type FaultInjector interface {
 	Crashed(node ids.NodeID) bool
 }
 
+// DirectedFaultInjector is the optional per-directed-link fault surface:
+// asymmetric loss (acks lost while data flows, or vice versa) exercises
+// retransmit/dedup paths that symmetric global loss cannot reach. The
+// simulated transport implements it; real transports typically cannot.
+type DirectedFaultInjector interface {
+	// SetDropRateDirected sets the drop probability for messages on the
+	// directed link from → to; the effective rate for a send is the
+	// maximum of this and the global SetDropRate. Rate <= 0 clears it.
+	SetDropRateDirected(from, to ids.NodeID, rate float64)
+	// CutLinkDirected severs the directed link from → to (synonym of
+	// FaultInjector.CutLink, which is already one-directional; named so
+	// callers reading only this interface see the direction contract).
+	CutLinkDirected(from, to ids.NodeID)
+	// HealLinkDirected restores a severed directed link.
+	HealLinkDirected(from, to ids.NodeID)
+}
+
 // Batcher is the optional coalescing probe: transports that batch sends
 // into frames report it so layers above (the reliable envelope's
 // retransmit backoff) can widen their timers past the flush window.
