@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test shuffle race bench bench-smoke bench-batch chaos chaos-soak sim sim-soak recovery-soak fuzz-smoke tcp-smoke wal-smoke check
+.PHONY: all vet build test shuffle race bench bench-smoke bench-batch chaos chaos-soak noisy-soak sim sim-soak recovery-soak fuzz-smoke tcp-smoke wal-smoke check
 
 all: check
 
@@ -37,12 +37,15 @@ bench:
 # cluster-scaling reductions (total messages and peak per-node burst,
 # tree vs unicast at 256 nodes) may not regress. E17 gates durable
 # throughput (events/s with real fsync) and the crash-recovery proof
-# (recovered must stay 1). The tolerance absorbs shared-runner noise;
-# the regressions the gate exists for — losing the dispatch pool, losing
-# send coalescing, losing group commit — cost far more than 30%.
+# (recovered must stay 1). E15 gates QoS tenant isolation: A's p99 under
+# B's flood over A's unloaded p99 may not rise above baseline + 30%, and
+# system/control sheds have a zero baseline — one shed fails the gate.
+# The tolerance absorbs shared-runner noise; the regressions the gate
+# exists for — losing the dispatch pool, losing send coalescing, losing
+# group commit, losing DWRR isolation — cost far more than 30%.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
-	$(GO) run ./cmd/benchtab -e e11,e12,e13,e14,e16,e17 -json -gate BENCH_e11.json,BENCH_e12.json,BENCH_e13.json,BENCH_e14.json,BENCH_e16.json,BENCH_e17.json > /dev/null
+	$(GO) run ./cmd/benchtab -e e11,e12,e13,e14,e15,e16,e17 -json -gate BENCH_e11.json,BENCH_e12.json,BENCH_e13.json,BENCH_e14.json,BENCH_e15.json,BENCH_e16.json,BENCH_e17.json > /dev/null
 
 # bench-batch reruns just the E13 batching sweep and prints the table —
 # the quick loop for tuning the coalescing knobs.
@@ -65,6 +68,16 @@ chaos:
 # CI runs it nightly next to sim-soak.
 chaos-soak:
 	$(GO) test -race -count=5 -timeout 30m -run 'TestChaos' ./internal/core/
+
+# noisy-soak repeats the E15 noisy-neighbor scenario under the race
+# detector: tenant B floods at ~10x capacity while tenant A and a
+# system-class stream run alongside, and every round asserts the QoS
+# invariants — B sees admission rejects, A's p99 stays bounded, and no
+# system/control message is ever shed. CI runs it nightly next to
+# chaos-soak. NOISY_ROUNDS picks the repeat count.
+NOISY_ROUNDS ?= 10
+noisy-soak:
+	NOISY_SOAK_ROUNDS=$(NOISY_ROUNDS) $(GO) test -race -count=1 -timeout 30m -run TestNoisyNeighborSoak -v ./internal/workload/
 
 # sim runs the deterministic simulation suite (internal/sim): same-seed
 # determinism, the default fuzz seeds, and the injected-bug detector.

@@ -57,6 +57,7 @@ var runners = []struct {
 	{"e12", "sustained-throughput event pipeline (DESIGN.md §10)", func() experiments.Table { return experiments.RunE12(0) }},
 	{"e13", "per-link batch coalescing sweep (DESIGN.md §11)", func() experiments.Table { return experiments.RunE13(0) }},
 	{"e14", "real TCP wire bytes vs simulated estimate (DESIGN.md §12)", func() experiments.Table { return experiments.RunE14(0) }},
+	{"e15", "multi-tenant QoS isolation under a noisy neighbor (DESIGN.md §15)", func() experiments.Table { return experiments.RunE15(0) }},
 	{"e16", "cluster scaling: hash placement + tree fan-out (DESIGN.md §13)", func() experiments.Table { return experiments.RunE16(nil) }},
 	{"e17", "durable objects: WAL overhead + crash recovery (DESIGN.md §14)", func() experiments.Table { return experiments.RunE17(0) }},
 }
@@ -166,6 +167,11 @@ var gateRules = map[string][]gateRule{
 	"E12": {{column: "events/s"}},
 	"E13": {{column: "events/s"}, {column: "msg reduction"}},
 	"E14": {{column: "wire B/op", min: true}},
+	// E15's isolation claim is a ratio measured within the run (A's p99
+	// flooded over A's p99 unloaded), so machine speed cancels out; it
+	// must not rise. sys shed has a zero baseline, so its ceiling is a
+	// hard zero: one shed system/control message fails the gate.
+	"E15": {{column: "p99 ratio", min: true}, {column: "sys shed", min: true}},
 	// E16's scaling claims are gated as ratios (tree vs unicast measured in
 	// the same run), so machine speed cancels out: total physical-message
 	// reduction and peak single-node-burst reduction at the best cluster
@@ -238,7 +244,7 @@ func checkGate(paths string, tol float64, tables []experiments.Table) error {
 			}
 		}
 		if fileChecked == 0 {
-			return fmt.Errorf("gate: no gated tables in %s (known: E11, E12, E13, E14, E16, E17)", path)
+			return fmt.Errorf("gate: no gated tables in %s (known: E11, E12, E13, E14, E15, E16, E17)", path)
 		}
 		checked += fileChecked
 	}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/locks"
 	"repro/internal/object"
+	"repro/internal/transport"
 	"repro/internal/transport/tcptransport"
 )
 
@@ -53,6 +54,7 @@ func main() {
 		hb       = flag.Duration("hb", 25*time.Millisecond, "failure-detector heartbeat period")
 		suspect  = flag.Duration("suspect", 500*time.Millisecond, "silence before a peer is suspected down")
 		workload = flag.String("workload", "", "optional driver: raise (events at the sink) or lock (acquire/bump/release cycles)")
+		tenant   = flag.String("tenant", "", "QoS tenant map 'app=class[:weight],...' (class 1..253); enables classful DWRR dispatch, and the first entry labels this node's raise workload")
 		count    = flag.Int("count", 20, "workload iterations to complete")
 		start    = flag.Int("start", 0, "first workload iteration — pass the recorded progress after a restart")
 		pace     = flag.Duration("pace", 0, "delay between workload iterations")
@@ -71,7 +73,7 @@ func main() {
 	if err := run(config{
 		node: ids.NodeID(*nodeFlag), nodes: *nodes, listen: *listen, peers: *peers,
 		gen: *gen, hb: *hb, suspect: *suspect,
-		workload: *workload, count: *count, start: *start, pace: *pace, hold: *hold,
+		workload: *workload, tenant: *tenant, count: *count, start: *start, pace: *pace, hold: *hold,
 		progress: *progress, sinklog: *sinklog, report: *report, expect: *expect,
 		reclaim: *reclaim, datadir: *datadir, verbose: *verbose,
 	}); err != nil {
@@ -86,6 +88,9 @@ type config struct {
 	gen             uint64
 	hb, suspect     time.Duration
 	workload        string
+	tenant          string
+	app             string
+	qos             core.QoSConfig
 	count, start    int
 	pace, hold      time.Duration
 	progress        string
@@ -107,6 +112,13 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	if cfg.tenant != "" {
+		qos, app, err := parseTenants(cfg.tenant)
+		if err != nil {
+			return fmt.Errorf("-tenant: %w", err)
+		}
+		cfg.qos, cfg.app = qos, app
+	}
 	if cfg.gen == 0 {
 		// Wall-clock generations are strictly increasing across restarts
 		// of the same node, which is all the reliable layer needs to
@@ -118,6 +130,7 @@ func run(cfg config) error {
 		Listen:     cfg.listen,
 		Peers:      peerMap,
 		Generation: cfg.gen,
+		QoS:        cfg.qos,
 		Logf: func(format string, args ...any) {
 			if cfg.verbose {
 				log.Printf("transport: "+format, args...)
@@ -138,6 +151,9 @@ func run(cfg config) error {
 			SuspectAfter:    cfg.suspect,
 			Generation:      cfg.gen,
 		},
+		// -tenant arms classful QoS dispatch on both the kernel and the
+		// transport above.
+		QoS: cfg.qos,
 		// -datadir arms WAL + snapshot durability with real fsync: object
 		// state, attribute versions and dedup windows survive kill -9, and
 		// NewSystem replays the log before the node starts serving.
@@ -319,12 +335,39 @@ func runWorkload(sys *core.System, cfg config) error {
 
 	switch cfg.workload {
 	case "raise":
-		for i := cfg.start; i < cfg.count; i++ {
+		raiseOnce := func(i int) error {
 			user := map[string]any{"src": int(cfg.node), "i": i}
-			retryUntil(func() error {
-				_, err := sys.RaiseAndWait(cfg.node, event.Interrupt, event.ToObject(sinkID()), user)
+			_, err := sys.RaiseAndWait(cfg.node, event.Interrupt, event.ToObject(sinkID()), user)
+			return err
+		}
+		if cfg.app != "" {
+			// Tenant mode: each raise runs inside a thread spawned under
+			// the -tenant app label, so the kernel classifies it through
+			// QoS.Apps onto that tenant's DWRR queue instead of the
+			// unbounded system class.
+			driver, err := sys.CreateObject(cfg.node, object.Spec{
+				Name: "tenantdriver",
+				Entries: map[string]object.Entry{
+					"raise": func(ctx object.Ctx, args []any) ([]any, error) {
+						user := map[string]any{"src": int(cfg.node), "i": args[0].(int)}
+						return nil, ctx.RaiseAndWait(event.Interrupt, event.ToObject(sinkID()), user)
+					},
+				},
+			})
+			if err != nil {
+				return fmt.Errorf("create tenant driver: %w", err)
+			}
+			raiseOnce = func(i int) error {
+				h, err := sys.SpawnApp(cfg.node, cfg.app, driver, "raise", i)
+				if err != nil {
+					return err
+				}
+				_, err = h.Wait()
 				return err
-			}, cfg, fmt.Sprintf("raise %d", i))
+			}
+		}
+		for i := cfg.start; i < cfg.count; i++ {
+			retryUntil(func() error { return raiseOnce(i) }, cfg, fmt.Sprintf("raise %d", i))
 			record(i)
 		}
 		return nil
@@ -441,4 +484,40 @@ func (w *lineWriter) writef(format string, args ...any) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	fmt.Fprintf(w.f, format+"\n", args...)
+}
+
+// parseTenants parses the -tenant flag: a comma-separated list of
+// app=class[:weight] entries (class 1..253, weight default 1). The
+// returned config has QoS enabled; the first entry's app name labels this
+// node's own workload threads.
+func parseTenants(s string) (core.QoSConfig, string, error) {
+	qos := core.QoSConfig{
+		Enabled: true,
+		Apps:    map[string]transport.Class{},
+		Weights: map[transport.Class]int{},
+	}
+	first := ""
+	for _, part := range strings.Split(s, ",") {
+		app, spec, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || app == "" {
+			return core.QoSConfig{}, "", fmt.Errorf("want app=class[:weight], got %q", part)
+		}
+		clsStr, wStr, hasW := strings.Cut(spec, ":")
+		cls, err := strconv.Atoi(clsStr)
+		if err != nil || cls < 1 || cls > int(transport.ClassControl)-1 {
+			return core.QoSConfig{}, "", fmt.Errorf("tenant class in %q must be 1..%d", part, int(transport.ClassControl)-1)
+		}
+		if hasW {
+			w, err := strconv.Atoi(wStr)
+			if err != nil || w < 1 {
+				return core.QoSConfig{}, "", fmt.Errorf("weight in %q must be a positive integer", part)
+			}
+			qos.Weights[transport.Class(cls)] = w
+		}
+		qos.Apps[app] = transport.Class(cls)
+		if first == "" {
+			first = app
+		}
+	}
+	return qos, first, nil
 }

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestParseTenants(t *testing.T) {
+	qos, app, err := parseTenants("A=1:8,B=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qos.Enabled {
+		t.Error("parsed config must have QoS enabled")
+	}
+	if app != "A" {
+		t.Errorf("first app = %q, want A", app)
+	}
+	if qos.Apps["A"] != 1 || qos.Apps["B"] != 2 {
+		t.Errorf("apps = %v, want A->1 B->2", qos.Apps)
+	}
+	if qos.Weights[1] != 8 {
+		t.Errorf("weight of class 1 = %d, want 8", qos.Weights[1])
+	}
+	if _, ok := qos.Weights[2]; ok {
+		t.Error("class 2 set an explicit weight it never asked for (default is WeightOf's 1)")
+	}
+
+	for _, bad := range []string{"", "A", "A=0", "A=254", "A=1:x", "A=1:0", "=1"} {
+		if _, _, err := parseTenants(bad); err == nil {
+			t.Errorf("parseTenants(%q) accepted, want error", bad)
+		}
+	}
+}

@@ -348,6 +348,7 @@ func (c *Ctx) SetAlarm(d time.Duration) error {
 			Name:       event.Alarm,
 			Target:     event.ToThread(tid),
 			RaiserNode: k.node,
+			Class:      classSystemU8,
 		}
 		k.sys.ctrs.eventRaised.Add(1)
 		// Best effort: a thread that finished before its alarm simply

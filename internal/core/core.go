@@ -70,7 +70,17 @@ var (
 	// ErrNodeCrashed is the stop reason of activations killed by a local
 	// node crash, and the error for operations on a crashed kernel.
 	ErrNodeCrashed = errors.New("core: node crashed")
+	// ErrBackpressure is transport.ErrBackpressure re-exported: with QoS
+	// enabled (Config.QoS) and no reliable layer, Raise/RaiseAndWait
+	// return it when admission control rejects the event at the target
+	// node's dispatch shard. Callers back off and retry; with FT enabled
+	// the reliable layer retries transparently instead.
+	ErrBackpressure = transport.ErrBackpressure
 )
+
+// QoSConfig re-exports the transport QoS knobs (class weights, admission
+// depth, DWRR quantum, app→class mapping) under the kernel's config.
+type QoSConfig = transport.QoSConfig
 
 // InvokeMode selects how invocations cross object boundaries (§2's design
 // goal: the event mechanism "works identically regardless of whether the
@@ -145,6 +155,17 @@ type Config struct {
 	// DESIGN.md §14). The zero value disables it: object state, attribute
 	// versions and dedup windows stay volatile, exactly as before.
 	Durability DurabilityConfig
+	// QoS configures multi-tenant dispatch isolation (DESIGN.md §15):
+	// per-class DWRR weighted fair queueing, bounded admission and
+	// overload shedding at every node's dispatch shards. The zero value
+	// disables it — FIFO dispatch, exactly as before. Event blocks are
+	// stamped with a class at raise time (QoS.Apps maps the raising
+	// thread's App attribute to a tenant class; kernel-originated events
+	// and protocol RPCs ride ClassSystem, termination/abort control rides
+	// ClassControl) and the class travels with every hop, retransmit and
+	// fan-out relay. Forced off under a *vclock.Virtual clock unless
+	// QoS.AllowVirtual is set, so simulation digests are unaffected.
+	QoS QoSConfig
 	// Wire configures the wire-efficiency fast path (delta attribute
 	// propagation, cumulative/piggybacked acks, heartbeat suppression).
 	// The zero value enables every optimization; the negative flags exist
@@ -337,6 +358,7 @@ func NewSystem(cfg Config) (*System, error) {
 			Clock:           cfg.Clock,
 			Metrics:         s.reg,
 			DispatchWorkers: cfg.DispatchWorkers,
+			QoS:             cfg.QoS,
 			Batch: netsim.BatchConfig{
 				Enabled:       !cfg.Wire.NoBatching,
 				MaxMsgs:       cfg.Wire.BatchMaxMsgs,

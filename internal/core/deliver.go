@@ -157,6 +157,7 @@ func (k *Kernel) newBlock(raiser *activation, name event.Name, target event.Targ
 		Target:     target,
 		RaiserNode: k.node,
 		User:       user,
+		Class:      uint8(k.classOf(raiser, name)),
 	}
 	if raiser != nil {
 		eb.Raiser = raiser.tid
@@ -324,6 +325,7 @@ func (k *Kernel) postTimerLocal(a *activation, name event.Name) {
 		Name:       name,
 		Target:     event.ToThread(a.tid),
 		RaiserNode: k.node,
+		Class:      classSystemU8,
 	}
 	k.sys.ctrs.eventRaised.Add(1)
 	if a.stopped() == nil {
@@ -439,6 +441,7 @@ func (k *Kernel) notifyThreadDeath(dead ids.ThreadID, eb *event.Block) {
 		Name:       event.ThreadDeath,
 		Target:     event.ToThread(eb.Raiser),
 		RaiserNode: k.node,
+		Class:      classControlU8,
 		User: map[string]any{
 			"dead":  dead,
 			"event": eb.Name,
@@ -1004,6 +1007,7 @@ func (k *Kernel) serveAbort(req abortReq) error {
 			Target:     event.ToObject(obj.ID()),
 			RaiserNode: k.node,
 			User:       map[string]any{"thread": req.TID},
+			Class:      classControlU8,
 		}
 		k.sys.ctrs.eventRaised.Add(1)
 		k.dispatchObjectHandler(obj, h, eb)
@@ -1060,6 +1064,7 @@ func (k *Kernel) raiseVMFault(a *activation, fe *dsm.FaultError) error {
 		Target:     event.ToThread(a.tid),
 		Raiser:     a.tid,
 		RaiserNode: k.node,
+		Class:      classSystemU8,
 		User: map[string]any{
 			"seg":   fe.Seg,
 			"page":  fe.Page,

@@ -117,11 +117,11 @@ func (k *Kernel) initFT() {
 		Metrics:      k.sys.reg,
 		Clock:        k.sys.cfg.Clock,
 	}, k.node, peers, func(to ids.NodeID) {
-		_ = k.sys.fabric.Send(netsim.Message{From: k.node, To: to, Kind: kindHeartbeat, Payload: heartbeat{}})
+		_ = k.sys.fabric.Send(netsim.Message{From: k.node, To: to, Kind: kindHeartbeat, Payload: heartbeat{}, Class: transport.ClassSystem})
 	})
 	if gossip {
 		k.det.SetGossipSend(func(to ids.NodeID, payload []byte) {
-			_ = k.sys.fabric.Send(netsim.Message{From: k.node, To: to, Kind: kindGossip, Payload: gossipFrame{Data: payload}})
+			_ = k.sys.fabric.Send(netsim.Message{From: k.node, To: to, Kind: kindGossip, Payload: gossipFrame{Data: payload}, Class: transport.ClassSystem})
 		})
 	}
 	k.det.Subscribe(func(ev failure.Event) {
@@ -200,7 +200,7 @@ func (k *Kernel) disseminateFD(ev failure.Event) {
 		if n == k.node || n == ev.Node || k.det.Suspected(n) {
 			continue
 		}
-		_ = k.rel.Send(n, kindFDNotice, fdNotice{Node: ev.Node, Up: ev.Up})
+		_ = k.rel.SendClass(n, kindFDNotice, fdNotice{Node: ev.Node, Up: ev.Up}, transport.ClassSystem)
 	}
 }
 

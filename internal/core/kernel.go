@@ -364,12 +364,16 @@ func (k *Kernel) dispatchNet(from ids.NodeID, kind string, payload any) {
 }
 
 // netSend transmits one kernel protocol message, through the reliable
-// endpoint when FT is enabled and bare otherwise.
+// endpoint when FT is enabled and bare otherwise. The message carries the
+// QoS class derived from its payload (qos.go); with QoS off the stamp is
+// inert. Without FT an admission reject surfaces here as ErrBackpressure;
+// with FT the reliable layer absorbs rejects and retries with backoff.
 func (k *Kernel) netSend(to ids.NodeID, kind string, payload any) error {
+	class := msgClass(kind, payload)
 	if k.rel != nil {
-		return k.rel.Send(to, kind, payload)
+		return k.rel.SendClass(to, kind, payload, class)
 	}
-	return k.sys.fabric.Send(netsim.Message{From: k.node, To: to, Kind: kind, Payload: payload})
+	return k.sys.fabric.Send(netsim.Message{From: k.node, To: to, Kind: kind, Payload: payload, Class: class})
 }
 
 // call performs a synchronous kernel RPC to another node.
@@ -851,6 +855,7 @@ func (k *Kernel) finishChain(a *activation) {
 		Target:     event.ToThread(a.tid),
 		RaiserNode: k.node,
 		User:       map[string]any{"reason": "root return"},
+		Class:      classControlU8,
 	}
 	k.runChain(a, eb)
 }

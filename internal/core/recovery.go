@@ -94,6 +94,7 @@ func (s *System) runCrashUnlock(observer *Kernel, server ids.ObjectID, lock stri
 		Target:     event.ToThread(holder),
 		RaiserNode: observer.node,
 		User:       map[string]any{"reason": "node crash"},
+		Class:      classControlU8,
 	}
 	sa := observer.systemActivation(nil, nil)
 	f(sa.handlerCtx(), locks.CrashRef(server, lock, holder), eb)

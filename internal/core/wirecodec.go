@@ -57,6 +57,7 @@ const (
 	wcodeNodeCrashed    = 10
 	wcodeThreadMoved    = 11
 	wcodeAttrResync     = 12
+	wcodeBackpressure   = 13
 )
 
 func init() {
@@ -443,6 +444,7 @@ func init() {
 	wire.RegisterErr(wcodeNodeCrashed, ErrNodeCrashed)
 	wire.RegisterErr(wcodeThreadMoved, errThreadMoved)
 	wire.RegisterErr(wcodeAttrResync, errAttrResync)
+	wire.RegisterErr(wcodeBackpressure, ErrBackpressure)
 }
 
 // wencErr boxes an error for Enc.Value: a nil error must encode as nil,

@@ -193,6 +193,12 @@ type Block struct {
 	// at RaiserNode.
 	Sync   bool
 	SyncID uint64
+	// Class is the QoS dispatch class stamped at raise time (the numeric
+	// value of a transport.Class; this package stays dependency-free). It
+	// travels with the block — through fan-out relays, retransmits, and
+	// the wire codec — so every hop schedules the event under the class
+	// its raiser was admitted at.
+	Class uint8
 	// State is the suspended target thread's state; nil for deliveries to
 	// passive objects with no thread involved.
 	State *ThreadState

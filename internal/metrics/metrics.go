@@ -146,6 +146,23 @@ func KindBytes(kind string) string { return KindBytesPrefix + kind }
 // KindMsgs returns the per-kind message counter name for a message kind.
 func KindMsgs(kind string) string { return KindMsgsPrefix + kind }
 
+// Per-class QoS dispatch accounting (DESIGN.md §15). Each dispatch-shard
+// class queue charges depth (a gauge: +1 on admit, -1 on pop), enq
+// (admissions), and shed (messages rejected at admission or evicted by a
+// heavier class). Class names come from transport.Class.Name —
+// "system", "control", "default", "t<N>". Hot paths resolve these names
+// once per class via Registry.Counter and hold the atomic handles.
+const DispatchQPrefix = "dispatch.q."
+
+// DispatchQDepth returns the queue-depth gauge name for a class name.
+func DispatchQDepth(class string) string { return DispatchQPrefix + class + ".depth" }
+
+// DispatchQEnq returns the admissions counter name for a class name.
+func DispatchQEnq(class string) string { return DispatchQPrefix + class + ".enq" }
+
+// DispatchQShed returns the shed counter name for a class name.
+func DispatchQShed(class string) string { return DispatchQPrefix + class + ".shed" }
+
 // Registry is a concurrent counter set. The zero value is not usable; use
 // NewRegistry.
 type Registry struct {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/ids"
 	"repro/internal/metrics"
+	"repro/internal/transport"
 	"repro/internal/vclock"
 )
 
@@ -80,13 +81,25 @@ type batcher struct {
 	ctrFlushTimer *atomic.Int64 // batch.flush.timer: window-expiry flushes
 
 	mu    sync.RWMutex
-	links map[[2]ids.NodeID]*linkBatch
+	links map[linkKey]*linkBatch
 }
 
-// linkBatch is the coalescing state of one directed link. Its mutex orders
-// every post on the link; the flush timer and senders serialize on it.
+// linkKey identifies one pending-frame stream. With QoS off, class is
+// always ClassDefault and frames coalesce across classes exactly as
+// before; with QoS on, each class gets its own frame per directed link so
+// a frame stays homogeneous and the destination qdisc can schedule (or
+// shed) it as a unit without mixing tenants with system traffic.
+type linkKey struct {
+	from, to ids.NodeID
+	class    transport.Class
+}
+
+// linkBatch is the coalescing state of one directed link (and, with QoS
+// on, one class). Its mutex orders every post on the link; the flush timer
+// and senders serialize on it.
 type linkBatch struct {
 	from, to ids.NodeID
+	class    transport.Class
 	ep       *endpoint
 
 	mu         sync.Mutex
@@ -116,13 +129,14 @@ func newBatcher(cfg BatchConfig, reg *metrics.Registry) *batcher {
 		ctrFlushSize:  reg.Counter(metrics.CtrBatchFlushSize),
 		ctrFlushBytes: reg.Counter(metrics.CtrBatchFlushBytes),
 		ctrFlushTimer: reg.Counter(metrics.CtrBatchFlushTimer),
-		links:         make(map[[2]ids.NodeID]*linkBatch),
+		links:         make(map[linkKey]*linkBatch),
 	}
 }
 
-// link returns the coalescing state for from→to, creating it on first use.
-func (b *batcher) link(from, to ids.NodeID, ep *endpoint) *linkBatch {
-	key := [2]ids.NodeID{from, to}
+// link returns the coalescing state for from→to (per class with QoS on),
+// creating it on first use.
+func (b *batcher) link(from, to ids.NodeID, class transport.Class, ep *endpoint) *linkBatch {
+	key := linkKey{from: from, to: to, class: class}
 	b.mu.RLock()
 	lb := b.links[key]
 	b.mu.RUnlock()
@@ -134,7 +148,7 @@ func (b *batcher) link(from, to ids.NodeID, ep *endpoint) *linkBatch {
 	if lb = b.links[key]; lb != nil {
 		return lb
 	}
-	lb = &linkBatch{from: from, to: to, ep: ep}
+	lb = &linkBatch{from: from, to: to, class: class, ep: ep}
 	b.links[key] = lb
 	return lb
 }
@@ -147,7 +161,11 @@ func (f *Fabric) Batching() bool { return f.bat != nil }
 // at send time; it applies to a bare post, while a flushed frame re-checks
 // at departure (the cut may change while records wait).
 func (f *Fabric) batchSend(ep *endpoint, m Message, severed bool) {
-	lb := f.bat.link(m.From, m.To, ep)
+	cls := transport.ClassDefault
+	if f.qos {
+		cls = m.Class
+	}
+	lb := f.bat.link(m.From, m.To, cls, ep)
 	lb.mu.Lock()
 	defer lb.mu.Unlock()
 	now := f.clk.Now()
@@ -233,7 +251,7 @@ func (f *Fabric) flushLink(lb *linkBatch, cause *atomic.Int64) {
 	f.mu.RLock()
 	severed := f.cut[[2]ids.NodeID{lb.from, lb.to}] || f.crashed[lb.from] || f.crashed[lb.to]
 	f.mu.RUnlock()
-	f.post(lb.ep, Message{From: lb.from, To: lb.to, Kind: KindBatch, Payload: fr, Size: fr.WireSize()}, severed)
+	f.post(lb.ep, Message{From: lb.from, To: lb.to, Kind: KindBatch, Payload: fr, Size: fr.WireSize(), Class: lb.class}, severed)
 }
 
 // stopBatchTimers disarms every link's flush timer at Close. Pending

@@ -24,6 +24,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/metrics"
 	"repro/internal/transport"
+	"repro/internal/transport/qdisc"
 	"repro/internal/vclock"
 )
 
@@ -32,6 +33,10 @@ var (
 	ErrUnknownNode  = errors.New("netsim: unknown node")
 	ErrClosed       = errors.New("netsim: fabric closed")
 	ErrUnknownGroup = errors.New("netsim: unknown multicast group")
+	// ErrBackpressure is returned by Send when QoS admission control
+	// rejects the message at a zero-latency destination shard; see
+	// transport.ErrBackpressure.
+	ErrBackpressure = transport.ErrBackpressure
 )
 
 // The message/size vocabulary lives in internal/transport (the interface
@@ -75,7 +80,13 @@ type Config struct {
 	// advances across a quiescent fabric.
 	Clock vclock.Clock
 	// QueueDepth is each node's inbox capacity (per dispatch shard). Zero
-	// picks 1024.
+	// picks 1024; read the resolved value back with Fabric.QueueDepth.
+	// Overload semantics of a full shard: on the classic FIFO path,
+	// deliver blocks the sender (zero latency) or the scheduler goroutine
+	// (delayed traffic) until the shard drains — backpressure by stalling.
+	// With QoS on (Config.QoS), admission control replaces the stall:
+	// tenant sends are rejected with ErrBackpressure or shed by weight,
+	// and system/control traffic is always admitted.
 	QueueDepth int
 	// Metrics receives message accounting. Nil creates a private registry.
 	Metrics *metrics.Registry
@@ -93,11 +104,18 @@ type Config struct {
 	// the zero value, and forced off under a *vclock.Virtual clock for the
 	// same reason DispatchWorkers is forced to 1.
 	Batch BatchConfig
+	// QoS configures multi-tenant dispatch (DESIGN.md §15): per-class
+	// admission control, DWRR scheduling across tenant classes, and
+	// weight-ordered shedding. Disabled by the zero value, and forced off
+	// under a *vclock.Virtual clock unless QoS.AllowVirtual — the
+	// deterministic-sim digests depend on the classic FIFO drain.
+	QoS transport.QoSConfig
 }
 
 type endpoint struct {
 	node    ids.NodeID
-	inboxes []chan Message // sharded by sender; len == Fabric.workers
+	inboxes []chan Message // sharded by sender; len == Fabric.workers (FIFO path)
+	qs      []*qdisc.Queue // sharded by sender; non-nil only with QoS on
 	handler Handler
 	done    chan struct{}
 
@@ -116,6 +134,16 @@ func (ep *endpoint) shard(from ids.NodeID) chan Message {
 	return ep.inboxes[uint64(from)%uint64(len(ep.inboxes))]
 }
 
+// shardQ returns the QoS queue shard for messages from the given sender
+// (same sender→shard mapping as shard, so per-pair FIFO within a class is
+// preserved).
+func (ep *endpoint) shardQ(from ids.NodeID) *qdisc.Queue {
+	if len(ep.qs) == 1 {
+		return ep.qs[0]
+	}
+	return ep.qs[uint64(from)%uint64(len(ep.qs))]
+}
+
 // kindCounters is the pair of interned per-kind wire counters; cached per
 // fabric so post never rebuilds the fmt-style counter names per message.
 type kindCounters struct {
@@ -127,11 +155,13 @@ type kindCounters struct {
 // handlers with Attach, then Start. All methods are safe for concurrent
 // use.
 type Fabric struct {
-	cfg     Config
-	reg     *metrics.Registry
-	clk     vclock.Clock
-	seed    int64
-	workers int // resolved DispatchWorkers (>= 1)
+	cfg      Config
+	reg      *metrics.Registry
+	clk      vclock.Clock
+	seed     int64
+	workers  int // resolved DispatchWorkers (>= 1)
+	qos      bool
+	qosDepth int // resolved per-shard tenant budget (only meaningful with qos)
 
 	// Pre-resolved handles for the counters charged on every message, so
 	// the post/deliver hot path is pure atomic adds — no map lookups.
@@ -212,12 +242,23 @@ func New(cfg Config) *Fabric {
 		workers = 1
 	}
 	batching := cfg.Batch.Enabled
+	qos := cfg.QoS.Enabled
 	if _, virtual := cfg.Clock.(*vclock.Virtual); virtual {
 		// Deterministic simulation requires serial per-node delivery, and
 		// per-message posts: a flush-window timer in the virtual heap would
-		// reorder against protocol timers and change every digest.
+		// reorder against protocol timers and change every digest. QoS
+		// reorders the drain too, so it is forced off as well — except when
+		// the scenario opts in (QoS.AllowVirtual), which the sim's QoS
+		// invariant scenario does deliberately.
 		workers = 1
 		batching = false
+		if !cfg.QoS.AllowVirtual {
+			qos = false
+		}
+	}
+	qosDepth := cfg.QoS.Depth
+	if qosDepth <= 0 {
+		qosDepth = cfg.QueueDepth
 	}
 	f := &Fabric{
 		cfg:          cfg,
@@ -225,6 +266,8 @@ func New(cfg Config) *Fabric {
 		clk:          vclock.Or(cfg.Clock),
 		seed:         seed,
 		workers:      workers,
+		qos:          qos,
+		qosDepth:     qosDepth,
 		ctrSent:      reg.Counter(metrics.CtrMsgSent),
 		ctrDelivered: reg.Counter(metrics.CtrMsgDelivered),
 		ctrDropped:   reg.Counter(metrics.CtrMsgDropped),
@@ -248,6 +291,16 @@ func New(cfg Config) *Fabric {
 // DispatchWorkers returns the resolved per-node dispatch parallelism (1
 // unless Config.DispatchWorkers asked for more on a non-virtual clock).
 func (f *Fabric) DispatchWorkers() int { return f.workers }
+
+// QueueDepth returns the resolved per-shard inbox capacity (1024 unless
+// Config.QueueDepth overrode it) — the FIFO path's stall threshold and the
+// default QoS tenant budget. See Config.QueueDepth for the overload
+// semantics of a full shard.
+func (f *Fabric) QueueDepth() int { return f.cfg.QueueDepth }
+
+// QoSEnabled reports whether class-aware dispatch is active (false when
+// disabled by config or forced off under a virtual clock).
+func (f *Fabric) QoSEnabled() bool { return f.qos }
 
 // kindCounters returns the interned counter pair for a message kind,
 // building the counter names at most once per kind per fabric.
@@ -314,9 +367,23 @@ func (f *Fabric) Attach(node ids.NodeID, h Handler) error {
 	for i := range inboxes {
 		inboxes[i] = make(chan Message, f.cfg.QueueDepth)
 	}
+	var qs []*qdisc.Queue
+	if f.qos {
+		qs = make([]*qdisc.Queue, f.workers)
+		for i := range qs {
+			// A queued message holds a virtual-clock work token (taken in
+			// deliver); an eviction retires it here. The callback runs under
+			// the queue lock and must not re-enter the queue.
+			qs[i] = qdisc.New(&f.cfg.QoS, f.qosDepth, f.reg, func(Message) {
+				f.ctrDropped.Add(1)
+				vclock.EndWork(f.clk)
+			})
+		}
+	}
 	f.endpoints[node] = &endpoint{
 		node:    node,
 		inboxes: inboxes,
+		qs:      qs,
 		handler: h,
 		done:    make(chan struct{}),
 		// Derived deterministically from the fabric seed so a seeded run
@@ -349,9 +416,16 @@ func (f *Fabric) Start() {
 	}
 	f.started = true
 	for _, ep := range f.endpoints {
-		for i := range ep.inboxes {
-			f.wg.Add(1)
-			go f.dispatch(ep, ep.inboxes[i])
+		if f.qos {
+			for i := range ep.qs {
+				f.wg.Add(1)
+				go f.dispatchQ(ep, ep.qs[i])
+			}
+		} else {
+			for i := range ep.inboxes {
+				f.wg.Add(1)
+				go f.dispatch(ep, ep.inboxes[i])
+			}
 		}
 	}
 	f.wg.Add(1)
@@ -398,33 +472,56 @@ func (f *Fabric) dispatch(ep *endpoint, inbox chan Message) {
 		case <-ep.done:
 			return
 		case m := <-inbox:
-			f.ctrDelivered.Add(1)
-			if fr, ok := m.Payload.(*batch.Frame); ok {
-				// Unbundle a coalesced frame: the handler sees the inner
-				// messages, in append order, on the same goroutine — the
-				// per-(sender,receiver) FIFO a bare stream would have. The
-				// frame returns to the pool; handlers own the payloads but
-				// must not retain the Message beyond their return anyway.
-				if ep.handler != nil {
-					for _, r := range fr.Recs() {
-						ep.handler(Message{From: m.From, To: m.To, Kind: r.Kind, Payload: r.Payload, Size: r.Size})
-					}
-				}
-				batch.Put(fr)
-			} else if ep.handler != nil {
-				ep.handler(m)
-			}
-			// The work token taken when the message entered the inbox is
-			// retired only after the handler returns: a virtual clock must
-			// not advance across a message that is queued or being handled.
-			vclock.EndWork(f.clk)
+			f.handle(ep, m)
 		}
 	}
 }
 
+// dispatchQ is the QoS drain loop for one shard: strict-priority
+// system/control, then DWRR over tenant classes, instead of channel FIFO.
+func (f *Fabric) dispatchQ(ep *endpoint, q *qdisc.Queue) {
+	defer f.wg.Done()
+	for {
+		m, ok := q.Pop(ep.done)
+		if !ok {
+			return
+		}
+		f.handle(ep, m)
+	}
+}
+
+// handle runs one delivered message through the endpoint's handler and
+// retires its virtual-clock work token.
+func (f *Fabric) handle(ep *endpoint, m Message) {
+	f.ctrDelivered.Add(1)
+	if fr, ok := m.Payload.(*batch.Frame); ok {
+		// Unbundle a coalesced frame: the handler sees the inner
+		// messages, in append order, on the same goroutine — the
+		// per-(sender,receiver) FIFO a bare stream would have. The
+		// frame returns to the pool; handlers own the payloads but
+		// must not retain the Message beyond their return anyway.
+		if ep.handler != nil {
+			for _, r := range fr.Recs() {
+				ep.handler(Message{From: m.From, To: m.To, Kind: r.Kind, Payload: r.Payload, Size: r.Size, Class: m.Class})
+			}
+		}
+		batch.Put(fr)
+	} else if ep.handler != nil {
+		ep.handler(m)
+	}
+	// The work token taken when the message entered the inbox is
+	// retired only after the handler returns: a virtual clock must
+	// not advance across a message that is queued or being handled.
+	vclock.EndWork(f.clk)
+}
+
 // Send delivers m.Payload from m.From to m.To asynchronously. It returns an
-// error only for structural problems (unknown node, closed fabric);
-// injected drops are silent, as on a real network.
+// error for structural problems (unknown node, closed fabric) and — with
+// QoS on and a zero-latency fabric — ErrBackpressure when admission
+// control rejects the message at the destination shard; injected drops are
+// silent, as on a real network. Delayed traffic that is later rejected is
+// shed silently (counted in net.msg.dropped and dispatch.q.*.shed), like a
+// RED router dropping in-flight datagrams.
 func (f *Fabric) Send(m Message) error {
 	f.mu.RLock()
 	if f.closed {
@@ -441,8 +538,7 @@ func (f *Fabric) Send(m Message) error {
 		f.batchSend(ep, m, severed)
 		return nil
 	}
-	f.post(ep, m, severed)
-	return nil
+	return f.post(ep, m, severed)
 }
 
 // post accounts for m and delivers it: immediately when the fabric has no
@@ -450,8 +546,9 @@ func (f *Fabric) Send(m Message) error {
 // pair of nodes is preserved as long as latency is constant (jitter
 // deliberately relaxes ordering, as a real datagram network would). post
 // never touches f.mu or the WaitGroup, so callers holding a snapshot of
-// endpoints cannot race Close's wg.Wait.
-func (f *Fabric) post(ep *endpoint, m Message, severed bool) {
+// endpoints cannot race Close's wg.Wait. The only non-nil return is
+// ErrBackpressure from a zero-latency QoS admission reject.
+func (f *Fabric) post(ep *endpoint, m Message, severed bool) error {
 	if m.Size == 0 {
 		m.Size = PayloadSize(m.Payload)
 	}
@@ -475,17 +572,21 @@ func (f *Fabric) post(ep *endpoint, m Message, severed bool) {
 	}
 	if severed || f.roll(ep, rate) < rate {
 		f.ctrDropped.Add(1)
-		return
+		return nil
 	}
 	delay := f.delay(ep)
 	if delay == 0 {
-		f.deliver(ep, m)
-		return
+		return f.deliver(ep, m)
 	}
 	f.enqueueDelayed(ep, m, delay)
+	return nil
 }
 
-func (f *Fabric) deliver(ep *endpoint, m Message) {
+// deliver hands m to its destination shard. On the FIFO path it blocks
+// until the shard has room; with QoS on it runs admission control instead
+// and returns ErrBackpressure on a tenant reject (the only non-nil
+// return).
+func (f *Fabric) deliver(ep *endpoint, m Message) error {
 	// A message still in flight when its destination crashes is lost with
 	// the node: re-check at delivery time so delayed sends cannot outlive a
 	// crash that happened while they sat in the timer heap.
@@ -494,15 +595,26 @@ func (f *Fabric) deliver(ep *endpoint, m Message) {
 	f.mu.RUnlock()
 	if down {
 		f.ctrDropped.Add(1)
-		return
+		return nil
 	}
 	vclock.BeginWork(f.clk)
+	if f.qos {
+		// Offer may evict a queued lighter-class message (its token is
+		// retired by the Attach-time OnShed callback) or reject this one.
+		if !ep.shardQ(m.From).Offer(m) {
+			vclock.EndWork(f.clk)
+			f.ctrDropped.Add(1)
+			return ErrBackpressure
+		}
+		return nil
+	}
 	select {
 	case ep.shard(m.From) <- m:
 		// Token retired by dispatch after the handler runs.
 	case <-ep.done:
 		vclock.EndWork(f.clk)
 	}
+	return nil
 }
 
 func (f *Fabric) delay(ep *endpoint) time.Duration {
@@ -606,9 +718,10 @@ func (f *Fabric) Broadcast(from ids.NodeID, kind string, payload any) error {
 	f.ctrBroadcast.Add(1)
 	// One lock acquisition for the whole scatter: each post either lands
 	// in an inbox (zero latency) or the timer heap, so the n-1 sends cost
-	// no per-message locking or goroutines.
+	// no per-message locking or goroutines. Broadcasts are kernel plumbing
+	// (locate probes, membership) — classed system, never shed.
 	for _, t := range targets {
-		f.post(t.ep, Message{From: from, To: t.ep.node, Kind: kind, Payload: payload}, t.severed)
+		f.post(t.ep, Message{From: from, To: t.ep.node, Kind: kind, Payload: payload, Class: transport.ClassSystem}, t.severed)
 	}
 	return nil
 }
@@ -673,8 +786,10 @@ func (f *Fabric) Multicast(from ids.NodeID, group, kind string, payload any) err
 		return fmt.Errorf("%w: %q", ErrUnknownGroup, group)
 	}
 	f.ctrMulticast.Add(1)
+	// Multicast groups carry membership/recovery traffic — classed system,
+	// never shed.
 	for _, t := range targets {
-		f.post(t.ep, Message{From: from, To: t.ep.node, Kind: kind, Payload: payload}, t.severed)
+		f.post(t.ep, Message{From: from, To: t.ep.node, Kind: kind, Payload: payload, Class: transport.ClassSystem}, t.severed)
 	}
 	return nil
 }

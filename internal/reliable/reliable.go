@@ -32,6 +32,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/transport"
 	"repro/internal/vclock"
 )
 
@@ -345,6 +346,14 @@ func (e *Endpoint) Close() {
 // semantics. It returns immediately; retransmission runs in the
 // background and failures surface through the dead-letter callback.
 func (e *Endpoint) Send(to ids.NodeID, kind string, payload any) error {
+	return e.SendClass(to, kind, payload, transport.ClassDefault)
+}
+
+// SendClass is Send with an explicit QoS class. The class is stamped on
+// every transmission attempt, so it survives retransmit — a flooding
+// tenant's retries stay in the tenant's own queue and cannot launder
+// themselves into a higher class.
+func (e *Endpoint) SendClass(to ids.NodeID, kind string, payload any, class transport.Class) error {
 	e.closeMu.RLock()
 	select {
 	case <-e.closed:
@@ -366,7 +375,7 @@ func (e *Endpoint) Send(to ids.NodeID, kind string, payload any) error {
 	// retransmission attempts reuse this figure instead of re-walking a
 	// payload the receiver may by then be mutating.
 	size := 24 + len(kind) + netsim.PayloadSize(payload)
-	go e.transmit(to, kind, payload, size, seq, ackCh)
+	go e.transmit(to, kind, payload, size, seq, class, ackCh)
 	return nil
 }
 
@@ -375,7 +384,7 @@ func (e *Endpoint) Send(to ids.NodeID, kind string, payload any) error {
 // rebuilds the envelope, and every copy reads its piggybacked ack at
 // departure (pendingEnv), so even a retransmitted or batch-delayed
 // envelope carries the receive frontier current when it hits the wire.
-func (e *Endpoint) transmit(to ids.NodeID, kind string, payload any, size int, seq uint64, ackCh chan struct{}) {
+func (e *Endpoint) transmit(to ids.NodeID, kind string, payload any, size int, seq uint64, class transport.Class, ackCh chan struct{}) {
 	defer e.wg.Done()
 	backoff := e.cfg.RetryBase
 	for attempt := 0; attempt < e.cfg.MaxAttempts; attempt++ {
@@ -383,18 +392,21 @@ func (e *Endpoint) transmit(to ids.NodeID, kind string, payload any, size int, s
 			e.ctrRetry.Add(1)
 		}
 		err := e.send(netsim.Message{
-			From: e.self, To: to, Kind: KindData,
+			From: e.self, To: to, Kind: KindData, Class: class,
 			Payload: pendingEnv{e: e, to: to, env: Envelope{
 				Seq: seq, Gen: e.cfg.Generation, Kind: kind, Payload: payload, Size: size,
 			}},
 		})
-		if err != nil {
+		if err != nil && !errors.Is(err, transport.ErrBackpressure) {
 			// Structural failure (unknown node, fabric closed): retrying
 			// cannot help.
 			e.dropPending(to, seq)
 			e.deadLetter(to, kind, payload, err)
 			return
 		}
+		// A backpressure reject is retryable congestion: treat it like a
+		// lost datagram — back off and try again, consuming the same
+		// attempt budget, so a persistently-full peer still dead-letters.
 		timer := e.clk.NewTimer(backoff)
 		select {
 		case <-ackCh:
@@ -581,7 +593,9 @@ func (e *Endpoint) sendAck(to ids.NodeID, seq uint64) {
 		e.cfg.AckGate()
 	}
 	e.ctrAckStandalone.Add(1)
-	_ = e.send(netsim.Message{From: e.self, To: to, Kind: KindAck, Payload: Ack{Seq: seq, Cum: cum}})
+	// Acks are protocol plumbing: classed system so a flooded tenant queue
+	// can never delay (or shed) the ack that would drain it.
+	_ = e.send(netsim.Message{From: e.self, To: to, Kind: KindAck, Class: transport.ClassSystem, Payload: Ack{Seq: seq, Cum: cum}})
 }
 
 // scheduleAck records that peer to is owed an ack and arms the flush timer.
@@ -624,7 +638,7 @@ func (e *Endpoint) flushAck(to ids.NodeID) {
 		e.cfg.AckGate()
 	}
 	e.ctrAckStandalone.Add(1)
-	_ = e.send(netsim.Message{From: e.self, To: to, Kind: KindAck, Payload: Ack{Seq: seq, Cum: cum}})
+	_ = e.send(netsim.Message{From: e.self, To: to, Kind: KindAck, Class: transport.ClassSystem, Payload: Ack{Seq: seq, Cum: cum}})
 }
 
 // fresh records seq in the sender's dedup window, advances the cumulative

@@ -14,7 +14,9 @@ import (
 	"repro/internal/event"
 	"repro/internal/ids"
 	"repro/internal/locks"
+	"repro/internal/metrics"
 	"repro/internal/object"
+	"repro/internal/transport"
 	"repro/internal/vclock"
 )
 
@@ -90,6 +92,7 @@ func newHarness(seed int64, sc Scenario) (*harness, error) {
 		Seed:          seed,
 		Clock:         v,
 		Wire:          sc.Wire,
+		QoS:           sc.QoS,
 	}
 	datadir := ""
 	if sc.Durable {
@@ -698,7 +701,22 @@ func (h *harness) finalPhase(nOps int) {
 	h.checkGens(-1)
 	h.checkOrphanLocks()
 	h.checkConverge()
+	h.checkQoSShed()
 	_ = nOps
+}
+
+// checkQoSShed is the §15 safety net: admission control may shed tenant
+// work under overload, but a shed system- or control-class message would
+// mean lost protocol traffic or an unkillable thread. The per-class shed
+// counters must read zero at the end of every schedule (trivially so
+// with QoS off, where the counters never exist).
+func (h *harness) checkQoSShed() {
+	snap := h.sys.Metrics().Snapshot()
+	for _, cls := range []transport.Class{transport.ClassSystem, transport.ClassControl} {
+		if n := snap[metrics.DispatchQShed(cls.Name())]; n != 0 {
+			h.violate("qos-shed", -1, fmt.Sprintf("%d %s-class messages shed by admission", n, cls.Name()))
+		}
+	}
 }
 
 // checkOrphanLocks is the §4.2 safety net: after full convergence no

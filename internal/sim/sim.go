@@ -113,6 +113,15 @@ type Scenario struct {
 	// (TestSimDigestIgnoresBatchingConfig pins that), so the zero value
 	// and an aggressive batching config produce identical digests.
 	Wire core.WireConfig
+	// QoS overrides the kernel's QoS dispatch configuration. Like
+	// batching, QoS is forced off under the simulator's virtual clock
+	// unless QoS.AllowVirtual is also set
+	// (TestSimDigestIgnoresQoSConfig pins that) — so existing seed
+	// digests are untouched. A scenario that sets Enabled+AllowVirtual
+	// runs classful dispatch deterministically in virtual time, and the
+	// qos-shed invariant (finalPhase) asserts no system- or
+	// control-class message was ever shed by admission.
+	QoS core.QoSConfig
 }
 
 func (sc *Scenario) fillDefaults() {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/transport"
 )
 
 // seedFlag replays one specific schedule:
@@ -98,6 +99,76 @@ func TestSimDigestIgnoresBatchingConfig(t *testing.T) {
 	if digests["default"] != digests["no-batch"] || digests["default"] != digests["aggressive"] {
 		t.Errorf("digests differ across batching configs:\n default:    %s\n no-batch:   %s\n aggressive: %s",
 			digests["default"], digests["no-batch"], digests["aggressive"])
+	}
+}
+
+// TestSimDigestIgnoresQoSConfig pins the same forced-off rule for QoS
+// dispatch: under the virtual clock a QoS config without AllowVirtual is
+// ignored, so the zero value and an aggressive classful config produce
+// byte-identical digests and every checked-in seed digest survives the
+// QoS layer's introduction untouched.
+func TestSimDigestIgnoresQoSConfig(t *testing.T) {
+	seed := int64(1)
+	if *seedFlag != 0 {
+		seed = *seedFlag
+	}
+	configs := map[string]core.QoSConfig{
+		"default": {},
+		"aggressive": {
+			Enabled: true,
+			Weights: map[transport.Class]int{1: 8, 2: 1},
+			Depth:   4,
+			Quantum: 32,
+		},
+	}
+	digests := map[string]string{}
+	for label, qos := range configs {
+		sc := fullScenario()
+		sc.QoS = qos
+		res, err := Run(seed, sc)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if res.Failed() {
+			report(t, res)
+		}
+		digests[label] = res.Digest
+	}
+	if digests["default"] != digests["aggressive"] {
+		t.Errorf("digests differ across QoS configs:\n default:    %s\n aggressive: %s",
+			digests["default"], digests["aggressive"])
+	}
+}
+
+// TestSimQoS actually turns classful dispatch on under the virtual clock
+// (AllowVirtual) and sweeps the full fault scenario: DWRR scheduling,
+// bounded tenant admission and the shed path all run deterministically in
+// virtual time, and every standard invariant — exactly-once, chain-lifo,
+// orphan-lock, convergence — plus the qos-shed invariant (no system- or
+// control-class message ever shed) must hold. Depth stays moderate so the
+// reliable layer's retry budget absorbs transient admission rejects
+// without dead-lettering a raise.
+func TestSimQoS(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if *seedFlag != 0 {
+		seeds = []int64{*seedFlag}
+	}
+	for _, seed := range seeds {
+		sc := fullScenario()
+		sc.Name = "qos"
+		sc.QoS = core.QoSConfig{
+			Enabled:      true,
+			AllowVirtual: true,
+			Weights:      map[transport.Class]int{1: 4},
+			Depth:        32,
+		}
+		res, err := Run(seed, sc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Failed() {
+			report(t, res)
+		}
 	}
 }
 

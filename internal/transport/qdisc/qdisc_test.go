@@ -1,0 +1,201 @@
+package qdisc
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+func msg(class transport.Class, size int) transport.Message {
+	return transport.Message{From: 1, To: 2, Kind: "t", Size: size, Class: class}
+}
+
+// TestStrictPriority: system and control pop before any tenant backlog,
+// system before control.
+func TestStrictPriority(t *testing.T) {
+	q := New(&transport.QoSConfig{Enabled: true}, 64, metrics.NewRegistry(), nil)
+	q.Offer(msg(transport.ClassDefault, 10))
+	q.Offer(msg(transport.ClassControl, 10))
+	q.Offer(msg(transport.ClassSystem, 10))
+	order := []transport.Class{transport.ClassSystem, transport.ClassControl, transport.ClassDefault}
+	for i, want := range order {
+		m, ok := q.TryPop()
+		if !ok || m.Class != want {
+			t.Fatalf("pop %d: got class %v ok=%v, want %v", i, m.Class, ok, want)
+		}
+	}
+}
+
+// TestDWRRProportionalService: with classes of weight 4 and 1 both
+// backlogged, class 1 drains ~4x as fast.
+func TestDWRRProportionalService(t *testing.T) {
+	cfg := &transport.QoSConfig{Enabled: true, Weights: map[transport.Class]int{1: 4, 2: 1}}
+	q := New(cfg, 1024, metrics.NewRegistry(), nil)
+	const each = 200
+	for i := 0; i < each; i++ {
+		q.Offer(msg(1, 100))
+		q.Offer(msg(2, 100))
+	}
+	counts := map[transport.Class]int{}
+	for i := 0; i < 100; i++ {
+		m, ok := q.TryPop()
+		if !ok {
+			t.Fatalf("queue drained early at %d", i)
+		}
+		counts[m.Class]++
+	}
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 3.0 || ratio > 5.0 {
+		t.Fatalf("service ratio = %.2f (counts %v), want ~4", ratio, counts)
+	}
+}
+
+// TestAdmissionRejectsEqualWeight: budget full of same-weight work →
+// incoming is rejected, nothing evicted.
+func TestAdmissionRejectsEqualWeight(t *testing.T) {
+	reg := metrics.NewRegistry()
+	q := New(&transport.QoSConfig{Enabled: true}, 4, reg, nil)
+	for i := 0; i < 4; i++ {
+		if !q.Offer(msg(transport.ClassDefault, 10)) {
+			t.Fatalf("offer %d rejected under budget", i)
+		}
+	}
+	if q.Offer(msg(transport.ClassDefault, 10)) {
+		t.Fatal("offer accepted past budget with no lighter victim")
+	}
+	if got := reg.Get(metrics.DispatchQShed("default")); got != 1 {
+		t.Fatalf("default shed counter = %d, want 1", got)
+	}
+	if q.Len() != 4 {
+		t.Fatalf("len = %d, want 4", q.Len())
+	}
+}
+
+// TestShedEvictsLighterClass: a heavier class evicts queued lighter work
+// when the budget is full, and the OnShed callback sees the victim.
+func TestShedEvictsLighterClass(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cfg := &transport.QoSConfig{Enabled: true, Weights: map[transport.Class]int{1: 8, 2: 1}}
+	var shed []transport.Message
+	q := New(cfg, 4, reg, func(m transport.Message) { shed = append(shed, m) })
+	for i := 0; i < 4; i++ {
+		q.Offer(msg(2, 10))
+	}
+	if !q.Offer(msg(1, 10)) {
+		t.Fatal("heavy offer rejected despite lighter victim")
+	}
+	if len(shed) != 1 || shed[0].Class != 2 {
+		t.Fatalf("shed = %v, want one class-2 victim", shed)
+	}
+	if got := reg.Get(metrics.DispatchQShed("t2")); got != 1 {
+		t.Fatalf("t2 shed counter = %d, want 1", got)
+	}
+	// Lighter class may not evict heavier queued work.
+	for q.Len() < 4 {
+		q.Offer(msg(1, 10))
+	}
+	if q.Offer(msg(2, 10)) {
+		t.Fatal("light offer evicted heavier work")
+	}
+}
+
+// TestSystemNeverShed: system/control admission ignores the tenant budget
+// entirely — the structural never-shed guarantee.
+func TestSystemNeverShed(t *testing.T) {
+	reg := metrics.NewRegistry()
+	q := New(&transport.QoSConfig{Enabled: true}, 1, reg, nil)
+	q.Offer(msg(transport.ClassDefault, 10))
+	for i := 0; i < 100; i++ {
+		if !q.Offer(msg(transport.ClassSystem, 10)) {
+			t.Fatal("system offer rejected")
+		}
+		if !q.Offer(msg(transport.ClassControl, 10)) {
+			t.Fatal("control offer rejected")
+		}
+	}
+	if got := reg.Get(metrics.DispatchQShed("system")); got != 0 {
+		t.Fatalf("system shed = %d, want 0", got)
+	}
+	if got := reg.Get(metrics.DispatchQShed("control")); got != 0 {
+		t.Fatalf("control shed = %d, want 0", got)
+	}
+	if q.Len() != 201 {
+		t.Fatalf("len = %d, want 201", q.Len())
+	}
+}
+
+// TestPopBlocksUntilOffer: Pop wakes on a concurrent Offer and returns
+// false when done closes.
+func TestPopBlocksUntilOffer(t *testing.T) {
+	q := New(&transport.QoSConfig{Enabled: true}, 16, metrics.NewRegistry(), nil)
+	done := make(chan struct{})
+	got := make(chan transport.Message, 1)
+	go func() {
+		m, ok := q.Pop(done)
+		if ok {
+			got <- m
+		}
+		close(got)
+	}()
+	q.Offer(transport.Message{From: ids.NodeID(3), To: 2, Kind: "x", Size: 5})
+	m, ok := <-got
+	if !ok || m.From != 3 {
+		t.Fatalf("pop got %v ok=%v", m, ok)
+	}
+	finished := make(chan struct{})
+	go func() {
+		if _, ok := q.Pop(done); ok {
+			t.Error("pop returned a message after done")
+		}
+		close(finished)
+	}()
+	close(done)
+	<-finished
+}
+
+// TestFIFOWithinClass: messages of one class pop in offer order.
+func TestFIFOWithinClass(t *testing.T) {
+	q := New(&transport.QoSConfig{Enabled: true}, 64, metrics.NewRegistry(), nil)
+	for i := 0; i < 20; i++ {
+		q.Offer(transport.Message{From: ids.NodeID(i), To: 1, Kind: "t", Size: 1, Class: 3})
+	}
+	for i := 0; i < 20; i++ {
+		m, ok := q.TryPop()
+		if !ok || m.From != ids.NodeID(i) {
+			t.Fatalf("pop %d: got From=%v ok=%v", i, m.From, ok)
+		}
+	}
+}
+
+// TestQdiscHotPathZeroAlloc guards the satellite-2 claim: once a class is
+// interned and its ring sized, steady-state Offer/Pop allocates nothing.
+func TestQdiscHotPathZeroAlloc(t *testing.T) {
+	cfg := &transport.QoSConfig{Enabled: true, Weights: map[transport.Class]int{1: 4, 2: 1}}
+	q := New(cfg, 1024, metrics.NewRegistry(), nil)
+	warm := func() {
+		for i := 0; i < 64; i++ {
+			q.Offer(msg(1, 100))
+			q.Offer(msg(2, 100))
+			q.Offer(msg(transport.ClassSystem, 50))
+		}
+		for {
+			if _, ok := q.TryPop(); !ok {
+				break
+			}
+		}
+	}
+	warm()
+	allocs := testing.AllocsPerRun(200, func() {
+		q.Offer(msg(1, 100))
+		q.Offer(msg(2, 100))
+		q.Offer(msg(transport.ClassSystem, 50))
+		q.TryPop()
+		q.TryPop()
+		q.TryPop()
+	})
+	if allocs != 0 {
+		t.Fatalf("hot path allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -160,6 +160,7 @@ func (t *Transport) encodeFrame(dst []byte, pending []transport.Message) ([]byte
 		e := wire.Enc{Buf: bodies}
 		e.Uvarint(uint64(m.From))
 		e.Uvarint(uint64(m.To))
+		e.Uvarint(uint64(m.Class))
 		e.Value(m.Payload)
 		if e.Err() != nil {
 			t.logf("tcptransport: drop %q to %v: %v", m.Kind, m.To, e.Err())

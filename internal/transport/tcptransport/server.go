@@ -206,8 +206,9 @@ func (t *Transport) writeHello(conn net.Conn) error {
 	sort.Slice(h.Nodes, func(i, j int) bool { return h.Nodes[i] < h.Nodes[j] })
 
 	e := wire.Enc{Buf: make([]byte, 4, 128)}
-	e.Uvarint(0) // From: none — control record
-	e.Uvarint(0) // To
+	e.Uvarint(0)                             // From: none — control record
+	e.Uvarint(0)                             // To
+	e.Uvarint(uint64(transport.ClassSystem)) // Class
 	e.Value(h)
 	if e.Err() != nil {
 		return e.Err()
@@ -232,6 +233,7 @@ func (t *Transport) readHello(conn net.Conn) (hello, error) {
 	d := wire.Dec{Src: recs[0].Body}
 	d.Uvarint() // From
 	d.Uvarint() // To
+	d.Uvarint() // Class
 	v := d.Value()
 	h, ok := v.(hello)
 	if d.Err() != nil || !ok {
@@ -298,9 +300,9 @@ func (t *Transport) readLoop(conn net.Conn) {
 // the frame buffer is safely reused for the next read.
 func (t *Transport) handleRecord(r batch.WireRec) {
 	d := wire.Dec{Src: r.Body}
-	fromRaw, toRaw := d.Uvarint(), d.Uvarint()
+	fromRaw, toRaw, clsRaw := d.Uvarint(), d.Uvarint(), d.Uvarint()
 	payload := d.Value()
-	if d.Err() != nil || !d.Done() || fromRaw > math.MaxUint32 || toRaw > math.MaxUint32 {
+	if d.Err() != nil || !d.Done() || fromRaw > math.MaxUint32 || toRaw > math.MaxUint32 || clsRaw > math.MaxUint8 {
 		t.ctrDropped.Add(1)
 		t.logf("tcptransport: corrupt %q record: %v", r.Kind, d.Err())
 		return
@@ -326,7 +328,11 @@ func (t *Transport) handleRecord(r batch.WireRec) {
 		t.ctrDropped.Add(1)
 		return
 	}
+	// QoS admission may reject here (deliver counts the drop); the sender's
+	// reliable layer retransmits, so shedding a socket arrival is loss, not
+	// deadlock.
 	t.deliver(ep, transport.Message{
 		From: from, To: to, Kind: r.Kind, Payload: payload, Size: recFootprint(r),
+		Class: transport.Class(clsRaw),
 	})
 }

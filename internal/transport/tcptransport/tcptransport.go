@@ -48,6 +48,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/metrics"
 	"repro/internal/transport"
+	"repro/internal/transport/qdisc"
 )
 
 // Common transport errors.
@@ -110,6 +111,14 @@ type Config struct {
 	// letting different senders' handlers run concurrently. Zero picks
 	// GOMAXPROCS; negative forces 1.
 	DispatchWorkers int
+	// QoS enables per-class weighted fair dispatch (DESIGN.md §15): each
+	// inbound shard becomes a classful qdisc — system and control classes
+	// bypass tenant queueing, tenant classes share QoS.Depth slots under
+	// DWRR, and admission sheds instead of blocking. Local sends that are
+	// rejected return transport.ErrBackpressure; socket arrivals that are
+	// rejected are counted dropped (the reliable layer retransmits). The
+	// zero value keeps plain FIFO shards.
+	QoS transport.QoSConfig
 	// Metrics receives message accounting. Nil creates a private registry.
 	Metrics *metrics.Registry
 	// Logf, when non-nil, receives connection lifecycle and corruption
@@ -118,10 +127,12 @@ type Config struct {
 }
 
 // endpoint is one locally-hosted node: its handler and sender-sharded
-// dispatch queues, exactly netsim's shape.
+// dispatch queues, exactly netsim's shape. With QoS on, qs holds the
+// classful queues and inboxes stays nil.
 type endpoint struct {
 	node    ids.NodeID
 	inboxes []chan transport.Message
+	qs      []*qdisc.Queue
 	handler transport.Handler
 	done    chan struct{}
 }
@@ -131,6 +142,13 @@ func (ep *endpoint) shard(from ids.NodeID) chan transport.Message {
 		return ep.inboxes[0]
 	}
 	return ep.inboxes[uint64(from)%uint64(len(ep.inboxes))]
+}
+
+func (ep *endpoint) shardQ(from ids.NodeID) *qdisc.Queue {
+	if len(ep.qs) == 1 {
+		return ep.qs[0]
+	}
+	return ep.qs[uint64(from)%uint64(len(ep.qs))]
 }
 
 // kindCounters is the interned per-kind wire counter pair (netsim keeps
@@ -143,10 +161,12 @@ type kindCounters struct {
 // Transport is a live TCP transport. Create with New, attach local nodes
 // with Attach, then Start. All methods are safe for concurrent use.
 type Transport struct {
-	cfg     Config
-	reg     *metrics.Registry
-	workers int
-	ln      net.Listener
+	cfg      Config
+	reg      *metrics.Registry
+	workers  int
+	qos      bool
+	qosDepth int
+	ln       net.Listener
 
 	ctrSent      *atomic.Int64
 	ctrDelivered *atomic.Int64
@@ -216,10 +236,16 @@ func New(cfg Config) (*Transport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcptransport: listen %s: %w", cfg.Listen, err)
 	}
+	qosDepth := cfg.QoS.Depth
+	if qosDepth <= 0 {
+		qosDepth = cfg.QueueDepth
+	}
 	t := &Transport{
 		cfg:          cfg,
 		reg:          reg,
 		workers:      workers,
+		qos:          cfg.QoS.Enabled,
+		qosDepth:     qosDepth,
 		ln:           ln,
 		ctrSent:      reg.Counter(metrics.CtrMsgSent),
 		ctrDelivered: reg.Counter(metrics.CtrMsgDelivered),
@@ -280,11 +306,19 @@ func (t *Transport) Attach(node ids.NodeID, h transport.Handler) error {
 	if _, dup := t.local[node]; dup {
 		return fmt.Errorf("tcptransport: node %v already attached", node)
 	}
-	inboxes := make([]chan transport.Message, t.workers)
-	for i := range inboxes {
-		inboxes[i] = make(chan transport.Message, t.cfg.QueueDepth)
+	ep := &endpoint{node: node, handler: h, done: make(chan struct{})}
+	if t.qos {
+		ep.qs = make([]*qdisc.Queue, t.workers)
+		for i := range ep.qs {
+			ep.qs[i] = qdisc.New(&t.cfg.QoS, t.qosDepth, t.reg, func(transport.Message) { t.ctrDropped.Add(1) })
+		}
+	} else {
+		ep.inboxes = make([]chan transport.Message, t.workers)
+		for i := range ep.inboxes {
+			ep.inboxes[i] = make(chan transport.Message, t.cfg.QueueDepth)
+		}
 	}
-	t.local[node] = &endpoint{node: node, inboxes: inboxes, handler: h, done: make(chan struct{})}
+	t.local[node] = ep
 	return nil
 }
 
@@ -297,9 +331,16 @@ func (t *Transport) Start() {
 	}
 	t.started = true
 	for _, ep := range t.local {
-		for i := range ep.inboxes {
-			t.wg.Add(1)
-			go t.dispatch(ep, ep.inboxes[i])
+		if t.qos {
+			for i := range ep.qs {
+				t.wg.Add(1)
+				go t.dispatchQ(ep, ep.qs[i])
+			}
+		} else {
+			for i := range ep.inboxes {
+				t.wg.Add(1)
+				go t.dispatch(ep, ep.inboxes[i])
+			}
 		}
 	}
 	t.wg.Add(1)
@@ -317,6 +358,22 @@ func (t *Transport) dispatch(ep *endpoint, inbox chan transport.Message) {
 			if ep.handler != nil {
 				ep.handler(m)
 			}
+		}
+	}
+}
+
+// dispatchQ is dispatch over a classful qdisc: the queue's Pop applies
+// strict priority for system/control and DWRR across tenant classes.
+func (t *Transport) dispatchQ(ep *endpoint, q *qdisc.Queue) {
+	defer t.wg.Done()
+	for {
+		m, ok := q.Pop(ep.done)
+		if !ok {
+			return
+		}
+		t.ctrDelivered.Add(1)
+		if ep.handler != nil {
+			ep.handler(m)
 		}
 	}
 }
@@ -351,6 +408,9 @@ func (t *Transport) chargeSend(kind string, size int) {
 // error only for structural problems (unknown node, closed transport);
 // loss — severed/crashed filters, full queues, broken connections — is
 // silent and counted, exactly the datagram contract netsim implements.
+// With QoS on, a local destination whose admission rejects the message
+// additionally returns transport.ErrBackpressure (socket arrivals shed
+// silently instead — the reliable layer retransmits).
 func (t *Transport) Send(m transport.Message) error {
 	t.mu.RLock()
 	if t.closed {
@@ -363,8 +423,7 @@ func (t *Transport) Send(m transport.Message) error {
 	t.mu.RUnlock()
 
 	if ep != nil {
-		t.postLocal(ep, m, severed)
-		return nil
+		return t.postLocal(ep, m, severed)
 	}
 	if !known {
 		return fmt.Errorf("%w: %v", ErrUnknownNode, m.To)
@@ -401,7 +460,8 @@ func (t *Transport) Send(m transport.Message) error {
 
 // postLocal delivers to a locally-attached node without touching a
 // socket; sizes are estimates, as in netsim, since nothing is encoded.
-func (t *Transport) postLocal(ep *endpoint, m transport.Message, severed bool) {
+// Its only possible error is a QoS admission reject.
+func (t *Transport) postLocal(ep *endpoint, m transport.Message, severed bool) error {
 	if m.Size == 0 {
 		m.Size = transport.PayloadSize(m.Payload)
 	}
@@ -411,19 +471,31 @@ func (t *Transport) postLocal(ep *endpoint, m transport.Message, severed bool) {
 	t.chargeSend(m.Kind, m.Size)
 	if severed || t.roll() {
 		t.ctrDropped.Add(1)
-		return
+		return nil
 	}
-	t.deliver(ep, m)
+	if !t.deliver(ep, m) {
+		return transport.ErrBackpressure
+	}
+	return nil
 }
 
-// deliver hands m to its destination shard, blocking for backpressure
-// but never past the endpoint's or transport's close.
-func (t *Transport) deliver(ep *endpoint, m transport.Message) {
+// deliver hands m to its destination shard. The FIFO path blocks for
+// backpressure (but never past close); the QoS path never blocks — it
+// reports false when admission rejects the message, counting it dropped.
+func (t *Transport) deliver(ep *endpoint, m transport.Message) bool {
+	if t.qos {
+		if !ep.shardQ(m.From).Offer(m) {
+			t.ctrDropped.Add(1)
+			return false
+		}
+		return true
+	}
 	select {
 	case ep.shard(m.From) <- m:
 	case <-ep.done:
 	case <-t.done:
 	}
+	return true
 }
 
 // nodes returns every node this transport can address: locally attached
@@ -461,7 +533,8 @@ func (t *Transport) Broadcast(from ids.NodeID, kind string, payload any) error {
 		if n == from {
 			continue
 		}
-		_ = t.Send(transport.Message{From: from, To: n, Kind: kind, Payload: payload})
+		// Broadcasts are kernel plumbing (membership, probes): ClassSystem.
+		_ = t.Send(transport.Message{From: from, To: n, Kind: kind, Payload: payload, Class: transport.ClassSystem})
 	}
 	return nil
 }
@@ -485,7 +558,7 @@ func (t *Transport) Multicast(from ids.NodeID, group, kind string, payload any) 
 	}
 	t.ctrMulticast.Add(1)
 	for _, n := range members {
-		_ = t.Send(transport.Message{From: from, To: n, Kind: kind, Payload: payload})
+		_ = t.Send(transport.Message{From: from, To: n, Kind: kind, Payload: payload, Class: transport.ClassSystem})
 	}
 	return nil
 }

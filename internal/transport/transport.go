@@ -14,10 +14,90 @@ package transport
 
 import (
 	"context"
+	"errors"
+	"strconv"
 
 	"repro/internal/ids"
 	"repro/internal/metrics"
 )
+
+// Class is the QoS event class an envelope belongs to. Classes 0..253 are
+// tenant classes scheduled by weighted fair queueing; the two reserved
+// classes above them are strict-priority and never shed.
+type Class uint8
+
+const (
+	// ClassDefault is the tenant class for unclassified traffic.
+	ClassDefault Class = 0
+	// ClassControl carries kernel correctness traffic that rides the event
+	// path — TERMINATE chains, aborts, release verdicts, thread-death
+	// notices. Strict priority below ClassSystem, never shed.
+	ClassControl Class = 254
+	// ClassSystem carries kernel plumbing — RPC responses, heartbeats,
+	// gossip, directory traffic, acks. Highest strict priority, never shed.
+	ClassSystem Class = 255
+)
+
+// Name returns the metrics/label name for a class: "system", "control",
+// "default", or "t<N>" for tenant classes 1..253.
+func (c Class) Name() string {
+	switch c {
+	case ClassSystem:
+		return "system"
+	case ClassControl:
+		return "control"
+	case ClassDefault:
+		return "default"
+	}
+	return "t" + strconv.Itoa(int(c))
+}
+
+// ErrBackpressure is returned by Send (and surfaces through Raise /
+// RaiseAndWait) when per-class admission control rejects the envelope: the
+// receiver's tenant budget is full and the sender's class does not outrank
+// any queued work. Callers should back off and retry; the reliable
+// envelope does exactly that, so exactly-once delivery is preserved.
+var ErrBackpressure = errors.New("transport: backpressure (class queue full)")
+
+// QoSConfig configures multi-tenant dispatch: per-class admission control,
+// deficit-weighted-round-robin scheduling across tenant classes, and
+// overload shedding that protects system/control traffic.
+type QoSConfig struct {
+	// Enabled turns the QoS layer on. Off (the default), dispatch is the
+	// classic FIFO sender-sharded inbox.
+	Enabled bool
+	// Weights maps tenant classes to DWRR weights. Unlisted classes get
+	// weight 1. System/control classes are strict-priority and ignore
+	// weights.
+	Weights map[Class]int
+	// Apps maps application names (thread attrs.App) to tenant classes so
+	// the kernel can classify raises at the source. Transports ignore it.
+	Apps map[string]Class
+	// Depth bounds the total queued tenant-class messages per dispatch
+	// shard. Zero means the transport's queue depth. System/control
+	// queues are unbounded (they are self-limiting kernel traffic).
+	Depth int
+	// Quantum is the DWRR byte quantum credited per round to a class of
+	// weight 1. Zero means DefaultQuantum.
+	Quantum int
+	// AllowVirtual lets QoS run under the virtual clock. Off (the
+	// default), transports force QoS off when driven by a virtual clock
+	// so deterministic-simulation digests stay byte-identical.
+	AllowVirtual bool
+}
+
+// DefaultQuantum is the DWRR byte quantum for weight-1 classes.
+const DefaultQuantum = 1024
+
+// WeightOf resolves the DWRR weight for a tenant class (minimum 1).
+func (q *QoSConfig) WeightOf(c Class) int {
+	if q != nil {
+		if w, ok := q.Weights[c]; ok && w > 0 {
+			return w
+		}
+	}
+	return 1
+}
 
 // Message is one envelope on the wire.
 type Message struct {
@@ -25,7 +105,8 @@ type Message struct {
 	To      ids.NodeID
 	Kind    string // protocol message kind, e.g. "rpc.req"
 	Payload any
-	Size    int // wire size in bytes (estimated on netsim, measured on TCP)
+	Size    int   // wire size in bytes (estimated on netsim, measured on TCP)
+	Class   Class // QoS event class (ClassDefault unless stamped)
 }
 
 // Sizer lets payloads report their wire size; payloads that do not

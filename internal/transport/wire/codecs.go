@@ -268,7 +268,7 @@ func sizeBlock(b *event.Block) int {
 	}
 	n := 1 + sizeStamp(b.Stamp) + SizeString(string(b.Name)) + sizeTarget(b.Target) +
 		SizeUvarint(uint64(b.Raiser)) + SizeUvarint(uint64(b.RaiserNode)) +
-		1 + SizeUvarint(b.SyncID) + sizeState(b.State)
+		1 + SizeUvarint(b.SyncID) + SizeUvarint(uint64(b.Class)) + sizeState(b.State)
 	if b.User == nil {
 		n++ // tagNil
 	} else {
@@ -289,6 +289,7 @@ func encBlock(e *Enc, b *event.Block) {
 	e.Uvarint(uint64(b.RaiserNode))
 	e.Bool(b.Sync)
 	e.Uvarint(b.SyncID)
+	e.Uvarint(uint64(b.Class))
 	encState(e, b.State)
 	if b.User == nil {
 		e.Value(nil)
@@ -309,6 +310,7 @@ func decBlock(d *Dec) *event.Block {
 		RaiserNode: decNodeID(d),
 		Sync:       d.Bool(),
 		SyncID:     d.Uvarint(),
+		Class:      uint8(d.Uvarint()),
 		State:      decState(d),
 	}
 	if v := d.Value(); v != nil {

@@ -40,7 +40,10 @@ import (
 )
 
 // Version is the codec version exchanged in the transport handshake.
-const Version = 1
+// v2: event.Block carries a QoS class uvarint after SyncID, and tcp
+// transport records carry a class uvarint between the To id and the
+// payload.
+const Version = 2
 
 // ErrCorrupt is returned for structurally invalid input.
 var ErrCorrupt = errors.New("wire: corrupt value")

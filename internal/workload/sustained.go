@@ -15,6 +15,7 @@ package workload
 
 import (
 	"context"
+	"errors"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -23,7 +24,32 @@ import (
 	"repro/internal/ids"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/transport"
 )
+
+// TenantSpec is one tenant's offered load in a multi-tenant run (E15):
+// an open-loop stream of one-way raises riding the tenant's QoS class.
+type TenantSpec struct {
+	// Name labels the tenant in results ("A", "B").
+	Name string
+	// Class is the dispatch class the tenant's events ride. Its weight
+	// comes from SustainedConfig.QoS.Weights.
+	Class transport.Class
+	// OfferedPerNode is the tenant's open-loop target per generator node,
+	// in events/sec.
+	OfferedPerNode int
+}
+
+// TenantResult is one tenant's slice of a multi-tenant measurement.
+type TenantResult struct {
+	Name      string
+	Class     transport.Class
+	Offered   int64 // events the tenant's generators sent
+	Rejected  int64 // sends refused by QoS admission (ErrBackpressure)
+	Completed int64
+	// Completion-latency percentiles for this tenant alone.
+	P50, P95, P99 time.Duration
+}
 
 // SustainedConfig parameterizes one sustained-load run.
 type SustainedConfig struct {
@@ -65,6 +91,22 @@ type SustainedConfig struct {
 	// coalescing (DESIGN.md §11). Zero value = batching off, so existing
 	// measurements (E12) are unchanged.
 	Batch netsim.BatchConfig
+	// QoS is passed through to netsim.Config.QoS: classful dispatch with
+	// weighted fair queueing and admission control (DESIGN.md §15). Zero
+	// value = FIFO dispatch, unchanged.
+	QoS transport.QoSConfig
+	// Tenants switches the driver into multi-tenant mode (E15): instead of
+	// the single mixed raise/invoke stream above, each tenant runs its own
+	// open-loop generator per node, sending one-way raises stamped with
+	// the tenant's class. OfferedPerNode/InvokeFrac above are ignored;
+	// SlowFrac/SlowDelay still shape the handler cost. Nil keeps the
+	// legacy single-stream behavior exactly.
+	Tenants []TenantSpec
+	// SystemPerNode adds a background stream of ClassSystem raises (fast
+	// handler class) per node per second in multi-tenant mode, so a run
+	// can assert the system class is never queued behind or shed for
+	// tenant floods. Zero adds none.
+	SystemPerNode int
 }
 
 func (c *SustainedConfig) fillDefaults() {
@@ -111,6 +153,13 @@ type SustainedResult struct {
 	// batch.frames, ...), taken after Close so all pending flushes have
 	// landed.
 	Metrics metrics.Snapshot
+	// Tenants holds the per-tenant slices of a multi-tenant run, in
+	// SustainedConfig.Tenants order; empty for legacy runs.
+	Tenants []TenantResult
+	// SysShed counts system- and control-class messages shed by QoS
+	// admission: the dispatch.q.system.shed + dispatch.q.control.shed
+	// counters, which the qdisc guarantees stay zero.
+	SysShed int64
 }
 
 // Wire kinds of the sustained workload.
@@ -144,6 +193,21 @@ func (r *latRecorder) record(ns int64) {
 	r.mu.Unlock()
 }
 
+// splitmix returns a lock-free deterministic splitmix64 stream seeded by
+// (seed, stream) — one per generator goroutine.
+func splitmix(seed int64, stream uint64) func() uint64 {
+	rng := uint64(seed)*0x9E3779B97F4A7C15 + stream
+	return func() uint64 {
+		rng += 0x9E3779B97F4A7C15
+		z := rng
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+}
+
+func frac(u uint64) float64 { return float64(u>>11) / (1 << 53) }
+
 // RunSustained drives one sustained-load measurement and reports the
 // result.
 func RunSustained(cfg SustainedConfig) (SustainedResult, error) {
@@ -154,7 +218,22 @@ func RunSustained(cfg SustainedConfig) (SustainedResult, error) {
 		Seed:            cfg.Seed,
 		DispatchWorkers: cfg.Workers,
 		Batch:           cfg.Batch,
+		QoS:             cfg.QoS,
 	})
+	// classIdx maps a message's class back to its tenant slot; tenantRecs
+	// is per tenant per node so dispatch workers on different nodes never
+	// share a lock.
+	classIdx := make(map[transport.Class]int, len(cfg.Tenants))
+	tenantRecs := make([][]*latRecorder, len(cfg.Tenants))
+	tenantCompleted := make([]*atomic.Int64, len(cfg.Tenants))
+	for ti, ts := range cfg.Tenants {
+		classIdx[ts.Class] = ti
+		tenantRecs[ti] = make([]*latRecorder, cfg.Nodes+1)
+		for i := 1; i <= cfg.Nodes; i++ {
+			tenantRecs[ti][i] = &latRecorder{}
+		}
+		tenantCompleted[ti] = &atomic.Int64{}
+	}
 	recs := make([]*latRecorder, cfg.Nodes+1) // 1-based by node ID
 	var completed, respShed atomic.Int64
 	var respWg sync.WaitGroup
@@ -175,6 +254,10 @@ func RunSustained(cfg SustainedConfig) (SustainedResult, error) {
 			defer respWg.Done()
 			for m := range outbox {
 				if err := fab.Send(m); err != nil {
+					if errors.Is(err, netsim.ErrBackpressure) {
+						respShed.Add(1) // QoS rejected the response: shed
+						continue
+					}
 					return // fabric closed: teardown
 				}
 			}
@@ -186,7 +269,12 @@ func RunSustained(cfg SustainedConfig) (SustainedResult, error) {
 				if p.Slow {
 					time.Sleep(cfg.SlowDelay)
 				}
-				rec.record(time.Now().UnixNano() - p.T0)
+				lat := time.Now().UnixNano() - p.T0
+				if ti, ok := classIdx[m.Class]; ok {
+					tenantRecs[ti][node].record(lat)
+					tenantCompleted[ti].Add(1)
+				}
+				rec.record(lat)
 				completed.Add(1)
 			case kindReq:
 				if p.Slow {
@@ -209,53 +297,81 @@ func RunSustained(cfg SustainedConfig) (SustainedResult, error) {
 	}
 	fab.Start()
 
-	// Open-loop generators: one per node, pacing sends in ~2ms batches so
-	// the pacing timer is off the per-event path.
+	// Open-loop generators pacing sends in ~2ms batches so the pacing
+	// timer is off the per-event path.
 	const batchEvery = 2 * time.Millisecond
-	perBatch := int(float64(cfg.OfferedPerNode) * batchEvery.Seconds())
-	if perBatch < 1 {
-		perBatch = 1
+	perBatchOf := func(rate int) int {
+		pb := int(float64(rate) * batchEvery.Seconds())
+		if pb < 1 {
+			pb = 1
+		}
+		return pb
 	}
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
 	var offered atomic.Int64
+	tenantOffered := make([]*atomic.Int64, len(cfg.Tenants))
+	tenantRejected := make([]*atomic.Int64, len(cfg.Tenants))
+	for ti := range cfg.Tenants {
+		tenantOffered[ti] = &atomic.Int64{}
+		tenantRejected[ti] = &atomic.Int64{}
+	}
 	var wg sync.WaitGroup
+	// generate runs one open-loop stream from node: raises of class cls at
+	// rate ev/s, counting sends into offCtr and QoS admission rejects into
+	// rejCtr (nil = a reject tears the stream down like any send error).
+	generate := func(node ids.NodeID, stream uint64, rate int, cls transport.Class, offCtr, rejCtr *atomic.Int64, slowFrac, invokeFrac float64) {
+		defer wg.Done()
+		next := splitmix(cfg.Seed, stream)
+		perBatch := perBatchOf(rate)
+		for time.Now().Before(deadline) {
+			for b := 0; b < perBatch; b++ {
+				// Uniform over the other nodes: draw from the n-1
+				// non-self slots and shift past self.
+				dest := ids.NodeID(1 + next()%uint64(cfg.Nodes-1))
+				if dest >= node {
+					dest++
+				}
+				p := &sustainedPayload{T0: time.Now().UnixNano(), Slow: frac(next()) < slowFrac}
+				kind := kindRaise
+				if frac(next()) < invokeFrac {
+					kind = kindReq
+				}
+				err := fab.Send(netsim.Message{From: node, To: dest, Kind: kind, Payload: p, Class: cls})
+				if err != nil {
+					if rejCtr != nil && errors.Is(err, netsim.ErrBackpressure) {
+						rejCtr.Add(1)
+						continue
+					}
+					return
+				}
+				if offCtr != nil {
+					offCtr.Add(1)
+				}
+				offered.Add(1)
+			}
+			time.Sleep(batchEvery)
+		}
+	}
 	for i := 1; i <= cfg.Nodes; i++ {
 		node := ids.NodeID(i)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Lock-free deterministic splitmix64 stream per generator.
-			rng := uint64(cfg.Seed)*0x9E3779B97F4A7C15 + uint64(node)
-			next := func() uint64 {
-				rng += 0x9E3779B97F4A7C15
-				z := rng
-				z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-				z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-				return z ^ (z >> 31)
-			}
-			frac := func(u uint64) float64 { return float64(u>>11) / (1 << 53) }
-			for time.Now().Before(deadline) {
-				for b := 0; b < perBatch; b++ {
-					// Uniform over the other nodes: draw from the n-1
-					// non-self slots and shift past self.
-					dest := ids.NodeID(1 + next()%uint64(cfg.Nodes-1))
-					if dest >= node {
-						dest++
-					}
-					p := &sustainedPayload{T0: time.Now().UnixNano(), Slow: frac(next()) < cfg.SlowFrac}
-					kind := kindRaise
-					if frac(next()) < cfg.InvokeFrac {
-						kind = kindReq
-					}
-					if err := fab.Send(netsim.Message{From: node, To: dest, Kind: kind, Payload: p}); err != nil {
-						return
-					}
-					offered.Add(1)
-				}
-				time.Sleep(batchEvery)
-			}
-		}()
+		if len(cfg.Tenants) == 0 {
+			wg.Add(1)
+			go generate(node, uint64(node), cfg.OfferedPerNode, transport.ClassDefault, nil, nil, cfg.SlowFrac, cfg.InvokeFrac)
+			continue
+		}
+		// Multi-tenant: one generator per (node, tenant), raises only,
+		// plus the optional background system stream (fast class — it
+		// stands in for kernel protocol traffic).
+		for ti, ts := range cfg.Tenants {
+			wg.Add(1)
+			go generate(node, uint64(node)*256+uint64(ti), ts.OfferedPerNode, ts.Class,
+				tenantOffered[ti], tenantRejected[ti], cfg.SlowFrac, 0)
+		}
+		if cfg.SystemPerNode > 0 {
+			wg.Add(1)
+			go generate(node, uint64(node)*256+255, cfg.SystemPerNode, transport.ClassSystem, nil, nil, 0, 0)
+		}
 	}
 	wg.Wait()
 
@@ -274,13 +390,22 @@ func RunSustained(cfg SustainedConfig) (SustainedResult, error) {
 	}
 	respWg.Wait()
 
+	percentiles := func(all []int64) (p50, p95, p99 time.Duration) {
+		if len(all) == 0 {
+			return 0, 0, 0
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		pct := func(p float64) time.Duration {
+			return time.Duration(all[int(p*float64(len(all)-1))])
+		}
+		return pct(0.50), pct(0.95), pct(0.99)
+	}
 	var all []int64
 	for _, r := range recs[1:] {
 		r.mu.Lock()
 		all = append(all, r.lat...)
 		r.mu.Unlock()
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	res := SustainedResult{
 		Config:    cfg,
 		Completed: completed.Load(),
@@ -288,13 +413,27 @@ func RunSustained(cfg SustainedConfig) (SustainedResult, error) {
 		Shed:      respShed.Load(),
 		Elapsed:   elapsed,
 		Metrics:   snap,
+		SysShed: snap[metrics.DispatchQShed(transport.ClassSystem.Name())] +
+			snap[metrics.DispatchQShed(transport.ClassControl.Name())],
 	}
 	res.EventsPerSec = float64(res.Completed) / elapsed.Seconds()
-	if len(all) > 0 {
-		pct := func(p float64) time.Duration {
-			return time.Duration(all[int(p*float64(len(all)-1))])
+	res.P50, res.P95, res.P99 = percentiles(all)
+	for ti, ts := range cfg.Tenants {
+		var lat []int64
+		for _, r := range tenantRecs[ti][1:] {
+			r.mu.Lock()
+			lat = append(lat, r.lat...)
+			r.mu.Unlock()
 		}
-		res.P50, res.P95, res.P99 = pct(0.50), pct(0.95), pct(0.99)
+		tr := TenantResult{
+			Name:      ts.Name,
+			Class:     ts.Class,
+			Offered:   tenantOffered[ti].Load(),
+			Rejected:  tenantRejected[ti].Load(),
+			Completed: tenantCompleted[ti].Load(),
+		}
+		tr.P50, tr.P95, tr.P99 = percentiles(lat)
+		res.Tenants = append(res.Tenants, tr)
 	}
 	return res, nil
 }

@@ -3,6 +3,8 @@ package workload
 import (
 	"testing"
 	"time"
+
+	"repro/internal/transport"
 )
 
 // TestSustainedSmoke runs a small sustained load and checks the basic
@@ -31,6 +33,64 @@ func TestSustainedSmoke(t *testing.T) {
 	}
 	if res.P50 <= 0 || res.P95 < res.P50 || res.P99 < res.P95 {
 		t.Fatalf("percentiles not monotone: p50=%v p95=%v p99=%v", res.P50, res.P95, res.P99)
+	}
+	// Far from overload (2k ev/s against a 2-worker pipeline), nothing
+	// should be shed: a nonzero count here means the responder outbox or
+	// an admission path is dropping work it has room for.
+	if res.Shed != 0 {
+		t.Errorf("non-overload run shed %d responses, want 0", res.Shed)
+	}
+	if res.SysShed != 0 {
+		t.Errorf("non-overload run shed %d system/control messages, want 0", res.SysShed)
+	}
+}
+
+// TestSustainedMultiTenant runs the noisy-neighbor shape at smoke scale
+// with QoS on: tenant A at a modest rate, tenant B flooding, plus a
+// background system stream. It checks per-tenant accounting is populated,
+// the flood gets rejections instead of unbounded queueing, and no
+// system/control message is ever shed.
+func TestSustainedMultiTenant(t *testing.T) {
+	res, err := RunSustained(SustainedConfig{
+		Nodes:     4,
+		Workers:   2,
+		Duration:  150 * time.Millisecond,
+		SlowFrac:  0.5,
+		SlowDelay: 200 * time.Microsecond,
+		QoS: transport.QoSConfig{
+			Enabled: true,
+			Weights: map[transport.Class]int{1: 8, 2: 1},
+			Depth:   64,
+		},
+		Tenants: []TenantSpec{
+			{Name: "A", Class: 1, OfferedPerNode: 1000},
+			{Name: "B", Class: 2, OfferedPerNode: 20000},
+		},
+		SystemPerNode: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tenants) != 2 {
+		t.Fatalf("want 2 tenant results, got %d", len(res.Tenants))
+	}
+	for _, tr := range res.Tenants {
+		if tr.Offered == 0 {
+			t.Errorf("tenant %s offered nothing", tr.Name)
+		}
+		if tr.Completed == 0 {
+			t.Errorf("tenant %s completed nothing", tr.Name)
+		}
+	}
+	a, b := res.Tenants[0], res.Tenants[1]
+	if b.Rejected == 0 {
+		t.Errorf("flooding tenant B saw no admission rejects (offered %d, completed %d)", b.Offered, b.Completed)
+	}
+	if a.P99 <= 0 {
+		t.Errorf("tenant A percentiles not populated: %+v", a)
+	}
+	if res.SysShed != 0 {
+		t.Errorf("system/control sheds = %d, want 0", res.SysShed)
 	}
 }
 
